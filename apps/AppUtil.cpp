@@ -1,0 +1,108 @@
+//===- apps/AppUtil.cpp - Shared helpers for the benchmark apps -------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppUtil.h"
+
+#include "apps/App.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace elide;
+using namespace elide::apps;
+
+namespace {
+
+template <typename T, typename Fmt>
+std::string formatArray(const std::string &Name, const char *ElemType,
+                        const T *Values, size_t Count, Fmt Format) {
+  std::string Out = "var " + Name + ": " + ElemType + "[" +
+                    std::to_string(Count) + "] = [\n  ";
+  for (size_t I = 0; I < Count; ++I) {
+    Out += Format(Values[I]);
+    if (I + 1 != Count)
+      Out += (I % 12 == 11) ? ",\n  " : ", ";
+  }
+  Out += "\n];\n";
+  return Out;
+}
+
+} // namespace
+
+std::string apps::elcArrayU8(const std::string &Name, BytesView Values) {
+  return formatArray(Name, "u8", Values.data(), Values.size(), [](uint8_t V) {
+    char Buf[8];
+    std::snprintf(Buf, sizeof(Buf), "0x%02x", V);
+    return std::string(Buf);
+  });
+}
+
+std::string apps::elcArrayU32(const std::string &Name, const uint32_t *Values,
+                              size_t Count) {
+  return formatArray(Name, "u32", Values, Count, [](uint32_t V) {
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "0x%08x", V);
+    return std::string(Buf);
+  });
+}
+
+std::string apps::elcArrayU64(const std::string &Name, const uint64_t *Values,
+                              size_t Count) {
+  return formatArray(Name, "u64", Values, Count, [](uint64_t V) {
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                  static_cast<unsigned long long>(V));
+    return std::string(Buf);
+  });
+}
+
+Expected<Bytes> apps::runEcall(sgx::Enclave &E, const std::string &Ecall,
+                               BytesView Input, size_t OutLen,
+                               uint64_t ExpectStatus) {
+  ELIDE_TRY(sgx::EcallResult R, E.ecall(Ecall, Input, OutLen));
+  if (!R.ok())
+    return makeError(Ecall + " trapped: " +
+                     std::string(trapKindName(R.Exec.Kind)) + ": " +
+                     R.Exec.Message);
+  if (R.status() != ExpectStatus)
+    return makeError(Ecall + " returned status " +
+                     std::to_string(R.status()) + ", expected " +
+                     std::to_string(ExpectStatus));
+  return R.Output;
+}
+
+size_t AppSpec::trustedLoc() const {
+  size_t Lines = 0;
+  for (const elc::SourceFile &File : TrustedSources)
+    for (char C : File.Source)
+      if (C == '\n')
+        ++Lines;
+  return Lines;
+}
+
+const std::vector<AppSpec> &apps::allApps() {
+  static const std::vector<AppSpec> Apps = [] {
+    std::vector<AppSpec> List;
+    List.push_back(makeAesApp());
+    List.push_back(makeDesApp());
+    List.push_back(makeSha1App());
+    List.push_back(makeShasApp());
+    List.push_back(make2048App());
+    List.push_back(makeBiniaxApp());
+    List.push_back(makeCrackmeApp());
+    return List;
+  }();
+  return Apps;
+}
+
+const AppSpec &apps::appByName(const std::string &Name) {
+  for (const AppSpec &App : allApps())
+    if (App.Name == Name)
+      return App;
+  assert(false && "unknown app name");
+  static AppSpec Dummy;
+  return Dummy;
+}

@@ -1,0 +1,47 @@
+//===- apps/AppUtil.h - Shared helpers for the benchmark apps -------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the seven app ports: Elc global-array synthesis (the
+/// lookup tables are defined once in C++ and emitted into the trusted
+/// sources, so the Elc and oracle implementations cannot drift), and the
+/// standard ecall wrapper used by workload drivers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_APPS_APPUTIL_H
+#define SGXELIDE_APPS_APPUTIL_H
+
+#include "sgx/Enclave.h"
+#include "support/Bytes.h"
+
+#include <string>
+
+namespace elide {
+namespace apps {
+
+/// Emits `var <Name>: u8[<N>] = [ ... ];`.
+std::string elcArrayU8(const std::string &Name, BytesView Values);
+
+/// Emits `var <Name>: u32[<N>] = [ ... ];`.
+std::string elcArrayU32(const std::string &Name, const uint32_t *Values,
+                        size_t Count);
+
+/// Emits `var <Name>: u64[<N>] = [ ... ];`.
+std::string elcArrayU64(const std::string &Name, const uint64_t *Values,
+                        size_t Count);
+
+/// Invokes \p Ecall with \p Input, expecting a clean HALT; returns the
+/// first \p OutLen bytes of output. Fails on traps or a nonzero status
+/// unless \p ExpectStatus says otherwise.
+Expected<Bytes> runEcall(sgx::Enclave &E, const std::string &Ecall,
+                         BytesView Input, size_t OutLen,
+                         uint64_t ExpectStatus = 0);
+
+} // namespace apps
+} // namespace elide
+
+#endif // SGXELIDE_APPS_APPUTIL_H

@@ -1,0 +1,317 @@
+//===- apps/BiniaxApp.cpp - The Biniax game benchmark -----------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Biniax-style arcade puzzle: a 5-column field of element *pairs*
+/// scrolls toward the player; the player survives a collision only when
+/// one element of the pair matches the element they carry, taking the
+/// other element and scoring. The trusted component holds the scrolling /
+/// collision / scoring logic and the secret asset decryptor; the untrusted
+/// driver replays deterministic games against a C++ oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "apps/AppUtil.h"
+
+#include <cstring>
+
+using namespace elide;
+using namespace elide::apps;
+
+namespace {
+
+const char AssetText[] = "element:air|element:water|element:fire|"
+                         "element:earth|sprite-sheet:binx.pak";
+constexpr size_t AssetSize = sizeof(AssetText);
+
+uint8_t assetKeystream(uint64_t I) {
+  uint64_t X = (I ^ 0xb1417) * 0xd1b54a32d192ed03ULL;
+  X ^= X >> 31;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 27;
+  return static_cast<uint8_t>(X);
+}
+
+const char *BiniaxAlgorithm = R"elc(
+// Biniax-style trusted component. The field is 5 columns x 8 rows of
+// element pairs, one byte per cell: hi nibble = element A, lo = element B,
+// 0 = empty. The player carries one element (1..4) and sits below row 7.
+
+var binx_assets: u8[128];
+var binx_field: u8[40];
+var binx_rng: u64;
+var binx_score: u64;
+
+// SECRET: asset keystream + decryptor.
+fn binx_keystream(i: u64) -> u64 {
+  var x: u64 = (i ^ 0xb1417) * 0xd1b54a32d192ed03;
+  x = x ^ (x >> 31);
+  x = x * 0x94d049bb133111eb;
+  x = x ^ (x >> 27);
+  return x & 0xff;
+}
+
+fn binx_load_assets(n: u64) -> u64 {
+  var sum: u64 = 0;
+  for (var i: u64 = 0; i < n; i = i + 1) {
+    binx_assets[i] = (binx_assets_enc[i] as u64) ^ binx_keystream(i);
+    sum = (sum * 131 + (binx_assets[i] as u64)) & 0xffffffff;
+  }
+  return sum;
+}
+
+fn binx_rand() -> u64 {
+  binx_rng = binx_rng * 2862933555777941757 + 3037000493;
+  return binx_rng >> 33;
+}
+
+// Generates one new top row: each cell empty (p=3/8) or a random pair of
+// two distinct elements.
+fn binx_gen_row() {
+  for (var c: u64 = 0; c < 5; c = c + 1) {
+    var r: u64 = binx_rand() % 8;
+    if (r < 3) {
+      binx_field[c] = 0;
+    } else {
+      var a: u64 = binx_rand() % 4 + 1;
+      var b: u64 = binx_rand() % 3 + 1;
+      if (b >= a) {
+        b = b + 1;
+      }
+      binx_field[c] = (a << 4) | b;
+    }
+  }
+}
+
+// Scrolls the field down one row (row 7 leaves the screen) and generates
+// a fresh row 0.
+fn binx_scroll() {
+  for (var row: u64 = 7; row >= 1; row = row - 1) {
+    for (var c: u64 = 0; c < 5; c = c + 1) {
+      binx_field[row * 5 + c] = binx_field[(row - 1) * 5 + c];
+    }
+  }
+  binx_gen_row();
+}
+
+// Can a player carrying `elem` survive the pair `cell`? Returns the new
+// carried element + 1, or 0 when the collision is fatal.
+fn binx_collide(elem: u64, cell: u64) -> u64 {
+  if (cell == 0) {
+    return elem + 1;
+  }
+  var a: u64 = (cell >> 4) & 0xf;
+  var b: u64 = cell & 0xf;
+  if (a == elem) {
+    return b + 1;
+  }
+  if (b == elem) {
+    return a + 1;
+  }
+  return 0;
+}
+
+// Ecall: input = [seed 8][ticks 8][asset_len 8].
+// Plays with a greedy survival policy (prefer staying, else nearest
+// survivable column). Output = [score 8][checksum 8][ticks_survived 8].
+export fn binx_play(inp: *u8, inlen: u64, outp: *u8, outcap: u64) -> u64 {
+  if (inlen < 24) {
+    return 1;
+  }
+  if (outcap < 24) {
+    return 2;
+  }
+  var alen: u64 = load_le64(inp + 16);
+  if (alen > 128) {
+    return 3;
+  }
+  var checksum: u64 = binx_load_assets(alen);
+
+  binx_rng = load_le64(inp);
+  var ticks: u64 = load_le64(inp + 8);
+  binx_score = 0;
+  for (var i: u64 = 0; i < 40; i = i + 1) {
+    binx_field[i] = 0;
+  }
+  var col: u64 = 2;
+  var elem: u64 = 1;
+
+  var survived: u64 = 0;
+  for (var t: u64 = 0; t < ticks; t = t + 1) {
+    binx_scroll();
+    // The pair now in the player's row is at row 7.
+    var best: u64 = 0;
+    var bestcol: u64 = col;
+    // Prefer the current column, then nearest alternatives.
+    for (var d: u64 = 0; d < 5; d = d + 1) {
+      var cands: u64 = 2;
+      if (d == 0) {
+        cands = 1;
+      }
+      for (var s: u64 = 0; s < cands; s = s + 1) {
+        var c: u64 = col;
+        if (s == 0) {
+          c = col + d;
+        } else {
+          c = col - d;
+        }
+        // Unsigned wraparound keeps c huge when col < d.
+        if (c < 5 && best == 0) {
+          var r: u64 = binx_collide(elem, binx_field[7 * 5 + c] as u64);
+          if (r != 0) {
+            best = r;
+            bestcol = c;
+          }
+        }
+      }
+    }
+    if (best == 0) {
+      break;
+    }
+    if (binx_field[7 * 5 + bestcol] != 0) {
+      binx_score = binx_score + 1;
+    }
+    binx_field[7 * 5 + bestcol] = 0;
+    elem = best - 1;
+    col = bestcol;
+    survived = survived + 1;
+  }
+
+  store_le64(outp, binx_score);
+  store_le64(outp + 8, checksum);
+  store_le64(outp + 16, survived);
+  return 0;
+}
+)elc";
+
+//===----------------------------------------------------------------------===//
+// Host oracle
+//===----------------------------------------------------------------------===//
+
+struct OracleBiniax {
+  uint8_t Field[40] = {0};
+  uint64_t Rng = 0;
+  uint64_t Score = 0;
+
+  uint64_t rand() {
+    Rng = Rng * 2862933555777941757ULL + 3037000493ULL;
+    return Rng >> 33;
+  }
+
+  void genRow() {
+    for (uint64_t C = 0; C < 5; ++C) {
+      uint64_t R = rand() % 8;
+      if (R < 3) {
+        Field[C] = 0;
+      } else {
+        uint64_t A = rand() % 4 + 1;
+        uint64_t B = rand() % 3 + 1;
+        if (B >= A)
+          B += 1;
+        Field[C] = static_cast<uint8_t>(A << 4 | B);
+      }
+    }
+  }
+
+  void scroll() {
+    for (uint64_t Row = 7; Row >= 1; --Row)
+      for (uint64_t C = 0; C < 5; ++C)
+        Field[Row * 5 + C] = Field[(Row - 1) * 5 + C];
+    genRow();
+  }
+
+  static uint64_t collide(uint64_t Elem, uint64_t Cell) {
+    if (Cell == 0)
+      return Elem + 1;
+    uint64_t A = (Cell >> 4) & 0xf, B = Cell & 0xf;
+    if (A == Elem)
+      return B + 1;
+    if (B == Elem)
+      return A + 1;
+    return 0;
+  }
+
+  uint64_t play(uint64_t Seed, uint64_t Ticks) {
+    Rng = Seed;
+    Score = 0;
+    std::memset(Field, 0, sizeof(Field));
+    uint64_t Col = 2, Elem = 1, Survived = 0;
+    for (uint64_t T = 0; T < Ticks; ++T) {
+      scroll();
+      uint64_t Best = 0, BestCol = Col;
+      for (uint64_t D = 0; D < 5; ++D) {
+        uint64_t Cands = D == 0 ? 1 : 2;
+        for (uint64_t S = 0; S < Cands; ++S) {
+          uint64_t C = S == 0 ? Col + D : Col - D;
+          if (C < 5 && Best == 0) {
+            uint64_t R = collide(Elem, Field[7 * 5 + C]);
+            if (R != 0) {
+              Best = R;
+              BestCol = C;
+            }
+          }
+        }
+      }
+      if (Best == 0)
+        break;
+      if (Field[7 * 5 + BestCol] != 0)
+        ++Score;
+      Field[7 * 5 + BestCol] = 0;
+      Elem = Best - 1;
+      Col = BestCol;
+      ++Survived;
+    }
+    return Survived;
+  }
+};
+
+uint64_t assetChecksum() {
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < AssetSize; ++I)
+    Sum = (Sum * 131 + static_cast<uint8_t>(AssetText[I])) & 0xffffffff;
+  return Sum;
+}
+
+Error biniaxWorkload(sgx::Enclave &E) {
+  for (uint64_t Seed : {3ull, 77ull, 0xb141aull}) {
+    Bytes In;
+    appendLE64(In, Seed);
+    appendLE64(In, 400); // ticks
+    appendLE64(In, AssetSize);
+    ELIDE_TRY(Bytes Out, runEcall(E, "binx_play", In, 24));
+
+    OracleBiniax Oracle;
+    uint64_t ExpectSurvived = Oracle.play(Seed, 400);
+
+    if (readLE64(Out.data() + 8) != assetChecksum())
+      return makeError("Biniax enclave decrypted the assets incorrectly");
+    if (readLE64(Out.data()) != Oracle.Score)
+      return makeError("Biniax enclave score mismatch");
+    if (readLE64(Out.data() + 16) != ExpectSurvived)
+      return makeError("Biniax enclave survival-tick mismatch");
+  }
+  return Error::success();
+}
+
+} // namespace
+
+AppSpec apps::makeBiniaxApp() {
+  Bytes Encrypted(AssetSize);
+  for (size_t I = 0; I < AssetSize; ++I)
+    Encrypted[I] = static_cast<uint8_t>(AssetText[I]) ^ assetKeystream(I);
+
+  std::string Source;
+  Source += elcArrayU8("binx_assets_enc", Encrypted);
+  Source += BiniaxAlgorithm;
+
+  AppSpec Spec;
+  Spec.Name = "Biniax";
+  Spec.TrustedSources = {{"biniax.elc", Source}};
+  Spec.RunWorkload = biniaxWorkload;
+  Spec.IsGame = true;
+  return Spec;
+}

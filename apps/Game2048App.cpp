@@ -1,0 +1,382 @@
+//===- apps/Game2048App.cpp - The 2048 game benchmark ----------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 2048 game with its trusted component in the enclave. As in the
+/// paper, "the secrets for the games are code that loads/decrypts the
+/// assets from disk to defeat reverse engineering": the tile-asset blob is
+/// shipped encrypted inside the enclave image and decrypted by a secret
+/// keystream function, and the full game logic (slide/merge/spawn/score)
+/// also runs inside. The workload plays deterministic scripted games and
+/// compares board, score, and asset checksum against a host oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "apps/AppUtil.h"
+
+#include <cstring>
+
+using namespace elide;
+using namespace elide::apps;
+
+namespace {
+
+/// The plaintext game assets (tile labels). The enclave ships only the
+/// encrypted form.
+const char AssetText[] = "2|4|8|16|32|64|128|256|512|1024|2048|GAME-OVER|"
+                         "theme:classic|palette:amber";
+constexpr size_t AssetSize = sizeof(AssetText); // includes NUL
+
+/// The secret keystream (kept identical in the Elc source below).
+uint8_t assetKeystream(uint64_t I) {
+  uint64_t X = (I + 1) * 0x9e3779b97f4a7c15ULL;
+  X ^= X >> 29;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 32;
+  return static_cast<uint8_t>(X);
+}
+
+const char *GameAlgorithm = R"elc(
+// 2048: trusted component. Board cells hold exponents (0 = empty,
+// k = tile 2^k).
+
+var g2048_assets: u8[128];
+var g2048_board: u8[16];
+var g2048_score: u64;
+var g2048_rng: u64;
+
+// SECRET: the asset keystream. This is what the paper protects for games.
+fn g2048_keystream(i: u64) -> u64 {
+  var x: u64 = (i + 1) * 0x9e3779b97f4a7c15;
+  x = x ^ (x >> 29);
+  x = x * 0xbf58476d1ce4e5b9;
+  x = x ^ (x >> 32);
+  return x & 0xff;
+}
+
+// SECRET: decrypts the shipped assets; returns their checksum.
+fn g2048_load_assets(n: u64) -> u64 {
+  var sum: u64 = 0;
+  for (var i: u64 = 0; i < n; i = i + 1) {
+    g2048_assets[i] = (g2048_assets_enc[i] as u64) ^ g2048_keystream(i);
+    sum = (sum * 31 + (g2048_assets[i] as u64)) & 0xffffffff;
+  }
+  return sum;
+}
+
+fn g2048_rand() -> u64 {
+  g2048_rng = g2048_rng * 6364136223846793005 + 1442695040888963407;
+  return g2048_rng >> 33;
+}
+
+fn g2048_spawn() {
+  var empty: u64 = 0;
+  for (var i: u64 = 0; i < 16; i = i + 1) {
+    if (g2048_board[i] == 0) {
+      empty = empty + 1;
+    }
+  }
+  if (empty == 0) {
+    return;
+  }
+  var slot: u64 = g2048_rand() % empty;
+  var value: u64 = 1;
+  if (g2048_rand() % 10 == 0) {
+    value = 2;
+  }
+  for (var i: u64 = 0; i < 16; i = i + 1) {
+    if (g2048_board[i] == 0) {
+      if (slot == 0) {
+        g2048_board[i] = value;
+        return;
+      }
+      slot = slot - 1;
+    }
+  }
+}
+
+// Slides one 4-cell line toward index 0, merging equal neighbors once.
+fn g2048_slide_line(line: *u8) {
+  var packed: u8[4];
+  var n: u64 = 0;
+  for (var i: u64 = 0; i < 4; i = i + 1) {
+    if (line[i] != 0) {
+      packed[n] = line[i];
+      n = n + 1;
+    }
+  }
+  var merged: u8[4];
+  var m: u64 = 0;
+  var i: u64 = 0;
+  while (i < n) {
+    if (i + 1 < n && packed[i] == packed[i + 1]) {
+      merged[m] = packed[i] + 1;
+      g2048_score = g2048_score + (1 << ((packed[i] as u64) + 1));
+      i = i + 2;
+    } else {
+      merged[m] = packed[i];
+      i = i + 1;
+    }
+    m = m + 1;
+  }
+  for (var j: u64 = 0; j < 4; j = j + 1) {
+    if (j < m) {
+      line[j] = merged[j];
+    } else {
+      line[j] = 0;
+    }
+  }
+}
+
+// Returns the board index for position p (0..3) of lane k under
+// direction d (0 left, 1 right, 2 up, 3 down).
+fn g2048_index(d: u64, k: u64, p: u64) -> u64 {
+  if (d == 0) {
+    return k * 4 + p;
+  }
+  if (d == 1) {
+    return k * 4 + (3 - p);
+  }
+  if (d == 2) {
+    return p * 4 + k;
+  }
+  return (3 - p) * 4 + k;
+}
+
+// Applies a move; returns 1 if the board changed.
+fn g2048_move(d: u64) -> u64 {
+  var changed: u64 = 0;
+  for (var k: u64 = 0; k < 4; k = k + 1) {
+    var line: u8[4];
+    for (var p: u64 = 0; p < 4; p = p + 1) {
+      line[p] = g2048_board[g2048_index(d, k, p)];
+    }
+    g2048_slide_line(&line[0]);
+    for (var p: u64 = 0; p < 4; p = p + 1) {
+      var idx: u64 = g2048_index(d, k, p);
+      if (g2048_board[idx] != line[p]) {
+        changed = 1;
+      }
+      g2048_board[idx] = line[p];
+    }
+  }
+  return changed;
+}
+
+// Ecall: input = [seed 8][steps 8][asset_len 8]. Decrypts the assets,
+// plays `steps` moves with the rotating policy, and returns
+// [score 8][asset_checksum 8][moves_done 8][board 16].
+export fn g2048_play(inp: *u8, inlen: u64, outp: *u8, outcap: u64) -> u64 {
+  if (inlen < 24) {
+    return 1;
+  }
+  if (outcap < 40) {
+    return 2;
+  }
+  var alen: u64 = load_le64(inp + 16);
+  if (alen > 128) {
+    return 3;
+  }
+  var checksum: u64 = g2048_load_assets(alen);
+
+  g2048_rng = load_le64(inp);
+  var steps: u64 = load_le64(inp + 8);
+  g2048_score = 0;
+  for (var i: u64 = 0; i < 16; i = i + 1) {
+    g2048_board[i] = 0;
+  }
+  g2048_spawn();
+  g2048_spawn();
+
+  var moves: u64 = 0;
+  for (var s: u64 = 0; s < steps; s = s + 1) {
+    var moved: u64 = 0;
+    for (var t: u64 = 0; t < 4; t = t + 1) {
+      if (g2048_move((s + t) % 4) != 0) {
+        moved = 1;
+        break;
+      }
+    }
+    if (moved == 0) {
+      break;
+    }
+    moves = moves + 1;
+    g2048_spawn();
+  }
+
+  store_le64(outp, g2048_score);
+  store_le64(outp + 8, checksum);
+  store_le64(outp + 16, moves);
+  memcpy8(outp + 24, &g2048_board[0], 16);
+  return 0;
+}
+)elc";
+
+//===----------------------------------------------------------------------===//
+// Host oracle: the identical game, in C++.
+//===----------------------------------------------------------------------===//
+
+struct Oracle2048 {
+  uint8_t Board[16] = {0};
+  uint64_t Score = 0;
+  uint64_t Rng = 0;
+
+  uint64_t rand() {
+    Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Rng >> 33;
+  }
+
+  void spawn() {
+    int Empty = 0;
+    for (uint8_t C : Board)
+      if (C == 0)
+        ++Empty;
+    if (!Empty)
+      return;
+    uint64_t Slot = rand() % static_cast<uint64_t>(Empty);
+    uint8_t Value = 1;
+    if (rand() % 10 == 0)
+      Value = 2;
+    for (auto &C : Board)
+      if (C == 0) {
+        if (Slot == 0) {
+          C = Value;
+          return;
+        }
+        --Slot;
+      }
+  }
+
+  void slideLine(uint8_t Line[4]) {
+    uint8_t Packed[4];
+    int N = 0;
+    for (int I = 0; I < 4; ++I)
+      if (Line[I])
+        Packed[N++] = Line[I];
+    uint8_t Merged[4];
+    int M = 0, I = 0;
+    while (I < N) {
+      if (I + 1 < N && Packed[I] == Packed[I + 1]) {
+        Merged[M] = static_cast<uint8_t>(Packed[I] + 1);
+        Score += 1ULL << (Packed[I] + 1);
+        I += 2;
+      } else {
+        Merged[M] = Packed[I];
+        I += 1;
+      }
+      ++M;
+    }
+    for (int J = 0; J < 4; ++J)
+      Line[J] = J < M ? Merged[J] : 0;
+  }
+
+  static size_t index(uint64_t D, uint64_t K, uint64_t P) {
+    switch (D) {
+    case 0:
+      return K * 4 + P;
+    case 1:
+      return K * 4 + (3 - P);
+    case 2:
+      return P * 4 + K;
+    default:
+      return (3 - P) * 4 + K;
+    }
+  }
+
+  bool move(uint64_t D) {
+    bool Changed = false;
+    for (uint64_t K = 0; K < 4; ++K) {
+      uint8_t Line[4];
+      for (uint64_t P = 0; P < 4; ++P)
+        Line[P] = Board[index(D, K, P)];
+      slideLine(Line);
+      for (uint64_t P = 0; P < 4; ++P) {
+        size_t Idx = index(D, K, P);
+        if (Board[Idx] != Line[P])
+          Changed = true;
+        Board[Idx] = Line[P];
+      }
+    }
+    return Changed;
+  }
+
+  uint64_t play(uint64_t Seed, uint64_t Steps) {
+    Rng = Seed;
+    Score = 0;
+    std::memset(Board, 0, sizeof(Board));
+    spawn();
+    spawn();
+    uint64_t Moves = 0;
+    for (uint64_t S = 0; S < Steps; ++S) {
+      bool Moved = false;
+      for (uint64_t T = 0; T < 4; ++T)
+        if (move((S + T) % 4)) {
+          Moved = true;
+          break;
+        }
+      if (!Moved)
+        break;
+      ++Moves;
+      spawn();
+    }
+    return Moves;
+  }
+};
+
+uint64_t assetChecksum() {
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < AssetSize; ++I)
+    Sum = (Sum * 31 + static_cast<uint8_t>(AssetText[I])) & 0xffffffff;
+  return Sum;
+}
+
+Error gameWorkload(sgx::Enclave &E) {
+  for (uint64_t Seed : {1ull, 42ull, 0xdeadbeefull}) {
+    Bytes In;
+    appendLE64(In, Seed);
+    appendLE64(In, 300); // steps
+    appendLE64(In, AssetSize);
+    ELIDE_TRY(Bytes Out, runEcall(E, "g2048_play", In, 40));
+
+    Oracle2048 Oracle;
+    uint64_t ExpectMoves = Oracle.play(Seed, 300);
+
+    uint64_t Score = readLE64(Out.data());
+    uint64_t Checksum = readLE64(Out.data() + 8);
+    uint64_t Moves = readLE64(Out.data() + 16);
+    if (Checksum != assetChecksum())
+      return makeError("2048 enclave decrypted the assets incorrectly");
+    if (Score != Oracle.Score)
+      return makeError("2048 enclave score " + std::to_string(Score) +
+                       " != oracle " + std::to_string(Oracle.Score));
+    if (Moves != ExpectMoves)
+      return makeError("2048 enclave move count mismatch");
+    if (std::memcmp(Out.data() + 24, Oracle.Board, 16) != 0)
+      return makeError("2048 enclave final board mismatch");
+  }
+  return Error::success();
+}
+
+} // namespace
+
+AppSpec apps::make2048App() {
+  // Encrypt the assets for shipment.
+  Bytes Encrypted(AssetSize);
+  for (size_t I = 0; I < AssetSize; ++I)
+    Encrypted[I] = static_cast<uint8_t>(AssetText[I]) ^ assetKeystream(I);
+
+  std::string Source;
+  Source += elcArrayU8("g2048_assets_enc", Encrypted);
+  Source += GameAlgorithm;
+
+  AppSpec Spec;
+  Spec.Name = "2048";
+  Spec.TrustedSources = {{"g2048.elc", Source}};
+  Spec.RunWorkload = gameWorkload;
+  Spec.IsGame = true;
+  return Spec;
+}

@@ -1,0 +1,325 @@
+//===- apps/ShasApp.cpp - The SHAs benchmark (RFC 6234 port) ---------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Shas" benchmark: SHA-256 and SHA-512 (RFC 6234) inside the
+/// enclave, selected by the first input byte. The largest of the crypto
+/// ports, as in the paper (2417 LOC of C there). Checked against the host
+/// crypto library on boundary-straddling lengths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "apps/AppUtil.h"
+
+#include "crypto/Drbg.h"
+#include "crypto/Sha256.h"
+#include "crypto/Sha512.h"
+#include "support/Hex.h"
+
+#include <cstring>
+
+using namespace elide;
+using namespace elide::apps;
+
+namespace {
+
+const uint32_t K256[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+const uint64_t K512[80] = {
+    0x428a2f98d728ae22ULL, 0x7137449123ef65cdULL, 0xb5c0fbcfec4d3b2fULL,
+    0xe9b5dba58189dbbcULL, 0x3956c25bf348b538ULL, 0x59f111f1b605d019ULL,
+    0x923f82a4af194f9bULL, 0xab1c5ed5da6d8118ULL, 0xd807aa98a3030242ULL,
+    0x12835b0145706fbeULL, 0x243185be4ee4b28cULL, 0x550c7dc3d5ffb4e2ULL,
+    0x72be5d74f27b896fULL, 0x80deb1fe3b1696b1ULL, 0x9bdc06a725c71235ULL,
+    0xc19bf174cf692694ULL, 0xe49b69c19ef14ad2ULL, 0xefbe4786384f25e3ULL,
+    0x0fc19dc68b8cd5b5ULL, 0x240ca1cc77ac9c65ULL, 0x2de92c6f592b0275ULL,
+    0x4a7484aa6ea6e483ULL, 0x5cb0a9dcbd41fbd4ULL, 0x76f988da831153b5ULL,
+    0x983e5152ee66dfabULL, 0xa831c66d2db43210ULL, 0xb00327c898fb213fULL,
+    0xbf597fc7beef0ee4ULL, 0xc6e00bf33da88fc2ULL, 0xd5a79147930aa725ULL,
+    0x06ca6351e003826fULL, 0x142929670a0e6e70ULL, 0x27b70a8546d22ffcULL,
+    0x2e1b21385c26c926ULL, 0x4d2c6dfc5ac42aedULL, 0x53380d139d95b3dfULL,
+    0x650a73548baf63deULL, 0x766a0abb3c77b2a8ULL, 0x81c2c92e47edaee6ULL,
+    0x92722c851482353bULL, 0xa2bfe8a14cf10364ULL, 0xa81a664bbc423001ULL,
+    0xc24b8b70d0f89791ULL, 0xc76c51a30654be30ULL, 0xd192e819d6ef5218ULL,
+    0xd69906245565a910ULL, 0xf40e35855771202aULL, 0x106aa07032bbd1b8ULL,
+    0x19a4c116b8d2d0c8ULL, 0x1e376c085141ab53ULL, 0x2748774cdf8eeb99ULL,
+    0x34b0bcb5e19b48a8ULL, 0x391c0cb3c5c95a63ULL, 0x4ed8aa4ae3418acbULL,
+    0x5b9cca4f7763e373ULL, 0x682e6ff3d6b2b8a3ULL, 0x748f82ee5defb2fcULL,
+    0x78a5636f43172f60ULL, 0x84c87814a1f0ab72ULL, 0x8cc702081a6439ecULL,
+    0x90befffa23631e28ULL, 0xa4506cebde82bde9ULL, 0xbef9a3f7b2c67915ULL,
+    0xc67178f2e372532bULL, 0xca273eceea26619cULL, 0xd186b8c721c0c207ULL,
+    0xeada7dd6cde0eb1eULL, 0xf57d4f7fee6ed178ULL, 0x06f067aa72176fbaULL,
+    0x0a637dc5a2c898a6ULL, 0x113f9804bef90daeULL, 0x1b710b35131c471bULL,
+    0x28db77f523047d84ULL, 0x32caab7b40c72493ULL, 0x3c9ebe0a15c9bebcULL,
+    0x431d67c49c100d4cULL, 0x4cc5d4becb3e42b6ULL, 0x597f299cfc657e2aULL,
+    0x5fcb6fab3ad6faecULL, 0x6c44198c4a475817ULL};
+
+const char *ShasAlgorithm = R"elc(
+// SHA-256 and SHA-512 (RFC 6234).
+
+var shas_msg: u8[4608];
+var sha256_h: u64[8];
+var sha512_h: u64[8];
+
+fn shrx32(x: u64, n: u64) -> u64 {
+  return (x & 0xffffffff) >> n;
+}
+
+fn sha256_process(block: *u8) {
+  var w: u64[64];
+  for (var t: u64 = 0; t < 16; t = t + 1) {
+    w[t] = load_be32(block + 4 * t);
+  }
+  for (var t: u64 = 16; t < 64; t = t + 1) {
+    var s0: u64 = rotr32(w[t - 15], 7) ^ rotr32(w[t - 15], 18) ^ shrx32(w[t - 15], 3);
+    var s1: u64 = rotr32(w[t - 2], 17) ^ rotr32(w[t - 2], 19) ^ shrx32(w[t - 2], 10);
+    w[t] = (w[t - 16] + s0 + w[t - 7] + s1) & 0xffffffff;
+  }
+  var a: u64 = sha256_h[0];
+  var b: u64 = sha256_h[1];
+  var c: u64 = sha256_h[2];
+  var d: u64 = sha256_h[3];
+  var e: u64 = sha256_h[4];
+  var f: u64 = sha256_h[5];
+  var g: u64 = sha256_h[6];
+  var h: u64 = sha256_h[7];
+  for (var t: u64 = 0; t < 64; t = t + 1) {
+    var s1: u64 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+    var ch: u64 = (e & f) ^ ((~e) & g);
+    var t1: u64 = (h + s1 + ch + (shas_k256[t] as u64) + w[t]) & 0xffffffff;
+    var s0: u64 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+    var maj: u64 = (a & b) ^ (a & c) ^ (b & c);
+    var t2: u64 = (s0 + maj) & 0xffffffff;
+    h = g;
+    g = f;
+    f = e;
+    e = (d + t1) & 0xffffffff;
+    d = c;
+    c = b;
+    b = a;
+    a = (t1 + t2) & 0xffffffff;
+  }
+  sha256_h[0] = (sha256_h[0] + a) & 0xffffffff;
+  sha256_h[1] = (sha256_h[1] + b) & 0xffffffff;
+  sha256_h[2] = (sha256_h[2] + c) & 0xffffffff;
+  sha256_h[3] = (sha256_h[3] + d) & 0xffffffff;
+  sha256_h[4] = (sha256_h[4] + e) & 0xffffffff;
+  sha256_h[5] = (sha256_h[5] + f) & 0xffffffff;
+  sha256_h[6] = (sha256_h[6] + g) & 0xffffffff;
+  sha256_h[7] = (sha256_h[7] + h) & 0xffffffff;
+}
+
+fn sha256_digest(msg_len: u64, outp: *u8) {
+  sha256_h[0] = 0x6a09e667;
+  sha256_h[1] = 0xbb67ae85;
+  sha256_h[2] = 0x3c6ef372;
+  sha256_h[3] = 0xa54ff53a;
+  sha256_h[4] = 0x510e527f;
+  sha256_h[5] = 0x9b05688c;
+  sha256_h[6] = 0x1f83d9ab;
+  sha256_h[7] = 0x5be0cd19;
+  shas_msg[msg_len] = 0x80;
+  var padded: u64 = msg_len + 1;
+  while (padded % 64 != 56) {
+    shas_msg[padded] = 0;
+    padded = padded + 1;
+  }
+  var bits: u64 = msg_len * 8;
+  store_be32(&shas_msg[padded], bits >> 32);
+  store_be32(&shas_msg[padded + 4], bits & 0xffffffff);
+  padded = padded + 8;
+  for (var off: u64 = 0; off < padded; off = off + 64) {
+    sha256_process(&shas_msg[off]);
+  }
+  for (var i: u64 = 0; i < 8; i = i + 1) {
+    store_be32(outp + 4 * i, sha256_h[i]);
+  }
+}
+
+fn rotr64(x: u64, n: u64) -> u64 {
+  return (x >> n) | (x << (64 - n));
+}
+
+fn store_be64x(p: *u8, v: u64) {
+  store_be32(p, v >> 32);
+  store_be32(p + 4, v & 0xffffffff);
+}
+
+fn load_be64x(p: *u8) -> u64 {
+  return (load_be32(p) << 32) | load_be32(p + 4);
+}
+
+fn sha512_process(block: *u8) {
+  var w: u64[80];
+  for (var t: u64 = 0; t < 16; t = t + 1) {
+    w[t] = load_be64x(block + 8 * t);
+  }
+  for (var t: u64 = 16; t < 80; t = t + 1) {
+    var s0: u64 = rotr64(w[t - 15], 1) ^ rotr64(w[t - 15], 8) ^ (w[t - 15] >> 7);
+    var s1: u64 = rotr64(w[t - 2], 19) ^ rotr64(w[t - 2], 61) ^ (w[t - 2] >> 6);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+  var a: u64 = sha512_h[0];
+  var b: u64 = sha512_h[1];
+  var c: u64 = sha512_h[2];
+  var d: u64 = sha512_h[3];
+  var e: u64 = sha512_h[4];
+  var f: u64 = sha512_h[5];
+  var g: u64 = sha512_h[6];
+  var h: u64 = sha512_h[7];
+  for (var t: u64 = 0; t < 80; t = t + 1) {
+    var s1: u64 = rotr64(e, 14) ^ rotr64(e, 18) ^ rotr64(e, 41);
+    var ch: u64 = (e & f) ^ ((~e) & g);
+    var t1: u64 = h + s1 + ch + shas_k512[t] + w[t];
+    var s0: u64 = rotr64(a, 28) ^ rotr64(a, 34) ^ rotr64(a, 39);
+    var maj: u64 = (a & b) ^ (a & c) ^ (b & c);
+    var t2: u64 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  sha512_h[0] = sha512_h[0] + a;
+  sha512_h[1] = sha512_h[1] + b;
+  sha512_h[2] = sha512_h[2] + c;
+  sha512_h[3] = sha512_h[3] + d;
+  sha512_h[4] = sha512_h[4] + e;
+  sha512_h[5] = sha512_h[5] + f;
+  sha512_h[6] = sha512_h[6] + g;
+  sha512_h[7] = sha512_h[7] + h;
+}
+
+fn sha512_digest(msg_len: u64, outp: *u8) {
+  sha512_h[0] = 0x6a09e667f3bcc908;
+  sha512_h[1] = 0xbb67ae8584caa73b;
+  sha512_h[2] = 0x3c6ef372fe94f82b;
+  sha512_h[3] = 0xa54ff53a5f1d36f1;
+  sha512_h[4] = 0x510e527fade682d1;
+  sha512_h[5] = 0x9b05688c2b3e6c1f;
+  sha512_h[6] = 0x1f83d9abfb41bd6b;
+  sha512_h[7] = 0x5be0cd19137e2179;
+  shas_msg[msg_len] = 0x80;
+  var padded: u64 = msg_len + 1;
+  while (padded % 128 != 112) {
+    shas_msg[padded] = 0;
+    padded = padded + 1;
+  }
+  // 128-bit length field; the high 64 bits are always zero here.
+  for (var z: u64 = 0; z < 8; z = z + 1) {
+    shas_msg[padded + z] = 0;
+  }
+  store_be64x(&shas_msg[padded + 8], msg_len * 8);
+  padded = padded + 16;
+  for (var off: u64 = 0; off < padded; off = off + 128) {
+    sha512_process(&shas_msg[off]);
+  }
+  for (var i: u64 = 0; i < 8; i = i + 1) {
+    store_be64x(outp + 8 * i, sha512_h[i]);
+  }
+}
+
+// Ecall: input = [algo u8: 0 = SHA-256, 1 = SHA-512][message],
+// output = 32- or 64-byte digest.
+export fn shas_run(inp: *u8, inlen: u64, outp: *u8, outcap: u64) -> u64 {
+  if (inlen < 1) {
+    return 1;
+  }
+  var algo: u64 = inp[0] as u64;
+  var len: u64 = inlen - 1;
+  if (len > 4096) {
+    return 2;
+  }
+  memcpy8(&shas_msg[0], inp + 1, len);
+  if (algo == 0) {
+    if (outcap < 32) {
+      return 3;
+    }
+    sha256_digest(len, outp);
+    return 0;
+  }
+  if (algo == 1) {
+    if (outcap < 64) {
+      return 3;
+    }
+    sha512_digest(len, outp);
+    return 0;
+  }
+  return 4;
+}
+)elc";
+
+Bytes shasInput(uint8_t Algo, BytesView Message) {
+  Bytes In;
+  In.push_back(Algo);
+  appendBytes(In, Message);
+  return In;
+}
+
+Error shasWorkload(sgx::Enclave &E) {
+  // RFC 6234 "abc" vectors.
+  {
+    Bytes Msg = bytesOfString("abc");
+    ELIDE_TRY(Bytes D256, runEcall(E, "shas_run", shasInput(0, Msg), 32));
+    if (toHex(D256) !=
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+      return makeError("SHAs enclave failed SHA-256 'abc': " + toHex(D256));
+    ELIDE_TRY(Bytes D512, runEcall(E, "shas_run", shasInput(1, Msg), 64));
+    if (toHex(D512) !=
+        "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+        "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f")
+      return makeError("SHAs enclave failed SHA-512 'abc': " + toHex(D512));
+  }
+
+  // Boundary lengths vs the host crypto library.
+  Drbg Rng(0x5a5);
+  for (size_t Len : {0u, 1u, 55u, 56u, 64u, 111u, 112u, 119u, 120u, 128u,
+                     129u, 1000u, 4096u}) {
+    Bytes Msg = Rng.bytes(Len);
+    ELIDE_TRY(Bytes D256, runEcall(E, "shas_run", shasInput(0, Msg), 32));
+    Sha256Digest Expect256 = Sha256::hash(Msg);
+    if (std::memcmp(D256.data(), Expect256.data(), 32) != 0)
+      return makeError("SHAs SHA-256 mismatch at length " +
+                       std::to_string(Len));
+    ELIDE_TRY(Bytes D512, runEcall(E, "shas_run", shasInput(1, Msg), 64));
+    Sha512Digest Expect512 = Sha512::hash(Msg);
+    if (std::memcmp(D512.data(), Expect512.data(), 64) != 0)
+      return makeError("SHAs SHA-512 mismatch at length " +
+                       std::to_string(Len));
+  }
+  return Error::success();
+}
+
+} // namespace
+
+AppSpec apps::makeShasApp() {
+  std::string Source;
+  Source += elcArrayU32("shas_k256", K256, 64);
+  Source += elcArrayU64("shas_k512", K512, 80);
+  Source += ShasAlgorithm;
+
+  AppSpec Spec;
+  Spec.Name = "Shas";
+  Spec.TrustedSources = {{"shas.elc", Source}};
+  Spec.RunWorkload = shasWorkload;
+  Spec.IsGame = false;
+  return Spec;
+}

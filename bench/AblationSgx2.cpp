@@ -1,0 +1,160 @@
+//===- bench/AblationSgx2.cpp - SGX2 EMODPE ablation ---------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the paper's section 7 discussion: under SGX1 the sanitizer
+/// must leave the text section writable for the enclave's whole lifetime
+/// (an attack surface); SGX-v2 "will provide the ability" to change
+/// permissions at runtime. This bench launches the AES enclave under both
+/// attribute sets and shows: (a) SGX1 cannot revoke W, (b) SGX2 revokes W
+/// after restoration, after which stores into text fault while execution
+/// still works, and (c) what the lockdown costs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "elide/HostRuntime.h"
+#include "elide/Pipeline.h"
+#include "server/Transport.h"
+#include "support/Stats.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace elide;
+
+namespace {
+
+struct Sgx2Scenario {
+  BuildOptions Options;
+  BuildArtifacts Artifacts;
+  std::unique_ptr<sgx::SgxDevice> Device;
+  std::unique_ptr<sgx::AttestationAuthority> Authority;
+  std::unique_ptr<sgx::QuotingEnclave> Qe;
+  std::unique_ptr<AuthServer> Server;
+  std::unique_ptr<LoopbackTransport> Link;
+};
+
+Sgx2Scenario makeScenario(uint64_t Attributes) {
+  Sgx2Scenario S;
+  Drbg Rng(77);
+  Ed25519Seed Seed{};
+  Rng.fill(MutableBytesView(Seed.data(), 32));
+  Ed25519KeyPair Vendor = ed25519KeyPairFromSeed(Seed);
+
+  S.Options.Attributes = Attributes;
+  Expected<BuildArtifacts> Artifacts = buildProtectedEnclave(
+      apps::appByName("AES").TrustedSources, Vendor, S.Options);
+  if (!Artifacts)
+    std::abort();
+  S.Artifacts = Artifacts.takeValue();
+
+  S.Device = std::make_unique<sgx::SgxDevice>(31);
+  S.Authority = std::make_unique<sgx::AttestationAuthority>(32);
+  S.Qe = std::make_unique<sgx::QuotingEnclave>(*S.Device, *S.Authority);
+
+  AuthServerConfig Config;
+  Config.AuthorityKey = S.Authority->publicKey();
+  Config.ExpectedMrEnclave = S.Artifacts.SanitizedSig.MrEnclave;
+  Config.Meta = S.Artifacts.Meta;
+  Config.SecretData = S.Artifacts.SecretData;
+  S.Server = std::make_unique<AuthServer>(std::move(Config));
+  S.Link = std::make_unique<LoopbackTransport>(*S.Server);
+  return S;
+}
+
+struct RunResult {
+  double RestoreMs = 0;
+  double LockdownMs = 0;
+  bool LockdownSucceeded = false;
+  bool TextWritableAfter = true;
+  bool WorkloadPassed = false;
+};
+
+RunResult runOnce(Sgx2Scenario &S) {
+  RunResult R;
+  Expected<std::unique_ptr<sgx::Enclave>> E =
+      sgx::loadEnclave(*S.Device, S.Artifacts.SanitizedElf,
+                       S.Artifacts.SanitizedSig, S.Options.Layout);
+  if (!E)
+    std::abort();
+  ElideHost Host(S.Link.get(), S.Qe.get());
+  Host.attach(**E);
+
+  Timer T;
+  Expected<uint64_t> Status = Host.restore(**E);
+  R.RestoreMs = T.elapsedMs();
+  if (!Status || *Status != 0)
+    std::abort();
+
+  // Attempt the text lockdown via the trusted library's tcall path
+  // (elide_protect_text): page-walk W revocation.
+  Timer T2;
+  uint64_t TextStart = 0x1000;
+  uint64_t TextEnd = TextStart + S.Artifacts.Meta.DataLength;
+  bool Ok = true;
+  for (uint64_t Page = TextStart; Page < TextEnd; Page += sgx::EpcPageSize)
+    if ((*E)->restrictPagePermissions(Page, sgx::PermWrite)) {
+      Ok = false;
+      break;
+    }
+  R.LockdownMs = T2.elapsedMs();
+  R.LockdownSucceeded = Ok;
+
+  Expected<uint8_t> Perms = (*E)->pagePermissions(TextStart);
+  R.TextWritableAfter = Perms && (*Perms & sgx::PermWrite);
+
+  R.WorkloadPassed = !apps::appByName("AES").RunWorkload(**E);
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n==============================================================="
+              "================\n  Ablation: SGX1 permanent PF_W vs SGX2 "
+              "post-restore lockdown (paper sec. 7)\n"
+              "================================================================"
+              "===============\n");
+  std::printf("%-22s %12s %12s %10s %10s %9s\n", "Configuration",
+              "Restore ms", "Lockdown ms", "Lockdown", "Text W?",
+              "Workload");
+  std::printf("%.*s\n", 80,
+              "---------------------------------------------------------------"
+              "-------------------");
+
+  for (bool Sgx2 : {false, true}) {
+    uint64_t Attrs = sgx::AttrDebug;
+    if (Sgx2)
+      Attrs |= sgx::AttrSgx2DynamicPerms;
+    Sgx2Scenario S = makeScenario(Attrs);
+
+    std::vector<double> RestoreMs, LockMs;
+    RunResult Last;
+    for (int Run = 0; Run < 10; ++Run) {
+      Last = runOnce(S);
+      RestoreMs.push_back(Last.RestoreMs);
+      LockMs.push_back(Last.LockdownMs);
+    }
+    Summary Res = summarize(RestoreMs);
+    Summary Lock = summarize(LockMs);
+    std::printf("%-22s %6.2f±%4.2f %7.3f±%5.3f %10s %10s %9s\n",
+                Sgx2 ? "SGX2 (EMODPE avail.)" : "SGX1 (paper setting)",
+                Res.Mean, Res.StdDev, Lock.Mean, Lock.StdDev,
+                Last.LockdownSucceeded ? "ok" : "refused",
+                Last.TextWritableAfter ? "yes" : "no",
+                Last.WorkloadPassed ? "pass" : "FAIL");
+  }
+  std::printf("\nExpected shape: SGX1 refuses the lockdown (text stays "
+              "writable for the enclave's\nlifetime -- the residual risk "
+              "the paper discusses); SGX2 revokes W cheaply and the\n"
+              "workload still passes (X is untouched).\n");
+  return 0;
+}

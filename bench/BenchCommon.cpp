@@ -1,0 +1,104 @@
+//===- bench/BenchCommon.cpp - Shared benchmark scaffolding ------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace elide;
+using namespace elide::bench;
+
+BenchScenario::Launch BenchScenario::launchSanitized(ElideHost *ReuseHost) {
+  Launch L;
+  Expected<std::unique_ptr<sgx::Enclave>> E =
+      sgx::loadEnclave(*Device, Artifacts.SanitizedElf, Artifacts.SanitizedSig,
+                       Options.Layout);
+  if (!E) {
+    std::fprintf(stderr, "bench: load failed: %s\n", E.errorMessage().c_str());
+    std::abort();
+  }
+  L.E = E.takeValue();
+  if (ReuseHost) {
+    ReuseHost->attach(*L.E);
+    return L;
+  }
+  L.Host = std::make_unique<ElideHost>(Link.get(), Qe.get());
+  if (Options.Storage == SecretStorage::Local)
+    L.Host->setSecretDataFile(Artifacts.SecretData);
+  L.Host->attach(*L.E);
+  return L;
+}
+
+BenchScenario::Launch BenchScenario::launchPlain() {
+  Launch L;
+  Expected<std::unique_ptr<sgx::Enclave>> E = sgx::loadEnclave(
+      *Device, Artifacts.PlainElf, Artifacts.PlainSig, Options.Layout);
+  if (!E) {
+    std::fprintf(stderr, "bench: load failed: %s\n", E.errorMessage().c_str());
+    std::abort();
+  }
+  L.E = E.takeValue();
+  L.Host = std::make_unique<ElideHost>(Link.get(), Qe.get());
+  L.Host->attach(*L.E);
+  return L;
+}
+
+BenchScenario &bench::scenarioFor(const std::string &AppName,
+                                  SecretStorage Storage) {
+  using Key = std::pair<std::string, int>;
+  static std::map<Key, std::unique_ptr<BenchScenario>> Cache;
+  Key K{AppName, static_cast<int>(Storage)};
+  auto It = Cache.find(K);
+  if (It != Cache.end())
+    return *It->second;
+
+  auto S = std::make_unique<BenchScenario>();
+  S->App = &apps::appByName(AppName);
+  S->Options.Storage = Storage;
+
+  Drbg Rng(0xbe7c);
+  Ed25519Seed Seed{};
+  Rng.fill(MutableBytesView(Seed.data(), 32));
+  Ed25519KeyPair Vendor = ed25519KeyPairFromSeed(Seed);
+
+  Expected<BuildArtifacts> Artifacts =
+      buildProtectedEnclave(S->App->TrustedSources, Vendor, S->Options);
+  if (!Artifacts) {
+    std::fprintf(stderr, "bench: pipeline failed for %s: %s\n",
+                 AppName.c_str(), Artifacts.errorMessage().c_str());
+    std::abort();
+  }
+  S->Artifacts = Artifacts.takeValue();
+
+  S->Device = std::make_unique<sgx::SgxDevice>(9090);
+  S->Authority = std::make_unique<sgx::AttestationAuthority>(9091);
+  S->Qe = std::make_unique<sgx::QuotingEnclave>(*S->Device, *S->Authority);
+
+  AuthServerConfig Config;
+  Config.AuthorityKey = S->Authority->publicKey();
+  ServerProvisioning P = provisioningFor(S->Artifacts, S->Options);
+  Config.ExpectedMrEnclave = P.SanitizedMrEnclave;
+  Config.ExpectedMrSigner = P.MrSigner;
+  Config.Meta = S->Artifacts.Meta;
+  if (Storage == SecretStorage::Remote)
+    Config.SecretData = S->Artifacts.SecretData;
+  S->Server = std::make_unique<AuthServer>(std::move(Config));
+  S->Link = std::make_unique<LoopbackTransport>(*S->Server);
+
+  auto &Ref = *S;
+  Cache.emplace(K, std::move(S));
+  return Ref;
+}
+
+void bench::printTableHeader(const std::string &Title) {
+  std::printf("\n================================================================"
+              "===============\n");
+  std::printf("  %s\n", Title.c_str());
+  std::printf("=================================================================="
+              "=============\n");
+}

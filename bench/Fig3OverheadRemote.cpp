@@ -1,0 +1,20 @@
+//===- bench/Fig3OverheadRemote.cpp - Reproduces Figure 3 ---------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 3: overhead of running the SgxElide-protected benchmarks with
+/// **remote data** (the server ships the plaintext secret code over the
+/// attested channel), relative to the plain-SGX builds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigOverhead.h"
+
+int main(int argc, char **argv) {
+  return elide::bench::runOverheadFigure(argc, argv,
+                                         elide::SecretStorage::Remote,
+                                         "Figure 3 (remote data)");
+}

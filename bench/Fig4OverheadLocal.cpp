@@ -1,0 +1,20 @@
+//===- bench/Fig4OverheadLocal.cpp - Reproduces Figure 4 ----------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 4: overhead of running the SgxElide-protected benchmarks with
+/// **local data** (the encrypted secret code ships with the enclave; the
+/// server provides only the key, inside the metadata).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigOverhead.h"
+
+int main(int argc, char **argv) {
+  return elide::bench::runOverheadFigure(argc, argv,
+                                         elide::SecretStorage::Local,
+                                         "Figure 4 (local data)");
+}

@@ -1,0 +1,63 @@
+//===- crypto/AesGcm.h - AES-GCM and AES-CTR (NIST SP 800-38D) ------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Authenticated encryption with AES-GCM -- the cipher the paper specifies
+/// for both the client/server channel and the locally stored encrypted
+/// secret data -- plus raw AES-CTR used by the EPC eviction path. The GCM
+/// interface mirrors the SGX SDK's `sgx_rijndael128GCM_encrypt/decrypt`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_AESGCM_H
+#define SGXELIDE_CRYPTO_AESGCM_H
+
+#include "crypto/Aes.h"
+
+namespace elide {
+
+/// A 16-byte GCM authentication tag.
+using GcmTag = std::array<uint8_t, 16>;
+
+/// A 12-byte GCM initialization vector (the SGX SDK size).
+using GcmIv = std::array<uint8_t, 12>;
+
+/// Result of a GCM encryption: ciphertext plus tag.
+struct GcmSealed {
+  Bytes Ciphertext;
+  GcmTag Tag;
+};
+
+/// Encrypts \p Plaintext under AES-GCM.
+///
+/// \param Key  16/24/32-byte AES key.
+/// \param Iv   nonce; must never repeat for one key.
+/// \param Aad  additional authenticated (but unencrypted) data.
+Expected<GcmSealed> aesGcmEncrypt(BytesView Key, BytesView Iv,
+                                  BytesView Plaintext, BytesView Aad);
+
+/// Decrypts and authenticates. Fails (without releasing plaintext) when the
+/// tag does not verify -- the property the enclave relies on to detect a
+/// tampered secret-data file.
+Expected<Bytes> aesGcmDecrypt(BytesView Key, BytesView Iv,
+                              BytesView Ciphertext, BytesView Aad,
+                              const GcmTag &Tag);
+
+/// Raw AES-CTR keystream XOR (encryption and decryption are the same
+/// operation). \p Counter is the initial 16-byte counter block, incremented
+/// as a 128-bit big-endian integer per block.
+Expected<Bytes> aesCtrCrypt(BytesView Key,
+                            const std::array<uint8_t, 16> &Counter,
+                            BytesView Data);
+
+/// GHASH as defined by SP 800-38D, exposed for test vectors.
+/// \p H is the hash subkey; \p Data must be a multiple of 16 bytes.
+std::array<uint8_t, 16> ghash(const std::array<uint8_t, 16> &H,
+                              BytesView Data);
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_AESGCM_H

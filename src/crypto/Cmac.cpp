@@ -1,0 +1,67 @@
+//===- crypto/Cmac.cpp - AES-CMAC (RFC 4493) -------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/Cmac.h"
+
+#include <cstring>
+
+using namespace elide;
+
+/// Left-shifts a 16-byte block by one bit.
+static void shiftLeft(const uint8_t In[16], uint8_t Out[16]) {
+  uint8_t Carry = 0;
+  for (int I = 15; I >= 0; --I) {
+    Out[I] = static_cast<uint8_t>((In[I] << 1) | Carry);
+    Carry = In[I] >> 7;
+  }
+}
+
+CmacTag elide::aesCmac(const Aes128Key &Key, BytesView Data) {
+  Aes Cipher(Key);
+
+  // Subkey generation (RFC 4493 section 2.3).
+  uint8_t L[16], K1[16], K2[16];
+  uint8_t Zero[16] = {0};
+  Cipher.encryptBlock(Zero, L);
+  shiftLeft(L, K1);
+  if (L[0] & 0x80)
+    K1[15] ^= 0x87;
+  shiftLeft(K1, K2);
+  if (K1[0] & 0x80)
+    K2[15] ^= 0x87;
+
+  size_t N = (Data.size() + 15) / 16;
+  bool LastComplete = !Data.empty() && Data.size() % 16 == 0;
+  if (N == 0)
+    N = 1;
+
+  uint8_t X[16] = {0};
+  for (size_t B = 0; B + 1 < N; ++B) {
+    for (int I = 0; I < 16; ++I)
+      X[I] ^= Data[B * 16 + I];
+    Cipher.encryptBlock(X, X);
+  }
+
+  // Final block: XOR with K1 (complete) or pad-and-XOR with K2.
+  uint8_t Last[16] = {0};
+  size_t Off = (N - 1) * 16;
+  if (LastComplete) {
+    for (int I = 0; I < 16; ++I)
+      Last[I] = Data[Off + I] ^ K1[I];
+  } else {
+    size_t Rem = Data.size() - Off;
+    std::memcpy(Last, Data.data() + Off, Rem);
+    Last[Rem] = 0x80;
+    for (int I = 0; I < 16; ++I)
+      Last[I] ^= K2[I];
+  }
+
+  CmacTag Tag;
+  for (int I = 0; I < 16; ++I)
+    X[I] ^= Last[I];
+  Cipher.encryptBlock(X, Tag.data());
+  return Tag;
+}

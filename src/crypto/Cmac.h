@@ -1,0 +1,29 @@
+//===- crypto/Cmac.h - AES-CMAC (RFC 4493 / NIST SP 800-38B) --------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AES-CMAC. Real SGX MACs REPORT structures and derives keys with
+/// AES-CMAC128; the device model does the same so local attestation
+/// (EREPORT + report-key verification) matches the architecture.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_CMAC_H
+#define SGXELIDE_CRYPTO_CMAC_H
+
+#include "crypto/Aes.h"
+
+namespace elide {
+
+/// A 16-byte CMAC tag.
+using CmacTag = std::array<uint8_t, 16>;
+
+/// Computes AES-CMAC over \p Data with a 128-bit key.
+CmacTag aesCmac(const Aes128Key &Key, BytesView Data);
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_CMAC_H

@@ -1,0 +1,126 @@
+//===- crypto/Drbg.cpp - Deterministic random bit generator ----------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/Drbg.h"
+
+#include "crypto/Sha256.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+using namespace elide;
+
+/// One ChaCha20 block (RFC 8439) keyed by \p Key with block counter
+/// \p Counter and an all-zero nonce.
+static void chacha20Block(const uint8_t Key[32], uint64_t Counter,
+                          uint8_t Out[64]) {
+  uint32_t State[16];
+  State[0] = 0x61707865;
+  State[1] = 0x3320646e;
+  State[2] = 0x79622d32;
+  State[3] = 0x6b206574;
+  for (int I = 0; I < 8; ++I)
+    State[4 + I] = readLE32(Key + 4 * I);
+  State[12] = static_cast<uint32_t>(Counter);
+  State[13] = static_cast<uint32_t>(Counter >> 32);
+  State[14] = 0;
+  State[15] = 0;
+
+  uint32_t W[16];
+  std::memcpy(W, State, sizeof(W));
+
+  auto Rotl = [](uint32_t X, int N) { return (X << N) | (X >> (32 - N)); };
+  auto QuarterRound = [&](int A, int B, int C, int D) {
+    W[A] += W[B];
+    W[D] = Rotl(W[D] ^ W[A], 16);
+    W[C] += W[D];
+    W[B] = Rotl(W[B] ^ W[C], 12);
+    W[A] += W[B];
+    W[D] = Rotl(W[D] ^ W[A], 8);
+    W[C] += W[D];
+    W[B] = Rotl(W[B] ^ W[C], 7);
+  };
+
+  for (int Round = 0; Round < 10; ++Round) {
+    QuarterRound(0, 4, 8, 12);
+    QuarterRound(1, 5, 9, 13);
+    QuarterRound(2, 6, 10, 14);
+    QuarterRound(3, 7, 11, 15);
+    QuarterRound(0, 5, 10, 15);
+    QuarterRound(1, 6, 11, 12);
+    QuarterRound(2, 7, 8, 13);
+    QuarterRound(3, 4, 9, 14);
+  }
+
+  for (int I = 0; I < 16; ++I)
+    writeLE32(Out + 4 * I, W[I] + State[I]);
+}
+
+Drbg::Drbg(BytesView Seed) {
+  Sha256Digest D = Sha256::hash(Seed);
+  std::memcpy(Key.data(), D.data(), 32);
+}
+
+Drbg::Drbg(uint64_t Seed) {
+  uint8_t SeedBytes[8];
+  writeLE64(SeedBytes, Seed);
+  Sha256Digest D = Sha256::hash(BytesView(SeedBytes, 8));
+  std::memcpy(Key.data(), D.data(), 32);
+}
+
+Drbg Drbg::system() {
+  uint8_t Seed[32] = {0};
+  FILE *F = std::fopen("/dev/urandom", "rb");
+  if (F) {
+    size_t N = std::fread(Seed, 1, sizeof(Seed), F);
+    (void)N;
+    std::fclose(F);
+  }
+  return Drbg(BytesView(Seed, sizeof(Seed)));
+}
+
+void Drbg::refill() {
+  chacha20Block(Key.data(), Counter++, Block);
+  BlockUsed = 0;
+}
+
+void Drbg::fill(MutableBytesView Out) {
+  size_t Offset = 0;
+  while (Offset < Out.size()) {
+    if (BlockUsed == 64)
+      refill();
+    size_t Take = 64 - BlockUsed;
+    if (Take > Out.size() - Offset)
+      Take = Out.size() - Offset;
+    std::memcpy(Out.data() + Offset, Block + BlockUsed, Take);
+    BlockUsed += Take;
+    Offset += Take;
+  }
+}
+
+Bytes Drbg::bytes(size_t N) {
+  Bytes Out(N);
+  fill(MutableBytesView(Out));
+  return Out;
+}
+
+uint64_t Drbg::next64() {
+  uint8_t Tmp[8];
+  fill(MutableBytesView(Tmp, 8));
+  return readLE64(Tmp);
+}
+
+uint64_t Drbg::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "nextBelow requires a positive bound");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % Bound;
+  uint64_t V;
+  do {
+    V = next64();
+  } while (V >= Limit);
+  return V % Bound;
+}

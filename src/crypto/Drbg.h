@@ -1,0 +1,59 @@
+//===- crypto/Drbg.h - Deterministic random bit generator ------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ChaCha20-based deterministic random bit generator. Stands in for both
+/// RDRAND inside the device model and `sgx_read_rand` in enclave code.
+/// Deterministic seeding keeps every experiment in this repository
+/// reproducible; `Drbg::system()` mixes in OS entropy for the tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_DRBG_H
+#define SGXELIDE_CRYPTO_DRBG_H
+
+#include "support/Bytes.h"
+
+#include <array>
+
+namespace elide {
+
+/// ChaCha20-keystream DRBG.
+class Drbg {
+public:
+  /// Seeds from 32 bytes of keying material (shorter seeds are hashed up).
+  explicit Drbg(BytesView Seed);
+
+  /// Seeds deterministically from a 64-bit value (tests, benches).
+  explicit Drbg(uint64_t Seed);
+
+  /// Seeds from the operating system's entropy source.
+  static Drbg system();
+
+  /// Fills \p Out with random bytes.
+  void fill(MutableBytesView Out);
+
+  /// Returns \p N random bytes.
+  Bytes bytes(size_t N);
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t next64();
+
+  /// Returns a uniformly distributed value in [0, Bound) (Bound > 0).
+  uint64_t nextBelow(uint64_t Bound);
+
+private:
+  void refill();
+
+  std::array<uint8_t, 32> Key;
+  uint64_t Counter = 0;
+  uint8_t Block[64];
+  size_t BlockUsed = 64;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_DRBG_H

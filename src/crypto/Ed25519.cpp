@@ -1,0 +1,324 @@
+//===- crypto/Ed25519.cpp - Ed25519 signatures (RFC 8032) -----------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/Ed25519.h"
+
+#include "crypto/Field25519.h"
+#include "crypto/Sha512.h"
+
+#include <cstring>
+#include <optional>
+
+using namespace elide;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scalar arithmetic modulo the group order L = 2^252 + 27742...93.
+//===----------------------------------------------------------------------===//
+
+/// A 256-bit little-endian integer in four 64-bit words.
+struct Sc256 {
+  uint64_t W[4] = {0, 0, 0, 0};
+};
+
+const uint64_t LWords[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0,
+                            0x1000000000000000ULL};
+
+bool scGreaterEqual(const Sc256 &A, const uint64_t B[4]) {
+  for (int I = 3; I >= 0; --I) {
+    if (A.W[I] > B[I])
+      return true;
+    if (A.W[I] < B[I])
+      return false;
+  }
+  return true;
+}
+
+void scSubL(Sc256 &A) {
+  unsigned __int128 Borrow = 0;
+  for (int I = 0; I < 4; ++I) {
+    unsigned __int128 D =
+        (unsigned __int128)A.W[I] - LWords[I] - (uint64_t)Borrow;
+    A.W[I] = static_cast<uint64_t>(D);
+    Borrow = (D >> 64) & 1; // 1 when a borrow occurred.
+  }
+}
+
+/// Reduces an N-word little-endian value modulo L, bit by bit from the top.
+/// Slow (O(bits)) but simple, and signing throughput is irrelevant here.
+Sc256 scReduceWide(const uint64_t *Words, int N) {
+  Sc256 R;
+  for (int Bit = N * 64 - 1; Bit >= 0; --Bit) {
+    // R = 2R + bit.
+    uint64_t Carry = 0;
+    for (int I = 0; I < 4; ++I) {
+      uint64_t Next = R.W[I] >> 63;
+      R.W[I] = (R.W[I] << 1) | Carry;
+      Carry = Next;
+    }
+    R.W[0] |= (Words[Bit / 64] >> (Bit % 64)) & 1;
+    if (scGreaterEqual(R, LWords))
+      scSubL(R);
+  }
+  return R;
+}
+
+Sc256 scFromBytes64(const uint8_t In[64]) {
+  uint64_t Wide[8];
+  for (int I = 0; I < 8; ++I)
+    Wide[I] = readLE64(In + 8 * I);
+  return scReduceWide(Wide, 8);
+}
+
+Sc256 scFromBytes32(const uint8_t In[32]) {
+  uint64_t Wide[4];
+  for (int I = 0; I < 4; ++I)
+    Wide[I] = readLE64(In + 8 * I);
+  return scReduceWide(Wide, 4);
+}
+
+void scToBytes(uint8_t Out[32], const Sc256 &A) {
+  for (int I = 0; I < 4; ++I)
+    writeLE64(Out + 8 * I, A.W[I]);
+}
+
+/// (A * B + C) mod L via schoolbook multiply and wide reduction.
+Sc256 scMulAdd(const Sc256 &A, const Sc256 &B, const Sc256 &C) {
+  uint64_t Wide[9] = {0};
+  for (int I = 0; I < 4; ++I) {
+    unsigned __int128 Carry = 0;
+    for (int J = 0; J < 4; ++J) {
+      unsigned __int128 Cur =
+          (unsigned __int128)A.W[I] * B.W[J] + Wide[I + J] + (uint64_t)Carry;
+      Wide[I + J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    Wide[I + 4] += static_cast<uint64_t>(Carry);
+  }
+  // Add C.
+  unsigned __int128 Carry = 0;
+  for (int I = 0; I < 4; ++I) {
+    unsigned __int128 Cur = (unsigned __int128)Wide[I] + C.W[I] + (uint64_t)Carry;
+    Wide[I] = static_cast<uint64_t>(Cur);
+    Carry = Cur >> 64;
+  }
+  for (int I = 4; Carry && I < 9; ++I) {
+    unsigned __int128 Cur = (unsigned __int128)Wide[I] + (uint64_t)Carry;
+    Wide[I] = static_cast<uint64_t>(Cur);
+    Carry = Cur >> 64;
+  }
+  return scReduceWide(Wide, 9);
+}
+
+/// Returns true when the 32-byte value is < L (canonical s).
+bool scIsCanonical(const uint8_t In[32]) {
+  Sc256 V;
+  for (int I = 0; I < 4; ++I)
+    V.W[I] = readLE64(In + 8 * I);
+  return !scGreaterEqual(V, LWords);
+}
+
+//===----------------------------------------------------------------------===//
+// Group operations on the twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2,
+// using extended coordinates (X : Y : Z : T), XY = ZT.
+//===----------------------------------------------------------------------===//
+
+struct GePoint {
+  Fe X, Y, Z, T;
+};
+
+GePoint geIdentity() {
+  GePoint P;
+  P.X = feFromU64(0);
+  P.Y = feFromU64(1);
+  P.Z = feFromU64(1);
+  P.T = feFromU64(0);
+  return P;
+}
+
+const Fe &fe2D() {
+  static const Fe Value = feAdd(feEdwardsD(), feEdwardsD());
+  return Value;
+}
+
+/// Strongly unified addition (EFD: add-2008-hwcd-3); also doubles.
+GePoint geAdd(const GePoint &P, const GePoint &Q) {
+  Fe A = feMul(feSub(P.Y, P.X), feSub(Q.Y, Q.X));
+  Fe B = feMul(feAdd(P.Y, P.X), feAdd(Q.Y, Q.X));
+  Fe C = feMul(feMul(P.T, fe2D()), Q.T);
+  Fe D = feMul(feAdd(P.Z, P.Z), Q.Z);
+  Fe E = feSub(B, A);
+  Fe F = feSub(D, C);
+  Fe G = feAdd(D, C);
+  Fe H = feAdd(B, A);
+  GePoint R;
+  R.X = feMul(E, F);
+  R.Y = feMul(G, H);
+  R.T = feMul(E, H);
+  R.Z = feMul(F, G);
+  return R;
+}
+
+/// Scalar multiplication by a 32-byte little-endian scalar (double-and-add;
+/// not constant time -- acceptable for a simulation, noted in DESIGN.md).
+GePoint geScalarMul(const uint8_t Scalar[32], const GePoint &P) {
+  GePoint R = geIdentity();
+  for (int Bit = 255; Bit >= 0; --Bit) {
+    R = geAdd(R, R);
+    if ((Scalar[Bit / 8] >> (Bit % 8)) & 1)
+      R = geAdd(R, P);
+  }
+  return R;
+}
+
+void geEncode(uint8_t Out[32], const GePoint &P) {
+  Fe ZInv = feInvert(P.Z);
+  Fe X = feMul(P.X, ZInv);
+  Fe Y = feMul(P.Y, ZInv);
+  feToBytes(Out, Y);
+  Out[31] ^= static_cast<uint8_t>(feIsNegative(X) << 7);
+}
+
+/// Decompresses a point encoding. Returns nullopt for invalid encodings.
+std::optional<GePoint> geDecode(const uint8_t In[32]) {
+  Fe Y = feFromBytes(In);
+  int SignBit = In[31] >> 7;
+
+  // x^2 = (y^2 - 1) / (d y^2 + 1).
+  Fe Y2 = feSquare(Y);
+  Fe U = feSub(Y2, feFromU64(1));
+  Fe V = feAdd(feMul(feEdwardsD(), Y2), feFromU64(1));
+
+  // Candidate root: x = u v^3 (u v^7)^((p-5)/8); (p-5)/8 = 2^252 - 3.
+  Fe V3 = feMul(feSquare(V), V);
+  Fe V7 = feMul(feSquare(V3), V);
+  uint8_t Exp[32];
+  std::memset(Exp, 0xff, 32);
+  Exp[0] = 0xfd;
+  Exp[31] = 0x0f;
+  Fe X = feMul(feMul(U, V3), fePow(feMul(U, V7), Exp));
+
+  Fe VX2 = feMul(V, feSquare(X));
+  if (!feIsZero(feSub(VX2, U))) {
+    if (!feIsZero(feAdd(VX2, U)))
+      return std::nullopt;
+    X = feMul(X, feSqrtM1());
+  }
+
+  if (feIsZero(X) && SignBit)
+    return std::nullopt;
+  if (feIsNegative(X) != SignBit)
+    X = feNeg(X);
+
+  GePoint P;
+  P.X = X;
+  P.Y = Y;
+  P.Z = feFromU64(1);
+  P.T = feMul(X, Y);
+  return P;
+}
+
+const GePoint &geBasePoint() {
+  static const GePoint Value = [] {
+    // y = 4/5, even x.
+    Fe Y = feMul(feFromU64(4), feInvert(feFromU64(5)));
+    uint8_t Enc[32];
+    feToBytes(Enc, Y);
+    std::optional<GePoint> P = geDecode(Enc);
+    assert(P && "base point decompression cannot fail");
+    return *P;
+  }();
+  return Value;
+}
+
+/// Clamps the lower half of the SHA-512(seed) per RFC 8032.
+void clampScalar(uint8_t S[32]) {
+  S[0] &= 248;
+  S[31] &= 127;
+  S[31] |= 64;
+}
+
+} // namespace
+
+Ed25519KeyPair elide::ed25519KeyPairFromSeed(const Ed25519Seed &Seed) {
+  Sha512Digest H = Sha512::hash(BytesView(Seed.data(), Seed.size()));
+  uint8_t A[32];
+  std::memcpy(A, H.data(), 32);
+  clampScalar(A);
+
+  GePoint Pub = geScalarMul(A, geBasePoint());
+  Ed25519KeyPair Out;
+  Out.Seed = Seed;
+  geEncode(Out.PublicKey.data(), Pub);
+  return Out;
+}
+
+Ed25519Signature elide::ed25519Sign(const Ed25519KeyPair &Key,
+                                    BytesView Message) {
+  Sha512Digest H = Sha512::hash(BytesView(Key.Seed.data(), Key.Seed.size()));
+  uint8_t A[32];
+  std::memcpy(A, H.data(), 32);
+  clampScalar(A);
+
+  // r = SHA512(prefix || M) mod L.
+  Sha512 RHash;
+  RHash.update(BytesView(H.data() + 32, 32));
+  RHash.update(Message);
+  Sha512Digest RDigest = RHash.final();
+  Sc256 R = scFromBytes64(RDigest.data());
+  uint8_t RBytes[32];
+  scToBytes(RBytes, R);
+
+  GePoint RPoint = geScalarMul(RBytes, geBasePoint());
+  Ed25519Signature Sig;
+  geEncode(Sig.data(), RPoint);
+
+  // k = SHA512(R || A || M) mod L.
+  Sha512 KHash;
+  KHash.update(BytesView(Sig.data(), 32));
+  KHash.update(BytesView(Key.PublicKey.data(), 32));
+  KHash.update(Message);
+  Sha512Digest KDigest = KHash.final();
+  Sc256 K = scFromBytes64(KDigest.data());
+
+  // s = (r + k * a) mod L.
+  Sc256 AScalar = scFromBytes32(A);
+  Sc256 S = scMulAdd(K, AScalar, R);
+  scToBytes(Sig.data() + 32, S);
+  return Sig;
+}
+
+bool elide::ed25519Verify(const Ed25519PublicKey &PublicKey, BytesView Message,
+                          const Ed25519Signature &Signature) {
+  if (!scIsCanonical(Signature.data() + 32))
+    return false;
+  std::optional<GePoint> A = geDecode(PublicKey.data());
+  if (!A)
+    return false;
+  std::optional<GePoint> R = geDecode(Signature.data());
+  if (!R)
+    return false;
+
+  // k = SHA512(R || A || M) mod L.
+  Sha512 KHash;
+  KHash.update(BytesView(Signature.data(), 32));
+  KHash.update(BytesView(PublicKey.data(), 32));
+  KHash.update(Message);
+  Sha512Digest KDigest = KHash.final();
+  Sc256 K = scFromBytes64(KDigest.data());
+  uint8_t KBytes[32];
+  scToBytes(KBytes, K);
+
+  // Check s*B == R + k*A.
+  GePoint Lhs = geScalarMul(Signature.data() + 32, geBasePoint());
+  GePoint Rhs = geAdd(*R, geScalarMul(KBytes, *A));
+
+  uint8_t LhsEnc[32], RhsEnc[32];
+  geEncode(LhsEnc, Lhs);
+  geEncode(RhsEnc, Rhs);
+  return std::memcmp(LhsEnc, RhsEnc, 32) == 0;
+}

@@ -1,0 +1,53 @@
+//===- crypto/Ed25519.h - Ed25519 signatures (RFC 8032) -------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ed25519 signing and verification. In this reproduction Ed25519 stands in
+/// for the RSA-3072 signature on SIGSTRUCT (the enclave vendor's signature
+/// over the measurement) and for the EPID signature on attestation quotes;
+/// both uses only require "authority signs, verifier holds the public key",
+/// which Ed25519 provides (see DESIGN.md, substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_ED25519_H
+#define SGXELIDE_CRYPTO_ED25519_H
+
+#include "support/Bytes.h"
+
+#include <array>
+
+namespace elide {
+
+/// 32-byte Ed25519 public key (compressed point).
+using Ed25519PublicKey = std::array<uint8_t, 32>;
+
+/// 32-byte Ed25519 private seed.
+using Ed25519Seed = std::array<uint8_t, 32>;
+
+/// 64-byte Ed25519 signature (R || s).
+using Ed25519Signature = std::array<uint8_t, 64>;
+
+/// An Ed25519 signing identity.
+struct Ed25519KeyPair {
+  Ed25519Seed Seed;
+  Ed25519PublicKey PublicKey;
+};
+
+/// Derives the key pair for a 32-byte seed.
+Ed25519KeyPair ed25519KeyPairFromSeed(const Ed25519Seed &Seed);
+
+/// Signs \p Message with the key pair's seed.
+Ed25519Signature ed25519Sign(const Ed25519KeyPair &Key, BytesView Message);
+
+/// Verifies a signature. Returns false for malformed points, non-canonical
+/// scalars, or a failed equation check.
+bool ed25519Verify(const Ed25519PublicKey &PublicKey, BytesView Message,
+                   const Ed25519Signature &Signature);
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_ED25519_H

@@ -1,0 +1,229 @@
+//===- crypto/Field25519.cpp - GF(2^255-19) field arithmetic ---------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/Field25519.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace elide;
+
+using U128 = unsigned __int128;
+
+static const uint64_t Mask51 = (1ULL << 51) - 1;
+
+/// Propagates carries so every limb is < 2^51 (plus a tiny epsilon in
+/// limb 0 from the 19-fold wraparound, removed by a second pass).
+static void feCarry(Fe &F) {
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    uint64_t C = 0;
+    for (int I = 0; I < 5; ++I) {
+      F.V[I] += C;
+      C = F.V[I] >> 51;
+      F.V[I] &= Mask51;
+    }
+    F.V[0] += 19 * C;
+  }
+}
+
+Fe elide::feFromU64(uint64_t X) {
+  Fe F;
+  F.V[0] = X & Mask51;
+  F.V[1] = X >> 51;
+  return F;
+}
+
+Fe elide::feFromBytes(const uint8_t In[32]) {
+  Fe F;
+  F.V[0] = readLE64(In) & Mask51;
+  F.V[1] = (readLE64(In + 6) >> 3) & Mask51;
+  F.V[2] = (readLE64(In + 12) >> 6) & Mask51;
+  F.V[3] = (readLE64(In + 19) >> 1) & Mask51;
+  F.V[4] = (readLE64(In + 24) >> 12) & Mask51;
+  return F;
+}
+
+void elide::feToBytes(uint8_t Out[32], const Fe &F) {
+  Fe T = F;
+  feCarry(T);
+
+  // Conditionally subtract p = 2^255 - 19 to canonicalize. After feCarry,
+  // T < 2p, so one subtraction suffices.
+  uint64_t PLimbs[5] = {Mask51 - 18, Mask51, Mask51, Mask51, Mask51};
+  bool Ge = true;
+  for (int I = 4; I >= 0; --I) {
+    if (T.V[I] > PLimbs[I])
+      break;
+    if (T.V[I] < PLimbs[I]) {
+      Ge = false;
+      break;
+    }
+  }
+  if (Ge) {
+    uint64_t Borrow = 0;
+    for (int I = 0; I < 5; ++I) {
+      uint64_t Sub = PLimbs[I] + Borrow;
+      if (T.V[I] >= Sub) {
+        T.V[I] -= Sub;
+        Borrow = 0;
+      } else {
+        T.V[I] = T.V[I] + (1ULL << 51) - Sub;
+        Borrow = 1;
+      }
+    }
+  }
+
+  // Pack 5x51 bits into 32 bytes.
+  uint8_t Buf[40] = {0};
+  for (int I = 0; I < 5; ++I) {
+    unsigned BitOff = static_cast<unsigned>(I) * 51;
+    uint64_t Limb = T.V[I];
+    for (int B = 0; B < 8; ++B) {
+      unsigned Byte = BitOff / 8 + static_cast<unsigned>(B);
+      if (Byte < 40)
+        Buf[Byte] |= static_cast<uint8_t>(
+            (Limb << (BitOff % 8)) >> (8 * static_cast<unsigned>(B)));
+    }
+  }
+  std::memcpy(Out, Buf, 32);
+}
+
+Fe elide::feAdd(const Fe &A, const Fe &B) {
+  Fe R;
+  for (int I = 0; I < 5; ++I)
+    R.V[I] = A.V[I] + B.V[I];
+  feCarry(R);
+  return R;
+}
+
+Fe elide::feSub(const Fe &A, const Fe &B) {
+  // Add 2p before subtracting so limbs never underflow.
+  static const uint64_t TwoP[5] = {0xfffffffffffdaULL, 0xffffffffffffeULL,
+                                   0xffffffffffffeULL, 0xffffffffffffeULL,
+                                   0xffffffffffffeULL};
+  Fe R;
+  for (int I = 0; I < 5; ++I)
+    R.V[I] = A.V[I] + TwoP[I] - B.V[I];
+  feCarry(R);
+  return R;
+}
+
+Fe elide::feNeg(const Fe &A) {
+  Fe Zero;
+  return feSub(Zero, A);
+}
+
+Fe elide::feMul(const Fe &A, const Fe &B) {
+  const uint64_t *F = A.V, *G = B.V;
+  U128 R0 = (U128)F[0] * G[0] +
+            (U128)19 * ((U128)F[1] * G[4] + (U128)F[2] * G[3] +
+                        (U128)F[3] * G[2] + (U128)F[4] * G[1]);
+  U128 R1 = (U128)F[0] * G[1] + (U128)F[1] * G[0] +
+            (U128)19 * ((U128)F[2] * G[4] + (U128)F[3] * G[3] +
+                        (U128)F[4] * G[2]);
+  U128 R2 = (U128)F[0] * G[2] + (U128)F[1] * G[1] + (U128)F[2] * G[0] +
+            (U128)19 * ((U128)F[3] * G[4] + (U128)F[4] * G[3]);
+  U128 R3 = (U128)F[0] * G[3] + (U128)F[1] * G[2] + (U128)F[2] * G[1] +
+            (U128)F[3] * G[0] + (U128)19 * ((U128)F[4] * G[4]);
+  U128 R4 = (U128)F[0] * G[4] + (U128)F[1] * G[3] + (U128)F[2] * G[2] +
+            (U128)F[3] * G[1] + (U128)F[4] * G[0];
+
+  Fe Out;
+  U128 Acc = R0;
+  Out.V[0] = static_cast<uint64_t>(Acc) & Mask51;
+  Acc = R1 + (Acc >> 51);
+  Out.V[1] = static_cast<uint64_t>(Acc) & Mask51;
+  Acc = R2 + (Acc >> 51);
+  Out.V[2] = static_cast<uint64_t>(Acc) & Mask51;
+  Acc = R3 + (Acc >> 51);
+  Out.V[3] = static_cast<uint64_t>(Acc) & Mask51;
+  Acc = R4 + (Acc >> 51);
+  Out.V[4] = static_cast<uint64_t>(Acc) & Mask51;
+  Out.V[0] += 19 * static_cast<uint64_t>(Acc >> 51);
+  feCarry(Out);
+  return Out;
+}
+
+Fe elide::feSquare(const Fe &A) { return feMul(A, A); }
+
+Fe elide::feMulSmall(const Fe &A, uint64_t Small) {
+  assert(Small < (1ULL << 13) && "small multiplier too large");
+  Fe Out;
+  U128 Acc = 0;
+  for (int I = 0; I < 5; ++I) {
+    Acc += (U128)A.V[I] * Small;
+    Out.V[I] = static_cast<uint64_t>(Acc) & Mask51;
+    Acc >>= 51;
+  }
+  Out.V[0] += 19 * static_cast<uint64_t>(Acc);
+  feCarry(Out);
+  return Out;
+}
+
+Fe elide::fePow(const Fe &Base, const uint8_t Exponent[32]) {
+  Fe Result = feFromU64(1);
+  // Square-and-multiply, scanning the exponent from its most significant
+  // bit (byte 31, bit 7) downward.
+  for (int Byte = 31; Byte >= 0; --Byte) {
+    for (int Bit = 7; Bit >= 0; --Bit) {
+      Result = feSquare(Result);
+      if ((Exponent[Byte] >> Bit) & 1)
+        Result = feMul(Result, Base);
+    }
+  }
+  return Result;
+}
+
+Fe elide::feInvert(const Fe &A) {
+  // Exponent p - 2 = 2^255 - 21.
+  uint8_t Exp[32];
+  std::memset(Exp, 0xff, 32);
+  Exp[0] = 0xeb; // 0xed - 2
+  Exp[31] = 0x7f;
+  return fePow(A, Exp);
+}
+
+bool elide::feIsZero(const Fe &A) {
+  uint8_t B[32];
+  feToBytes(B, A);
+  uint8_t Acc = 0;
+  for (int I = 0; I < 32; ++I)
+    Acc |= B[I];
+  return Acc == 0;
+}
+
+int elide::feIsNegative(const Fe &A) {
+  uint8_t B[32];
+  feToBytes(B, A);
+  return B[0] & 1;
+}
+
+void elide::feCswap(Fe &A, Fe &B, uint64_t Swap) {
+  uint64_t Mask = 0 - Swap;
+  for (int I = 0; I < 5; ++I) {
+    uint64_t X = Mask & (A.V[I] ^ B.V[I]);
+    A.V[I] ^= X;
+    B.V[I] ^= X;
+  }
+}
+
+const Fe &elide::feSqrtM1() {
+  // 2^((p-1)/4); (p-1)/4 = 2^253 - 5.
+  static const Fe Value = [] {
+    uint8_t Exp[32];
+    std::memset(Exp, 0xff, 32);
+    Exp[0] = 0xfb; // 2^253-5 low byte: ...0xfb
+    Exp[31] = 0x1f;
+    return fePow(feFromU64(2), Exp);
+  }();
+  return Value;
+}
+
+const Fe &elide::feEdwardsD() {
+  static const Fe Value =
+      feMul(feNeg(feFromU64(121665)), feInvert(feFromU64(121666)));
+  return Value;
+}

@@ -1,0 +1,71 @@
+//===- crypto/Field25519.h - GF(2^255-19) field arithmetic -----------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Field arithmetic modulo p = 2^255 - 19 with five 51-bit limbs, shared by
+/// the X25519 key agreement and Ed25519 signatures. Operations keep limbs
+/// reduced (< 2^52) so they can be chained freely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_FIELD25519_H
+#define SGXELIDE_CRYPTO_FIELD25519_H
+
+#include "support/Bytes.h"
+
+#include <array>
+
+namespace elide {
+
+/// An element of GF(2^255-19) in 5x51-bit limb representation.
+struct Fe {
+  uint64_t V[5] = {0, 0, 0, 0, 0};
+};
+
+/// Returns the field element for a small constant.
+Fe feFromU64(uint64_t X);
+
+/// Loads a 32-byte little-endian value (bit 255 ignored, per RFC 7748).
+Fe feFromBytes(const uint8_t In[32]);
+
+/// Stores the canonical (fully reduced) 32-byte little-endian encoding.
+void feToBytes(uint8_t Out[32], const Fe &F);
+
+Fe feAdd(const Fe &A, const Fe &B);
+Fe feSub(const Fe &A, const Fe &B);
+Fe feMul(const Fe &A, const Fe &B);
+Fe feSquare(const Fe &A);
+
+/// Multiplies by a small (< 2^13) scalar such as 121666.
+Fe feMulSmall(const Fe &A, uint64_t Small);
+
+/// Negation: p - A.
+Fe feNeg(const Fe &A);
+
+/// Modular inverse via Fermat: A^(p-2). A must be nonzero.
+Fe feInvert(const Fe &A);
+
+/// Raises \p Base to a power given as a 32-byte little-endian exponent.
+Fe fePow(const Fe &Base, const uint8_t Exponent[32]);
+
+/// Returns true when A encodes zero (canonically).
+bool feIsZero(const Fe &A);
+
+/// Returns bit 0 of the canonical encoding (the "sign" used by Ed25519).
+int feIsNegative(const Fe &A);
+
+/// Constant-time conditional swap: exchanges A and B when Swap is 1.
+void feCswap(Fe &A, Fe &B, uint64_t Swap);
+
+/// sqrt(-1) mod p, needed for Ed25519 point decompression.
+const Fe &feSqrtM1();
+
+/// The twisted Edwards curve constant d = -121665/121666 mod p.
+const Fe &feEdwardsD();
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_FIELD25519_H

@@ -1,0 +1,44 @@
+//===- crypto/Hkdf.cpp - HKDF-SHA256 (RFC 5869) ----------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/Hkdf.h"
+
+#include "crypto/Hmac.h"
+
+#include <cassert>
+
+using namespace elide;
+
+Sha256Digest elide::hkdfExtract(BytesView Salt, BytesView Ikm) {
+  return hmacSha256(Salt, Ikm);
+}
+
+Bytes elide::hkdfExpand(BytesView Prk, BytesView Info, size_t Length) {
+  assert(Length <= 255 * 32 && "HKDF-Expand output too long");
+  Bytes Out;
+  Out.reserve(Length);
+  Bytes Block;
+  uint8_t Counter = 1;
+  while (Out.size() < Length) {
+    Bytes Input = Block;
+    appendBytes(Input, Info);
+    Input.push_back(Counter);
+    Sha256Digest T = hmacSha256(Prk, Input);
+    Block.assign(T.begin(), T.end());
+    size_t Take = Length - Out.size();
+    if (Take > Block.size())
+      Take = Block.size();
+    Out.insert(Out.end(), Block.begin(), Block.begin() + Take);
+    ++Counter;
+  }
+  return Out;
+}
+
+Bytes elide::hkdf(BytesView Salt, BytesView Ikm, BytesView Info,
+                  size_t Length) {
+  Sha256Digest Prk = hkdfExtract(Salt, Ikm);
+  return hkdfExpand(BytesView(Prk.data(), Prk.size()), Info, Length);
+}

@@ -1,0 +1,34 @@
+//===- crypto/Hkdf.h - HKDF-SHA256 (RFC 5869) ------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HKDF extract-and-expand. The SGX device model derives all
+/// hardware-bound keys (seal keys, report keys, provisioning keys) through
+/// this, and the channel layer derives session keys from the X25519 shared
+/// secret.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_HKDF_H
+#define SGXELIDE_CRYPTO_HKDF_H
+
+#include "crypto/Sha256.h"
+
+namespace elide {
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+Sha256Digest hkdfExtract(BytesView Salt, BytesView Ikm);
+
+/// HKDF-Expand: derives \p Length bytes of output keying material
+/// (at most 255*32 bytes) bound to \p Info.
+Bytes hkdfExpand(BytesView Prk, BytesView Info, size_t Length);
+
+/// Combined extract+expand.
+Bytes hkdf(BytesView Salt, BytesView Ikm, BytesView Info, size_t Length);
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_HKDF_H

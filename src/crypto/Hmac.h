@@ -1,0 +1,29 @@
+//===- crypto/Hmac.h - HMAC-SHA256 (RFC 2104) ------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HMAC-SHA256, the MAC and PRF underlying HKDF key derivation and the
+/// report-key MAC fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_HMAC_H
+#define SGXELIDE_CRYPTO_HMAC_H
+
+#include "crypto/Sha256.h"
+
+namespace elide {
+
+/// Computes HMAC-SHA256(Key, Data).
+Sha256Digest hmacSha256(BytesView Key, BytesView Data);
+
+/// Compares two byte ranges in constant time. Returns true when equal.
+/// Ranges of different length compare unequal (length is not secret).
+bool constantTimeEqual(BytesView A, BytesView B);
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_HMAC_H

@@ -1,0 +1,58 @@
+//===- crypto/Sha256.h - SHA-256 (FIPS 180-4) ------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming SHA-256. Used for enclave measurement (the EEXTEND emulation
+/// hashes 256-byte chunks through this), HMAC/HKDF, and sealing-key
+/// derivation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_SHA256_H
+#define SGXELIDE_CRYPTO_SHA256_H
+
+#include "support/Bytes.h"
+
+#include <array>
+
+namespace elide {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+///
+/// Typical use: construct, `update()` any number of times, `final()` once.
+/// The context may be reused after `reset()`.
+class Sha256 {
+public:
+  Sha256() { reset(); }
+
+  /// Restores the initial hash state.
+  void reset();
+
+  /// Absorbs \p Data into the hash state.
+  void update(BytesView Data);
+
+  /// Finishes the hash and returns the digest. The context must be
+  /// reset() before further use.
+  Sha256Digest final();
+
+  /// One-shot convenience: SHA-256 of \p Data.
+  static Sha256Digest hash(BytesView Data);
+
+private:
+  void compress(const uint8_t *Block);
+
+  uint32_t State[8];
+  uint64_t TotalBytes;
+  uint8_t Buffer[64];
+  size_t BufferLen;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_SHA256_H

@@ -1,0 +1,146 @@
+//===- crypto/Sha512.cpp - SHA-512 (FIPS 180-4) ----------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/Sha512.h"
+
+#include <cstring>
+
+using namespace elide;
+
+static const uint64_t K[80] = {
+    0x428a2f98d728ae22ULL, 0x7137449123ef65cdULL, 0xb5c0fbcfec4d3b2fULL,
+    0xe9b5dba58189dbbcULL, 0x3956c25bf348b538ULL, 0x59f111f1b605d019ULL,
+    0x923f82a4af194f9bULL, 0xab1c5ed5da6d8118ULL, 0xd807aa98a3030242ULL,
+    0x12835b0145706fbeULL, 0x243185be4ee4b28cULL, 0x550c7dc3d5ffb4e2ULL,
+    0x72be5d74f27b896fULL, 0x80deb1fe3b1696b1ULL, 0x9bdc06a725c71235ULL,
+    0xc19bf174cf692694ULL, 0xe49b69c19ef14ad2ULL, 0xefbe4786384f25e3ULL,
+    0x0fc19dc68b8cd5b5ULL, 0x240ca1cc77ac9c65ULL, 0x2de92c6f592b0275ULL,
+    0x4a7484aa6ea6e483ULL, 0x5cb0a9dcbd41fbd4ULL, 0x76f988da831153b5ULL,
+    0x983e5152ee66dfabULL, 0xa831c66d2db43210ULL, 0xb00327c898fb213fULL,
+    0xbf597fc7beef0ee4ULL, 0xc6e00bf33da88fc2ULL, 0xd5a79147930aa725ULL,
+    0x06ca6351e003826fULL, 0x142929670a0e6e70ULL, 0x27b70a8546d22ffcULL,
+    0x2e1b21385c26c926ULL, 0x4d2c6dfc5ac42aedULL, 0x53380d139d95b3dfULL,
+    0x650a73548baf63deULL, 0x766a0abb3c77b2a8ULL, 0x81c2c92e47edaee6ULL,
+    0x92722c851482353bULL, 0xa2bfe8a14cf10364ULL, 0xa81a664bbc423001ULL,
+    0xc24b8b70d0f89791ULL, 0xc76c51a30654be30ULL, 0xd192e819d6ef5218ULL,
+    0xd69906245565a910ULL, 0xf40e35855771202aULL, 0x106aa07032bbd1b8ULL,
+    0x19a4c116b8d2d0c8ULL, 0x1e376c085141ab53ULL, 0x2748774cdf8eeb99ULL,
+    0x34b0bcb5e19b48a8ULL, 0x391c0cb3c5c95a63ULL, 0x4ed8aa4ae3418acbULL,
+    0x5b9cca4f7763e373ULL, 0x682e6ff3d6b2b8a3ULL, 0x748f82ee5defb2fcULL,
+    0x78a5636f43172f60ULL, 0x84c87814a1f0ab72ULL, 0x8cc702081a6439ecULL,
+    0x90befffa23631e28ULL, 0xa4506cebde82bde9ULL, 0xbef9a3f7b2c67915ULL,
+    0xc67178f2e372532bULL, 0xca273eceea26619cULL, 0xd186b8c721c0c207ULL,
+    0xeada7dd6cde0eb1eULL, 0xf57d4f7fee6ed178ULL, 0x06f067aa72176fbaULL,
+    0x0a637dc5a2c898a6ULL, 0x113f9804bef90daeULL, 0x1b710b35131c471bULL,
+    0x28db77f523047d84ULL, 0x32caab7b40c72493ULL, 0x3c9ebe0a15c9bebcULL,
+    0x431d67c49c100d4cULL, 0x4cc5d4becb3e42b6ULL, 0x597f299cfc657e2aULL,
+    0x5fcb6fab3ad6faecULL, 0x6c44198c4a475817ULL};
+
+static inline uint64_t rotr(uint64_t X, unsigned N) {
+  return (X >> N) | (X << (64 - N));
+}
+
+void Sha512::reset() {
+  State[0] = 0x6a09e667f3bcc908ULL;
+  State[1] = 0xbb67ae8584caa73bULL;
+  State[2] = 0x3c6ef372fe94f82bULL;
+  State[3] = 0xa54ff53a5f1d36f1ULL;
+  State[4] = 0x510e527fade682d1ULL;
+  State[5] = 0x9b05688c2b3e6c1fULL;
+  State[6] = 0x1f83d9abfb41bd6bULL;
+  State[7] = 0x5be0cd19137e2179ULL;
+  TotalBytes = 0;
+  BufferLen = 0;
+}
+
+void Sha512::compress(const uint8_t *Block) {
+  uint64_t W[80];
+  for (int I = 0; I < 16; ++I)
+    W[I] = readBE64(Block + 8 * I);
+  for (int I = 16; I < 80; ++I) {
+    uint64_t S0 = rotr(W[I - 15], 1) ^ rotr(W[I - 15], 8) ^ (W[I - 15] >> 7);
+    uint64_t S1 = rotr(W[I - 2], 19) ^ rotr(W[I - 2], 61) ^ (W[I - 2] >> 6);
+    W[I] = W[I - 16] + S0 + W[I - 7] + S1;
+  }
+
+  uint64_t A = State[0], B = State[1], C = State[2], D = State[3];
+  uint64_t E = State[4], F = State[5], G = State[6], H = State[7];
+
+  for (int I = 0; I < 80; ++I) {
+    uint64_t S1 = rotr(E, 14) ^ rotr(E, 18) ^ rotr(E, 41);
+    uint64_t Ch = (E & F) ^ (~E & G);
+    uint64_t T1 = H + S1 + Ch + K[I] + W[I];
+    uint64_t S0 = rotr(A, 28) ^ rotr(A, 34) ^ rotr(A, 39);
+    uint64_t Maj = (A & B) ^ (A & C) ^ (B & C);
+    uint64_t T2 = S0 + Maj;
+    H = G;
+    G = F;
+    F = E;
+    E = D + T1;
+    D = C;
+    C = B;
+    B = A;
+    A = T1 + T2;
+  }
+
+  State[0] += A;
+  State[1] += B;
+  State[2] += C;
+  State[3] += D;
+  State[4] += E;
+  State[5] += F;
+  State[6] += G;
+  State[7] += H;
+}
+
+void Sha512::update(BytesView Data) {
+  TotalBytes += Data.size();
+  size_t Offset = 0;
+  if (BufferLen > 0) {
+    size_t Need = 128 - BufferLen;
+    size_t Take = Data.size() < Need ? Data.size() : Need;
+    std::memcpy(Buffer + BufferLen, Data.data(), Take);
+    BufferLen += Take;
+    Offset = Take;
+    if (BufferLen < 128)
+      return;
+    compress(Buffer);
+    BufferLen = 0;
+  }
+  while (Offset + 128 <= Data.size()) {
+    compress(Data.data() + Offset);
+    Offset += 128;
+  }
+  if (Offset < Data.size()) {
+    BufferLen = Data.size() - Offset;
+    std::memcpy(Buffer, Data.data() + Offset, BufferLen);
+  }
+}
+
+Sha512Digest Sha512::final() {
+  // SHA-512 uses a 128-bit length field; message lengths here never exceed
+  // 2^64 bits, so the high word is always zero.
+  uint64_t BitLen = TotalBytes * 8;
+  uint8_t Pad[144];
+  size_t PadLen = (BufferLen < 112) ? (112 - BufferLen) : (240 - BufferLen);
+  std::memset(Pad, 0, sizeof(Pad));
+  Pad[0] = 0x80;
+  update(BytesView(Pad, PadLen));
+  uint8_t LenBytes[16] = {0};
+  writeBE64(LenBytes + 8, BitLen);
+  update(BytesView(LenBytes, 16));
+
+  Sha512Digest Out;
+  for (int I = 0; I < 8; ++I)
+    writeBE64(Out.data() + 8 * I, State[I]);
+  return Out;
+}
+
+Sha512Digest Sha512::hash(BytesView Data) {
+  Sha512 Ctx;
+  Ctx.update(Data);
+  return Ctx.final();
+}

@@ -1,0 +1,53 @@
+//===- crypto/Sha512.h - SHA-512 (FIPS 180-4) ------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming SHA-512, required by the Ed25519 signature scheme that stands
+/// in for the RSA-3072 SIGSTRUCT signature and the EPID quote signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_SHA512_H
+#define SGXELIDE_CRYPTO_SHA512_H
+
+#include "support/Bytes.h"
+
+#include <array>
+
+namespace elide {
+
+/// A 64-byte SHA-512 digest.
+using Sha512Digest = std::array<uint8_t, 64>;
+
+/// Incremental SHA-512 context.
+class Sha512 {
+public:
+  Sha512() { reset(); }
+
+  /// Restores the initial hash state.
+  void reset();
+
+  /// Absorbs \p Data into the hash state.
+  void update(BytesView Data);
+
+  /// Finishes the hash and returns the digest.
+  Sha512Digest final();
+
+  /// One-shot convenience: SHA-512 of \p Data.
+  static Sha512Digest hash(BytesView Data);
+
+private:
+  void compress(const uint8_t *Block);
+
+  uint64_t State[8];
+  uint64_t TotalBytes;
+  uint8_t Buffer[128];
+  size_t BufferLen;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_SHA512_H

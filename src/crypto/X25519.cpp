@@ -1,0 +1,62 @@
+//===- crypto/X25519.cpp - X25519 key agreement (RFC 7748) ----------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/X25519.h"
+
+#include "crypto/Field25519.h"
+
+#include <cstring>
+
+using namespace elide;
+
+X25519Key elide::x25519(const X25519Key &Scalar, const X25519Key &Point) {
+  uint8_t K[32];
+  std::memcpy(K, Scalar.data(), 32);
+  K[0] &= 248;
+  K[31] &= 127;
+  K[31] |= 64;
+
+  Fe X1 = feFromBytes(Point.data());
+  Fe X2 = feFromU64(1), Z2 = feFromU64(0);
+  Fe X3 = X1, Z3 = feFromU64(1);
+  uint64_t Swap = 0;
+
+  for (int T = 254; T >= 0; --T) {
+    uint64_t Bit = (K[T / 8] >> (T % 8)) & 1;
+    Swap ^= Bit;
+    feCswap(X2, X3, Swap);
+    feCswap(Z2, Z3, Swap);
+    Swap = Bit;
+
+    // RFC 7748 Montgomery ladder step.
+    Fe A = feAdd(X2, Z2);
+    Fe AA = feSquare(A);
+    Fe B = feSub(X2, Z2);
+    Fe BB = feSquare(B);
+    Fe E = feSub(AA, BB);
+    Fe C = feAdd(X3, Z3);
+    Fe D = feSub(X3, Z3);
+    Fe DA = feMul(D, A);
+    Fe CB = feMul(C, B);
+    X3 = feSquare(feAdd(DA, CB));
+    Z3 = feMul(X1, feSquare(feSub(DA, CB)));
+    X2 = feMul(AA, BB);
+    Z2 = feMul(E, feAdd(AA, feMulSmall(E, 121665)));
+  }
+
+  feCswap(X2, X3, Swap);
+  feCswap(Z2, Z3, Swap);
+
+  Fe Result = feMul(X2, feInvert(Z2));
+  X25519Key Out;
+  feToBytes(Out.data(), Result);
+  return Out;
+}
+
+X25519Key elide::x25519PublicKey(const X25519Key &Scalar) {
+  X25519Key Base = {9};
+  return x25519(Scalar, Base);
+}

@@ -1,0 +1,35 @@
+//===- crypto/X25519.h - X25519 key agreement (RFC 7748) ------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// X25519 Diffie-Hellman. The enclave and the authentication server derive
+/// the paper's "secure channel" keys from an X25519 exchange bound to the
+/// attestation quote (real SGX remote attestation similarly embeds an ECDH
+/// public key in the KE messages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_X25519_H
+#define SGXELIDE_CRYPTO_X25519_H
+
+#include "support/Bytes.h"
+
+#include <array>
+
+namespace elide {
+
+/// A 32-byte X25519 scalar or curve point.
+using X25519Key = std::array<uint8_t, 32>;
+
+/// Computes the scalar multiplication Scalar * Point.
+X25519Key x25519(const X25519Key &Scalar, const X25519Key &Point);
+
+/// Computes the public key for \p Scalar (scalar times the base point 9).
+X25519Key x25519PublicKey(const X25519Key &Scalar);
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_X25519_H

@@ -1,0 +1,165 @@
+//===- elc/Ast.h - Elc abstract syntax tree ---------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions produced by the parser and consumed by code
+/// generation. Nodes are plain structs discriminated by a kind enum; the
+/// code generator type-checks while it walks (the usual design for a
+/// single-pass compiler of this size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELC_AST_H
+#define SGXELIDE_ELC_AST_H
+
+#include "elc/Token.h"
+#include "elc/Type.h"
+
+#include <memory>
+#include <vector>
+
+namespace elide {
+namespace elc {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Source location for diagnostics.
+struct Location {
+  int Line = 0;
+  int Column = 0;
+};
+
+enum class ExprKind {
+  IntLiteral,  ///< IntValue
+  BoolLiteral, ///< IntValue is 0 or 1
+  StringLiteral, ///< Text (contents; NUL appended at emission)
+  VarRef,      ///< Text is the name
+  Unary,       ///< Op in UnaryOp, operand in Lhs
+  Binary,      ///< Op in BinOp, Lhs/Rhs
+  Call,        ///< Text is callee name, Args
+  Index,       ///< Lhs[Rhs]
+  Deref,       ///< *Lhs
+  AddressOf,   ///< &Lhs
+  Cast,        ///< Lhs as CastType
+};
+
+enum class UnaryOp { Neg, Not, BitNot };
+
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LogicalAnd,
+  LogicalOr,
+};
+
+struct Expr {
+  ExprKind Kind;
+  Location Loc;
+  uint64_t IntValue = 0;
+  std::string Text;
+  UnaryOp UOp = UnaryOp::Neg;
+  BinOp BOp = BinOp::Add;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+  std::vector<ExprPtr> Args;
+  const Type *CastType = nullptr;
+};
+
+enum class StmtKind {
+  Block,     ///< Body
+  VarDecl,   ///< Text, DeclType, optional Init
+  If,        ///< Cond, Then (block), Else (block or If, may be null)
+  While,     ///< Cond, Body
+  For,       ///< InitStmt, Cond, StepStmt, Body
+  Return,    ///< optional Value
+  Break,
+  Continue,
+  ExprStmt,  ///< Value
+  Assign,    ///< Target (lvalue expr), Value; CompoundOp for += / -=
+};
+
+enum class CompoundAssign { None, Add, Sub };
+
+struct Stmt {
+  StmtKind Kind;
+  Location Loc;
+  std::string Text;
+  const Type *DeclType = nullptr;
+  ExprPtr Cond;
+  ExprPtr Value;
+  ExprPtr Target;
+  CompoundAssign Compound = CompoundAssign::None;
+  StmtPtr Then;
+  StmtPtr Else;
+  StmtPtr InitStmt;
+  StmtPtr StepStmt;
+  StmtPtr Body;
+  std::vector<StmtPtr> Stmts; ///< For Block.
+  /// For VarDecl of arrays: element initializers, e.g. `= [1, 2, 3]`.
+  std::vector<ExprPtr> ArrayInit;
+  /// For VarDecl initialized from a string literal.
+  bool HasStringInit = false;
+};
+
+/// A function parameter.
+struct Param {
+  std::string Name;
+  const Type *ParamType = nullptr;
+};
+
+/// Linkage of a callable: defined in this module, or an extern trusted /
+/// untrusted (ocall) library function resolved by name at link time.
+enum class CalleeKind { Local, ExternTcall, ExternOcall };
+
+struct FunctionDecl {
+  std::string Name;
+  Location Loc;
+  std::vector<Param> Params;
+  const Type *ReturnType = nullptr;
+  bool Exported = false; ///< `export fn` => reachable via an ecall bridge.
+  CalleeKind Linkage = CalleeKind::Local;
+  StmtPtr Body; ///< Null for externs.
+};
+
+struct GlobalDecl {
+  std::string Name;
+  Location Loc;
+  const Type *DeclType = nullptr;
+  /// Scalar initializer (constant expression), or empty.
+  ExprPtr Init;
+  /// Array element initializers, or a string initializer.
+  std::vector<ExprPtr> ArrayInit;
+  bool HasStringInit = false;
+  std::string StringInit;
+};
+
+/// One parsed translation unit.
+struct Module {
+  std::vector<FunctionDecl> Functions;
+  std::vector<GlobalDecl> Globals;
+};
+
+} // namespace elc
+} // namespace elide
+
+#endif // SGXELIDE_ELC_AST_H

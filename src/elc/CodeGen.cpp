@@ -1,0 +1,1062 @@
+//===- elc/CodeGen.cpp - Elc to SVM bytecode generation -----------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elc/CodeGen.h"
+
+#include "vm/Isa.h"
+
+using namespace elide;
+using namespace elide::elc;
+
+namespace {
+
+/// First and last registers of the expression temporary stack.
+constexpr unsigned TempRegBase = 8;
+constexpr unsigned TempRegCount = 19; // r8..r26
+constexpr unsigned ScratchReg = 27;
+/// Spill area (one slot per temp register) lives at the bottom of the
+/// frame; locals follow it.
+constexpr int64_t SpillAreaSize = TempRegCount * 8;
+constexpr unsigned MaxArgs = 6;
+
+/// An rvalue held in a temp register.
+struct Value {
+  unsigned Reg = 0;
+  const Type *Ty = nullptr;
+};
+
+/// An lvalue: address in a temp register plus the value's type.
+struct Place {
+  unsigned AddrReg = 0;
+  const Type *Ty = nullptr;
+};
+
+struct LocalVar {
+  const Type *Ty = nullptr;
+  int64_t FrameOffset = 0; ///< sp-relative.
+};
+
+class FunctionEmitter {
+public:
+  FunctionEmitter(const Module &M, const CallRegistry &Calls, TypeArena &Types,
+                  std::vector<Bytes> &Rodata,
+                  const std::map<std::string, const Type *> &Globals)
+      : M(M), Calls(Calls), Types(Types), Rodata(Rodata), Globals(Globals) {}
+
+  Expected<CompiledFunction> emitFunction(const FunctionDecl &F) {
+    Fn = &F;
+    Out = CompiledFunction();
+    Out.Name = F.Name;
+    Out.Exported = F.Exported;
+
+    if (F.Params.size() > MaxArgs)
+      return err(F.Loc, "functions take at most " + std::to_string(MaxArgs) +
+                            " parameters");
+
+    // Prologue: sp -= frameSize (patched at the end).
+    FramePatchSites.clear();
+    LocalsSize = 0;
+    Scopes.clear();
+    Scopes.emplace_back();
+    TempDepth = 0;
+
+    size_t Prologue = emit(Opcode::AddI, SvmRegSp, SvmRegSp, 0, 0);
+    FramePatchSites.push_back({Prologue, /*Negate=*/true});
+
+    // Park parameters in local slots so they are addressable and survive
+    // calls.
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      const Param &P = F.Params[I];
+      ELIDE_TRY(int64_t Off, allocLocal(P.Name, P.ParamType, F.Loc));
+      emit(Opcode::StD, 0, SvmRegSp, static_cast<uint8_t>(1 + I),
+           static_cast<int32_t>(Off));
+    }
+
+    if (Error E = emitStmt(*F.Body))
+      return E;
+
+    // Implicit return at the end (traps for non-void functions that fall
+    // off the end).
+    if (F.ReturnType->isVoid()) {
+      emitEpilogueAndRet();
+    } else {
+      emit(Opcode::Trap, 0, 0, 0, 0x0dead);
+    }
+
+    // Patch frame size into the prologue and every epilogue.
+    int64_t FrameSize = (SpillAreaSize + LocalsSize + 15) / 16 * 16;
+    for (const auto &[Offset, Negate] : FramePatchSites) {
+      int32_t Imm = static_cast<int32_t>(Negate ? -FrameSize : FrameSize);
+      writeLE32(Out.Code.data() + Offset + 4, static_cast<uint32_t>(Imm));
+    }
+    return std::move(Out);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Emission utilities
+  //===--------------------------------------------------------------------===//
+
+  /// Emits one instruction; returns its byte offset in the function.
+  size_t emit(Opcode Op, uint8_t Rd, uint8_t Rs1, uint8_t Rs2, int32_t Imm) {
+    size_t Offset = Out.Code.size();
+    emitInstruction(Out.Code, {Op, Rd, Rs1, Rs2, Imm});
+    return Offset;
+  }
+
+  Error err(Location Loc, const std::string &Message) const {
+    return makeError(Fn->Name + ":" + std::to_string(Loc.Line) + ":" +
+                     std::to_string(Loc.Column) + ": " + Message);
+  }
+
+  /// A forward-reference label for branch targets.
+  struct Label {
+    std::vector<size_t> Fixups; ///< Offsets of branch instructions.
+    int64_t Bound = -1;
+  };
+
+  void branchTo(Opcode Op, uint8_t Rs1, Label &L) {
+    size_t Site = emit(Op, 0, Rs1, 0, 0);
+    if (L.Bound >= 0)
+      patchBranch(Site, static_cast<size_t>(L.Bound));
+    else
+      L.Fixups.push_back(Site);
+  }
+
+  void bind(Label &L) {
+    L.Bound = static_cast<int64_t>(Out.Code.size());
+    for (size_t Site : L.Fixups)
+      patchBranch(Site, static_cast<size_t>(L.Bound));
+    L.Fixups.clear();
+  }
+
+  void patchBranch(size_t Site, size_t Target) {
+    int64_t Delta = static_cast<int64_t>(Target) - static_cast<int64_t>(Site);
+    writeLE32(Out.Code.data() + Site + 4,
+              static_cast<uint32_t>(static_cast<int32_t>(Delta)));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Temp register stack
+  //===--------------------------------------------------------------------===//
+
+  Expected<unsigned> pushTemp(Location Loc) {
+    if (TempDepth >= TempRegCount)
+      return err(Loc, "expression too complex (temporary register stack "
+                      "exhausted)");
+    return TempRegBase + TempDepth++;
+  }
+
+  void popTemp(unsigned Count = 1) {
+    assert(TempDepth >= Count && "temp stack underflow");
+    TempDepth -= Count;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Frame and scopes
+  //===--------------------------------------------------------------------===//
+
+  Expected<int64_t> allocLocal(const std::string &Name, const Type *Ty,
+                               Location Loc) {
+    if (Scopes.back().count(Name))
+      return err(Loc, "redefinition of '" + Name + "'");
+    int64_t Size = static_cast<int64_t>((Ty->sizeInBytes() + 7) / 8 * 8);
+    int64_t Offset = SpillAreaSize + LocalsSize;
+    LocalsSize += Size;
+    Scopes.back()[Name] = {Ty, Offset};
+    return Offset;
+  }
+
+  const LocalVar *lookupLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  const FunctionDecl *lookupFunction(const std::string &Name) const {
+    for (const FunctionDecl &F : M.Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Typed loads/stores
+  //===--------------------------------------------------------------------===//
+
+  static Opcode loadOpcodeFor(const Type *Ty) {
+    switch (Ty->Kind) {
+    case TypeKind::Bool:
+    case TypeKind::U8:
+      return Opcode::LdBU;
+    case TypeKind::U16:
+      return Opcode::LdHU;
+    case TypeKind::U32:
+      return Opcode::LdWU;
+    case TypeKind::U64:
+    case TypeKind::I64:
+    case TypeKind::Pointer:
+      return Opcode::LdD;
+    default:
+      assert(false && "not a loadable type");
+      return Opcode::LdD;
+    }
+  }
+
+  static Opcode storeOpcodeFor(const Type *Ty) {
+    switch (Ty->Kind) {
+    case TypeKind::Bool:
+    case TypeKind::U8:
+      return Opcode::StB;
+    case TypeKind::U16:
+      return Opcode::StH;
+    case TypeKind::U32:
+      return Opcode::StW;
+    case TypeKind::U64:
+    case TypeKind::I64:
+    case TypeKind::Pointer:
+      return Opcode::StD;
+    default:
+      assert(false && "not a storable type");
+      return Opcode::StD;
+    }
+  }
+
+  /// Loads a 64-bit constant into \p Reg.
+  void emitConstant(unsigned Reg, uint64_t V) {
+    int64_t S = static_cast<int64_t>(V);
+    if (S >= INT32_MIN && S <= INT32_MAX) {
+      emit(Opcode::LdI, static_cast<uint8_t>(Reg), 0, 0,
+           static_cast<int32_t>(S));
+      return;
+    }
+    emit(Opcode::LdI, static_cast<uint8_t>(Reg), 0, 0,
+         static_cast<int32_t>(static_cast<uint32_t>(V)));
+    emit(Opcode::LdIH, static_cast<uint8_t>(Reg), 0, 0,
+         static_cast<int32_t>(static_cast<uint32_t>(V >> 32)));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Whether a type may appear in a register-valued expression.
+  static bool isRegType(const Type *Ty) { return Ty->isScalar(); }
+
+  Expected<Value> emitExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLiteral: {
+      ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+      emitConstant(Reg, E.IntValue);
+      return Value{Reg, Types.u64()};
+    }
+    case ExprKind::BoolLiteral: {
+      ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+      emitConstant(Reg, E.IntValue);
+      return Value{Reg, Types.boolType()};
+    }
+    case ExprKind::StringLiteral: {
+      ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+      size_t Id = internString(E.Text);
+      size_t Site = emit(Opcode::LdI, static_cast<uint8_t>(Reg), 0, 0, 0);
+      Out.Relocs.push_back({RelocKind::AbsRodata, Site, "", Id});
+      return Value{Reg, Types.pointerTo(Types.u8())};
+    }
+    case ExprKind::VarRef:
+      return emitVarRef(E);
+    case ExprKind::Unary:
+      return emitUnary(E);
+    case ExprKind::Binary:
+      return emitBinary(E);
+    case ExprKind::Call:
+      return emitCall(E, /*WantValue=*/true);
+    case ExprKind::Index:
+    case ExprKind::Deref: {
+      ELIDE_TRY(Place P, emitPlace(E));
+      if (!isRegType(P.Ty))
+        return err(E.Loc, "cannot load aggregate of type " + P.Ty->str());
+      emit(loadOpcodeFor(P.Ty), static_cast<uint8_t>(P.AddrReg),
+           static_cast<uint8_t>(P.AddrReg), 0, 0);
+      return Value{P.AddrReg, P.Ty};
+    }
+    case ExprKind::AddressOf: {
+      ELIDE_TRY(Place P, emitPlace(*E.Lhs));
+      const Type *Elem = P.Ty->isArray() ? P.Ty->Element : P.Ty;
+      return Value{P.AddrReg, Types.pointerTo(Elem)};
+    }
+    case ExprKind::Cast: {
+      ELIDE_TRY(Value V, emitExpr(*E.Lhs));
+      if (!isRegType(E.CastType) || !isRegType(V.Ty))
+        return err(E.Loc, "cast requires scalar types");
+      emitNarrowing(V.Reg, E.CastType);
+      return Value{V.Reg, E.CastType};
+    }
+    }
+    return err(E.Loc, "unsupported expression");
+  }
+
+  /// Truncates the register to the cast target's width (no-op for 64-bit
+  /// and pointer targets; bool normalizes to 0/1).
+  void emitNarrowing(unsigned Reg, const Type *Target) {
+    uint8_t R = static_cast<uint8_t>(Reg);
+    switch (Target->Kind) {
+    case TypeKind::Bool:
+      emit(Opcode::Sne, R, R, 0, 0);
+      break;
+    case TypeKind::U8:
+      emit(Opcode::AndI, R, R, 0, 0xff);
+      break;
+    case TypeKind::U16:
+      emit(Opcode::AndI, R, R, 0, 0xffff);
+      break;
+    case TypeKind::U32:
+      emit(Opcode::ShlI, R, R, 0, 32);
+      emit(Opcode::ShrLI, R, R, 0, 32);
+      break;
+    default:
+      break;
+    }
+  }
+
+  Expected<Value> emitVarRef(const Expr &E) {
+    if (const LocalVar *L = lookupLocal(E.Text)) {
+      ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+      if (L->Ty->isArray()) {
+        // Arrays decay to a pointer to their first element.
+        emit(Opcode::AddI, static_cast<uint8_t>(Reg), SvmRegSp, 0,
+             static_cast<int32_t>(L->FrameOffset));
+        return Value{Reg, Types.pointerTo(L->Ty->Element)};
+      }
+      emit(loadOpcodeFor(L->Ty), static_cast<uint8_t>(Reg), SvmRegSp, 0,
+           static_cast<int32_t>(L->FrameOffset));
+      return Value{Reg, L->Ty};
+    }
+    auto G = Globals.find(E.Text);
+    if (G != Globals.end()) {
+      ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+      size_t Site = emit(Opcode::LdI, static_cast<uint8_t>(Reg), 0, 0, 0);
+      Out.Relocs.push_back({RelocKind::AbsData, Site, E.Text, 0});
+      if (G->second->isArray())
+        return Value{Reg, Types.pointerTo(G->second->Element)};
+      emit(loadOpcodeFor(G->second), static_cast<uint8_t>(Reg),
+           static_cast<uint8_t>(Reg), 0, 0);
+      return Value{Reg, G->second};
+    }
+    if (lookupFunction(E.Text)) {
+      // Function reference: its address (for callr-style dispatch).
+      ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+      size_t Site = emit(Opcode::LdI, static_cast<uint8_t>(Reg), 0, 0, 0);
+      Out.Relocs.push_back({RelocKind::AbsFunc, Site, E.Text, 0});
+      return Value{Reg, Types.u64()};
+    }
+    return err(E.Loc, "use of undeclared identifier '" + E.Text + "'");
+  }
+
+  /// Computes an lvalue's address into a temp register.
+  Expected<Place> emitPlace(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::VarRef: {
+      if (const LocalVar *L = lookupLocal(E.Text)) {
+        ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+        emit(Opcode::AddI, static_cast<uint8_t>(Reg), SvmRegSp, 0,
+             static_cast<int32_t>(L->FrameOffset));
+        return Place{Reg, L->Ty};
+      }
+      auto G = Globals.find(E.Text);
+      if (G != Globals.end()) {
+        ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+        size_t Site = emit(Opcode::LdI, static_cast<uint8_t>(Reg), 0, 0, 0);
+        Out.Relocs.push_back({RelocKind::AbsData, Site, E.Text, 0});
+        return Place{Reg, G->second};
+      }
+      return err(E.Loc, "use of undeclared identifier '" + E.Text + "'");
+    }
+    case ExprKind::Deref: {
+      ELIDE_TRY(Value V, emitExpr(*E.Lhs));
+      if (!V.Ty->isPointer())
+        return err(E.Loc, "cannot dereference non-pointer type " +
+                              V.Ty->str());
+      return Place{V.Reg, V.Ty->Element};
+    }
+    case ExprKind::Index: {
+      // Base address.
+      ELIDE_TRY(Value Base, emitExprOrPlaceAsPointer(*E.Lhs));
+      if (!Base.Ty->isPointer())
+        return err(E.Loc, "cannot index non-pointer/array type " +
+                              Base.Ty->str());
+      const Type *Elem = Base.Ty->Element;
+      ELIDE_TRY(Value Idx, emitExpr(*E.Rhs));
+      if (!Idx.Ty->isInteger())
+        return err(E.Loc, "array index must be an integer");
+      uint64_t Scale = Elem->sizeInBytes();
+      if (Scale > 1)
+        emit(Opcode::MulI, static_cast<uint8_t>(Idx.Reg),
+             static_cast<uint8_t>(Idx.Reg), 0, static_cast<int32_t>(Scale));
+      emit(Opcode::Add, static_cast<uint8_t>(Base.Reg),
+           static_cast<uint8_t>(Base.Reg), static_cast<uint8_t>(Idx.Reg), 0);
+      popTemp(); // index
+      return Place{Base.Reg, Elem};
+    }
+    default:
+      return err(E.Loc, "expression is not assignable");
+    }
+  }
+
+  /// Evaluates an expression used as an indexing base: arrays yield their
+  /// address (as a pointer), pointers their value.
+  Expected<Value> emitExprOrPlaceAsPointer(const Expr &E) {
+    // A VarRef naming an array should not be loaded.
+    if (E.Kind == ExprKind::VarRef) {
+      if (const LocalVar *L = lookupLocal(E.Text)) {
+        if (L->Ty->isArray()) {
+          ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+          emit(Opcode::AddI, static_cast<uint8_t>(Reg), SvmRegSp, 0,
+               static_cast<int32_t>(L->FrameOffset));
+          return Value{Reg, Types.pointerTo(L->Ty->Element)};
+        }
+      }
+      auto G = Globals.find(E.Text);
+      if (G != Globals.end() && G->second->isArray()) {
+        ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+        size_t Site = emit(Opcode::LdI, static_cast<uint8_t>(Reg), 0, 0, 0);
+        Out.Relocs.push_back({RelocKind::AbsData, Site, E.Text, 0});
+        return Value{Reg, Types.pointerTo(G->second->Element)};
+      }
+    }
+    return emitExpr(E);
+  }
+
+  Expected<Value> emitUnary(const Expr &E) {
+    ELIDE_TRY(Value V, emitExpr(*E.Lhs));
+    uint8_t R = static_cast<uint8_t>(V.Reg);
+    switch (E.UOp) {
+    case UnaryOp::Neg:
+      if (!V.Ty->isInteger())
+        return err(E.Loc, "cannot negate " + V.Ty->str());
+      emit(Opcode::Sub, R, 0, R, 0);
+      return Value{V.Reg, V.Ty->isSigned() ? Types.i64() : Types.u64()};
+    case UnaryOp::Not:
+      emit(Opcode::Seq, R, R, 0, 0);
+      return Value{V.Reg, Types.boolType()};
+    case UnaryOp::BitNot:
+      if (!V.Ty->isInteger())
+        return err(E.Loc, "cannot complement " + V.Ty->str());
+      emit(Opcode::XorI, R, R, 0, -1);
+      return Value{V.Reg, V.Ty};
+    }
+    return err(E.Loc, "unsupported unary operator");
+  }
+
+  /// Result type of an arithmetic combination.
+  const Type *arithResult(const Type *A, const Type *B) const {
+    if (A->isSigned() || B->isSigned())
+      return Types.i64();
+    return Types.u64();
+  }
+
+  Expected<Value> emitBinary(const Expr &E) {
+    if (E.BOp == BinOp::LogicalAnd || E.BOp == BinOp::LogicalOr)
+      return emitShortCircuit(E);
+
+    ELIDE_TRY(Value L, emitExpr(*E.Lhs));
+    ELIDE_TRY(Value R, emitExpr(*E.Rhs));
+    uint8_t Rl = static_cast<uint8_t>(L.Reg);
+    uint8_t Rr = static_cast<uint8_t>(R.Reg);
+
+    // Pointer arithmetic: scale the integer side by the element size.
+    if ((E.BOp == BinOp::Add || E.BOp == BinOp::Sub) &&
+        (L.Ty->isPointer() || R.Ty->isPointer())) {
+      if (L.Ty->isPointer() && R.Ty->isInteger()) {
+        uint64_t Scale = L.Ty->Element->sizeInBytes();
+        if (Scale > 1)
+          emit(Opcode::MulI, Rr, Rr, 0, static_cast<int32_t>(Scale));
+        emit(E.BOp == BinOp::Add ? Opcode::Add : Opcode::Sub, Rl, Rl, Rr, 0);
+        popTemp();
+        return Value{L.Reg, L.Ty};
+      }
+      if (L.Ty->isPointer() && R.Ty->isPointer() && E.BOp == BinOp::Sub) {
+        if (L.Ty != R.Ty)
+          return err(E.Loc, "subtracting incompatible pointer types");
+        emit(Opcode::Sub, Rl, Rl, Rr, 0);
+        uint64_t Scale = L.Ty->Element->sizeInBytes();
+        if (Scale > 1) {
+          emitConstant(ScratchReg, Scale);
+          emit(Opcode::DivU, Rl, Rl, ScratchReg, 0);
+        }
+        popTemp();
+        return Value{L.Reg, Types.u64()};
+      }
+      return err(E.Loc, "invalid pointer arithmetic between " + L.Ty->str() +
+                            " and " + R.Ty->str());
+    }
+
+    bool Signed = L.Ty->isSigned() || R.Ty->isSigned();
+    bool Comparison = false;
+    Opcode Op;
+    bool SwapOperands = false;
+    switch (E.BOp) {
+    case BinOp::Add:
+      Op = Opcode::Add;
+      break;
+    case BinOp::Sub:
+      Op = Opcode::Sub;
+      break;
+    case BinOp::Mul:
+      Op = Opcode::Mul;
+      break;
+    case BinOp::Div:
+      Op = Signed ? Opcode::DivS : Opcode::DivU;
+      break;
+    case BinOp::Rem:
+      Op = Signed ? Opcode::RemS : Opcode::RemU;
+      break;
+    case BinOp::And:
+      Op = Opcode::And;
+      break;
+    case BinOp::Or:
+      Op = Opcode::Or;
+      break;
+    case BinOp::Xor:
+      Op = Opcode::Xor;
+      break;
+    case BinOp::Shl:
+      Op = Opcode::Shl;
+      break;
+    case BinOp::Shr:
+      Op = L.Ty->isSigned() ? Opcode::ShrA : Opcode::ShrL;
+      break;
+    case BinOp::Eq:
+      Op = Opcode::Seq;
+      Comparison = true;
+      break;
+    case BinOp::Ne:
+      Op = Opcode::Sne;
+      Comparison = true;
+      break;
+    case BinOp::Lt:
+      Op = Signed ? Opcode::SltS : Opcode::SltU;
+      Comparison = true;
+      break;
+    case BinOp::Le:
+      Op = Signed ? Opcode::SleS : Opcode::SleU;
+      Comparison = true;
+      break;
+    case BinOp::Gt:
+      Op = Signed ? Opcode::SltS : Opcode::SltU;
+      Comparison = true;
+      SwapOperands = true;
+      break;
+    case BinOp::Ge:
+      Op = Signed ? Opcode::SleS : Opcode::SleU;
+      Comparison = true;
+      SwapOperands = true;
+      break;
+    default:
+      return err(E.Loc, "unsupported binary operator");
+    }
+
+    if (SwapOperands)
+      emit(Op, Rl, Rr, Rl, 0);
+    else
+      emit(Op, Rl, Rl, Rr, 0);
+    popTemp();
+    if (Comparison)
+      return Value{L.Reg, Types.boolType()};
+    return Value{L.Reg, arithResult(L.Ty, R.Ty)};
+  }
+
+  Expected<Value> emitShortCircuit(const Expr &E) {
+    // result = lhs; if (lhs ==/!= 0) result = !!rhs;
+    ELIDE_TRY(Value L, emitExpr(*E.Lhs));
+    uint8_t Rl = static_cast<uint8_t>(L.Reg);
+    emit(Opcode::Sne, Rl, Rl, 0, 0); // normalize to 0/1
+    Label Done;
+    if (E.BOp == BinOp::LogicalAnd)
+      branchTo(Opcode::Beqz, Rl, Done);
+    else
+      branchTo(Opcode::Bnez, Rl, Done);
+    ELIDE_TRY(Value R, emitExpr(*E.Rhs));
+    uint8_t Rr = static_cast<uint8_t>(R.Reg);
+    emit(Opcode::Sne, Rl, Rr, 0, 0);
+    popTemp(); // rhs
+    bind(Done);
+    return Value{L.Reg, Types.boolType()};
+  }
+
+  Expected<Value> emitCall(const Expr &E, bool WantValue) {
+    const FunctionDecl *Callee = lookupFunction(E.Text);
+    if (!Callee)
+      return err(E.Loc, "call to undeclared function '" + E.Text + "'");
+    if (E.Args.size() != Callee->Params.size())
+      return err(E.Loc, "'" + E.Text + "' expects " +
+                            std::to_string(Callee->Params.size()) +
+                            " arguments, got " +
+                            std::to_string(E.Args.size()));
+    if (E.Args.size() > MaxArgs)
+      return err(E.Loc, "calls take at most " + std::to_string(MaxArgs) +
+                            " arguments");
+
+    unsigned DepthBefore = TempDepth;
+
+    // Evaluate arguments left to right onto the temp stack.
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      ELIDE_TRY(Value A, emitExpr(*E.Args[I]));
+      const Type *Want = Callee->Params[I].ParamType;
+      if (!checkAssignable(Want, A.Ty))
+        return err(E.Args[I]->Loc,
+                   "argument " + std::to_string(I + 1) + " of '" + E.Text +
+                       "': cannot pass " + A.Ty->str() + " as " + Want->str());
+      (void)A;
+    }
+
+    // Spill live temporaries that precede the argument window.
+    for (unsigned I = 0; I < DepthBefore; ++I)
+      emit(Opcode::StD, 0, SvmRegSp, static_cast<uint8_t>(TempRegBase + I),
+           static_cast<int32_t>(8 * I));
+
+    // Move arguments into r1..rN.
+    for (size_t I = 0; I < E.Args.size(); ++I)
+      emit(Opcode::Add, static_cast<uint8_t>(1 + I),
+           static_cast<uint8_t>(TempRegBase + DepthBefore + I), 0, 0);
+    popTemp(static_cast<unsigned>(E.Args.size()));
+
+    switch (Callee->Linkage) {
+    case CalleeKind::Local: {
+      size_t Site = emit(Opcode::Call, 0, 0, 0, 0);
+      Out.Relocs.push_back({RelocKind::CallPcRel, Site, E.Text, 0});
+      break;
+    }
+    case CalleeKind::ExternTcall: {
+      auto It = Calls.Tcalls.find(E.Text);
+      if (It == Calls.Tcalls.end())
+        return err(E.Loc, "extern tcall '" + E.Text +
+                              "' is not provided by the trusted runtime");
+      emit(Opcode::Tcall, 0, 0, 0, static_cast<int32_t>(It->second));
+      break;
+    }
+    case CalleeKind::ExternOcall: {
+      auto It = Calls.Ocalls.find(E.Text);
+      if (It == Calls.Ocalls.end())
+        return err(E.Loc, "extern ocall '" + E.Text +
+                              "' is not provided by the untrusted host");
+      emit(Opcode::Ocall, 0, 0, 0, static_cast<int32_t>(It->second));
+      break;
+    }
+    }
+
+    // Restore spilled temporaries.
+    for (unsigned I = 0; I < DepthBefore; ++I)
+      emit(Opcode::LdD, static_cast<uint8_t>(TempRegBase + I), SvmRegSp, 0,
+           static_cast<int32_t>(8 * I));
+
+    if (!WantValue)
+      return Value{0, Types.voidType()};
+    if (Callee->ReturnType->isVoid())
+      return err(E.Loc, "void function '" + E.Text + "' used as a value");
+
+    ELIDE_TRY(unsigned Reg, pushTemp(E.Loc));
+    emit(Opcode::Add, static_cast<uint8_t>(Reg), 1, 0, 0);
+    return Value{Reg, Callee->ReturnType};
+  }
+
+  /// Loose assignability: integers interconvert (stores truncate);
+  /// pointers must match exactly, or convert from/to *u8, or from an
+  /// integer literal context (not tracked -- any integer converts with an
+  /// explicit cast only).
+  bool checkAssignable(const Type *Dst, const Type *Src) const {
+    if (Dst == Src)
+      return true;
+    if (Dst->isInteger() && Src->isInteger())
+      return true;
+    if (Dst->isPointer() && Src->isPointer()) {
+      if (Dst->Element->Kind == TypeKind::U8 ||
+          Src->Element->Kind == TypeKind::U8)
+        return true; // *u8 is the "void*" of Elc.
+      return Dst->Element == Src->Element;
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void emitEpilogueAndRet() {
+    size_t Site = emit(Opcode::AddI, SvmRegSp, SvmRegSp, 0, 0);
+    FramePatchSites.push_back({Site, /*Negate=*/false});
+    emit(Opcode::Ret, 0, 0, 0, 0);
+  }
+
+  Error emitStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      Scopes.emplace_back();
+      for (const StmtPtr &Child : S.Stmts)
+        if (Error E = emitStmt(*Child))
+          return E;
+      Scopes.pop_back();
+      return Error::success();
+    }
+    case StmtKind::VarDecl:
+      return emitVarDecl(S);
+    case StmtKind::Assign:
+      return emitAssign(S);
+    case StmtKind::ExprStmt: {
+      if (S.Value->Kind == ExprKind::Call) {
+        Expected<Value> V = emitCall(*S.Value, /*WantValue=*/false);
+        if (!V)
+          return V.takeError();
+        return Error::success();
+      }
+      Expected<Value> V = emitExpr(*S.Value);
+      if (!V)
+        return V.takeError();
+      popTemp();
+      return Error::success();
+    }
+    case StmtKind::If: {
+      Expected<Value> Cond = emitExpr(*S.Cond);
+      if (!Cond)
+        return Cond.takeError();
+      Label ElseL, EndL;
+      branchTo(Opcode::Beqz, static_cast<uint8_t>(Cond->Reg), ElseL);
+      popTemp();
+      if (Error E = emitStmt(*S.Then))
+        return E;
+      if (S.Else) {
+        branchTo(Opcode::Jmp, 0, EndL);
+        bind(ElseL);
+        if (Error E = emitStmt(*S.Else))
+          return E;
+        bind(EndL);
+      } else {
+        bind(ElseL);
+      }
+      return Error::success();
+    }
+    case StmtKind::While: {
+      Label Head, Exit;
+      bind(Head);
+      Expected<Value> Cond = emitExpr(*S.Cond);
+      if (!Cond)
+        return Cond.takeError();
+      branchTo(Opcode::Beqz, static_cast<uint8_t>(Cond->Reg), Exit);
+      popTemp();
+      LoopStack.push_back({&Exit, &Head});
+      if (Error E = emitStmt(*S.Body))
+        return E;
+      LoopStack.pop_back();
+      branchTo(Opcode::Jmp, 0, Head);
+      bind(Exit);
+      return Error::success();
+    }
+    case StmtKind::For: {
+      Scopes.emplace_back();
+      if (S.InitStmt)
+        if (Error E = emitStmt(*S.InitStmt))
+          return E;
+      Label Head, Step, Exit;
+      bind(Head);
+      if (S.Cond) {
+        Expected<Value> Cond = emitExpr(*S.Cond);
+        if (!Cond)
+          return Cond.takeError();
+        branchTo(Opcode::Beqz, static_cast<uint8_t>(Cond->Reg), Exit);
+        popTemp();
+      }
+      LoopStack.push_back({&Exit, &Step});
+      if (Error E = emitStmt(*S.Body))
+        return E;
+      LoopStack.pop_back();
+      bind(Step);
+      if (S.StepStmt)
+        if (Error E = emitStmt(*S.StepStmt))
+          return E;
+      branchTo(Opcode::Jmp, 0, Head);
+      bind(Exit);
+      Scopes.pop_back();
+      return Error::success();
+    }
+    case StmtKind::Return: {
+      if (S.Value) {
+        if (Fn->ReturnType->isVoid())
+          return err(S.Loc, "void function cannot return a value");
+        Expected<Value> V = emitExpr(*S.Value);
+        if (!V)
+          return V.takeError();
+        if (!checkAssignable(Fn->ReturnType, V->Ty))
+          return err(S.Loc, "cannot return " + V->Ty->str() + " from a "
+                            "function returning " + Fn->ReturnType->str());
+        emit(Opcode::Add, 1, static_cast<uint8_t>(V->Reg), 0, 0);
+        popTemp();
+      } else if (!Fn->ReturnType->isVoid()) {
+        return err(S.Loc, "non-void function must return a value");
+      }
+      emitEpilogueAndRet();
+      return Error::success();
+    }
+    case StmtKind::Break:
+      if (LoopStack.empty())
+        return err(S.Loc, "'break' outside of a loop");
+      branchTo(Opcode::Jmp, 0, *LoopStack.back().BreakL);
+      return Error::success();
+    case StmtKind::Continue:
+      if (LoopStack.empty())
+        return err(S.Loc, "'continue' outside of a loop");
+      branchTo(Opcode::Jmp, 0, *LoopStack.back().ContinueL);
+      return Error::success();
+    }
+    return err(S.Loc, "unsupported statement");
+  }
+
+  Error emitVarDecl(const Stmt &S) {
+    ELIDE_TRY(int64_t Off, allocLocal(S.Text, S.DeclType, S.Loc));
+    if (S.DeclType->isArray()) {
+      const Type *Elem = S.DeclType->Element;
+      if (S.HasStringInit && S.Value) {
+        if (Elem->Kind != TypeKind::U8)
+          return err(S.Loc, "string initializer requires a u8 array");
+        const std::string &Str = S.Value->Text;
+        if (Str.size() + 1 > S.DeclType->ArraySize)
+          return err(S.Loc, "string initializer does not fit the array");
+        for (size_t I = 0; I <= Str.size(); ++I) {
+          uint8_t Byte = I < Str.size() ? static_cast<uint8_t>(Str[I]) : 0;
+          emit(Opcode::LdI, ScratchReg, 0, 0, Byte);
+          emit(Opcode::StB, 0, SvmRegSp, ScratchReg,
+               static_cast<int32_t>(Off + static_cast<int64_t>(I)));
+        }
+        return Error::success();
+      }
+      if (S.ArrayInit.size() > S.DeclType->ArraySize)
+        return err(S.Loc, "too many array initializers");
+      int64_t ElemSize = static_cast<int64_t>(Elem->sizeInBytes());
+      for (size_t I = 0; I < S.ArrayInit.size(); ++I) {
+        Expected<Value> V = emitExpr(*S.ArrayInit[I]);
+        if (!V)
+          return V.takeError();
+        emit(storeOpcodeFor(Elem), 0, SvmRegSp,
+             static_cast<uint8_t>(V->Reg),
+             static_cast<int32_t>(Off + ElemSize * static_cast<int64_t>(I)));
+        popTemp();
+      }
+      return Error::success();
+    }
+    if (S.Value) {
+      Expected<Value> V = emitExpr(*S.Value);
+      if (!V)
+        return V.takeError();
+      if (!checkAssignable(S.DeclType, V->Ty))
+        return err(S.Loc, "cannot initialize " + S.DeclType->str() +
+                              " from " + V->Ty->str());
+      emit(storeOpcodeFor(S.DeclType), 0, SvmRegSp,
+           static_cast<uint8_t>(V->Reg), static_cast<int32_t>(Off));
+      popTemp();
+    }
+    return Error::success();
+  }
+
+  Error emitAssign(const Stmt &S) {
+    ELIDE_TRY(Place P, emitPlace(*S.Target));
+    if (!isRegType(P.Ty))
+      return err(S.Loc, "cannot assign to aggregate of type " + P.Ty->str());
+    Expected<Value> V = emitExpr(*S.Value);
+    if (!V)
+      return V.takeError();
+    if (!checkAssignable(P.Ty, V->Ty))
+      return err(S.Loc,
+                 "cannot assign " + V->Ty->str() + " to " + P.Ty->str());
+    uint8_t Addr = static_cast<uint8_t>(P.AddrReg);
+    uint8_t Val = static_cast<uint8_t>(V->Reg);
+    if (S.Compound != CompoundAssign::None) {
+      // Load current value, combine, store back.
+      emit(loadOpcodeFor(P.Ty), ScratchReg, Addr, 0, 0);
+      if (S.Compound == CompoundAssign::Add) {
+        if (P.Ty->isPointer()) {
+          uint64_t Scale = P.Ty->Element->sizeInBytes();
+          if (Scale > 1)
+            emit(Opcode::MulI, Val, Val, 0, static_cast<int32_t>(Scale));
+        }
+        emit(Opcode::Add, Val, ScratchReg, Val, 0);
+      } else {
+        if (P.Ty->isPointer()) {
+          uint64_t Scale = P.Ty->Element->sizeInBytes();
+          if (Scale > 1)
+            emit(Opcode::MulI, Val, Val, 0, static_cast<int32_t>(Scale));
+        }
+        emit(Opcode::Sub, Val, ScratchReg, Val, 0);
+      }
+    }
+    emit(storeOpcodeFor(P.Ty), 0, Addr, Val, 0);
+    popTemp(2);
+    return Error::success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rodata
+  //===--------------------------------------------------------------------===//
+
+  size_t internString(const std::string &S) {
+    Bytes Blob(S.begin(), S.end());
+    Blob.push_back(0);
+    for (size_t I = 0; I < Rodata.size(); ++I)
+      if (Rodata[I] == Blob)
+        return I;
+    Rodata.push_back(std::move(Blob));
+    return Rodata.size() - 1;
+  }
+
+  struct LoopLabels {
+    Label *BreakL;
+    Label *ContinueL;
+  };
+
+  const Module &M;
+  const CallRegistry &Calls;
+  TypeArena &Types;
+  std::vector<Bytes> &Rodata;
+  const std::map<std::string, const Type *> &Globals;
+
+  const FunctionDecl *Fn = nullptr;
+  CompiledFunction Out;
+  std::vector<std::map<std::string, LocalVar>> Scopes;
+  std::vector<std::pair<size_t, bool>> FramePatchSites;
+  std::vector<LoopLabels> LoopStack;
+  int64_t LocalsSize = 0;
+  unsigned TempDepth = 0;
+};
+
+/// Constant-folds a global initializer expression.
+Expected<uint64_t> evalConst(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLiteral:
+  case ExprKind::BoolLiteral:
+    return E.IntValue;
+  case ExprKind::Unary: {
+    ELIDE_TRY(uint64_t V, evalConst(*E.Lhs));
+    switch (E.UOp) {
+    case UnaryOp::Neg:
+      return 0 - V;
+    case UnaryOp::Not:
+      return static_cast<uint64_t>(V == 0);
+    case UnaryOp::BitNot:
+      return ~V;
+    }
+    return makeError("bad unary op in constant");
+  }
+  case ExprKind::Binary: {
+    ELIDE_TRY(uint64_t L, evalConst(*E.Lhs));
+    ELIDE_TRY(uint64_t R, evalConst(*E.Rhs));
+    switch (E.BOp) {
+    case BinOp::Add:
+      return L + R;
+    case BinOp::Sub:
+      return L - R;
+    case BinOp::Mul:
+      return L * R;
+    case BinOp::Div:
+      if (R == 0)
+        return makeError("division by zero in constant initializer");
+      return L / R;
+    case BinOp::Rem:
+      if (R == 0)
+        return makeError("remainder by zero in constant initializer");
+      return L % R;
+    case BinOp::And:
+      return L & R;
+    case BinOp::Or:
+      return L | R;
+    case BinOp::Xor:
+      return L ^ R;
+    case BinOp::Shl:
+      return L << (R & 63);
+    case BinOp::Shr:
+      return L >> (R & 63);
+    default:
+      return makeError("operator not allowed in constant initializer");
+    }
+  }
+  case ExprKind::Cast:
+    return evalConst(*E.Lhs);
+  default:
+    return makeError("global initializers must be constant expressions");
+  }
+}
+
+/// Serializes a constant into \p Out at the width of \p Ty.
+void appendScalar(Bytes &Out, const Type *Ty, uint64_t V) {
+  uint8_t Tmp[8];
+  writeLE64(Tmp, V);
+  Out.insert(Out.end(), Tmp, Tmp + Ty->sizeInBytes());
+}
+
+} // namespace
+
+Expected<CompiledUnit> elide::elc::generateCode(const Module &M,
+                                                const CallRegistry &Calls,
+                                                TypeArena &Types) {
+  CompiledUnit Unit;
+
+  // Duplicate-definition checks.
+  std::map<std::string, const Type *> GlobalTypes;
+  for (const GlobalDecl &G : M.Globals) {
+    if (GlobalTypes.count(G.Name))
+      return makeError("duplicate global '" + G.Name + "'");
+    GlobalTypes[G.Name] = G.DeclType;
+  }
+  {
+    std::map<std::string, int> Seen;
+    for (const FunctionDecl &F : M.Functions)
+      if (++Seen[F.Name] > 1)
+        return makeError("duplicate function '" + F.Name + "'");
+  }
+
+  // Lower globals to initialized bytes.
+  for (const GlobalDecl &G : M.Globals) {
+    CompiledGlobal Out;
+    Out.Name = G.Name;
+    Out.Ty = G.DeclType;
+    if (G.HasStringInit) {
+      if (!G.DeclType->isArray() ||
+          G.DeclType->Element->Kind != TypeKind::U8)
+        return makeError("global '" + G.Name +
+                         "': string initializer requires a u8 array");
+      if (G.StringInit.size() + 1 > G.DeclType->ArraySize)
+        return makeError("global '" + G.Name +
+                         "': string initializer does not fit");
+      Out.Init.assign(G.StringInit.begin(), G.StringInit.end());
+      Out.Init.resize(G.DeclType->sizeInBytes(), 0);
+    } else if (!G.ArrayInit.empty()) {
+      if (!G.DeclType->isArray())
+        return makeError("global '" + G.Name +
+                         "': array initializer on non-array");
+      if (G.ArrayInit.size() > G.DeclType->ArraySize)
+        return makeError("global '" + G.Name + "': too many initializers");
+      for (const ExprPtr &E : G.ArrayInit) {
+        ELIDE_TRY(uint64_t V, evalConst(*E));
+        appendScalar(Out.Init, G.DeclType->Element, V);
+      }
+      Out.Init.resize(G.DeclType->sizeInBytes(), 0);
+    } else if (G.Init) {
+      ELIDE_TRY(uint64_t V, evalConst(*G.Init));
+      appendScalar(Out.Init, G.DeclType, V);
+    }
+    Unit.Globals.push_back(std::move(Out));
+  }
+
+  // Lower function bodies.
+  for (const FunctionDecl &F : M.Functions) {
+    if (F.Linkage != CalleeKind::Local)
+      continue;
+    FunctionEmitter Emitter(M, Calls, Types, Unit.Rodata, GlobalTypes);
+    ELIDE_TRY(CompiledFunction CF, Emitter.emitFunction(F));
+    Unit.Functions.push_back(std::move(CF));
+  }
+
+  return Unit;
+}

@@ -1,0 +1,90 @@
+//===- elc/CodeGen.h - Elc to SVM bytecode generation -------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked `elc::Module` to SVM bytecode, one
+/// `CompiledFunction` per function, with symbolic relocations that the
+/// linker (`Compiler.cpp`) resolves once the final section layout is known.
+///
+/// Code generation model:
+///  - r29 is the stack pointer; each function owns a frame holding a
+///    19-slot spill area (for temporaries live across calls) followed by
+///    its locals.
+///  - Expression temporaries occupy a compile-time register stack
+///    r8..r26; arguments pass in r1..r6, results return in r1.
+///  - All registers are caller-saved: before any call the active
+///    temporaries are spilled to the frame and reloaded afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELC_CODEGEN_H
+#define SGXELIDE_ELC_CODEGEN_H
+
+#include "elc/Ast.h"
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+#include <map>
+#include <vector>
+
+namespace elide {
+namespace elc {
+
+/// How a relocation patches the imm32 field of the instruction at
+/// CodeOffset within the function's code.
+enum class RelocKind {
+  CallPcRel, ///< imm = addressOf(Symbol) - instructionAddress
+  AbsData,   ///< imm = addressOf(Symbol)   (global variable, via LdI)
+  AbsRodata, ///< imm = addressOf(rodata blob RodataId)
+  AbsFunc,   ///< imm = addressOf(Symbol)   (function address, via LdI)
+};
+
+struct Reloc {
+  RelocKind Kind;
+  size_t CodeOffset = 0;
+  std::string Symbol;
+  size_t RodataId = 0;
+};
+
+/// One function's generated code plus pending relocations.
+struct CompiledFunction {
+  std::string Name;
+  bool Exported = false;
+  Bytes Code;
+  std::vector<Reloc> Relocs;
+};
+
+/// One module-level variable.
+struct CompiledGlobal {
+  std::string Name;
+  const Type *Ty = nullptr;
+  Bytes Init; ///< Empty means zero-initialized (.bss).
+};
+
+/// The code generator's output for one module.
+struct CompiledUnit {
+  std::vector<CompiledFunction> Functions;
+  std::vector<Bytes> Rodata;
+  std::vector<CompiledGlobal> Globals;
+};
+
+/// Resolves `extern tcall` / `extern ocall` declarations to dispatch
+/// indices. Populated by the SGX enclave runtime (trusted library) and the
+/// untrusted host (ocall table).
+struct CallRegistry {
+  std::map<std::string, uint32_t> Tcalls;
+  std::map<std::string, uint32_t> Ocalls;
+};
+
+/// Generates code for \p M. Fails with source-located diagnostics on type
+/// errors, unknown names, or unresolvable externs.
+Expected<CompiledUnit> generateCode(const Module &M, const CallRegistry &Calls,
+                                    TypeArena &Types);
+
+} // namespace elc
+} // namespace elide
+
+#endif // SGXELIDE_ELC_CODEGEN_H

@@ -1,0 +1,229 @@
+//===- elc/Compiler.cpp - Elc compiler driver and linker ----------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elc/Compiler.h"
+
+#include "elc/Lexer.h"
+#include "elc/Parser.h"
+#include "elf/ElfBuilder.h"
+#include "vm/Isa.h"
+
+#include <map>
+
+using namespace elide;
+using namespace elide::elc;
+
+static uint64_t alignUp(uint64_t V, uint64_t A) { return (V + A - 1) / A * A; }
+
+/// Merges parsed modules; duplicate externs with identical names collapse,
+/// duplicate definitions are errors (reported by codegen's dedup pass).
+static Module mergeModules(std::vector<Module> Modules) {
+  Module Out;
+  std::map<std::string, bool> SeenExtern;
+  for (Module &M : Modules) {
+    for (FunctionDecl &F : M.Functions) {
+      if (F.Linkage != CalleeKind::Local) {
+        if (SeenExtern.count(F.Name))
+          continue;
+        SeenExtern[F.Name] = true;
+      }
+      Out.Functions.push_back(std::move(F));
+    }
+    for (GlobalDecl &G : M.Globals)
+      Out.Globals.push_back(std::move(G));
+  }
+  return Out;
+}
+
+Expected<CompileResult>
+elide::elc::compileEnclave(const std::vector<SourceFile> &Sources,
+                           const CallRegistry &Calls) {
+  TypeArena Types;
+  std::vector<Module> Modules;
+  for (const SourceFile &File : Sources) {
+    ELIDE_TRY(std::vector<Token> Tokens, lex(File.Name, File.Source));
+    ELIDE_TRY(Module M, parse(File.Name, Tokens, Types));
+    Modules.push_back(std::move(M));
+  }
+  Module Merged = mergeModules(std::move(Modules));
+
+  ELIDE_TRY(CompiledUnit Unit, generateCode(Merged, Calls, Types));
+
+  // Synthesize ecall bridge thunks: `__bridge_f: call f; halt`.
+  std::vector<std::string> Exports;
+  {
+    std::vector<CompiledFunction> Bridges;
+    for (const CompiledFunction &F : Unit.Functions) {
+      if (!F.Exported)
+        continue;
+      Exports.push_back(F.Name);
+      CompiledFunction B;
+      B.Name = std::string(bridgePrefix()) + F.Name;
+      size_t Site = 0;
+      emitInstruction(B.Code, {Opcode::Call, 0, 0, 0, 0});
+      emitInstruction(B.Code, {Opcode::Halt, 0, 0, 0, 0});
+      B.Relocs.push_back({RelocKind::CallPcRel, Site, F.Name, 0});
+      Bridges.push_back(std::move(B));
+    }
+    // Bridges first: they are the enclave's entry points, like the SDK's
+    // dispatch table at the front of the trusted runtime.
+    Bridges.insert(Bridges.end(),
+                   std::make_move_iterator(Unit.Functions.begin()),
+                   std::make_move_iterator(Unit.Functions.end()));
+    Unit.Functions = std::move(Bridges);
+  }
+
+  // Lay out .text.
+  std::map<std::string, uint64_t> FuncAddr;
+  std::map<std::string, uint64_t> FuncSize;
+  uint64_t TextCursor = TextBaseAddr;
+  for (const CompiledFunction &F : Unit.Functions) {
+    FuncAddr[F.Name] = TextCursor;
+    FuncSize[F.Name] = F.Code.size();
+    TextCursor += alignUp(F.Code.size(), SvmInstrSize);
+  }
+  uint64_t TextEnd = TextCursor;
+
+  // Lay out .rodata.
+  uint64_t RodataBase = alignUp(TextEnd, 0x1000);
+  std::vector<uint64_t> RodataAddr(Unit.Rodata.size());
+  uint64_t RodataCursor = RodataBase;
+  for (size_t I = 0; I < Unit.Rodata.size(); ++I) {
+    RodataAddr[I] = RodataCursor;
+    RodataCursor += alignUp(Unit.Rodata[I].size(), 8);
+  }
+  uint64_t RodataEnd = RodataCursor;
+
+  // Lay out .data and .bss.
+  uint64_t DataBase = alignUp(RodataEnd == RodataBase ? RodataBase + 8
+                                                      : RodataEnd,
+                              0x1000);
+  std::map<std::string, uint64_t> GlobalAddr;
+  uint64_t DataCursor = DataBase;
+  for (const CompiledGlobal &G : Unit.Globals) {
+    if (G.Init.empty())
+      continue;
+    GlobalAddr[G.Name] = DataCursor;
+    DataCursor += alignUp(G.Ty->sizeInBytes(), 8);
+  }
+  uint64_t DataEnd = DataCursor;
+  uint64_t BssBase = alignUp(DataEnd == DataBase ? DataBase + 8 : DataEnd,
+                             0x1000);
+  uint64_t BssCursor = BssBase;
+  for (const CompiledGlobal &G : Unit.Globals) {
+    if (!G.Init.empty())
+      continue;
+    GlobalAddr[G.Name] = BssCursor;
+    BssCursor += alignUp(G.Ty->sizeInBytes(), 8);
+  }
+  uint64_t BssEnd = BssCursor;
+
+  if (BssEnd >= (1ULL << 31))
+    return makeError("enclave image exceeds the 2 GiB address budget");
+
+  // Resolve relocations and assemble .text bytes.
+  Bytes Text(TextEnd - TextBaseAddr, 0);
+  for (CompiledFunction &F : Unit.Functions) {
+    uint64_t Base = FuncAddr[F.Name];
+    for (const Reloc &R : F.Relocs) {
+      uint64_t InstrAddr = Base + R.CodeOffset;
+      int64_t Imm = 0;
+      switch (R.Kind) {
+      case RelocKind::CallPcRel: {
+        auto It = FuncAddr.find(R.Symbol);
+        if (It == FuncAddr.end())
+          return makeError("undefined function '" + R.Symbol +
+                           "' referenced from " + F.Name);
+        Imm = static_cast<int64_t>(It->second) -
+              static_cast<int64_t>(InstrAddr);
+        break;
+      }
+      case RelocKind::AbsFunc: {
+        auto It = FuncAddr.find(R.Symbol);
+        if (It == FuncAddr.end())
+          return makeError("undefined function '" + R.Symbol +
+                           "' referenced from " + F.Name);
+        Imm = static_cast<int64_t>(It->second);
+        break;
+      }
+      case RelocKind::AbsData: {
+        auto It = GlobalAddr.find(R.Symbol);
+        if (It == GlobalAddr.end())
+          return makeError("undefined global '" + R.Symbol +
+                           "' referenced from " + F.Name);
+        Imm = static_cast<int64_t>(It->second);
+        break;
+      }
+      case RelocKind::AbsRodata:
+        Imm = static_cast<int64_t>(RodataAddr[R.RodataId]);
+        break;
+      }
+      if (Imm < INT32_MIN || Imm > INT32_MAX)
+        return makeError("relocation overflow in " + F.Name);
+      writeLE32(F.Code.data() + R.CodeOffset + 4,
+                static_cast<uint32_t>(static_cast<int32_t>(Imm)));
+    }
+    std::memcpy(Text.data() + (Base - TextBaseAddr), F.Code.data(),
+                F.Code.size());
+  }
+
+  // Assemble .rodata / .data contents.
+  Bytes Rodata(RodataEnd > RodataBase ? RodataEnd - RodataBase : 0, 0);
+  for (size_t I = 0; I < Unit.Rodata.size(); ++I)
+    std::memcpy(Rodata.data() + (RodataAddr[I] - RodataBase),
+                Unit.Rodata[I].data(), Unit.Rodata[I].size());
+  Bytes Data(DataEnd > DataBase ? DataEnd - DataBase : 0, 0);
+  for (const CompiledGlobal &G : Unit.Globals) {
+    if (G.Init.empty())
+      continue;
+    std::memcpy(Data.data() + (GlobalAddr[G.Name] - DataBase), G.Init.data(),
+                G.Init.size());
+  }
+
+  // Emit the ELF.
+  ElfBuilder Builder;
+  size_t TextSec = Builder.addProgbits(".text", TextBaseAddr, std::move(Text),
+                                       SHF_ALLOC | SHF_EXECINSTR);
+  size_t RodataSec = 0;
+  if (!Rodata.empty())
+    RodataSec =
+        Builder.addProgbits(".rodata", RodataBase, std::move(Rodata),
+                            SHF_ALLOC);
+  size_t DataSec = 0;
+  if (!Data.empty())
+    DataSec = Builder.addProgbits(".data", DataBase, std::move(Data),
+                                  SHF_ALLOC | SHF_WRITE);
+  size_t BssSec = 0;
+  if (BssEnd > BssBase)
+    BssSec = Builder.addNobits(".bss", BssBase, BssEnd - BssBase,
+                               SHF_ALLOC | SHF_WRITE);
+  (void)RodataSec;
+
+  // The ecall manifest: newline-separated export names. The loader binds
+  // each export to its `__bridge_` symbol.
+  {
+    std::string Manifest;
+    for (const std::string &Name : Exports)
+      Manifest += Name + "\n";
+    Builder.addProgbits(ecallSectionName(), 0, bytesOfString(Manifest), 0);
+  }
+
+  CompileResult Result;
+  for (const CompiledFunction &F : Unit.Functions) {
+    Builder.addSymbol(F.Name, FuncAddr[F.Name], FuncSize[F.Name], STT_FUNC,
+                      TextSec);
+    Result.FunctionNames.push_back(F.Name);
+    Result.TextBytes += F.Code.size();
+  }
+  for (const CompiledGlobal &G : Unit.Globals)
+    Builder.addSymbol(G.Name, GlobalAddr[G.Name], G.Ty->sizeInBytes(),
+                      STT_OBJECT, G.Init.empty() ? BssSec : DataSec);
+
+  ELIDE_TRY(Bytes File, Builder.build());
+  Result.ElfFile = std::move(File);
+  Result.ExportNames = std::move(Exports);
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- elc/Compiler.h - Elc compiler driver and linker -----------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the Elc toolchain: lexes and parses one or more source
+/// files, merges them into a single module (this is how the SgxElide
+/// runtime library sources are linked into every application enclave),
+/// generates code, lays out sections, resolves relocations, emits ecall
+/// bridge thunks for every `export fn`, and produces a loadable ELF64
+/// enclave image.
+///
+/// Bridge thunks: for each exported function `f`, the linker synthesizes
+/// `__bridge_f: call f; halt` -- the single-entry-point dispatch stub the
+/// SGX SDK's edger8r would generate. Ecalls enter through bridges, so user
+/// functions can be redacted while bridges stay intact (paper section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELC_COMPILER_H
+#define SGXELIDE_ELC_COMPILER_H
+
+#include "elc/CodeGen.h"
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace elide {
+namespace elc {
+
+/// One input translation unit.
+struct SourceFile {
+  std::string Name;
+  std::string Source;
+};
+
+/// Enclave image layout constants (virtual addresses, base 0).
+constexpr uint64_t TextBaseAddr = 0x1000;
+
+/// Name of the non-loadable section listing exported ecall names.
+inline const char *ecallSectionName() { return ".svm.ecalls"; }
+
+/// Prefix of synthesized ecall bridge functions (never sanitized; see
+/// Sanitizer).
+inline const char *bridgePrefix() { return "__bridge_"; }
+
+/// Compiler output.
+struct CompileResult {
+  Bytes ElfFile;
+  std::vector<std::string> FunctionNames; ///< All defined functions.
+  std::vector<std::string> ExportNames;   ///< `export fn` names (ecalls).
+  size_t TextBytes = 0;                   ///< Total code bytes emitted.
+};
+
+/// Compiles and links \p Sources into an enclave image.
+Expected<CompileResult> compileEnclave(const std::vector<SourceFile> &Sources,
+                                       const CallRegistry &Calls);
+
+} // namespace elc
+} // namespace elide
+
+#endif // SGXELIDE_ELC_COMPILER_H

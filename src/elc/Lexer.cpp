@@ -1,0 +1,473 @@
+//===- elc/Lexer.cpp - Elc lexer ------------------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elc/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace elide;
+using namespace elide::elc;
+
+const char *elide::elc::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntegerLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwExport:
+    return "'export'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwTcall:
+    return "'tcall'";
+  case TokenKind::KwOcall:
+    return "'ocall'";
+  case TokenKind::KwAs:
+    return "'as'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwU8:
+    return "'u8'";
+  case TokenKind::KwU16:
+    return "'u16'";
+  case TokenKind::KwU32:
+    return "'u32'";
+  case TokenKind::KwU64:
+    return "'u64'";
+  case TokenKind::KwI64:
+    return "'i64'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Shr:
+    return "'>>'";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind> &keywordTable() {
+  static const std::map<std::string, TokenKind> Table = {
+      {"fn", TokenKind::KwFn},         {"var", TokenKind::KwVar},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},   {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn}, {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"export", TokenKind::KwExport}, {"extern", TokenKind::KwExtern},
+      {"tcall", TokenKind::KwTcall},   {"ocall", TokenKind::KwOcall},
+      {"as", TokenKind::KwAs},         {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"u8", TokenKind::KwU8},
+      {"u16", TokenKind::KwU16},       {"u32", TokenKind::KwU32},
+      {"u64", TokenKind::KwU64},       {"i64", TokenKind::KwI64},
+      {"bool", TokenKind::KwBool},     {"void", TokenKind::KwVoid},
+  };
+  return Table;
+}
+
+class Lexer {
+public:
+  Lexer(const std::string &FileName, const std::string &Source)
+      : FileName(FileName), Src(Source) {}
+
+  Expected<std::vector<Token>> run() {
+    std::vector<Token> Out;
+    while (true) {
+      if (Error E = skipTrivia())
+        return E;
+      Token T;
+      T.Line = Line;
+      T.Column = Column;
+      if (atEnd()) {
+        T.Kind = TokenKind::EndOfFile;
+        Out.push_back(T);
+        return Out;
+      }
+      if (Error E = lexOne(T))
+        return E;
+      Out.push_back(std::move(T));
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  Error errorHere(const std::string &Message) const {
+    return makeError(FileName + ":" + std::to_string(Line) + ":" +
+                     std::to_string(Column) + ": " + Message);
+  }
+
+  Error skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (atEnd())
+          return errorHere("unterminated block comment");
+        advance();
+        advance();
+        continue;
+      }
+      break;
+    }
+    return Error::success();
+  }
+
+  Error lexEscape(uint64_t &Value) {
+    if (atEnd())
+      return errorHere("unterminated escape sequence");
+    char C = advance();
+    switch (C) {
+    case 'n':
+      Value = '\n';
+      return Error::success();
+    case 't':
+      Value = '\t';
+      return Error::success();
+    case 'r':
+      Value = '\r';
+      return Error::success();
+    case '0':
+      Value = 0;
+      return Error::success();
+    case '\\':
+      Value = '\\';
+      return Error::success();
+    case '\'':
+      Value = '\'';
+      return Error::success();
+    case '"':
+      Value = '"';
+      return Error::success();
+    case 'x': {
+      uint64_t V = 0;
+      for (int I = 0; I < 2; ++I) {
+        char H = peek();
+        int D;
+        if (H >= '0' && H <= '9')
+          D = H - '0';
+        else if (H >= 'a' && H <= 'f')
+          D = H - 'a' + 10;
+        else if (H >= 'A' && H <= 'F')
+          D = H - 'A' + 10;
+        else
+          return errorHere("invalid \\x escape digit");
+        advance();
+        V = V * 16 + static_cast<uint64_t>(D);
+      }
+      Value = V;
+      return Error::success();
+    }
+    default:
+      return errorHere(std::string("unknown escape '\\") + C + "'");
+    }
+  }
+
+  Error lexOne(Token &T) {
+    char C = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Ident;
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        Ident.push_back(advance());
+      auto It = keywordTable().find(Ident);
+      if (It != keywordTable().end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = TokenKind::Identifier;
+        T.Text = std::move(Ident);
+      }
+      return Error::success();
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      uint64_t Value = 0;
+      if (C == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        bool Any = false;
+        while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+          char H = advance();
+          int D = H <= '9' ? H - '0'
+                           : (H | 0x20) - 'a' + 10;
+          Value = Value * 16 + static_cast<uint64_t>(D);
+          Any = true;
+        }
+        if (!Any)
+          return errorHere("hex literal needs at least one digit");
+      } else {
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+          Value = Value * 10 + static_cast<uint64_t>(advance() - '0');
+      }
+      T.Kind = TokenKind::IntegerLiteral;
+      T.IntValue = Value;
+      return Error::success();
+    }
+
+    if (C == '\'') {
+      advance();
+      if (atEnd())
+        return errorHere("unterminated character literal");
+      uint64_t Value;
+      char V = advance();
+      if (V == '\\') {
+        if (Error E = lexEscape(Value))
+          return E;
+      } else {
+        Value = static_cast<uint8_t>(V);
+      }
+      if (atEnd() || advance() != '\'')
+        return errorHere("expected closing quote in character literal");
+      T.Kind = TokenKind::CharLiteral;
+      T.IntValue = Value;
+      return Error::success();
+    }
+
+    if (C == '"') {
+      advance();
+      std::string S;
+      while (true) {
+        if (atEnd())
+          return errorHere("unterminated string literal");
+        char V = advance();
+        if (V == '"')
+          break;
+        if (V == '\\') {
+          uint64_t EscValue;
+          if (Error E = lexEscape(EscValue))
+            return E;
+          S.push_back(static_cast<char>(EscValue));
+        } else {
+          S.push_back(V);
+        }
+      }
+      T.Kind = TokenKind::StringLiteral;
+      T.Text = std::move(S);
+      return Error::success();
+    }
+
+    advance();
+    auto Two = [&](char Next, TokenKind IfTwo, TokenKind IfOne) {
+      if (peek() == Next) {
+        advance();
+        T.Kind = IfTwo;
+      } else {
+        T.Kind = IfOne;
+      }
+      return Error::success();
+    };
+
+    switch (C) {
+    case '(':
+      T.Kind = TokenKind::LParen;
+      return Error::success();
+    case ')':
+      T.Kind = TokenKind::RParen;
+      return Error::success();
+    case '{':
+      T.Kind = TokenKind::LBrace;
+      return Error::success();
+    case '}':
+      T.Kind = TokenKind::RBrace;
+      return Error::success();
+    case '[':
+      T.Kind = TokenKind::LBracket;
+      return Error::success();
+    case ']':
+      T.Kind = TokenKind::RBracket;
+      return Error::success();
+    case ',':
+      T.Kind = TokenKind::Comma;
+      return Error::success();
+    case ';':
+      T.Kind = TokenKind::Semicolon;
+      return Error::success();
+    case ':':
+      T.Kind = TokenKind::Colon;
+      return Error::success();
+    case '+':
+      return Two('=', TokenKind::PlusAssign, TokenKind::Plus);
+    case '-':
+      if (peek() == '>') {
+        advance();
+        T.Kind = TokenKind::Arrow;
+        return Error::success();
+      }
+      return Two('=', TokenKind::MinusAssign, TokenKind::Minus);
+    case '*':
+      T.Kind = TokenKind::Star;
+      return Error::success();
+    case '/':
+      T.Kind = TokenKind::Slash;
+      return Error::success();
+    case '%':
+      T.Kind = TokenKind::Percent;
+      return Error::success();
+    case '~':
+      T.Kind = TokenKind::Tilde;
+      return Error::success();
+    case '^':
+      T.Kind = TokenKind::Caret;
+      return Error::success();
+    case '&':
+      return Two('&', TokenKind::AmpAmp, TokenKind::Amp);
+    case '|':
+      return Two('|', TokenKind::PipePipe, TokenKind::Pipe);
+    case '=':
+      return Two('=', TokenKind::EqEq, TokenKind::Assign);
+    case '!':
+      return Two('=', TokenKind::BangEq, TokenKind::Bang);
+    case '<':
+      if (peek() == '<') {
+        advance();
+        T.Kind = TokenKind::Shl;
+        return Error::success();
+      }
+      return Two('=', TokenKind::Le, TokenKind::Lt);
+    case '>':
+      if (peek() == '>') {
+        advance();
+        T.Kind = TokenKind::Shr;
+        return Error::success();
+      }
+      return Two('=', TokenKind::Ge, TokenKind::Gt);
+    default:
+      return errorHere(std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  std::string FileName;
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Column = 1;
+};
+
+} // namespace
+
+Expected<std::vector<Token>> elide::elc::lex(const std::string &FileName,
+                                             const std::string &Source) {
+  Lexer L(FileName, Source);
+  return L.run();
+}

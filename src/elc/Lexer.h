@@ -1,0 +1,33 @@
+//===- elc/Lexer.h - Elc lexer -------------------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts Elc source text into a token stream. Supports `//` and
+/// `/* */` comments, decimal/hex integers, character literals with the
+/// usual escapes, and double-quoted strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELC_LEXER_H
+#define SGXELIDE_ELC_LEXER_H
+
+#include "elc/Token.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace elide {
+namespace elc {
+
+/// Lexes \p Source (diagnostics reference \p FileName). Returns the token
+/// stream terminated by an EndOfFile token, or a diagnostic.
+Expected<std::vector<Token>> lex(const std::string &FileName,
+                                 const std::string &Source);
+
+} // namespace elc
+} // namespace elide
+
+#endif // SGXELIDE_ELC_LEXER_H

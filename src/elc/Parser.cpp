@@ -1,0 +1,699 @@
+//===- elc/Parser.cpp - Elc recursive-descent parser --------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elc/Parser.h"
+
+using namespace elide;
+using namespace elide::elc;
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &FileName, const std::vector<Token> &Tokens,
+         TypeArena &Types)
+      : FileName(FileName), Tokens(Tokens), Types(Types) {}
+
+  Expected<Module> run() {
+    Module M;
+    while (!at(TokenKind::EndOfFile)) {
+      if (at(TokenKind::KwExtern)) {
+        ELIDE_TRY(FunctionDecl F, parseExtern());
+        M.Functions.push_back(std::move(F));
+      } else if (at(TokenKind::KwExport) || at(TokenKind::KwFn)) {
+        ELIDE_TRY(FunctionDecl F, parseFunction());
+        M.Functions.push_back(std::move(F));
+      } else if (at(TokenKind::KwVar)) {
+        ELIDE_TRY(GlobalDecl G, parseGlobal());
+        M.Globals.push_back(std::move(G));
+      } else {
+        return errorHere("expected 'fn', 'export', 'extern', or 'var' at "
+                         "top level, found " +
+                         std::string(tokenKindName(cur().Kind)));
+      }
+    }
+    return M;
+  }
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+  bool at(TokenKind Kind) const { return cur().Kind == Kind; }
+  const Token &advance() { return Tokens[Pos++]; }
+
+  bool accept(TokenKind Kind) {
+    if (!at(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  Error errorHere(const std::string &Message) const {
+    return makeError(FileName + ":" + std::to_string(cur().Line) + ":" +
+                     std::to_string(cur().Column) + ": " + Message);
+  }
+
+  Error expect(TokenKind Kind) {
+    if (accept(Kind))
+      return Error::success();
+    return errorHere("expected " + std::string(tokenKindName(Kind)) +
+                     ", found " + tokenKindName(cur().Kind));
+  }
+
+  Location loc() const { return {cur().Line, cur().Column}; }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  Expected<const Type *> parsePrimType() {
+    switch (cur().Kind) {
+    case TokenKind::KwU8:
+      advance();
+      return Types.u8();
+    case TokenKind::KwU16:
+      advance();
+      return Types.u16();
+    case TokenKind::KwU32:
+      advance();
+      return Types.u32();
+    case TokenKind::KwU64:
+      advance();
+      return Types.u64();
+    case TokenKind::KwI64:
+      advance();
+      return Types.i64();
+    case TokenKind::KwBool:
+      advance();
+      return Types.boolType();
+    case TokenKind::KwVoid:
+      advance();
+      return Types.voidType();
+    default:
+      return errorHere("expected a type, found " +
+                       std::string(tokenKindName(cur().Kind)));
+    }
+  }
+
+  /// type := '*'* prim ('[' INT ']')?   (pointer-to-array is rejected)
+  Expected<const Type *> parseType(bool AllowArray) {
+    unsigned Stars = 0;
+    while (accept(TokenKind::Star))
+      ++Stars;
+    ELIDE_TRY(const Type *Base, parsePrimType());
+    if (at(TokenKind::LBracket)) {
+      if (!AllowArray || Stars != 0)
+        return errorHere("array type not allowed here");
+      advance();
+      if (!at(TokenKind::IntegerLiteral))
+        return errorHere("array size must be an integer literal");
+      uint64_t Size = advance().IntValue;
+      if (Error E = expect(TokenKind::RBracket))
+        return E;
+      if (Size == 0)
+        return errorHere("array size must be positive");
+      return Types.arrayOf(Base, Size);
+    }
+    for (unsigned I = 0; I < Stars; ++I)
+      Base = Types.pointerTo(Base);
+    return Base;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  Expected<std::vector<Param>> parseParams() {
+    std::vector<Param> Params;
+    if (Error E = expect(TokenKind::LParen))
+      return E;
+    if (accept(TokenKind::RParen))
+      return Params;
+    while (true) {
+      if (!at(TokenKind::Identifier))
+        return errorHere("expected parameter name");
+      Param P;
+      P.Name = advance().Text;
+      if (Error E = expect(TokenKind::Colon))
+        return E;
+      ELIDE_TRY(const Type *T, parseType(/*AllowArray=*/false));
+      if (T->isVoid())
+        return errorHere("parameter cannot have void type");
+      P.ParamType = T;
+      Params.push_back(std::move(P));
+      if (accept(TokenKind::RParen))
+        return Params;
+      if (Error E = expect(TokenKind::Comma))
+        return E;
+    }
+  }
+
+  Expected<FunctionDecl> parseExtern() {
+    advance(); // extern
+    CalleeKind Linkage;
+    if (accept(TokenKind::KwTcall))
+      Linkage = CalleeKind::ExternTcall;
+    else if (accept(TokenKind::KwOcall))
+      Linkage = CalleeKind::ExternOcall;
+    else
+      return errorHere("expected 'tcall' or 'ocall' after 'extern'");
+    if (Error E = expect(TokenKind::KwFn))
+      return E;
+    FunctionDecl F;
+    F.Loc = loc();
+    F.Linkage = Linkage;
+    if (!at(TokenKind::Identifier))
+      return errorHere("expected function name");
+    F.Name = advance().Text;
+    ELIDE_TRY(std::vector<Param> Params, parseParams());
+    F.Params = std::move(Params);
+    if (accept(TokenKind::Arrow)) {
+      ELIDE_TRY(const Type *T, parseType(/*AllowArray=*/false));
+      F.ReturnType = T;
+    } else {
+      F.ReturnType = Types.voidType();
+    }
+    if (Error E = expect(TokenKind::Semicolon))
+      return E;
+    return F;
+  }
+
+  Expected<FunctionDecl> parseFunction() {
+    FunctionDecl F;
+    F.Loc = loc();
+    F.Exported = accept(TokenKind::KwExport);
+    if (Error E = expect(TokenKind::KwFn))
+      return E;
+    if (!at(TokenKind::Identifier))
+      return errorHere("expected function name");
+    F.Name = advance().Text;
+    ELIDE_TRY(std::vector<Param> Params, parseParams());
+    F.Params = std::move(Params);
+    if (accept(TokenKind::Arrow)) {
+      ELIDE_TRY(const Type *T, parseType(/*AllowArray=*/false));
+      F.ReturnType = T;
+    } else {
+      F.ReturnType = Types.voidType();
+    }
+    ELIDE_TRY(StmtPtr Body, parseBlock());
+    F.Body = std::move(Body);
+    return F;
+  }
+
+  Expected<GlobalDecl> parseGlobal() {
+    advance(); // var
+    GlobalDecl G;
+    G.Loc = loc();
+    if (!at(TokenKind::Identifier))
+      return errorHere("expected global variable name");
+    G.Name = advance().Text;
+    if (Error E = expect(TokenKind::Colon))
+      return E;
+    ELIDE_TRY(const Type *T, parseType(/*AllowArray=*/true));
+    if (T->isVoid())
+      return errorHere("variable cannot have void type");
+    G.DeclType = T;
+    if (accept(TokenKind::Assign)) {
+      if (at(TokenKind::StringLiteral)) {
+        G.HasStringInit = true;
+        G.StringInit = advance().Text;
+      } else if (accept(TokenKind::LBracket)) {
+        while (!accept(TokenKind::RBracket)) {
+          ELIDE_TRY(ExprPtr E, parseExpr());
+          G.ArrayInit.push_back(std::move(E));
+          if (!at(TokenKind::RBracket))
+            if (Error Err = expect(TokenKind::Comma))
+              return Err;
+        }
+      } else {
+        ELIDE_TRY(ExprPtr E, parseExpr());
+        G.Init = std::move(E);
+      }
+    }
+    if (Error E = expect(TokenKind::Semicolon))
+      return E;
+    return G;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  Expected<StmtPtr> parseBlock() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Block;
+    S->Loc = loc();
+    if (Error E = expect(TokenKind::LBrace))
+      return E;
+    while (!accept(TokenKind::RBrace)) {
+      if (at(TokenKind::EndOfFile))
+        return errorHere("unterminated block");
+      ELIDE_TRY(StmtPtr Child, parseStmt());
+      S->Stmts.push_back(std::move(Child));
+    }
+    return StmtPtr(std::move(S));
+  }
+
+  Expected<StmtPtr> parseVarDecl() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::VarDecl;
+    S->Loc = loc();
+    advance(); // var
+    if (!at(TokenKind::Identifier))
+      return errorHere("expected variable name");
+    S->Text = advance().Text;
+    if (Error E = expect(TokenKind::Colon))
+      return E;
+    ELIDE_TRY(const Type *T, parseType(/*AllowArray=*/true));
+    if (T->isVoid())
+      return errorHere("variable cannot have void type");
+    S->DeclType = T;
+    if (accept(TokenKind::Assign)) {
+      if (at(TokenKind::StringLiteral) && T->isArray()) {
+        S->HasStringInit = true;
+        S->Text += "";
+        auto Lit = std::make_unique<Expr>();
+        Lit->Kind = ExprKind::StringLiteral;
+        Lit->Loc = loc();
+        Lit->Text = advance().Text;
+        S->Value = std::move(Lit);
+      } else if (accept(TokenKind::LBracket)) {
+        while (!accept(TokenKind::RBracket)) {
+          ELIDE_TRY(ExprPtr E, parseExpr());
+          S->ArrayInit.push_back(std::move(E));
+          if (!at(TokenKind::RBracket))
+            if (Error Err = expect(TokenKind::Comma))
+              return Err;
+        }
+      } else {
+        ELIDE_TRY(ExprPtr E, parseExpr());
+        S->Value = std::move(E);
+      }
+    }
+    if (Error E = expect(TokenKind::Semicolon))
+      return E;
+    return StmtPtr(std::move(S));
+  }
+
+  /// Parses `expr`, `lvalue = expr`, `lvalue += expr`, `lvalue -= expr`
+  /// without the trailing semicolon (shared by for-headers and statements).
+  Expected<StmtPtr> parseSimple() {
+    auto S = std::make_unique<Stmt>();
+    S->Loc = loc();
+    ELIDE_TRY(ExprPtr E, parseExpr());
+    if (at(TokenKind::Assign) || at(TokenKind::PlusAssign) ||
+        at(TokenKind::MinusAssign)) {
+      TokenKind Op = advance().Kind;
+      S->Kind = StmtKind::Assign;
+      S->Compound = Op == TokenKind::PlusAssign    ? CompoundAssign::Add
+                    : Op == TokenKind::MinusAssign ? CompoundAssign::Sub
+                                                   : CompoundAssign::None;
+      S->Target = std::move(E);
+      ELIDE_TRY(ExprPtr V, parseExpr());
+      S->Value = std::move(V);
+    } else {
+      S->Kind = StmtKind::ExprStmt;
+      S->Value = std::move(E);
+    }
+    return StmtPtr(std::move(S));
+  }
+
+  Expected<StmtPtr> parseIf() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::If;
+    S->Loc = loc();
+    advance(); // if
+    if (Error E = expect(TokenKind::LParen))
+      return E;
+    ELIDE_TRY(ExprPtr Cond, parseExpr());
+    S->Cond = std::move(Cond);
+    if (Error E = expect(TokenKind::RParen))
+      return E;
+    ELIDE_TRY(StmtPtr Then, parseBlock());
+    S->Then = std::move(Then);
+    if (accept(TokenKind::KwElse)) {
+      if (at(TokenKind::KwIf)) {
+        ELIDE_TRY(StmtPtr ElseIf, parseIf());
+        S->Else = std::move(ElseIf);
+      } else {
+        ELIDE_TRY(StmtPtr Else, parseBlock());
+        S->Else = std::move(Else);
+      }
+    }
+    return StmtPtr(std::move(S));
+  }
+
+  Expected<StmtPtr> parseStmt() {
+    switch (cur().Kind) {
+    case TokenKind::KwVar:
+      return parseVarDecl();
+    case TokenKind::LBrace:
+      return parseBlock();
+    case TokenKind::KwIf:
+      return parseIf();
+    case TokenKind::KwWhile: {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::While;
+      S->Loc = loc();
+      advance();
+      if (Error E = expect(TokenKind::LParen))
+        return E;
+      ELIDE_TRY(ExprPtr Cond, parseExpr());
+      S->Cond = std::move(Cond);
+      if (Error E = expect(TokenKind::RParen))
+        return E;
+      ELIDE_TRY(StmtPtr Body, parseBlock());
+      S->Body = std::move(Body);
+      return StmtPtr(std::move(S));
+    }
+    case TokenKind::KwFor: {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::For;
+      S->Loc = loc();
+      advance();
+      if (Error E = expect(TokenKind::LParen))
+        return E;
+      if (!at(TokenKind::Semicolon)) {
+        if (at(TokenKind::KwVar)) {
+          ELIDE_TRY(StmtPtr Init, parseVarDecl());
+          S->InitStmt = std::move(Init); // consumes the ';'
+        } else {
+          ELIDE_TRY(StmtPtr Init, parseSimple());
+          S->InitStmt = std::move(Init);
+          if (Error E = expect(TokenKind::Semicolon))
+            return E;
+        }
+      } else {
+        advance();
+      }
+      if (!at(TokenKind::Semicolon)) {
+        ELIDE_TRY(ExprPtr Cond, parseExpr());
+        S->Cond = std::move(Cond);
+      }
+      if (Error E = expect(TokenKind::Semicolon))
+        return E;
+      if (!at(TokenKind::RParen)) {
+        ELIDE_TRY(StmtPtr Step, parseSimple());
+        S->StepStmt = std::move(Step);
+      }
+      if (Error E = expect(TokenKind::RParen))
+        return E;
+      ELIDE_TRY(StmtPtr Body, parseBlock());
+      S->Body = std::move(Body);
+      return StmtPtr(std::move(S));
+    }
+    case TokenKind::KwReturn: {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::Return;
+      S->Loc = loc();
+      advance();
+      if (!at(TokenKind::Semicolon)) {
+        ELIDE_TRY(ExprPtr V, parseExpr());
+        S->Value = std::move(V);
+      }
+      if (Error E = expect(TokenKind::Semicolon))
+        return E;
+      return StmtPtr(std::move(S));
+    }
+    case TokenKind::KwBreak: {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::Break;
+      S->Loc = loc();
+      advance();
+      if (Error E = expect(TokenKind::Semicolon))
+        return E;
+      return StmtPtr(std::move(S));
+    }
+    case TokenKind::KwContinue: {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::Continue;
+      S->Loc = loc();
+      advance();
+      if (Error E = expect(TokenKind::Semicolon))
+        return E;
+      return StmtPtr(std::move(S));
+    }
+    default: {
+      ELIDE_TRY(StmtPtr S, parseSimple());
+      if (Error E = expect(TokenKind::Semicolon))
+        return E;
+      return StmtPtr(std::move(S));
+    }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===//
+
+  /// Binding power for a binary operator token; 0 when not binary.
+  static int precedence(TokenKind Kind) {
+    switch (Kind) {
+    case TokenKind::PipePipe:
+      return 1;
+    case TokenKind::AmpAmp:
+      return 2;
+    case TokenKind::Pipe:
+      return 3;
+    case TokenKind::Caret:
+      return 4;
+    case TokenKind::Amp:
+      return 5;
+    case TokenKind::EqEq:
+    case TokenKind::BangEq:
+      return 6;
+    case TokenKind::Lt:
+    case TokenKind::Le:
+    case TokenKind::Gt:
+    case TokenKind::Ge:
+      return 7;
+    case TokenKind::Shl:
+    case TokenKind::Shr:
+      return 8;
+    case TokenKind::Plus:
+    case TokenKind::Minus:
+      return 9;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent:
+      return 10;
+    default:
+      return 0;
+    }
+  }
+
+  static BinOp binOpFor(TokenKind Kind) {
+    switch (Kind) {
+    case TokenKind::PipePipe:
+      return BinOp::LogicalOr;
+    case TokenKind::AmpAmp:
+      return BinOp::LogicalAnd;
+    case TokenKind::Pipe:
+      return BinOp::Or;
+    case TokenKind::Caret:
+      return BinOp::Xor;
+    case TokenKind::Amp:
+      return BinOp::And;
+    case TokenKind::EqEq:
+      return BinOp::Eq;
+    case TokenKind::BangEq:
+      return BinOp::Ne;
+    case TokenKind::Lt:
+      return BinOp::Lt;
+    case TokenKind::Le:
+      return BinOp::Le;
+    case TokenKind::Gt:
+      return BinOp::Gt;
+    case TokenKind::Ge:
+      return BinOp::Ge;
+    case TokenKind::Shl:
+      return BinOp::Shl;
+    case TokenKind::Shr:
+      return BinOp::Shr;
+    case TokenKind::Plus:
+      return BinOp::Add;
+    case TokenKind::Minus:
+      return BinOp::Sub;
+    case TokenKind::Star:
+      return BinOp::Mul;
+    case TokenKind::Slash:
+      return BinOp::Div;
+    case TokenKind::Percent:
+      return BinOp::Rem;
+    default:
+      assert(false && "not a binary operator");
+      return BinOp::Add;
+    }
+  }
+
+  Expected<ExprPtr> parseExpr() { return parseBinary(1); }
+
+  Expected<ExprPtr> parseBinary(int MinPrec) {
+    ELIDE_TRY(ExprPtr Lhs, parseUnary());
+    while (true) {
+      int Prec = precedence(cur().Kind);
+      if (Prec < MinPrec || Prec == 0)
+        return Lhs;
+      TokenKind Op = advance().Kind;
+      ELIDE_TRY(ExprPtr Rhs, parseBinary(Prec + 1));
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Binary;
+      E->Loc = Lhs->Loc;
+      E->BOp = binOpFor(Op);
+      E->Lhs = std::move(Lhs);
+      E->Rhs = std::move(Rhs);
+      Lhs = std::move(E);
+    }
+  }
+
+  Expected<ExprPtr> parseUnary() {
+    Location L = loc();
+    if (accept(TokenKind::Minus)) {
+      ELIDE_TRY(ExprPtr Operand, parseUnary());
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Unary;
+      E->Loc = L;
+      E->UOp = UnaryOp::Neg;
+      E->Lhs = std::move(Operand);
+      return ExprPtr(std::move(E));
+    }
+    if (accept(TokenKind::Bang)) {
+      ELIDE_TRY(ExprPtr Operand, parseUnary());
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Unary;
+      E->Loc = L;
+      E->UOp = UnaryOp::Not;
+      E->Lhs = std::move(Operand);
+      return ExprPtr(std::move(E));
+    }
+    if (accept(TokenKind::Tilde)) {
+      ELIDE_TRY(ExprPtr Operand, parseUnary());
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Unary;
+      E->Loc = L;
+      E->UOp = UnaryOp::BitNot;
+      E->Lhs = std::move(Operand);
+      return ExprPtr(std::move(E));
+    }
+    if (accept(TokenKind::Star)) {
+      ELIDE_TRY(ExprPtr Operand, parseUnary());
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Deref;
+      E->Loc = L;
+      E->Lhs = std::move(Operand);
+      return ExprPtr(std::move(E));
+    }
+    if (accept(TokenKind::Amp)) {
+      ELIDE_TRY(ExprPtr Operand, parseUnary());
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::AddressOf;
+      E->Loc = L;
+      E->Lhs = std::move(Operand);
+      return ExprPtr(std::move(E));
+    }
+    return parsePostfix();
+  }
+
+  Expected<ExprPtr> parsePostfix() {
+    ELIDE_TRY(ExprPtr E, parsePrimary());
+    while (true) {
+      if (accept(TokenKind::LBracket)) {
+        ELIDE_TRY(ExprPtr Idx, parseExpr());
+        if (Error Err = expect(TokenKind::RBracket))
+          return Err;
+        auto N = std::make_unique<Expr>();
+        N->Kind = ExprKind::Index;
+        N->Loc = E->Loc;
+        N->Lhs = std::move(E);
+        N->Rhs = std::move(Idx);
+        E = std::move(N);
+        continue;
+      }
+      if (accept(TokenKind::KwAs)) {
+        ELIDE_TRY(const Type *T, parseType(/*AllowArray=*/false));
+        auto N = std::make_unique<Expr>();
+        N->Kind = ExprKind::Cast;
+        N->Loc = E->Loc;
+        N->Lhs = std::move(E);
+        N->CastType = T;
+        E = std::move(N);
+        continue;
+      }
+      return E;
+    }
+  }
+
+  Expected<ExprPtr> parsePrimary() {
+    Location L = loc();
+    if (at(TokenKind::IntegerLiteral) || at(TokenKind::CharLiteral)) {
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::IntLiteral;
+      E->Loc = L;
+      E->IntValue = advance().IntValue;
+      return ExprPtr(std::move(E));
+    }
+    if (at(TokenKind::KwTrue) || at(TokenKind::KwFalse)) {
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::BoolLiteral;
+      E->Loc = L;
+      E->IntValue = advance().Kind == TokenKind::KwTrue ? 1 : 0;
+      return ExprPtr(std::move(E));
+    }
+    if (at(TokenKind::StringLiteral)) {
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::StringLiteral;
+      E->Loc = L;
+      E->Text = advance().Text;
+      return ExprPtr(std::move(E));
+    }
+    if (at(TokenKind::Identifier)) {
+      std::string Name = advance().Text;
+      if (accept(TokenKind::LParen)) {
+        auto E = std::make_unique<Expr>();
+        E->Kind = ExprKind::Call;
+        E->Loc = L;
+        E->Text = std::move(Name);
+        if (!accept(TokenKind::RParen)) {
+          while (true) {
+            ELIDE_TRY(ExprPtr Arg, parseExpr());
+            E->Args.push_back(std::move(Arg));
+            if (accept(TokenKind::RParen))
+              break;
+            if (Error Err = expect(TokenKind::Comma))
+              return Err;
+          }
+        }
+        return ExprPtr(std::move(E));
+      }
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::VarRef;
+      E->Loc = L;
+      E->Text = std::move(Name);
+      return ExprPtr(std::move(E));
+    }
+    if (accept(TokenKind::LParen)) {
+      ELIDE_TRY(ExprPtr E, parseExpr());
+      if (Error Err = expect(TokenKind::RParen))
+        return Err;
+      return E;
+    }
+    return errorHere("expected an expression, found " +
+                     std::string(tokenKindName(cur().Kind)));
+  }
+
+  std::string FileName;
+  const std::vector<Token> &Tokens;
+  TypeArena &Types;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<Module> elide::elc::parse(const std::string &FileName,
+                                   const std::vector<Token> &Tokens,
+                                   TypeArena &Types) {
+  Parser P(FileName, Tokens, Types);
+  return P.run();
+}

@@ -1,0 +1,34 @@
+//===- elc/Parser.h - Elc recursive-descent parser ---------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a token stream into an `elc::Module`. One parser instance per
+/// translation unit; multiple units are merged by the compiler driver
+/// (which is how the SgxElide runtime library is linked into every app
+/// enclave, mirroring the paper's "compile with our framework code").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELC_PARSER_H
+#define SGXELIDE_ELC_PARSER_H
+
+#include "elc/Ast.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace elide {
+namespace elc {
+
+/// Parses \p Tokens (from `lex`) into a module. \p Types owns all type
+/// nodes referenced by the AST and must outlive it.
+Expected<Module> parse(const std::string &FileName,
+                       const std::vector<Token> &Tokens, TypeArena &Types);
+
+} // namespace elc
+} // namespace elide
+
+#endif // SGXELIDE_ELC_PARSER_H

@@ -1,0 +1,106 @@
+//===- elc/Token.h - Elc token definitions -----------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens for Elc, the C-like language in which the trusted components of
+/// the seven benchmark applications are written (the stand-in for the C
+/// code the paper compiles with gcc into enclave shared objects).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELC_TOKEN_H
+#define SGXELIDE_ELC_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace elide {
+namespace elc {
+
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntegerLiteral,
+  StringLiteral,
+  CharLiteral,
+
+  // Keywords.
+  KwFn,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwExport,
+  KwExtern,
+  KwTcall,
+  KwOcall,
+  KwAs,
+  KwTrue,
+  KwFalse,
+  KwU8,
+  KwU16,
+  KwU32,
+  KwU64,
+  KwI64,
+  KwBool,
+  KwVoid,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Arrow, // ->
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  AmpAmp,
+  PipePipe,
+  EqEq,
+  BangEq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Shl,
+  Shr,
+};
+
+/// Returns a printable description of a token kind for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// A lexed token with its source location (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;     ///< Identifier spelling or string literal contents.
+  uint64_t IntValue = 0; ///< Value for integer/char literals.
+  int Line = 0;
+  int Column = 0;
+};
+
+} // namespace elc
+} // namespace elide
+
+#endif // SGXELIDE_ELC_TOKEN_H

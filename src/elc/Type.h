@@ -1,0 +1,145 @@
+//===- elc/Type.h - Elc type system ----------------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Elc's type system: fixed-width unsigned integers (u8..u64), one signed
+/// 64-bit type (i64), bool, void, pointers, and fixed-size arrays. All
+/// values are 64 bits in registers; element types matter at loads, stores,
+/// and pointer arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELC_TYPE_H
+#define SGXELIDE_ELC_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace elide {
+namespace elc {
+
+enum class TypeKind { Void, Bool, U8, U16, U32, U64, I64, Pointer, Array };
+
+/// An interned type node. Compare by pointer within one `TypeArena`.
+struct Type {
+  TypeKind Kind = TypeKind::Void;
+  const Type *Element = nullptr; ///< Pointee / array element.
+  uint64_t ArraySize = 0;
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isSigned() const { return Kind == TypeKind::I64; }
+  bool isInteger() const {
+    return Kind == TypeKind::Bool || Kind == TypeKind::U8 ||
+           Kind == TypeKind::U16 || Kind == TypeKind::U32 ||
+           Kind == TypeKind::U64 || Kind == TypeKind::I64;
+  }
+  bool isScalar() const { return isInteger() || isPointer(); }
+
+  /// In-memory size in bytes.
+  uint64_t sizeInBytes() const {
+    switch (Kind) {
+    case TypeKind::Void:
+      return 0;
+    case TypeKind::Bool:
+    case TypeKind::U8:
+      return 1;
+    case TypeKind::U16:
+      return 2;
+    case TypeKind::U32:
+      return 4;
+    case TypeKind::U64:
+    case TypeKind::I64:
+    case TypeKind::Pointer:
+      return 8;
+    case TypeKind::Array:
+      return Element->sizeInBytes() * ArraySize;
+    }
+    return 0;
+  }
+
+  std::string str() const {
+    switch (Kind) {
+    case TypeKind::Void:
+      return "void";
+    case TypeKind::Bool:
+      return "bool";
+    case TypeKind::U8:
+      return "u8";
+    case TypeKind::U16:
+      return "u16";
+    case TypeKind::U32:
+      return "u32";
+    case TypeKind::U64:
+      return "u64";
+    case TypeKind::I64:
+      return "i64";
+    case TypeKind::Pointer:
+      return "*" + Element->str();
+    case TypeKind::Array:
+      return Element->str() + "[" + std::to_string(ArraySize) + "]";
+    }
+    return "?";
+  }
+};
+
+/// Owns type nodes; primitives are singletons, pointers/arrays are
+/// deduplicated on construction.
+class TypeArena {
+public:
+  const Type *voidType() { return primitive(TypeKind::Void); }
+  const Type *boolType() { return primitive(TypeKind::Bool); }
+  const Type *u8() { return primitive(TypeKind::U8); }
+  const Type *u16() { return primitive(TypeKind::U16); }
+  const Type *u32() { return primitive(TypeKind::U32); }
+  const Type *u64() { return primitive(TypeKind::U64); }
+  const Type *i64() { return primitive(TypeKind::I64); }
+
+  const Type *pointerTo(const Type *Element) {
+    for (const auto &T : Owned)
+      if (T->Kind == TypeKind::Pointer && T->Element == Element)
+        return T.get();
+    return makeNode(TypeKind::Pointer, Element, 0);
+  }
+
+  const Type *arrayOf(const Type *Element, uint64_t Size) {
+    for (const auto &T : Owned)
+      if (T->Kind == TypeKind::Array && T->Element == Element &&
+          T->ArraySize == Size)
+        return T.get();
+    return makeNode(TypeKind::Array, Element, Size);
+  }
+
+private:
+  const Type *primitive(TypeKind Kind) {
+    unsigned Idx = static_cast<unsigned>(Kind);
+    assert(Idx < 7 && "not a primitive kind");
+    if (!Primitives[Idx])
+      Primitives[Idx] = makeNode(Kind, nullptr, 0);
+    return Primitives[Idx];
+  }
+
+  const Type *makeNode(TypeKind Kind, const Type *Element, uint64_t Size) {
+    auto Node = std::make_unique<Type>();
+    Node->Kind = Kind;
+    Node->Element = Element;
+    Node->ArraySize = Size;
+    Owned.push_back(std::move(Node));
+    return Owned.back().get();
+  }
+
+  std::vector<std::unique_ptr<Type>> Owned;
+  const Type *Primitives[7] = {nullptr};
+};
+
+} // namespace elc
+} // namespace elide
+
+#endif // SGXELIDE_ELC_TYPE_H

@@ -1,0 +1,76 @@
+//===- elf/ElfBuilder.h - Emit ELF64 enclave shared objects ----------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructs ELF64 enclave images from scratch. This is the Elc compiler's
+/// object-file backend (the stand-in for the gcc+ld pipeline the paper's
+/// build system uses). The produced files parse with `ElfImage` and load
+/// with the SGX device model.
+///
+/// Layout convention: every SHF_ALLOC section is placed so that its file
+/// offset equals its virtual address (base 0), each in its own PT_LOAD
+/// segment whose flags mirror the section flags. Non-alloc sections
+/// (.symtab, string tables, .ecall) follow the loadable content.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELF_ELFBUILDER_H
+#define SGXELIDE_ELF_ELFBUILDER_H
+
+#include "elf/ElfTypes.h"
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace elide {
+
+/// Incrementally assembles an ELF64 file.
+class ElfBuilder {
+public:
+  /// Adds a section with file-backed contents. For SHF_ALLOC sections,
+  /// \p Addr must be page-aligned and non-overlapping with prior sections.
+  /// Returns the section's index (0 is the implicit null section).
+  size_t addProgbits(const std::string &Name, uint64_t Addr, Bytes Contents,
+                     uint64_t Flags);
+
+  /// Adds a zero-initialized section (e.g. .bss) occupying memory only.
+  size_t addNobits(const std::string &Name, uint64_t Addr, uint64_t MemSize,
+                   uint64_t Flags);
+
+  /// Adds a symbol. \p SectionIndex is a value returned by addProgbits /
+  /// addNobits; \p Value is a virtual address.
+  void addSymbol(const std::string &Name, uint64_t Value, uint64_t Size,
+                 uint8_t Type, size_t SectionIndex);
+
+  /// Serializes the file. Fails when alloc sections overlap headers or
+  /// each other.
+  Expected<Bytes> build() const;
+
+private:
+  struct PendingSection {
+    std::string Name;
+    uint32_t Type = SHT_PROGBITS;
+    uint64_t Flags = 0;
+    uint64_t Addr = 0;
+    uint64_t MemSize = 0;
+    Bytes Contents;
+  };
+  struct PendingSymbol {
+    std::string Name;
+    uint64_t Value = 0;
+    uint64_t Size = 0;
+    uint8_t Type = STT_FUNC;
+    size_t SectionIndex = 0;
+  };
+
+  std::vector<PendingSection> PendingSections;
+  std::vector<PendingSymbol> PendingSymbols;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_ELF_ELFBUILDER_H

@@ -1,0 +1,186 @@
+//===- elf/ElfImage.cpp - Parsed, editable ELF64 enclave image -------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elf/ElfImage.h"
+
+#include <cstring>
+
+using namespace elide;
+
+Expected<ElfImage> ElfImage::parse(Bytes FileBytes) {
+  ElfImage Image;
+  Image.Raw = std::move(FileBytes);
+  if (Error E = Image.parseInto())
+    return E;
+  return Image;
+}
+
+/// Reads a NUL-terminated string from a string table blob.
+static std::string stringAt(BytesView Table, uint64_t Offset) {
+  std::string Out;
+  for (uint64_t I = Offset; I < Table.size() && Table[I] != 0; ++I)
+    Out.push_back(static_cast<char>(Table[I]));
+  return Out;
+}
+
+Error ElfImage::parseInto() {
+  if (Raw.size() < Elf64EhdrSize)
+    return makeError("file too small to be ELF64 (" +
+                     std::to_string(Raw.size()) + " bytes)");
+  const uint8_t *P = Raw.data();
+  if (P[0] != ElfMag0 || P[1] != ElfMag1 || P[2] != ElfMag2 || P[3] != ElfMag3)
+    return makeError("bad ELF magic");
+  if (P[4] != ElfClass64)
+    return makeError("not an ELF64 file");
+  if (P[5] != ElfData2Lsb)
+    return makeError("not little-endian");
+
+  Header.Type = readLE16(P + 16);
+  Header.Machine = readLE16(P + 18);
+  Header.Entry = readLE64(P + 24);
+  Header.PhOff = readLE64(P + 32);
+  Header.ShOff = readLE64(P + 40);
+  Header.Flags = readLE32(P + 48);
+  Header.PhNum = readLE16(P + 56);
+  Header.ShNum = readLE16(P + 60);
+  Header.ShStrNdx = readLE16(P + 62);
+
+  // Program headers.
+  uint64_t PhEnd = Header.PhOff + uint64_t(Header.PhNum) * Elf64PhdrSize;
+  if (PhEnd > Raw.size())
+    return makeError("program header table extends past end of file");
+  for (unsigned I = 0; I < Header.PhNum; ++I) {
+    const uint8_t *H = P + Header.PhOff + I * Elf64PhdrSize;
+    ElfSegment Seg;
+    Seg.Type = readLE32(H);
+    Seg.Flags = readLE32(H + 4);
+    Seg.Offset = readLE64(H + 8);
+    Seg.VAddr = readLE64(H + 16);
+    Seg.PAddr = readLE64(H + 24);
+    Seg.FileSize = readLE64(H + 32);
+    Seg.MemSize = readLE64(H + 40);
+    Seg.Align = readLE64(H + 48);
+    if (Seg.Offset + Seg.FileSize > Raw.size())
+      return makeError("segment " + std::to_string(I) +
+                       " extends past end of file");
+    Segments.push_back(Seg);
+  }
+
+  // Section headers.
+  uint64_t ShEnd = Header.ShOff + uint64_t(Header.ShNum) * Elf64ShdrSize;
+  if (ShEnd > Raw.size())
+    return makeError("section header table extends past end of file");
+  for (unsigned I = 0; I < Header.ShNum; ++I) {
+    const uint8_t *H = P + Header.ShOff + I * Elf64ShdrSize;
+    ElfSection Sec;
+    Sec.NameOffset = readLE32(H);
+    Sec.Type = readLE32(H + 4);
+    Sec.Flags = readLE64(H + 8);
+    Sec.Addr = readLE64(H + 16);
+    Sec.Offset = readLE64(H + 24);
+    Sec.Size = readLE64(H + 32);
+    Sec.Link = readLE32(H + 40);
+    Sec.Info = readLE32(H + 44);
+    Sec.AddrAlign = readLE64(H + 48);
+    Sec.EntSize = readLE64(H + 56);
+    if (Sec.Type != SHT_NOBITS && Sec.Offset + Sec.Size > Raw.size())
+      return makeError("section " + std::to_string(I) +
+                       " extends past end of file");
+    Sections.push_back(Sec);
+  }
+
+  // Resolve section names through .shstrtab.
+  if (Header.ShStrNdx < Sections.size()) {
+    const ElfSection &ShStr = Sections[Header.ShStrNdx];
+    BytesView Table(Raw.data() + ShStr.Offset, ShStr.Size);
+    for (ElfSection &Sec : Sections)
+      Sec.Name = stringAt(Table, Sec.NameOffset);
+  }
+
+  // Symbols: first SHT_SYMTAB section, names through its linked strtab.
+  for (const ElfSection &Sec : Sections) {
+    if (Sec.Type != SHT_SYMTAB)
+      continue;
+    if (Sec.Link >= Sections.size())
+      return makeError("symtab has invalid strtab link " +
+                       std::to_string(Sec.Link));
+    const ElfSection &StrTab = Sections[Sec.Link];
+    BytesView Names(Raw.data() + StrTab.Offset, StrTab.Size);
+    uint64_t Count = Sec.Size / Elf64SymSize;
+    for (uint64_t I = 0; I < Count; ++I) {
+      const uint8_t *S = P + Sec.Offset + I * Elf64SymSize;
+      ElfSymbol Sym;
+      uint32_t NameOff = readLE32(S);
+      Sym.Info = S[4];
+      Sym.Other = S[5];
+      Sym.SectionIndex = readLE16(S + 6);
+      Sym.Value = readLE64(S + 8);
+      Sym.Size = readLE64(S + 16);
+      Sym.Name = stringAt(Names, NameOff);
+      if (Sym.Name.empty() && Sym.Value == 0 && Sym.Size == 0)
+        continue; // Skip the null symbol.
+      Symbols.push_back(std::move(Sym));
+    }
+    break;
+  }
+  return Error::success();
+}
+
+const ElfSection *ElfImage::sectionByName(const std::string &Name) const {
+  for (const ElfSection &Sec : Sections)
+    if (Sec.Name == Name)
+      return &Sec;
+  return nullptr;
+}
+
+const ElfSymbol *ElfImage::symbolByName(const std::string &Name) const {
+  for (const ElfSymbol &Sym : Symbols)
+    if (Sym.Name == Name)
+      return &Sym;
+  return nullptr;
+}
+
+Bytes ElfImage::sectionContents(const ElfSection &Section) const {
+  if (Section.Type == SHT_NOBITS)
+    return Bytes();
+  return Bytes(Raw.begin() + static_cast<ptrdiff_t>(Section.Offset),
+               Raw.begin() + static_cast<ptrdiff_t>(Section.Offset +
+                                                    Section.Size));
+}
+
+Expected<uint64_t> ElfImage::fileOffsetOf(const ElfSection &Section,
+                                          uint64_t VAddr,
+                                          uint64_t Length) const {
+  if (VAddr < Section.Addr || VAddr + Length > Section.Addr + Section.Size)
+    return makeError("address range [" + std::to_string(VAddr) + ", +" +
+                     std::to_string(Length) + ") outside section " +
+                     Section.Name);
+  return Section.Offset + (VAddr - Section.Addr);
+}
+
+Error ElfImage::zeroRange(const ElfSection &Section, uint64_t VAddr,
+                          uint64_t Length) {
+  ELIDE_TRY(uint64_t Offset, fileOffsetOf(Section, VAddr, Length));
+  std::memset(Raw.data() + Offset, 0, Length);
+  return Error::success();
+}
+
+Error ElfImage::writeRange(const ElfSection &Section, uint64_t VAddr,
+                           BytesView Data) {
+  ELIDE_TRY(uint64_t Offset, fileOffsetOf(Section, VAddr, Data.size()));
+  std::memcpy(Raw.data() + Offset, Data.data(), Data.size());
+  return Error::success();
+}
+
+Error ElfImage::orSegmentFlags(size_t Index, uint32_t Flags) {
+  if (Index >= Segments.size())
+    return makeError("segment index " + std::to_string(Index) +
+                     " out of range");
+  Segments[Index].Flags |= Flags;
+  uint8_t *H = Raw.data() + Header.PhOff + Index * Elf64PhdrSize;
+  writeLE32(H + 4, Segments[Index].Flags);
+  return Error::success();
+}

@@ -1,0 +1,83 @@
+//===- elf/ElfImage.h - Parsed, editable ELF64 enclave image ---------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ElfImage` wraps the raw bytes of an enclave shared object together with
+/// parsed headers, sections, segments, and symbols. Edits (zeroing function
+/// bodies, changing segment flags) are applied directly to the raw bytes so
+/// the result can be written back to disk -- this is the object the
+/// Sanitizer operates on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELF_ELFIMAGE_H
+#define SGXELIDE_ELF_ELFIMAGE_H
+
+#include "elf/ElfTypes.h"
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+#include <optional>
+#include <vector>
+
+namespace elide {
+
+/// An ELF64 enclave image: raw file bytes plus parsed views.
+class ElfImage {
+public:
+  /// Parses \p FileBytes. Fails with a diagnostic for malformed files,
+  /// wrong class/endianness, or out-of-bounds headers.
+  static Expected<ElfImage> parse(Bytes FileBytes);
+
+  const ElfHeader &header() const { return Header; }
+  const std::vector<ElfSection> &sections() const { return Sections; }
+  const std::vector<ElfSegment> &segments() const { return Segments; }
+  const std::vector<ElfSymbol> &symbols() const { return Symbols; }
+
+  /// Returns the section with the given name, or nullptr.
+  const ElfSection *sectionByName(const std::string &Name) const;
+
+  /// Returns the symbol with the given name, or nullptr.
+  const ElfSymbol *symbolByName(const std::string &Name) const;
+
+  /// Returns a copy of a section's file contents (empty for SHT_NOBITS).
+  Bytes sectionContents(const ElfSection &Section) const;
+
+  /// Translates a virtual address inside \p Section to a file offset.
+  /// Fails when the address range does not lie inside the section.
+  Expected<uint64_t> fileOffsetOf(const ElfSection &Section, uint64_t VAddr,
+                                  uint64_t Length) const;
+
+  /// Overwrites \p Length bytes at virtual address \p VAddr (which must be
+  /// inside \p Section) with zeros. This is the sanitizer's redaction
+  /// primitive.
+  Error zeroRange(const ElfSection &Section, uint64_t VAddr, uint64_t Length);
+
+  /// Overwrites file contents at virtual address \p VAddr inside
+  /// \p Section with \p Data.
+  Error writeRange(const ElfSection &Section, uint64_t VAddr, BytesView Data);
+
+  /// ORs \p Flags into segment \p Index's p_flags, updating the raw bytes.
+  /// This is how the sanitizer makes the text segment writable (PF_W).
+  Error orSegmentFlags(size_t Index, uint32_t Flags);
+
+  /// The raw file bytes (reflecting any edits made through this object).
+  const Bytes &fileBytes() const { return Raw; }
+
+private:
+  ElfImage() = default;
+  Error parseInto();
+
+  Bytes Raw;
+  ElfHeader Header;
+  std::vector<ElfSection> Sections;
+  std::vector<ElfSegment> Segments;
+  std::vector<ElfSymbol> Symbols;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_ELF_ELFIMAGE_H

@@ -1,0 +1,134 @@
+//===- elf/ElfTypes.h - ELF64 structures and constants ---------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The subset of the ELF64 specification used by enclave images: file
+/// header, program headers, section headers, and symbols. Enclave shared
+/// objects produced by the Elc compiler are genuine ELF64 files so the
+/// sanitizer manipulates them exactly as the paper describes (parse section
+/// headers, enumerate symbols, zero function bodies, OR PF_W into the text
+/// segment's p_flags).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELF_ELFTYPES_H
+#define SGXELIDE_ELF_ELFTYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace elide {
+
+// e_ident layout.
+constexpr uint8_t ElfMag0 = 0x7f;
+constexpr uint8_t ElfMag1 = 'E';
+constexpr uint8_t ElfMag2 = 'L';
+constexpr uint8_t ElfMag3 = 'F';
+constexpr uint8_t ElfClass64 = 2;
+constexpr uint8_t ElfData2Lsb = 1; // little endian
+constexpr uint8_t ElfVersionCurrent = 1;
+
+// e_type values.
+constexpr uint16_t ET_DYN = 3;
+
+/// Machine number for SVM enclave bytecode ('SG' little-endian); chosen
+/// from the unallocated range so tools cannot confuse these images with
+/// native objects.
+constexpr uint16_t EM_SVM = 0x5347;
+
+// Program header types and flags.
+constexpr uint32_t PT_NULL = 0;
+constexpr uint32_t PT_LOAD = 1;
+constexpr uint32_t PF_X = 1;
+constexpr uint32_t PF_W = 2;
+constexpr uint32_t PF_R = 4;
+
+// Section header types.
+constexpr uint32_t SHT_NULL = 0;
+constexpr uint32_t SHT_PROGBITS = 1;
+constexpr uint32_t SHT_SYMTAB = 2;
+constexpr uint32_t SHT_STRTAB = 3;
+constexpr uint32_t SHT_NOBITS = 8;
+
+// Section flags.
+constexpr uint64_t SHF_WRITE = 1;
+constexpr uint64_t SHF_ALLOC = 2;
+constexpr uint64_t SHF_EXECINSTR = 4;
+
+// Symbol binding/type helpers.
+constexpr uint8_t STB_GLOBAL = 1;
+constexpr uint8_t STT_OBJECT = 1;
+constexpr uint8_t STT_FUNC = 2;
+
+inline uint8_t elfSymInfo(uint8_t Bind, uint8_t Type) {
+  return static_cast<uint8_t>(Bind << 4 | (Type & 0xf));
+}
+inline uint8_t elfSymType(uint8_t Info) { return Info & 0xf; }
+inline uint8_t elfSymBind(uint8_t Info) { return Info >> 4; }
+
+/// Structure sizes (we serialize manually; these are the on-disk sizes).
+constexpr size_t Elf64EhdrSize = 64;
+constexpr size_t Elf64PhdrSize = 56;
+constexpr size_t Elf64ShdrSize = 64;
+constexpr size_t Elf64SymSize = 24;
+
+/// Parsed ELF64 file header.
+struct ElfHeader {
+  uint16_t Type = ET_DYN;
+  uint16_t Machine = EM_SVM;
+  uint64_t Entry = 0;
+  uint64_t PhOff = 0;
+  uint64_t ShOff = 0;
+  uint32_t Flags = 0;
+  uint16_t PhNum = 0;
+  uint16_t ShNum = 0;
+  uint16_t ShStrNdx = 0;
+};
+
+/// Parsed program header (one loadable segment).
+struct ElfSegment {
+  uint32_t Type = PT_LOAD;
+  uint32_t Flags = PF_R;
+  uint64_t Offset = 0;
+  uint64_t VAddr = 0;
+  uint64_t PAddr = 0;
+  uint64_t FileSize = 0;
+  uint64_t MemSize = 0;
+  uint64_t Align = 0x1000;
+};
+
+/// Parsed section header.
+struct ElfSection {
+  std::string Name;
+  uint32_t NameOffset = 0;
+  uint32_t Type = SHT_NULL;
+  uint64_t Flags = 0;
+  uint64_t Addr = 0;
+  uint64_t Offset = 0;
+  uint64_t Size = 0;
+  uint32_t Link = 0;
+  uint32_t Info = 0;
+  uint64_t AddrAlign = 1;
+  uint64_t EntSize = 0;
+};
+
+/// Parsed symbol.
+struct ElfSymbol {
+  std::string Name;
+  uint64_t Value = 0; // virtual address
+  uint64_t Size = 0;
+  uint8_t Info = 0;
+  uint8_t Other = 0;
+  uint16_t SectionIndex = 0;
+
+  bool isFunction() const { return elfSymType(Info) == STT_FUNC; }
+  bool isObject() const { return elfSymType(Info) == STT_OBJECT; }
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_ELF_ELFTYPES_H

@@ -1,0 +1,29 @@
+//===- elide/Bridge.cpp - Trusted/untrusted call tables --------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elide/Bridge.h"
+
+#include <cstring>
+
+using namespace elide;
+
+Bytes elide::serializeReport(const sgx::Report &R) {
+  Bytes Out = R.Body.serialize();
+  appendBytes(Out, BytesView(R.Mac.data(), R.Mac.size()));
+  return Out;
+}
+
+Expected<sgx::Report> elide::deserializeReport(BytesView Data) {
+  if (Data.size() != 136 + 16)
+    return makeError("report must be 152 bytes, got " +
+                     std::to_string(Data.size()));
+  sgx::Report R;
+  ELIDE_TRY(sgx::ReportBody Body,
+            sgx::ReportBody::deserialize(Data.subspan(0, 136)));
+  R.Body = Body;
+  std::memcpy(R.Mac.data(), Data.data() + 136, 16);
+  return R;
+}

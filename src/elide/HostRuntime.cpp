@@ -1,0 +1,73 @@
+//===- elide/HostRuntime.cpp - Untrusted host side of SgxElide -------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elide/HostRuntime.h"
+
+#include "elide/TrustedLib.h"
+#include "support/File.h"
+
+using namespace elide;
+
+void ElideHost::attach(sgx::Enclave &E) {
+  ElideTrustedLib::install(E, Qe ? Qe->targetInfo() : sgx::TargetInfo{});
+  E.setOcallHandler([this](uint32_t Index, BytesView Request) {
+    return handleOcall(Index, Request);
+  });
+}
+
+Expected<uint64_t> ElideHost::restore(sgx::Enclave &E) {
+  ELIDE_TRY(sgx::EcallResult R, E.ecall("elide_restore", {}, 0));
+  if (!R.ok())
+    return makeError(std::string("elide_restore trapped: ") +
+                     trapKindName(R.Exec.Kind) + ": " + R.Exec.Message);
+  return R.status();
+}
+
+Expected<Bytes> ElideHost::handleOcall(uint32_t Index, BytesView Request) {
+  switch (Index) {
+  case OcallServerRequest:
+    if (!Server)
+      return makeError("no connection to the authentication server "
+                       "(denial of service: the enclave cannot restore)");
+    return Server->roundTrip(Request);
+
+  case OcallReadFile:
+    // The shipped enclave.secret.data (ciphertext). An empty response
+    // tells the enclave the file is missing.
+    return SecretDataFile;
+
+  case OcallReadSealed: {
+    if (!SealedPath.empty() && fileExists(SealedPath))
+      return readFileBytes(SealedPath);
+    return SealedBlob;
+  }
+
+  case OcallWriteSealed: {
+    SealedBlob = toBytes(Request);
+    if (!SealedPath.empty())
+      if (Error E = writeFileBytes(SealedPath, Request))
+        return E;
+    return Bytes();
+  }
+
+  case OcallGetQuote: {
+    if (!Qe)
+      return makeError("no quoting enclave on this platform");
+    ELIDE_TRY(sgx::Report R, deserializeReport(Request));
+    ELIDE_TRY(sgx::Quote Q, Qe->quoteReport(R));
+    return Q.serialize();
+  }
+
+  case OcallPrint:
+    DebugOutput += stringOfBytes(Request);
+    return Bytes();
+
+  default:
+    if (Index >= OcallAppBase && AppHandler)
+      return AppHandler(Index, Request);
+    return makeError("unhandled ocall index " + std::to_string(Index));
+  }
+}

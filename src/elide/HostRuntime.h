@@ -1,0 +1,83 @@
+//===- elide/HostRuntime.h - Untrusted host side of SgxElide --------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The untrusted component SgxElide adds to an application (the paper's
+/// "+50 LOC" on the UC side): implementations of the framework ocalls
+/// (`elide_server_request`, `elide_read_file`, sealing persistence, quote
+/// shuttling, debug printing) and the one-line `restore()` call a
+/// developer makes after creating the enclave.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELIDE_HOSTRUNTIME_H
+#define SGXELIDE_ELIDE_HOSTRUNTIME_H
+
+#include "elide/Bridge.h"
+#include "server/Transport.h"
+#include "sgx/Attestation.h"
+#include "sgx/Enclave.h"
+
+#include <functional>
+#include <string>
+
+namespace elide {
+
+/// Application hook for ocalls at indices >= OcallAppBase.
+using AppOcallHandler =
+    std::function<Expected<Bytes>(uint32_t Index, BytesView Request)>;
+
+/// The untrusted SgxElide runtime for one enclave.
+class ElideHost {
+public:
+  /// \param Server   connection to the authentication server (may be null:
+  ///                 server requests then fail, exercising the paper's
+  ///                 denial-of-service observation).
+  /// \param Qe       the platform quoting enclave.
+  ElideHost(Transport *Server, sgx::QuotingEnclave *Qe)
+      : Server(Server), Qe(Qe) {}
+
+  /// Supplies the shipped enclave.secret.data file contents (local-data
+  /// mode).
+  void setSecretDataFile(Bytes Contents) {
+    SecretDataFile = std::move(Contents);
+  }
+
+  /// Uses \p Path to persist the sealed-secrets blob across launches;
+  /// when unset, the blob is kept in memory (single-process lifetime).
+  void setSealedPath(std::string Path) { SealedPath = std::move(Path); }
+
+  /// Collects t_debug_print output (tests and game frontends read this).
+  std::string &debugOutput() { return DebugOutput; }
+
+  /// Registers the application's own ocalls (indices >= OcallAppBase).
+  void setAppOcallHandler(AppOcallHandler Handler) {
+    AppHandler = std::move(Handler);
+  }
+
+  /// Installs the trusted library and this host's ocall dispatcher into
+  /// \p E. Call once after loading the enclave.
+  void attach(sgx::Enclave &E);
+
+  /// The paper's single developer-facing call: invokes the elide_restore
+  /// ecall. Returns the restorer's status (0 = success).
+  Expected<uint64_t> restore(sgx::Enclave &E);
+
+private:
+  Expected<Bytes> handleOcall(uint32_t Index, BytesView Request);
+
+  Transport *Server;
+  sgx::QuotingEnclave *Qe;
+  Bytes SecretDataFile;
+  Bytes SealedBlob;
+  std::string SealedPath;
+  std::string DebugOutput;
+  AppOcallHandler AppHandler;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_ELIDE_HOSTRUNTIME_H

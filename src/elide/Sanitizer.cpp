@@ -1,0 +1,169 @@
+//===- elide/Sanitizer.cpp - Enclave sanitization --------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elide/Sanitizer.h"
+
+#include "elf/ElfImage.h"
+
+#include <cstring>
+
+using namespace elide;
+
+namespace {
+
+/// Shared tail of both sanitizer modes: package the secret bytes
+/// (encrypting in Local mode) and build the metadata.
+Expected<SanitizedEnclave> packageSecrets(ElfImage Image, Bytes SecretBytes,
+                                          uint64_t RestoreOffset,
+                                          SecretStorage Storage, Drbg &Rng,
+                                          SanitizerReport Report) {
+  SanitizedEnclave Out;
+  Out.Report = Report;
+  Out.Meta.DataLength = SecretBytes.size();
+  Out.Meta.RestoreOffset = RestoreOffset;
+
+  if (Storage == SecretStorage::Local) {
+    // Local mode: the data ships with the enclave, so it must be
+    // encrypted; the key travels only in the metadata, held by the server.
+    Out.Meta.Encrypted = true;
+    Rng.fill(MutableBytesView(Out.Meta.Key.data(), Out.Meta.Key.size()));
+    Rng.fill(MutableBytesView(Out.Meta.Iv.data(), Out.Meta.Iv.size()));
+    ELIDE_TRY(GcmSealed Sealed,
+              aesGcmEncrypt(BytesView(Out.Meta.Key.data(), 16),
+                            BytesView(Out.Meta.Iv.data(), 12), SecretBytes,
+                            BytesView()));
+    Out.Meta.Mac = Sealed.Tag;
+    Out.SecretData = std::move(Sealed.Ciphertext);
+  } else {
+    // Remote mode: the plaintext stays with the server.
+    Out.Meta.Encrypted = false;
+    Out.SecretData = std::move(SecretBytes);
+  }
+
+  Out.SanitizedElf = Image.fileBytes();
+  return Out;
+}
+
+/// Finds the executable PT_LOAD segment covering the text section.
+Expected<size_t> findTextSegment(const ElfImage &Image,
+                                 const ElfSection &Text) {
+  for (size_t I = 0; I < Image.segments().size(); ++I) {
+    const ElfSegment &Seg = Image.segments()[I];
+    if (Seg.Type == PT_LOAD && Text.Addr >= Seg.VAddr &&
+        Text.Addr + Text.Size <= Seg.VAddr + Seg.MemSize)
+      return I;
+  }
+  return makeError("no loadable segment covers the text section");
+}
+
+} // namespace
+
+Expected<SanitizedEnclave> elide::sanitizeEnclave(BytesView ElfFile,
+                                                  const Whitelist &Keep,
+                                                  SecretStorage Storage,
+                                                  Drbg &Rng) {
+  ELIDE_TRY(ElfImage Image, ElfImage::parse(toBytes(ElfFile)));
+
+  const ElfSection *Text = Image.sectionByName(".text");
+  if (!Text)
+    return makeError("enclave image has no .text section");
+
+  // The runtime restorer must itself be present (it is framework code
+  // from the dummy enclave).
+  const ElfSymbol *Restore = Image.symbolByName("elide_restore");
+  if (!Restore)
+    return makeError("enclave was not linked with the SgxElide runtime "
+                     "(no elide_restore symbol)");
+  if (!Keep.contains("elide_restore"))
+    return makeError("whitelist does not preserve elide_restore; refusing "
+                     "to produce an unrestorable enclave");
+
+  // Save the original text section before redaction.
+  Bytes OriginalText = Image.sectionContents(*Text);
+
+  SanitizerReport Report;
+  Report.TextBytes = OriginalText.size();
+
+  // Enumerate every function in the shared object; zero the body of each
+  // one that is not on the whitelist.
+  for (const ElfSymbol &Sym : Image.symbols()) {
+    if (!Sym.isFunction())
+      continue;
+    ++Report.TotalFunctions;
+    if (Keep.contains(Sym.Name))
+      continue;
+    if (Sym.Size == 0)
+      continue;
+    if (Error E = Image.zeroRange(*Text, Sym.Value, Sym.Size))
+      return makeError("cannot sanitize '" + Sym.Name + "': " + E.message());
+    ++Report.SanitizedFunctions;
+    Report.SanitizedBytes += Sym.Size;
+  }
+
+  // Make the text segment writable for the runtime restorer: OR PF_W into
+  // its program header (paper section 5 -- SGX1 has no way to change page
+  // permissions after load, so they are set before signing).
+  ELIDE_TRY(size_t TextSegment, findTextSegment(Image, *Text));
+  if (Error E = Image.orSegmentFlags(TextSegment, PF_W))
+    return E;
+
+  uint64_t RestoreOffset = Restore->Value - Text->Addr;
+  return packageSecrets(std::move(Image), std::move(OriginalText),
+                        RestoreOffset, Storage, Rng, Report);
+}
+
+Expected<SanitizedEnclave> elide::sanitizeEnclaveBlacklist(
+    BytesView ElfFile, const std::set<std::string> &SecretFunctions,
+    SecretStorage Storage, Drbg &Rng) {
+  ELIDE_TRY(ElfImage Image, ElfImage::parse(toBytes(ElfFile)));
+
+  const ElfSection *Text = Image.sectionByName(".text");
+  if (!Text)
+    return makeError("enclave image has no .text section");
+  const ElfSymbol *Restore = Image.symbolByName("elide_restore");
+  if (!Restore)
+    return makeError("enclave was not linked with the SgxElide runtime");
+
+  SanitizerReport Report;
+  Report.TextBytes = Text->Size;
+
+  // Blacklist mode: redact exactly the annotated functions and store only
+  // their bytes (range list || bytes).
+  Bytes SecretBytes;
+  uint32_t Count = 0;
+  Bytes Ranges;
+  Bytes Contents;
+  for (const ElfSymbol &Sym : Image.symbols()) {
+    if (!Sym.isFunction())
+      continue;
+    ++Report.TotalFunctions;
+    if (!SecretFunctions.count(Sym.Name))
+      continue;
+    if (SecretFunctions.count("elide_restore"))
+      return makeError("cannot blacklist elide_restore itself");
+    ELIDE_TRY(uint64_t Offset, Image.fileOffsetOf(*Text, Sym.Value, Sym.Size));
+    appendLE64(Ranges, Sym.Value - Text->Addr);
+    appendLE64(Ranges, Sym.Size);
+    appendBytes(Contents,
+                BytesView(Image.fileBytes().data() + Offset, Sym.Size));
+    if (Error E = Image.zeroRange(*Text, Sym.Value, Sym.Size))
+      return E;
+    ++Count;
+    ++Report.SanitizedFunctions;
+    Report.SanitizedBytes += Sym.Size;
+  }
+  appendLE32(SecretBytes, Count);
+  appendBytes(SecretBytes, Ranges);
+  appendBytes(SecretBytes, Contents);
+
+  ELIDE_TRY(size_t TextSegment, findTextSegment(Image, *Text));
+  if (Error E = Image.orSegmentFlags(TextSegment, PF_W))
+    return E;
+
+  uint64_t RestoreOffset = Restore->Value - Text->Addr;
+  return packageSecrets(std::move(Image), std::move(SecretBytes),
+                        RestoreOffset, Storage, Rng, Report);
+}

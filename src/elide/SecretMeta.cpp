@@ -1,0 +1,39 @@
+//===- elide/SecretMeta.cpp - Secret metadata -----------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elide/SecretMeta.h"
+
+#include <cstring>
+
+using namespace elide;
+
+Bytes SecretMeta::serialize() const {
+  Bytes Out;
+  appendLE64(Out, DataLength);
+  appendLE64(Out, RestoreOffset);
+  Out.push_back(Encrypted ? 1 : 0);
+  appendBytes(Out, BytesView(Key.data(), Key.size()));
+  appendBytes(Out, BytesView(Iv.data(), Iv.size()));
+  appendBytes(Out, BytesView(Mac.data(), Mac.size()));
+  return Out;
+}
+
+Expected<SecretMeta> SecretMeta::deserialize(BytesView Data) {
+  if (Data.size() != SerializedSize)
+    return makeError("secret metadata must be " +
+                     std::to_string(SerializedSize) + " bytes, got " +
+                     std::to_string(Data.size()));
+  SecretMeta M;
+  M.DataLength = readLE64(Data.data());
+  M.RestoreOffset = readLE64(Data.data() + 8);
+  if (Data[16] > 1)
+    return makeError("secret metadata has invalid encrypted flag");
+  M.Encrypted = Data[16] == 1;
+  std::memcpy(M.Key.data(), Data.data() + 17, 16);
+  std::memcpy(M.Iv.data(), Data.data() + 33, 12);
+  std::memcpy(M.Mac.data(), Data.data() + 45, 16);
+  return M;
+}

@@ -1,0 +1,53 @@
+//===- elide/SecretMeta.h - Secret metadata (enclave.secret.meta) --------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metadata the sanitizer emits and the authentication server returns
+/// on REQUEST_META. Per the paper (section 5): "The metadata provided by
+/// the server consists of the data length, offset, whether it is
+/// encrypted, and (if encrypted) its encryption key, initialization vector
+/// (IV), and MAC. The offset value is the offset of the elide_restore
+/// function from the start of the text section."
+///
+/// This file must never ship with the enclave; it lives only on the
+/// authentication server (and, transiently, inside the enclave after a
+/// successful attested exchange).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELIDE_SECRETMETA_H
+#define SGXELIDE_ELIDE_SECRETMETA_H
+
+#include "crypto/AesGcm.h"
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+namespace elide {
+
+/// Metadata describing one enclave's redacted secrets.
+struct SecretMeta {
+  /// Length of the secret data (the original text section) in bytes.
+  uint64_t DataLength = 0;
+  /// Offset of `elide_restore` from the start of the text section; the
+  /// restorer computes the text base as &elide_restore - RestoreOffset.
+  uint64_t RestoreOffset = 0;
+  /// Whether enclave.secret.data is stored encrypted (local-data mode).
+  bool Encrypted = false;
+  /// AES-128-GCM parameters for the encrypted data (local-data mode only).
+  Aes128Key Key{};
+  GcmIv Iv{};
+  GcmTag Mac{};
+
+  /// Fixed-size wire/disk encoding (61 bytes).
+  Bytes serialize() const;
+  static Expected<SecretMeta> deserialize(BytesView Data);
+
+  static constexpr size_t SerializedSize = 8 + 8 + 1 + 16 + 12 + 16;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_ELIDE_SECRETMETA_H

@@ -1,0 +1,53 @@
+//===- elide/TrustedLib.h - The in-enclave SgxElide runtime ---------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trusted half of SgxElide: the native "SDK library" functions
+/// (crypto, channel, sealing, randomness) registered as tcalls, plus the
+/// Elc runtime sources -- containing `elide_restore`, the single ecall the
+/// paper's API exposes -- that are linked into every protected enclave and
+/// into the dummy enclave from which the whitelist derives.
+///
+/// The restoration copy loop itself is Elc code executing inside the
+/// enclave: the self-modification (stores into the text section) really
+/// happens through the permission-checked EPC, not behind the model's
+/// back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELIDE_TRUSTEDLIB_H
+#define SGXELIDE_ELIDE_TRUSTEDLIB_H
+
+#include "elc/CodeGen.h"
+#include "elc/Compiler.h"
+#include "elide/Bridge.h"
+#include "sgx/Enclave.h"
+
+namespace elide {
+
+/// Maximum secret-data size the runtime's restore buffer can hold.
+constexpr uint64_t ElideRestoreBufferSize = 128 * 1024;
+
+/// The in-enclave SgxElide runtime.
+class ElideTrustedLib {
+public:
+  /// Installs all trusted library functions into \p E. \p QeTarget is the
+  /// quoting enclave's TARGETINFO (provided by the platform, as aesm
+  /// does). Call once per enclave, after loading.
+  static void install(sgx::Enclave &E, const sgx::TargetInfo &QeTarget);
+
+  /// The extern-name-to-index registry handed to the Elc compiler.
+  static elc::CallRegistry callRegistry();
+
+  /// The Elc sources of the runtime: the restorer (`elide_rt.elc`) and
+  /// the SDK utility library (`elide_sdk.elc`). Linked into every
+  /// application enclave; alone they form the dummy enclave.
+  static std::vector<elc::SourceFile> runtimeSources();
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_ELIDE_TRUSTEDLIB_H

@@ -1,0 +1,54 @@
+//===- elide/Whitelist.cpp - Whitelist generation -------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elide/Whitelist.h"
+
+#include "elc/Compiler.h"
+#include "elf/ElfImage.h"
+
+using namespace elide;
+
+Expected<Whitelist> Whitelist::fromDummyEnclave(BytesView DummyElfFile) {
+  ELIDE_TRY(ElfImage Image, ElfImage::parse(toBytes(DummyElfFile)));
+  Whitelist W;
+  for (const ElfSymbol &Sym : Image.symbols())
+    if (Sym.isFunction())
+      W.Names.insert(Sym.Name);
+  if (W.Names.empty())
+    return makeError("dummy enclave defines no functions; cannot derive a "
+                     "whitelist");
+  return W;
+}
+
+bool Whitelist::contains(const std::string &FunctionName) const {
+  if (FunctionName.rfind(elc::bridgePrefix(), 0) == 0)
+    return true;
+  return Names.count(FunctionName) > 0;
+}
+
+std::string Whitelist::serialize() const {
+  std::string Out;
+  for (const std::string &Name : Names)
+    Out += Name + "\n";
+  return Out;
+}
+
+Expected<Whitelist> Whitelist::deserialize(const std::string &Text) {
+  Whitelist W;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Name = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (!Name.empty())
+      W.Names.insert(Name);
+  }
+  if (W.Names.empty())
+    return makeError("whitelist file is empty");
+  return W;
+}

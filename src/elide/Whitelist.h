@@ -1,0 +1,62 @@
+//===- elide/Whitelist.h - Whitelist generation (paper section 4.1) -------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SgxElide uses a whitelist, not a blacklist (paper section 3.2): instead
+/// of the developer annotating which functions are secret, the framework
+/// derives the set of functions that must *not* be redacted -- everything
+/// a minimal "dummy" enclave contains (the SgxElide runtime plus the SGX
+/// SDK libraries it links). Any function absent from that set is a user
+/// function and is sanitized.
+///
+/// The whitelist is derived once from dummy.so and reused for every
+/// application enclave; developers never touch it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELIDE_WHITELIST_H
+#define SGXELIDE_ELIDE_WHITELIST_H
+
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+#include <set>
+#include <string>
+
+namespace elide {
+
+/// The set of function names that survive sanitization.
+class Whitelist {
+public:
+  Whitelist() = default;
+
+  /// Builds the whitelist from a dummy enclave image: every function
+  /// symbol it defines is framework/SDK code.
+  static Expected<Whitelist> fromDummyEnclave(BytesView DummyElfFile);
+
+  /// Returns true when \p FunctionName must be preserved. Ecall bridge
+  /// functions (the SDK-generated dispatch stubs, `__bridge_*`) are always
+  /// preserved: redacting them would crash the enclave entry path before
+  /// restoration could run (paper section 3.1).
+  bool contains(const std::string &FunctionName) const;
+
+  /// Adds one name (used by tests and the blacklist ablation).
+  void add(const std::string &FunctionName) { Names.insert(FunctionName); }
+
+  size_t size() const { return Names.size(); }
+  const std::set<std::string> &names() const { return Names; }
+
+  /// Text format: one function name per line.
+  std::string serialize() const;
+  static Expected<Whitelist> deserialize(const std::string &Text);
+
+private:
+  std::set<std::string> Names;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_ELIDE_WHITELIST_H

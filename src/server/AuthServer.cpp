@@ -1,0 +1,110 @@
+//===- server/AuthServer.cpp - The authentication server -------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/AuthServer.h"
+
+#include "sgx/Attestation.h"
+
+#include <cstring>
+
+using namespace elide;
+
+AuthServer::AuthServer(AuthServerConfig C)
+    : Config(std::move(C)), Rng(Config.RngSeed ^ 0x5345525645ULL) {}
+
+Bytes AuthServer::handle(BytesView Request) {
+  if (Request.empty())
+    return errorFrame("empty request");
+  switch (Request[0]) {
+  case FrameHello:
+    return handleHello(Request);
+  case FrameRecord:
+    return handleRecord(Request);
+  default:
+    return errorFrame("unknown frame type " + std::to_string(Request[0]));
+  }
+}
+
+Bytes AuthServer::handleHello(BytesView Frame) {
+  Expected<sgx::Quote> Quote = sgx::Quote::deserialize(Frame.subspan(1));
+  if (!Quote) {
+    ++Stats.HandshakesRejected;
+    return errorFrame("malformed quote: " + Quote.errorMessage());
+  }
+
+  // 1. The quote must chain to the attestation authority.
+  Expected<sgx::ReportBody> Body =
+      sgx::AttestationAuthority::verifyQuote(*Quote, Config.AuthorityKey);
+  if (!Body) {
+    ++Stats.HandshakesRejected;
+    return errorFrame(Body.errorMessage());
+  }
+
+  // 2. The attested enclave must be the developer's sanitized enclave --
+  // this is what stops an attacker's enclave (or a tampered image) from
+  // ever receiving the secrets.
+  if (Body->MrEnclave != Config.ExpectedMrEnclave) {
+    ++Stats.HandshakesRejected;
+    return errorFrame("attested MRENCLAVE does not match the deployed "
+                      "sanitized enclave");
+  }
+  if (Config.ExpectedMrSigner && Body->MrSigner != *Config.ExpectedMrSigner) {
+    ++Stats.HandshakesRejected;
+    return errorFrame("attested MRSIGNER does not match the expected "
+                      "vendor");
+  }
+
+  // 3. The enclave's channel public key rides in the report data,
+  // integrity-bound by the quote signature.
+  X25519Key ClientPub;
+  std::memcpy(ClientPub.data(), Body->Data.data(), 32);
+
+  X25519Key ServerPriv;
+  Rng.fill(MutableBytesView(ServerPriv.data(), 32));
+  X25519Key ServerPub = x25519PublicKey(ServerPriv);
+  X25519Key Shared = x25519(ServerPriv, ClientPub);
+  Session = deriveSessionKeys(Shared, ClientPub, ServerPub);
+  ++Stats.HandshakesCompleted;
+
+  Bytes Response;
+  Response.push_back(FrameHello);
+  appendBytes(Response, BytesView(ServerPub.data(), 32));
+  return Response;
+}
+
+Bytes AuthServer::handleRecord(BytesView Frame) {
+  if (!Session)
+    return errorFrame("no session established (send HELLO first)");
+  Expected<Bytes> Plain = openRecord(Session->ClientToServer, Frame);
+  if (!Plain)
+    return errorFrame("cannot decrypt request: " + Plain.errorMessage());
+  if (Plain->size() != 1)
+    return errorFrame("requests are a single byte");
+
+  Bytes Payload;
+  switch ((*Plain)[0]) {
+  case RequestMeta:
+    ++Stats.MetaRequests;
+    Payload = Config.Meta.serialize();
+    break;
+  case RequestData:
+    ++Stats.DataRequests;
+    if (Config.Meta.Encrypted)
+      return errorFrame("secret data is stored locally (encrypted); the "
+                        "server only serves the metadata");
+    if (Config.SecretData.empty())
+      return errorFrame("server has no secret data configured");
+    Payload = Config.SecretData;
+    break;
+  default:
+    return errorFrame("unknown request byte");
+  }
+
+  Expected<Bytes> Response = sealRecord(Session->ServerToClient, Payload, Rng);
+  if (!Response)
+    return errorFrame("cannot seal response: " + Response.errorMessage());
+  return Response.takeValue();
+}

@@ -1,0 +1,83 @@
+//===- server/AuthServer.h - The authentication server --------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The developer-controlled trusted remote party of the paper: it holds
+/// `enclave.secret.meta` (always) and `enclave.secret.data` (remote-data
+/// mode), verifies that a connecting client is the developer's sanitized
+/// enclave running on genuine hardware (quote verification + measurement
+/// check), establishes the AES-GCM channel, and answers REQUEST_META /
+/// REQUEST_DATA.
+///
+/// "In our framework, the server stands alone and requires no developer
+/// input" -- constructing an AuthServer takes only the sanitizer's
+/// artifacts and the expected measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SERVER_AUTHSERVER_H
+#define SGXELIDE_SERVER_AUTHSERVER_H
+
+#include "elide/SecretMeta.h"
+#include "server/Protocol.h"
+#include "sgx/SgxTypes.h"
+
+#include <optional>
+
+namespace elide {
+
+/// Server configuration: trust anchors plus the secret artifacts.
+struct AuthServerConfig {
+  /// Attestation authority public key (the IAS trust anchor).
+  Ed25519PublicKey AuthorityKey{};
+  /// The measurement the quote must attest to -- the *sanitized* enclave.
+  sgx::Measurement ExpectedMrEnclave{};
+  /// Optionally also pin the vendor (MRSIGNER).
+  std::optional<sgx::Measurement> ExpectedMrSigner;
+  /// enclave.secret.meta content.
+  SecretMeta Meta;
+  /// enclave.secret.data content (plaintext). Required in remote-data
+  /// mode; leave empty in local-data mode (the client has the ciphertext).
+  Bytes SecretData;
+  /// Server randomness seed (IVs, ephemeral keys).
+  uint64_t RngSeed = 1;
+};
+
+/// Usage counters (benchmarks read these).
+struct AuthServerStats {
+  size_t HandshakesCompleted = 0;
+  size_t HandshakesRejected = 0;
+  size_t MetaRequests = 0;
+  size_t DataRequests = 0;
+};
+
+/// A single-session authentication server. Transport-agnostic: feed it
+/// request frames, send back its response frames (LoopbackTransport does
+/// this in-process; TcpServer over sockets).
+class AuthServer {
+public:
+  explicit AuthServer(AuthServerConfig Config);
+
+  /// Handles one request frame and produces one response frame. Protocol
+  /// violations produce ERROR frames rather than C++ errors so the
+  /// transport can always answer the client.
+  Bytes handle(BytesView Request);
+
+  const AuthServerStats &stats() const { return Stats; }
+
+private:
+  Bytes handleHello(BytesView Frame);
+  Bytes handleRecord(BytesView Frame);
+
+  AuthServerConfig Config;
+  Drbg Rng;
+  std::optional<SessionKeys> Session;
+  AuthServerStats Stats;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_SERVER_AUTHSERVER_H

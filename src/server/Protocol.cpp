@@ -1,0 +1,63 @@
+//===- server/Protocol.cpp - SgxElide client/server wire protocol --------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "crypto/Hkdf.h"
+
+#include <cstring>
+
+using namespace elide;
+
+SessionKeys elide::deriveSessionKeys(const X25519Key &Shared,
+                                     const X25519Key &ClientPub,
+                                     const X25519Key &ServerPub) {
+  Bytes Info;
+  appendBytes(Info, viewOf(std::string("SGXELIDE-CHANNEL")));
+  appendBytes(Info, BytesView(ClientPub.data(), 32));
+  appendBytes(Info, BytesView(ServerPub.data(), 32));
+  Bytes Okm = hkdf(BytesView(), BytesView(Shared.data(), 32), Info, 32);
+  SessionKeys Keys;
+  std::memcpy(Keys.ClientToServer.data(), Okm.data(), 16);
+  std::memcpy(Keys.ServerToClient.data(), Okm.data() + 16, 16);
+  return Keys;
+}
+
+Expected<Bytes> elide::sealRecord(const Aes128Key &Key, BytesView Plaintext,
+                                  Drbg &Rng) {
+  Bytes Iv = Rng.bytes(12);
+  ELIDE_TRY(GcmSealed Sealed, aesGcmEncrypt(BytesView(Key.data(), 16), Iv,
+                                            Plaintext, BytesView()));
+  Bytes Frame;
+  Frame.push_back(FrameRecord);
+  appendBytes(Frame, Iv);
+  appendBytes(Frame, BytesView(Sealed.Tag.data(), 16));
+  appendBytes(Frame, Sealed.Ciphertext);
+  return Frame;
+}
+
+Expected<Bytes> elide::openRecord(const Aes128Key &Key, BytesView Frame) {
+  if (!Frame.empty() && Frame[0] == FrameError)
+    return makeError("peer error: " + stringOfBytes(Frame.subspan(1)));
+  if (Frame.size() < 1 + 12 + 16)
+    return makeError("record frame too short");
+  if (Frame[0] != FrameRecord)
+    return makeError("expected a record frame, got type " +
+                     std::to_string(Frame[0]));
+  BytesView Iv = Frame.subspan(1, 12);
+  GcmTag Tag;
+  std::memcpy(Tag.data(), Frame.data() + 13, 16);
+  BytesView Ciphertext = Frame.subspan(29);
+  return aesGcmDecrypt(BytesView(Key.data(), 16), Iv, Ciphertext,
+                       BytesView(), Tag);
+}
+
+Bytes elide::errorFrame(const std::string &Message) {
+  Bytes Frame;
+  Frame.push_back(FrameError);
+  appendBytes(Frame, viewOf(Message));
+  return Frame;
+}

@@ -1,0 +1,72 @@
+//===- server/Protocol.h - SgxElide client/server wire protocol ----------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol between the Runtime Restorer and the authentication
+/// server. Per the paper: "The client sends a single byte request
+/// representing what resource it requires (i.e., REQUEST_META ... and
+/// REQUEST_DATA ...), and the server responds with the data. The client
+/// and server communicate using AES GCM encryption."
+///
+/// Frames:
+///   HELLO     : 0x01 || serialized quote            (quote's report data
+///               carries the enclave's X25519 public key)
+///   HELLO-OK  : 0x01 || server X25519 public key
+///   RECORD    : 0x02 || iv[12] || tag[16] || ciphertext   (AES-128-GCM)
+///   ERROR     : 0xee || utf-8 message
+///
+/// Record plaintexts: requests are the paper's single byte (REQUEST_META /
+/// REQUEST_DATA); responses are the raw metadata / secret data bytes.
+/// Session keys derive from X25519(client, server) via HKDF, one key per
+/// direction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SERVER_PROTOCOL_H
+#define SGXELIDE_SERVER_PROTOCOL_H
+
+#include "crypto/AesGcm.h"
+#include "crypto/Drbg.h"
+#include "crypto/X25519.h"
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+namespace elide {
+
+/// Frame type bytes.
+constexpr uint8_t FrameHello = 0x01;
+constexpr uint8_t FrameRecord = 0x02;
+constexpr uint8_t FrameError = 0xee;
+
+/// The paper's single-byte request codes.
+constexpr uint8_t RequestMeta = 0x4d; // 'M'
+constexpr uint8_t RequestData = 0x44; // 'D'
+
+/// Per-direction AES-128 session keys derived from the handshake.
+struct SessionKeys {
+  Aes128Key ClientToServer{};
+  Aes128Key ServerToClient{};
+};
+
+/// Derives the session keys from an X25519 shared secret and both public
+/// keys (transcript binding).
+SessionKeys deriveSessionKeys(const X25519Key &Shared,
+                              const X25519Key &ClientPub,
+                              const X25519Key &ServerPub);
+
+/// Encrypts \p Plaintext into a RECORD frame under \p Key.
+Expected<Bytes> sealRecord(const Aes128Key &Key, BytesView Plaintext,
+                           Drbg &Rng);
+
+/// Decrypts a RECORD frame (including the leading type byte).
+Expected<Bytes> openRecord(const Aes128Key &Key, BytesView Frame);
+
+/// Builds an ERROR frame.
+Bytes errorFrame(const std::string &Message);
+
+} // namespace elide
+
+#endif // SGXELIDE_SERVER_PROTOCOL_H

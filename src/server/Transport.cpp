@@ -1,0 +1,175 @@
+//===- server/Transport.cpp - Client/server transports ----------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace elide;
+
+Transport::~Transport() = default;
+
+Expected<Bytes> LoopbackTransport::roundTrip(BytesView Request) {
+  return Server.handle(Request);
+}
+
+//===----------------------------------------------------------------------===//
+// Framing helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Error sendAll(int Fd, const uint8_t *Data, size_t Len) {
+  size_t Sent = 0;
+  while (Sent < Len) {
+    ssize_t N = ::send(Fd, Data + Sent, Len - Sent, 0);
+    if (N <= 0)
+      return makeError(std::string("send failed: ") + std::strerror(errno));
+    Sent += static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+Error recvAll(int Fd, uint8_t *Data, size_t Len) {
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::recv(Fd, Data + Got, Len - Got, 0);
+    if (N == 0)
+      return makeError("connection closed");
+    if (N < 0)
+      return makeError(std::string("recv failed: ") + std::strerror(errno));
+    Got += static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+Error sendFrame(int Fd, BytesView Frame) {
+  uint8_t Len[4];
+  writeLE32(Len, static_cast<uint32_t>(Frame.size()));
+  if (Error E = sendAll(Fd, Len, 4))
+    return E;
+  return sendAll(Fd, Frame.data(), Frame.size());
+}
+
+Expected<Bytes> recvFrame(int Fd) {
+  uint8_t LenBytes[4];
+  if (Error E = recvAll(Fd, LenBytes, 4))
+    return E;
+  uint32_t Len = readLE32(LenBytes);
+  if (Len > (64u << 20))
+    return makeError("frame too large: " + std::to_string(Len));
+  Bytes Frame(Len);
+  if (Len)
+    if (Error E = recvAll(Fd, Frame.data(), Len))
+      return E;
+  return Frame;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TcpServer
+//===----------------------------------------------------------------------===//
+
+Expected<std::unique_ptr<TcpServer>> TcpServer::start(AuthServer &Server) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return makeError(std::string("socket: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = 0; // ephemeral
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return makeError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(Fd, 4) < 0) {
+    ::close(Fd);
+    return makeError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t AddrLen = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) < 0) {
+    ::close(Fd);
+    return makeError(std::string("getsockname: ") + std::strerror(errno));
+  }
+
+  std::unique_ptr<TcpServer> S(new TcpServer());
+  S->Server = &Server;
+  S->ListenFd = Fd;
+  S->Port = ntohs(Addr.sin_port);
+  S->Worker = std::thread([Raw = S.get()] { Raw->serveLoop(); });
+  return S;
+}
+
+void TcpServer::serveLoop() {
+  while (!Stopping.load()) {
+    int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0) {
+      if (Stopping.load())
+        return;
+      continue;
+    }
+    // Serve frames on this connection until the peer closes it.
+    while (true) {
+      Expected<Bytes> Request = recvFrame(Client);
+      if (!Request)
+        break;
+      Bytes Response = Server->handle(*Request);
+      if (Error E = sendFrame(Client, Response))
+        break;
+    }
+    ::close(Client);
+  }
+}
+
+void TcpServer::stop() {
+  if (Stopping.exchange(true))
+    return;
+  // Shut the listener down to unblock accept().
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  if (Worker.joinable())
+    Worker.join();
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+//===----------------------------------------------------------------------===//
+// TcpClientTransport
+//===----------------------------------------------------------------------===//
+
+Expected<Bytes> TcpClientTransport::roundTrip(BytesView Request) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return makeError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    ::close(Fd);
+    return makeError("invalid server address " + Host);
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return makeError(std::string("connect: ") + std::strerror(errno));
+  }
+  Error SendErr = sendFrame(Fd, Request);
+  if (SendErr) {
+    ::close(Fd);
+    return SendErr;
+  }
+  Expected<Bytes> Response = recvFrame(Fd);
+  ::close(Fd);
+  return Response;
+}

@@ -1,0 +1,89 @@
+//===- server/Transport.h - Client/server transports -----------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Request/response transports between the untrusted host runtime and the
+/// authentication server. `LoopbackTransport` calls the server in-process
+/// (used by tests and benchmarks -- the paper likewise ran client and
+/// server on one machine over sockets with "very little network latency");
+/// `TcpServer`/`TcpClientTransport` run the same byte protocol over real
+/// TCP sockets with length-prefixed frames.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SERVER_TRANSPORT_H
+#define SGXELIDE_SERVER_TRANSPORT_H
+
+#include "server/AuthServer.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+namespace elide {
+
+/// Synchronous request/response channel to the authentication server.
+class Transport {
+public:
+  virtual ~Transport();
+
+  /// Sends one request frame and waits for the response frame.
+  virtual Expected<Bytes> roundTrip(BytesView Request) = 0;
+};
+
+/// Calls an in-process server directly.
+class LoopbackTransport : public Transport {
+public:
+  explicit LoopbackTransport(AuthServer &Server) : Server(Server) {}
+  Expected<Bytes> roundTrip(BytesView Request) override;
+
+private:
+  AuthServer &Server;
+};
+
+/// Serves an AuthServer over TCP (one connection at a time; frames are
+/// u32-length-prefixed). Binds to 127.0.0.1 on an ephemeral port.
+class TcpServer {
+public:
+  /// Starts the accept loop on a background thread.
+  static Expected<std::unique_ptr<TcpServer>> start(AuthServer &Server);
+  ~TcpServer();
+
+  /// The bound port.
+  uint16_t port() const { return Port; }
+
+  /// Stops the accept loop and joins the thread.
+  void stop();
+
+private:
+  TcpServer() = default;
+  void serveLoop();
+
+  AuthServer *Server = nullptr;
+  int ListenFd = -1;
+  uint16_t Port = 0;
+  std::thread Worker;
+  std::atomic<bool> Stopping{false};
+};
+
+/// TCP client side: connects per roundTrip (the restorer makes only a
+/// handful of requests, so connection reuse is not worth statefulness --
+/// but the session key survives across connections since the server keys
+/// the session, not the socket).
+class TcpClientTransport : public Transport {
+public:
+  TcpClientTransport(std::string Host, uint16_t Port)
+      : Host(std::move(Host)), Port(Port) {}
+  Expected<Bytes> roundTrip(BytesView Request) override;
+
+private:
+  std::string Host;
+  uint16_t Port;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_SERVER_TRANSPORT_H

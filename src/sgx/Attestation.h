@@ -1,0 +1,74 @@
+//===- sgx/Attestation.h - Quoting enclave and attestation authority -----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Remote attestation: the quoting enclave (the "special platform enclave"
+/// of the paper's background section) converts local-attestation reports
+/// into quotes signed with a device attestation key; the attestation
+/// authority (Intel's provisioning + IAS role) certifies attestation keys
+/// and lets remote verifiers -- the SgxElide authentication server --
+/// check quotes with nothing but the authority's public key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SGX_ATTESTATION_H
+#define SGXELIDE_SGX_ATTESTATION_H
+
+#include "sgx/Enclave.h"
+
+namespace elide {
+namespace sgx {
+
+class QuotingEnclave;
+
+/// The root of trust for remote attestation.
+class AttestationAuthority {
+public:
+  /// Creates an authority with a deterministic root key (for reproducible
+  /// experiments).
+  explicit AttestationAuthority(uint64_t Seed);
+
+  /// The public key remote verifiers pin.
+  const Ed25519PublicKey &publicKey() const { return Root.PublicKey; }
+
+  /// Certifies a quoting enclave's attestation key (the provisioning
+  /// protocol, collapsed to its outcome).
+  Ed25519Signature certifyAttestationKey(const Ed25519PublicKey &Key) const;
+
+  /// Verifies a quote end to end: certificate chain, quote signature.
+  /// Returns the attested report body on success.
+  static Expected<ReportBody> verifyQuote(const Quote &Q,
+                                          const Ed25519PublicKey &Authority);
+
+private:
+  Ed25519KeyPair Root;
+};
+
+/// The quoting enclave: verifies reports targeted at it and signs quotes.
+class QuotingEnclave {
+public:
+  /// Creates the QE on a device and provisions it with \p Authority.
+  QuotingEnclave(SgxDevice &Device, const AttestationAuthority &Authority);
+
+  /// The TARGETINFO an application enclave uses to direct an EREPORT at
+  /// the QE.
+  TargetInfo targetInfo() const;
+
+  /// Verifies the report's MAC (only possible on the same device) and
+  /// returns a signed quote.
+  Expected<Quote> quoteReport(const Report &R) const;
+
+private:
+  SgxDevice &Device;
+  Measurement QeIdentity{};
+  Ed25519KeyPair AttestationKey;
+  Ed25519Signature KeyCertificate{};
+};
+
+} // namespace sgx
+} // namespace elide
+
+#endif // SGXELIDE_SGX_ATTESTATION_H

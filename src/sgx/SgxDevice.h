@@ -1,0 +1,85 @@
+//===- sgx/SgxDevice.h - The SGX hardware device model ------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `SgxDevice` models one SGX-capable CPU: it owns the fused hardware
+/// secret from which all enclave-bound keys derive, and exposes the
+/// enclave launch flow (ECREATE / EADD / EEXTEND / EINIT) through
+/// `SgxDevice::Builder`, which maintains the running SHA-256 measurement
+/// exactly as the paper's background section describes: every EADD
+/// contributes the page's address and permissions, every EEXTEND measures
+/// 256 bytes (16 per page).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SGX_SGXDEVICE_H
+#define SGXELIDE_SGX_SGXDEVICE_H
+
+#include "crypto/Drbg.h"
+#include "crypto/Sha256.h"
+#include "sgx/SgxTypes.h"
+
+#include <map>
+#include <memory>
+
+namespace elide {
+namespace sgx {
+
+class Enclave;
+
+/// One SGX machine. Distinct seeds model distinct CPUs: sealed blobs do
+/// not transfer between devices.
+class SgxDevice {
+public:
+  /// Creates a device whose hardware key derives from \p MachineSeed.
+  explicit SgxDevice(uint64_t MachineSeed);
+
+  /// Derives a 128-bit hardware-bound key (seal keys, report keys, the
+  /// memory-encryption key). \p Label separates key families; \p Salt
+  /// binds enclave identity.
+  Aes128Key deriveKey128(const std::string &Label, BytesView Salt) const;
+
+  /// The device randomness source (RDRAND stand-in).
+  Drbg &rng() { return Rng; }
+
+  /// The enclave launch flow. Create with `SgxDevice::launch`, add pages,
+  /// then `init` with the vendor's SIGSTRUCT.
+  class Builder {
+  public:
+    /// ECREATE: starts the measurement for an enclave of \p Size bytes of
+    /// address space.
+    Builder(SgxDevice &Device, uint64_t Size);
+
+    /// EADD + EEXTENDs: adds a 4 KiB page at \p VAddr with \p Perms.
+    /// \p Content is zero-padded to a full page; it must not exceed 4096
+    /// bytes, and \p VAddr must be page-aligned, unused, and inside the
+    /// enclave range.
+    Error addPage(uint64_t VAddr, uint8_t Perms, BytesView Content);
+
+    /// EINIT: verifies the SIGSTRUCT signature and measurement match,
+    /// then produces the initialized enclave. The builder is consumed.
+    Expected<std::unique_ptr<Enclave>> init(const SigStruct &Sig);
+
+    /// The measurement accumulated so far (finalized copy).
+    Measurement currentMeasurement() const;
+
+  private:
+    SgxDevice &Device;
+    uint64_t Size;
+    Sha256 Hash;
+    std::map<uint64_t, std::pair<uint8_t, Bytes>> Pages;
+    bool Consumed = false;
+  };
+
+private:
+  std::array<uint8_t, 32> HardwareKey;
+  mutable Drbg Rng;
+};
+
+} // namespace sgx
+} // namespace elide
+
+#endif // SGXELIDE_SGX_SGXDEVICE_H

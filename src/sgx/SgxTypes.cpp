@@ -1,0 +1,108 @@
+//===- sgx/SgxTypes.cpp - SGX architectural structures ------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sgx/SgxTypes.h"
+
+#include "crypto/Sha256.h"
+
+#include <cstring>
+
+using namespace elide;
+using namespace elide::sgx;
+
+Measurement SigStruct::mrSigner() const {
+  Sha256Digest D = Sha256::hash(BytesView(VendorKey.data(), VendorKey.size()));
+  Measurement Out;
+  std::memcpy(Out.data(), D.data(), 32);
+  return Out;
+}
+
+Bytes SigStruct::signedMessage() const {
+  Bytes Msg;
+  appendBytes(Msg, viewOf(std::string("SIGSTRUCT")));
+  appendBytes(Msg, BytesView(MrEnclave.data(), MrEnclave.size()));
+  appendLE64(Msg, Attributes);
+  return Msg;
+}
+
+SigStruct SigStruct::sign(const Ed25519KeyPair &Vendor,
+                          const Measurement &MrEnclave, uint64_t Attributes) {
+  SigStruct S;
+  S.MrEnclave = MrEnclave;
+  S.Attributes = Attributes;
+  S.VendorKey = Vendor.PublicKey;
+  S.Signature = ed25519Sign(Vendor, S.signedMessage());
+  return S;
+}
+
+bool SigStruct::verify() const {
+  return ed25519Verify(VendorKey, signedMessage(), Signature);
+}
+
+Bytes SigStruct::serialize() const {
+  Bytes Out;
+  appendBytes(Out, BytesView(MrEnclave.data(), 32));
+  appendLE64(Out, Attributes);
+  appendBytes(Out, BytesView(VendorKey.data(), 32));
+  appendBytes(Out, BytesView(Signature.data(), 64));
+  return Out;
+}
+
+Expected<SigStruct> SigStruct::deserialize(BytesView Data) {
+  if (Data.size() != 32 + 8 + 32 + 64)
+    return makeError("SIGSTRUCT must be 136 bytes, got " +
+                     std::to_string(Data.size()));
+  SigStruct S;
+  std::memcpy(S.MrEnclave.data(), Data.data(), 32);
+  S.Attributes = readLE64(Data.data() + 32);
+  std::memcpy(S.VendorKey.data(), Data.data() + 40, 32);
+  std::memcpy(S.Signature.data(), Data.data() + 72, 64);
+  return S;
+}
+
+Bytes ReportBody::serialize() const {
+  Bytes Out;
+  appendBytes(Out, BytesView(MrEnclave.data(), 32));
+  appendBytes(Out, BytesView(MrSigner.data(), 32));
+  appendLE64(Out, Attributes);
+  appendBytes(Out, BytesView(Data.data(), 64));
+  return Out;
+}
+
+Expected<ReportBody> ReportBody::deserialize(BytesView Data) {
+  if (Data.size() != 32 + 32 + 8 + 64)
+    return makeError("report body must be 136 bytes, got " +
+                     std::to_string(Data.size()));
+  ReportBody B;
+  std::memcpy(B.MrEnclave.data(), Data.data(), 32);
+  std::memcpy(B.MrSigner.data(), Data.data() + 32, 32);
+  B.Attributes = readLE64(Data.data() + 64);
+  std::memcpy(B.Data.data(), Data.data() + 72, 64);
+  return B;
+}
+
+Bytes Quote::serialize() const {
+  Bytes Out = Body.serialize();
+  appendBytes(Out, BytesView(AttestationKey.data(), 32));
+  appendBytes(Out, BytesView(KeyCertificate.data(), 64));
+  appendBytes(Out, BytesView(Signature.data(), 64));
+  return Out;
+}
+
+Expected<Quote> Quote::deserialize(BytesView Data) {
+  constexpr size_t BodySize = 136;
+  if (Data.size() != BodySize + 32 + 64 + 64)
+    return makeError("quote must be 296 bytes, got " +
+                     std::to_string(Data.size()));
+  Quote Q;
+  ELIDE_TRY(ReportBody B,
+            ReportBody::deserialize(Data.subspan(0, BodySize)));
+  Q.Body = B;
+  std::memcpy(Q.AttestationKey.data(), Data.data() + BodySize, 32);
+  std::memcpy(Q.KeyCertificate.data(), Data.data() + BodySize + 32, 64);
+  std::memcpy(Q.Signature.data(), Data.data() + BodySize + 96, 64);
+  return Q;
+}

@@ -1,0 +1,137 @@
+//===- support/Bytes.h - Byte buffer and little-endian helpers -----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common byte-level utilities shared by the crypto, ELF, VM, and SGX
+/// libraries: owned buffers, read-only views, and little-endian packing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SUPPORT_BYTES_H
+#define SGXELIDE_SUPPORT_BYTES_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace elide {
+
+/// An owned, growable byte buffer.
+using Bytes = std::vector<uint8_t>;
+
+/// A non-owning read-only view of bytes.
+using BytesView = std::span<const uint8_t>;
+
+/// A non-owning mutable view of bytes.
+using MutableBytesView = std::span<uint8_t>;
+
+/// Returns a view of a string's bytes (no copy).
+inline BytesView viewOf(const std::string &S) {
+  return BytesView(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+}
+
+/// Copies a view into an owned buffer.
+inline Bytes toBytes(BytesView V) { return Bytes(V.begin(), V.end()); }
+
+/// Builds a buffer from a string's bytes.
+inline Bytes bytesOfString(const std::string &S) { return toBytes(viewOf(S)); }
+
+/// Interprets a byte buffer as a string.
+inline std::string stringOfBytes(BytesView V) {
+  return std::string(reinterpret_cast<const char *>(V.data()), V.size());
+}
+
+/// Appends \p Src to \p Dst.
+inline void appendBytes(Bytes &Dst, BytesView Src) {
+  Dst.insert(Dst.end(), Src.begin(), Src.end());
+}
+
+/// Reads a little-endian 16-bit integer at \p P.
+inline uint16_t readLE16(const uint8_t *P) {
+  return static_cast<uint16_t>(P[0]) | static_cast<uint16_t>(P[1]) << 8;
+}
+
+/// Reads a little-endian 32-bit integer at \p P.
+inline uint32_t readLE32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | static_cast<uint32_t>(P[1]) << 8 |
+         static_cast<uint32_t>(P[2]) << 16 | static_cast<uint32_t>(P[3]) << 24;
+}
+
+/// Reads a little-endian 64-bit integer at \p P.
+inline uint64_t readLE64(const uint8_t *P) {
+  return static_cast<uint64_t>(readLE32(P)) |
+         static_cast<uint64_t>(readLE32(P + 4)) << 32;
+}
+
+/// Writes a little-endian 16-bit integer to \p P.
+inline void writeLE16(uint8_t *P, uint16_t V) {
+  P[0] = static_cast<uint8_t>(V);
+  P[1] = static_cast<uint8_t>(V >> 8);
+}
+
+/// Writes a little-endian 32-bit integer to \p P.
+inline void writeLE32(uint8_t *P, uint32_t V) {
+  P[0] = static_cast<uint8_t>(V);
+  P[1] = static_cast<uint8_t>(V >> 8);
+  P[2] = static_cast<uint8_t>(V >> 16);
+  P[3] = static_cast<uint8_t>(V >> 24);
+}
+
+/// Writes a little-endian 64-bit integer to \p P.
+inline void writeLE64(uint8_t *P, uint64_t V) {
+  writeLE32(P, static_cast<uint32_t>(V));
+  writeLE32(P + 4, static_cast<uint32_t>(V >> 32));
+}
+
+/// Reads a big-endian 32-bit integer at \p P (crypto code uses BE).
+inline uint32_t readBE32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) << 24 | static_cast<uint32_t>(P[1]) << 16 |
+         static_cast<uint32_t>(P[2]) << 8 | static_cast<uint32_t>(P[3]);
+}
+
+/// Reads a big-endian 64-bit integer at \p P.
+inline uint64_t readBE64(const uint8_t *P) {
+  return static_cast<uint64_t>(readBE32(P)) << 32 |
+         static_cast<uint64_t>(readBE32(P + 4));
+}
+
+/// Writes a big-endian 32-bit integer to \p P.
+inline void writeBE32(uint8_t *P, uint32_t V) {
+  P[0] = static_cast<uint8_t>(V >> 24);
+  P[1] = static_cast<uint8_t>(V >> 16);
+  P[2] = static_cast<uint8_t>(V >> 8);
+  P[3] = static_cast<uint8_t>(V);
+}
+
+/// Writes a big-endian 64-bit integer to \p P.
+inline void writeBE64(uint8_t *P, uint64_t V) {
+  writeBE32(P, static_cast<uint32_t>(V >> 32));
+  writeBE32(P + 4, static_cast<uint32_t>(V));
+}
+
+/// Appends a little-endian integer to a buffer.
+inline void appendLE32(Bytes &B, uint32_t V) {
+  uint8_t Tmp[4];
+  writeLE32(Tmp, V);
+  B.insert(B.end(), Tmp, Tmp + 4);
+}
+
+/// Appends a little-endian 64-bit integer to a buffer.
+inline void appendLE64(Bytes &B, uint64_t V) {
+  uint8_t Tmp[8];
+  writeLE64(Tmp, V);
+  B.insert(B.end(), Tmp, Tmp + 8);
+}
+
+/// Overwrites \p B with zeros (best effort; not a secure wipe guarantee).
+inline void zeroize(Bytes &B) { std::memset(B.data(), 0, B.size()); }
+
+} // namespace elide
+
+#endif // SGXELIDE_SUPPORT_BYTES_H

@@ -1,0 +1,131 @@
+//===- support/Error.h - Lightweight recoverable error handling ----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small `Error` / `Expected<T>` pair modeled on LLVM's recoverable error
+/// scheme. Errors carry a message string; `Expected<T>` holds either a value
+/// or an error. Unlike LLVM's version these do not abort on unchecked
+/// destruction -- they are plain value types -- but the usage idioms
+/// (early-exit on failure, `takeError`, `ELIDE_TRY`) are the same.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SUPPORT_ERROR_H
+#define SGXELIDE_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace elide {
+
+/// A recoverable error: either success (empty) or a failure message.
+///
+/// Converts to `true` when it holds a failure, enabling
+/// `if (Error E = mayFail()) return E;`.
+class Error {
+public:
+  /// Constructs a success value.
+  Error() = default;
+
+  /// Constructs a failure carrying \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  /// Constructs a success value (readability alias for `Error()`).
+  static Error success() { return Error(); }
+
+  /// Returns true when this is a failure.
+  explicit operator bool() const { return Message.has_value(); }
+
+  /// Returns the failure message. Must only be called on failures.
+  const std::string &message() const {
+    assert(Message && "message() on a success Error");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Creates a failure `Error` from a message.
+inline Error makeError(std::string Message) {
+  return Error::failure(std::move(Message));
+}
+
+/// Either a `T` or an `Error`. Mirrors `llvm::Expected`.
+///
+/// Converts to `true` on success; the value is reached via `*`/`->` and the
+/// error via `takeError()`.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Storage(std::move(Value)) {}
+
+  /// Constructs a failure. \p E must hold an error.
+  Expected(Error E) : Storage(std::move(E)) {
+    assert(std::get<Error>(Storage) && "Expected constructed from success");
+  }
+
+  /// Returns true when a value is present.
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  /// Accesses the contained value. Must only be called on success.
+  T &operator*() {
+    assert(*this && "dereferencing an errored Expected");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an errored Expected");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Moves the contained error out. Returns success if a value is present.
+  Error takeError() {
+    if (*this)
+      return Error::success();
+    return std::move(std::get<Error>(Storage));
+  }
+
+  /// Returns the error message without consuming the error.
+  const std::string &errorMessage() const {
+    assert(!*this && "errorMessage() on a success Expected");
+    return std::get<Error>(Storage).message();
+  }
+
+  /// Moves the value out. Must only be called on success.
+  T takeValue() {
+    assert(*this && "takeValue() on an errored Expected");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace elide
+
+#define ELIDE_CONCAT_IMPL(A, B) A##B
+#define ELIDE_CONCAT(A, B) ELIDE_CONCAT_IMPL(A, B)
+#define ELIDE_TRY_IMPL(Decl, Expr, Tmp)                                        \
+  auto Tmp = (Expr);                                                           \
+  if (!Tmp)                                                                    \
+    return Tmp.takeError();                                                    \
+  Decl = Tmp.takeValue()
+
+/// Propagates the error from an `Expected` expression, binding the value on
+/// success: `ELIDE_TRY(auto V, mayFail());`
+#define ELIDE_TRY(Decl, Expr)                                                  \
+  ELIDE_TRY_IMPL(Decl, Expr, ELIDE_CONCAT(ElideTryTmp, __LINE__))
+
+#endif // SGXELIDE_SUPPORT_ERROR_H

@@ -1,0 +1,51 @@
+//===- support/File.cpp - Whole-file read and write ------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/File.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace elide;
+
+Expected<Bytes> elide::readFileBytes(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return makeError("cannot open " + Path + ": " + std::strerror(errno));
+  Bytes Out;
+  uint8_t Chunk[65536];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Out.insert(Out.end(), Chunk, Chunk + N);
+  bool Failed = std::ferror(F) != 0;
+  std::fclose(F);
+  if (Failed)
+    return makeError("read error on " + Path);
+  return Out;
+}
+
+Error elide::writeFileBytes(const std::string &Path, BytesView Data) {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return makeError("cannot create " + Path + ": " + std::strerror(errno));
+  size_t Written = Data.empty() ? 0 : std::fwrite(Data.data(), 1, Data.size(), F);
+  bool Failed = Written != Data.size();
+  if (std::fclose(F) != 0)
+    Failed = true;
+  if (Failed)
+    return makeError("write error on " + Path);
+  return Error::success();
+}
+
+bool elide::fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISREG(St.st_mode);
+}
+
+void elide::removeFile(const std::string &Path) { ::unlink(Path.c_str()); }

@@ -1,0 +1,35 @@
+//===- support/File.h - Whole-file read and write --------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-file byte I/O used by the sanitizer (enclave .so files, secret
+/// data/metadata files) and by the sealed-blob storage path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SUPPORT_FILE_H
+#define SGXELIDE_SUPPORT_FILE_H
+
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+namespace elide {
+
+/// Reads an entire file. Fails with the OS error message if unreadable.
+Expected<Bytes> readFileBytes(const std::string &Path);
+
+/// Writes \p Data to \p Path, replacing any existing file.
+Error writeFileBytes(const std::string &Path, BytesView Data);
+
+/// Returns true if a regular file exists at \p Path.
+bool fileExists(const std::string &Path);
+
+/// Removes the file at \p Path if it exists; ignores missing files.
+void removeFile(const std::string &Path);
+
+} // namespace elide
+
+#endif // SGXELIDE_SUPPORT_FILE_H

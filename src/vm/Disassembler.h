@@ -1,0 +1,37 @@
+//===- vm/Disassembler.h - SVM bytecode disassembler -------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual disassembly of SVM code. Besides debugging, this models the
+/// paper's adversary: "the enclave file can be disassembled" -- the
+/// integration tests disassemble shipped enclaves to show that secrets are
+/// recoverable from an unsanitized image and absent from a sanitized one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_VM_DISASSEMBLER_H
+#define SGXELIDE_VM_DISASSEMBLER_H
+
+#include "vm/Isa.h"
+
+#include <string>
+
+namespace elide {
+
+/// Formats one instruction (no trailing newline).
+std::string disassembleInstruction(const Instruction &I, uint64_t Pc);
+
+/// Disassembles a code region starting at virtual address \p BaseAddr,
+/// one line per 8-byte slot. Undecodable slots print as `.word`.
+std::string disassemble(BytesView Code, uint64_t BaseAddr);
+
+/// Counts the 8-byte slots in \p Code whose opcode byte is a defined
+/// opcode. Used by tests as a crude "does this look like code?" metric.
+size_t countValidInstructionSlots(BytesView Code);
+
+} // namespace elide
+
+#endif // SGXELIDE_VM_DISASSEMBLER_H

@@ -1,0 +1,112 @@
+//===- vm/Interpreter.h - SVM bytecode interpreter --------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes SVM bytecode over a `MemoryBus`. Trusted calls (`tcall`) and
+/// untrusted calls (`ocall`) dispatch to handlers installed by the SGX
+/// enclave runtime -- modeling, respectively, statically linked SGX SDK
+/// library functions and the ecall/ocall bridge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_VM_INTERPRETER_H
+#define SGXELIDE_VM_INTERPRETER_H
+
+#include "vm/Isa.h"
+#include "vm/MemoryBus.h"
+
+#include <functional>
+#include <vector>
+
+namespace elide {
+
+/// Why execution stopped.
+enum class TrapKind {
+  Halt,               ///< HALT executed; normal ecall return.
+  IllegalInstruction, ///< Undefined opcode (e.g. sanitized code was called).
+  MemoryFault,        ///< Bus rejected an access (permissions / bounds).
+  UnalignedPc,        ///< PC not 8-byte aligned.
+  DivideByZero,
+  CallDepthExceeded,
+  CallStackUnderflow, ///< RET with no caller (falls off an ecall).
+  HandlerFault,       ///< A tcall/ocall handler reported an error.
+  ExplicitTrap,       ///< TRAP instruction.
+  BudgetExhausted,    ///< Instruction budget ran out (runaway loop guard).
+};
+
+/// Returns a human-readable name for a trap kind.
+const char *trapKindName(TrapKind Kind);
+
+/// The outcome of a `Vm::run` invocation.
+struct ExecResult {
+  TrapKind Kind = TrapKind::Halt;
+  uint64_t Pc = 0;            ///< PC of the faulting/halting instruction.
+  uint64_t ReturnValue = 0;   ///< r1 at HALT.
+  int32_t TrapCode = 0;       ///< imm of TRAP, when Kind == ExplicitTrap.
+  uint64_t InstructionsRetired = 0;
+  std::string Message;        ///< Fault detail (empty on Halt).
+
+  bool halted() const { return Kind == TrapKind::Halt; }
+};
+
+class Vm;
+
+/// Handler for tcall/ocall. Receives the call index and the VM (for
+/// register and memory access); returns the value to place in r1, or an
+/// Error to convert into a HandlerFault trap.
+using CallHandler = std::function<Expected<uint64_t>(uint32_t Index, Vm &)>;
+
+/// An SVM hart bound to a memory bus.
+class Vm {
+public:
+  explicit Vm(MemoryBus &Bus) : Bus(Bus) {}
+
+  /// Reads register \p R (r0 always reads 0).
+  uint64_t reg(unsigned R) const {
+    assert(R < SvmRegCount && "register index out of range");
+    return R == SvmRegZero ? 0 : Regs[R];
+  }
+
+  /// Writes register \p R (writes to r0 are discarded).
+  void setReg(unsigned R, uint64_t V) {
+    assert(R < SvmRegCount && "register index out of range");
+    if (R != SvmRegZero)
+      Regs[R] = V;
+  }
+
+  /// Installs the trusted-library call handler.
+  void setTcallHandler(CallHandler Handler) { Tcall = std::move(Handler); }
+
+  /// Installs the untrusted (ocall bridge) call handler.
+  void setOcallHandler(CallHandler Handler) { Ocall = std::move(Handler); }
+
+  /// Sets the maximum call depth (default 1024).
+  void setMaxCallDepth(size_t Depth) { MaxCallDepth = Depth; }
+
+  /// Runs from \p StartPc until HALT, a trap, or \p Budget instructions.
+  ExecResult run(uint64_t StartPc, uint64_t Budget = 1ull << 32);
+
+  /// The memory bus (handlers use this for buffer access).
+  MemoryBus &memory() { return Bus; }
+
+  /// Convenience for handlers: reads \p Len bytes at \p Addr.
+  Expected<Bytes> readBytes(uint64_t Addr, uint64_t Len);
+
+  /// Convenience for handlers: writes \p Data at \p Addr.
+  Error writeBytes(uint64_t Addr, BytesView Data);
+
+private:
+  MemoryBus &Bus;
+  uint64_t Regs[SvmRegCount] = {0};
+  std::vector<uint64_t> CallStack;
+  size_t MaxCallDepth = 1024;
+  CallHandler Tcall;
+  CallHandler Ocall;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_VM_INTERPRETER_H

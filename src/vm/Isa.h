@@ -1,0 +1,161 @@
+//===- vm/Isa.h - SVM instruction set ---------------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SVM instruction set: the bytecode that fills enclave `.text`
+/// sections in this reproduction. Design goals, in order:
+///
+///  1. Zeroed bytes must decode to an illegal instruction, so a sanitized
+///     (redacted) function traps exactly like zeroed x86 would.
+///  2. Fixed-width 8-byte encoding: [opcode][rd][rs1][rs2][imm32le].
+///  3. Enough expressiveness for the Elc compiler to port the paper's
+///     seven benchmarks (crypto kernels, games, crackme).
+///
+/// 32 general-purpose 64-bit registers; r0 reads as zero, writes are
+/// discarded. r29 is the stack pointer by convention. The program counter
+/// is a byte address into enclave memory and must stay 8-byte aligned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_VM_ISA_H
+#define SGXELIDE_VM_ISA_H
+
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+namespace elide {
+
+/// Number of architectural registers.
+constexpr unsigned SvmRegCount = 32;
+
+/// Register r0 is hardwired to zero.
+constexpr uint8_t SvmRegZero = 0;
+
+/// Conventional stack pointer register.
+constexpr uint8_t SvmRegSp = 29;
+
+/// Instruction width in bytes.
+constexpr uint64_t SvmInstrSize = 8;
+
+/// SVM opcodes. Opcode 0 is deliberately the illegal instruction.
+enum class Opcode : uint8_t {
+  Illegal = 0x00, ///< Zeroed memory decodes to this; always traps.
+  Nop = 0x01,
+
+  // Three-register ALU: rd = rs1 op rs2.
+  Add = 0x02,
+  Sub = 0x03,
+  Mul = 0x04,
+  DivU = 0x05,
+  DivS = 0x06,
+  RemU = 0x07,
+  RemS = 0x08,
+  And = 0x09,
+  Or = 0x0a,
+  Xor = 0x0b,
+  Shl = 0x0c,
+  ShrL = 0x0d,
+  ShrA = 0x0e,
+
+  // Register-immediate ALU: rd = rs1 op imm (imm sign-extended).
+  AddI = 0x10,
+  MulI = 0x11,
+  AndI = 0x12,
+  OrI = 0x13,
+  XorI = 0x14,
+  ShlI = 0x15,
+  ShrLI = 0x16,
+  ShrAI = 0x17,
+
+  /// rd = sign-extended imm32.
+  LdI = 0x18,
+  /// rd = (rd & 0xffffffff) | (zero-extended imm32 << 32).
+  LdIH = 0x19,
+
+  // Comparisons: rd = (rs1 cmp rs2) ? 1 : 0.
+  Seq = 0x20,
+  Sne = 0x21,
+  SltU = 0x22,
+  SltS = 0x23,
+  SleU = 0x24,
+  SleS = 0x25,
+
+  // Loads: rd = mem[rs1 + imm], zero- or sign-extended.
+  LdBU = 0x30,
+  LdBS = 0x31,
+  LdHU = 0x32,
+  LdHS = 0x33,
+  LdWU = 0x34,
+  LdWS = 0x35,
+  LdD = 0x36,
+
+  // Stores: mem[rs1 + imm] = low bits of rs2.
+  StB = 0x38,
+  StH = 0x39,
+  StW = 0x3a,
+  StD = 0x3b,
+
+  // Control flow. Branch/jump targets are pc-relative byte offsets.
+  Jmp = 0x40,
+  Beqz = 0x41, ///< if rs1 == 0: pc += imm
+  Bnez = 0x42, ///< if rs1 != 0: pc += imm
+  Call = 0x43, ///< push return pc; pc += imm
+  CallR = 0x44, ///< push return pc; pc = rs1 (absolute)
+  Ret = 0x45,
+
+  // Host interface.
+  Ocall = 0x50, ///< untrusted call #imm through the bridge
+  Tcall = 0x51, ///< trusted (in-enclave SDK library) call #imm
+  Halt = 0x52,  ///< end the current ecall; r1 is the return value
+  Trap = 0x53,  ///< explicit abort with code imm
+};
+
+/// A decoded instruction.
+struct Instruction {
+  Opcode Op = Opcode::Illegal;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  int32_t Imm = 0;
+};
+
+/// Encodes an instruction into its 8-byte form.
+inline void encodeInstruction(const Instruction &I, uint8_t Out[8]) {
+  Out[0] = static_cast<uint8_t>(I.Op);
+  Out[1] = I.Rd;
+  Out[2] = I.Rs1;
+  Out[3] = I.Rs2;
+  writeLE32(Out + 4, static_cast<uint32_t>(I.Imm));
+}
+
+/// Decodes 8 bytes into an instruction (no validity checking beyond the
+/// field split; the interpreter rejects unknown opcodes).
+inline Instruction decodeInstruction(const uint8_t In[8]) {
+  Instruction I;
+  I.Op = static_cast<Opcode>(In[0]);
+  I.Rd = In[1];
+  I.Rs1 = In[2];
+  I.Rs2 = In[3];
+  I.Imm = static_cast<int32_t>(readLE32(In + 4));
+  return I;
+}
+
+/// Appends an encoded instruction to a code buffer.
+inline void emitInstruction(Bytes &Code, const Instruction &I) {
+  uint8_t Tmp[8];
+  encodeInstruction(I, Tmp);
+  Code.insert(Code.end(), Tmp, Tmp + 8);
+}
+
+/// Returns the mnemonic for an opcode ("illegal" for unknown values).
+const char *opcodeName(Opcode Op);
+
+/// Returns true when the byte value corresponds to a defined opcode.
+bool isValidOpcode(uint8_t Value);
+
+} // namespace elide
+
+#endif // SGXELIDE_VM_ISA_H

@@ -1,0 +1,58 @@
+//===- vm/MemoryBus.h - VM memory interface ---------------------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter accesses memory exclusively through this interface, so
+/// the SGX device model can interpose per-page permission checks (read /
+/// write / execute) on every access -- the property that makes the paper's
+/// PF_W trick observable: a store into a text page succeeds only when the
+/// sanitizer marked the segment writable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_VM_MEMORYBUS_H
+#define SGXELIDE_VM_MEMORYBUS_H
+
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+namespace elide {
+
+/// Abstract byte-addressed memory with execute permission tracking.
+class MemoryBus {
+public:
+  virtual ~MemoryBus();
+
+  /// Reads Out.size() bytes at \p Addr (data read permission).
+  virtual Error read(uint64_t Addr, MutableBytesView Out) = 0;
+
+  /// Writes Data at \p Addr (data write permission).
+  virtual Error write(uint64_t Addr, BytesView Data) = 0;
+
+  /// Reads 8 instruction bytes at \p Addr (execute permission).
+  virtual Error fetch(uint64_t Addr, uint8_t Out[8]) = 0;
+};
+
+/// A flat RAM bus with uniform RWX permissions, for unit tests and tools.
+class FlatMemory : public MemoryBus {
+public:
+  explicit FlatMemory(size_t Size) : Ram(Size, 0) {}
+
+  Error read(uint64_t Addr, MutableBytesView Out) override;
+  Error write(uint64_t Addr, BytesView Data) override;
+  Error fetch(uint64_t Addr, uint8_t Out[8]) override;
+
+  /// Direct backing-store access for test setup.
+  Bytes &raw() { return Ram; }
+
+private:
+  Error checkRange(uint64_t Addr, uint64_t Size) const;
+  Bytes Ram;
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_VM_MEMORYBUS_H

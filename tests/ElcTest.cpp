@@ -1,0 +1,631 @@
+//===- tests/ElcTest.cpp - Elc compiler end-to-end tests --------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles Elc snippets, loads the resulting ELF enclave image into flat
+/// memory, executes exported functions on the SVM interpreter, and checks
+/// results -- the full lexer->parser->codegen->linker->ELF->VM path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "elc/Compiler.h"
+#include "elf/ElfImage.h"
+#include "vm/Disassembler.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace elide;
+using namespace elide::elc;
+
+namespace {
+
+constexpr size_t RamSize = 1 << 20;
+
+struct LoadedProgram {
+  FlatMemory Ram{RamSize};
+  std::map<std::string, uint64_t> Bridges;
+};
+
+/// Compiles and loads a program; aborts the test on failure.
+std::unique_ptr<LoadedProgram> compileAndLoad(const std::string &Source,
+                                              const CallRegistry &Calls = {}) {
+  Expected<CompileResult> Result =
+      compileEnclave({{"test.elc", Source}}, Calls);
+  if (!Result) {
+    ADD_FAILURE() << "compile error: " << Result.errorMessage();
+    return nullptr;
+  }
+  Expected<ElfImage> Image = ElfImage::parse(Result->ElfFile);
+  if (!Image) {
+    ADD_FAILURE() << "ELF parse error: " << Image.errorMessage();
+    return nullptr;
+  }
+  auto Prog = std::make_unique<LoadedProgram>();
+  for (const ElfSegment &Seg : Image->segments()) {
+    if (Seg.Type != PT_LOAD || Seg.FileSize == 0)
+      continue;
+    BytesView Content(Image->fileBytes().data() + Seg.Offset, Seg.FileSize);
+    EXPECT_FALSE(static_cast<bool>(Prog->Ram.write(Seg.VAddr, Content)));
+  }
+  for (const ElfSymbol &Sym : Image->symbols())
+    if (Sym.Name.rfind(bridgePrefix(), 0) == 0)
+      Prog->Bridges[Sym.Name.substr(strlen(bridgePrefix()))] = Sym.Value;
+  return Prog;
+}
+
+/// Runs an exported function with up to 4 integer arguments.
+ExecResult runExport(LoadedProgram &Prog, const std::string &Name,
+                     std::vector<uint64_t> Args = {}, Vm *ExternalVm = nullptr) {
+  auto It = Prog.Bridges.find(Name);
+  if (It == Prog.Bridges.end()) {
+    ADD_FAILURE() << "no export named " << Name;
+    return {};
+  }
+  Vm Local(Prog.Ram);
+  Vm &M = ExternalVm ? *ExternalVm : Local;
+  M.setReg(SvmRegSp, RamSize - 64);
+  for (size_t I = 0; I < Args.size(); ++I)
+    M.setReg(static_cast<unsigned>(1 + I), Args[I]);
+  return M.run(It->second);
+}
+
+/// One-shot helper: compile, run, expect a HALT with the given value.
+void expectResult(const std::string &Source, const std::string &Name,
+                  std::vector<uint64_t> Args, uint64_t ExpectedValue) {
+  auto Prog = compileAndLoad(Source);
+  ASSERT_NE(Prog, nullptr);
+  ExecResult R = runExport(*Prog, Name, std::move(Args));
+  ASSERT_TRUE(R.halted()) << trapKindName(R.Kind) << ": " << R.Message;
+  EXPECT_EQ(R.ReturnValue, ExpectedValue);
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic and expressions
+//===----------------------------------------------------------------------===//
+
+TEST(ElcExprTest, ConstantReturn) {
+  expectResult("export fn f() -> u64 { return 42; }", "f", {}, 42);
+}
+
+TEST(ElcExprTest, Arguments) {
+  expectResult("export fn add3(a: u64, b: u64, c: u64) -> u64 {"
+               "  return a + b + c; }",
+               "add3", {10, 20, 12}, 42);
+}
+
+TEST(ElcExprTest, Precedence) {
+  expectResult("export fn f() -> u64 { return 2 + 3 * 4 - 6 / 2; }", "f", {},
+               11);
+}
+
+TEST(ElcExprTest, BitwiseOps) {
+  expectResult("export fn f(a: u64, b: u64) -> u64 {"
+               "  return (a & b) | (a ^ b) | (a << 2) | (b >> 1); }",
+               "f", {0x0f, 0xf0}, (0x0fULL & 0xf0) | (0x0fULL ^ 0xf0) |
+                                      (0x0fULL << 2) | (0xf0ULL >> 1));
+}
+
+TEST(ElcExprTest, ComparisonsUnsigned) {
+  expectResult("export fn f(a: u64, b: u64) -> u64 {"
+               "  var n: u64 = 0;"
+               "  if (a < b) { n = n + 1; }"
+               "  if (a <= b) { n = n + 2; }"
+               "  if (a > b) { n = n + 4; }"
+               "  if (a >= b) { n = n + 8; }"
+               "  if (a == b) { n = n + 16; }"
+               "  if (a != b) { n = n + 32; }"
+               "  return n; }",
+               "f", {5, 7}, 1 + 2 + 32);
+}
+
+TEST(ElcExprTest, SignedComparison) {
+  // -1 as i64 is less than 1; as u64 it would be greater.
+  expectResult("export fn f() -> u64 {"
+               "  var a: i64 = 0 - 1;"
+               "  var b: i64 = 1;"
+               "  if (a < b) { return 1; }"
+               "  return 0; }",
+               "f", {}, 1);
+}
+
+TEST(ElcExprTest, SignedDivision) {
+  expectResult("export fn f() -> i64 {"
+               "  var a: i64 = 0 - 7;"
+               "  var b: i64 = 2;"
+               "  return a / b; }",
+               "f", {}, static_cast<uint64_t>(int64_t{-3}));
+}
+
+TEST(ElcExprTest, UnsignedDivision) {
+  expectResult("export fn f(a: u64, b: u64) -> u64 { return a / b + a % b; }",
+               "f", {17, 5}, 3 + 2);
+}
+
+TEST(ElcExprTest, UnaryOperators) {
+  expectResult("export fn f(a: u64) -> u64 { return ~a + (0 - a) + !a; }",
+               "f", {0}, ~0ULL + 0 + 1);
+}
+
+TEST(ElcExprTest, ShortCircuitAnd) {
+  // Division by zero on the rhs must not execute when lhs is false.
+  expectResult("export fn f(a: u64, b: u64) -> u64 {"
+               "  if (a != 0 && 10 / a > b) { return 1; }"
+               "  return 0; }",
+               "f", {0, 3}, 0);
+}
+
+TEST(ElcExprTest, ShortCircuitOr) {
+  expectResult("export fn f(a: u64) -> u64 {"
+               "  if (a == 0 || 10 / a == 2) { return 7; }"
+               "  return 9; }",
+               "f", {0}, 7);
+}
+
+TEST(ElcExprTest, CastTruncation) {
+  expectResult("export fn f() -> u64 { return 0x1234567890 as u16; }", "f",
+               {}, 0x7890);
+  expectResult("export fn f() -> u64 { return 0xffffffff12345678 as u32; }",
+               "f", {}, 0x12345678);
+  expectResult("export fn f() -> u64 { return 300 as u8; }", "f", {}, 44);
+  expectResult("export fn f() -> u64 { return 5 as bool; }", "f", {}, 1);
+}
+
+TEST(ElcExprTest, LargeConstants) {
+  expectResult("export fn f() -> u64 { return 0xdeadbeefcafebabe; }", "f", {},
+               0xdeadbeefcafebabeULL);
+}
+
+TEST(ElcExprTest, HexAndCharLiterals) {
+  expectResult("export fn f() -> u64 { return 0xff + 'A'; }", "f", {},
+               255 + 65);
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+TEST(ElcControlTest, WhileLoopSum) {
+  expectResult("export fn f(n: u64) -> u64 {"
+               "  var sum: u64 = 0;"
+               "  var i: u64 = 1;"
+               "  while (i <= n) { sum = sum + i; i = i + 1; }"
+               "  return sum; }",
+               "f", {100}, 5050);
+}
+
+TEST(ElcControlTest, ForLoop) {
+  expectResult("export fn f() -> u64 {"
+               "  var sum: u64 = 0;"
+               "  for (var i: u64 = 0; i < 10; i = i + 1) { sum += i; }"
+               "  return sum; }",
+               "f", {}, 45);
+}
+
+TEST(ElcControlTest, BreakContinue) {
+  expectResult("export fn f() -> u64 {"
+               "  var sum: u64 = 0;"
+               "  for (var i: u64 = 0; i < 100; i = i + 1) {"
+               "    if (i % 2 == 0) { continue; }"
+               "    if (i > 10) { break; }"
+               "    sum += i;"
+               "  }"
+               "  return sum; }",
+               "f", {}, 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(ElcControlTest, NestedLoops) {
+  expectResult("export fn f() -> u64 {"
+               "  var total: u64 = 0;"
+               "  for (var i: u64 = 0; i < 5; i = i + 1) {"
+               "    for (var j: u64 = 0; j < 5; j = j + 1) {"
+               "      if (j == 3) { break; }"
+               "      total += i * j;"
+               "    }"
+               "  }"
+               "  return total; }",
+               "f", {}, (0 + 1 + 2 + 3 + 4) * (0 + 1 + 2));
+}
+
+TEST(ElcControlTest, ElseIfChain) {
+  const char *Src = "export fn grade(x: u64) -> u64 {"
+                    "  if (x >= 90) { return 4; }"
+                    "  else if (x >= 80) { return 3; }"
+                    "  else if (x >= 70) { return 2; }"
+                    "  else { return 0; } }";
+  expectResult(Src, "grade", {95}, 4);
+  expectResult(Src, "grade", {85}, 3);
+  expectResult(Src, "grade", {70}, 2);
+  expectResult(Src, "grade", {10}, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and recursion
+//===----------------------------------------------------------------------===//
+
+TEST(ElcFunctionTest, CallChain) {
+  expectResult("fn double(x: u64) -> u64 { return x * 2; }"
+               "fn inc(x: u64) -> u64 { return x + 1; }"
+               "export fn f(x: u64) -> u64 { return double(inc(x)); }",
+               "f", {20}, 42);
+}
+
+TEST(ElcFunctionTest, Recursion) {
+  expectResult("fn fib(n: u64) -> u64 {"
+               "  if (n < 2) { return n; }"
+               "  return fib(n - 1) + fib(n - 2); }"
+               "export fn f(n: u64) -> u64 { return fib(n); }",
+               "f", {20}, 6765);
+}
+
+TEST(ElcFunctionTest, TempsSurviveCalls) {
+  // The multiply's lhs must survive the call on the rhs.
+  expectResult("fn g(x: u64) -> u64 { return x + 1; }"
+               "export fn f(a: u64) -> u64 { return a * g(a); }",
+               "f", {6}, 42);
+}
+
+TEST(ElcFunctionTest, VoidFunction) {
+  expectResult("var counter: u64 = 0;"
+               "fn bump() { counter = counter + 3; }"
+               "export fn f() -> u64 { bump(); bump(); return counter; }",
+               "f", {}, 6);
+}
+
+TEST(ElcFunctionTest, MutualRecursion) {
+  expectResult("fn isEven(n: u64) -> bool {"
+               "  if (n == 0) { return true; } return isOdd(n - 1); }"
+               "fn isOdd(n: u64) -> bool {"
+               "  if (n == 0) { return false; } return isEven(n - 1); }"
+               "export fn f(n: u64) -> u64 {"
+               "  if (isEven(n)) { return 1; } return 0; }",
+               "f", {10}, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory: locals, arrays, pointers, globals
+//===----------------------------------------------------------------------===//
+
+TEST(ElcMemoryTest, LocalArray) {
+  expectResult("export fn f() -> u64 {"
+               "  var a: u64[8];"
+               "  for (var i: u64 = 0; i < 8; i = i + 1) { a[i] = i * i; }"
+               "  var sum: u64 = 0;"
+               "  for (var i: u64 = 0; i < 8; i = i + 1) { sum += a[i]; }"
+               "  return sum; }",
+               "f", {}, 0 + 1 + 4 + 9 + 16 + 25 + 36 + 49);
+}
+
+TEST(ElcMemoryTest, ArrayInitializer) {
+  expectResult("export fn f() -> u64 {"
+               "  var a: u32[4] = [10, 20, 30, 40];"
+               "  return a[0] + a[3]; }",
+               "f", {}, 50);
+}
+
+TEST(ElcMemoryTest, ByteArrayNarrowing) {
+  expectResult("export fn f() -> u64 {"
+               "  var a: u8[4];"
+               "  a[0] = 0x1ff;" // truncates to 0xff
+               "  return a[0]; }",
+               "f", {}, 0xff);
+}
+
+TEST(ElcMemoryTest, PointerDerefAndWrite) {
+  expectResult("export fn f() -> u64 {"
+               "  var x: u64 = 5;"
+               "  var p: *u64 = &x;"
+               "  *p = 42;"
+               "  return x; }",
+               "f", {}, 42);
+}
+
+TEST(ElcMemoryTest, PointerArithmetic) {
+  expectResult("export fn f() -> u64 {"
+               "  var a: u32[4] = [1, 2, 3, 4];"
+               "  var p: *u32 = &a[0];"
+               "  p = p + 2;"
+               "  return *p; }",
+               "f", {}, 3);
+}
+
+TEST(ElcMemoryTest, PointerDifference) {
+  expectResult("export fn f() -> u64 {"
+               "  var a: u32[8];"
+               "  var p: *u32 = &a[6];"
+               "  var q: *u32 = &a[2];"
+               "  return p - q; }",
+               "f", {}, 4);
+}
+
+TEST(ElcMemoryTest, GlobalScalar) {
+  expectResult("var g: u64 = 40;"
+               "export fn f() -> u64 { g = g + 2; return g; }",
+               "f", {}, 42);
+}
+
+TEST(ElcMemoryTest, GlobalArrayInitialized) {
+  expectResult("var table: u32[5] = [2, 4, 6, 8, 10];"
+               "export fn f(i: u64) -> u64 { return table[i]; }",
+               "f", {3}, 8);
+}
+
+TEST(ElcMemoryTest, GlobalBssZeroed) {
+  expectResult("var buf: u64[16];"
+               "export fn f() -> u64 {"
+               "  var sum: u64 = 0;"
+               "  for (var i: u64 = 0; i < 16; i = i + 1) { sum += buf[i]; }"
+               "  return sum; }",
+               "f", {}, 0);
+}
+
+TEST(ElcMemoryTest, GlobalString) {
+  expectResult("var msg: u8[16] = \"hi!\";"
+               "export fn f() -> u64 { return msg[0] + msg[1] + msg[2] + "
+               "msg[3]; }",
+               "f", {}, 'h' + 'i' + '!' + 0);
+}
+
+TEST(ElcMemoryTest, LocalStringInit) {
+  expectResult("export fn f() -> u64 {"
+               "  var s: u8[8] = \"AB\";"
+               "  return s[0] * 256 + s[1]; }",
+               "f", {}, 'A' * 256 + 'B');
+}
+
+TEST(ElcMemoryTest, StringLiteralExpr) {
+  expectResult("export fn f() -> u64 {"
+               "  var p: *u8 = \"xyz\";"
+               "  return p[2]; }",
+               "f", {}, 'z');
+}
+
+TEST(ElcMemoryTest, PassPointerToFunction) {
+  expectResult("fn fill(p: *u64, n: u64) {"
+               "  for (var i: u64 = 0; i < n; i = i + 1) { p[i] = i + 1; } }"
+               "export fn f() -> u64 {"
+               "  var a: u64[4];"
+               "  fill(&a[0], 4);"
+               "  return a[0] + a[1] + a[2] + a[3]; }",
+               "f", {}, 10);
+}
+
+TEST(ElcMemoryTest, ArrayDecaysWhenPassed) {
+  expectResult("fn sum(p: *u32, n: u64) -> u64 {"
+               "  var s: u64 = 0;"
+               "  for (var i: u64 = 0; i < n; i = i + 1) { s += p[i]; }"
+               "  return s; }"
+               "var data: u32[3] = [7, 8, 9];"
+               "export fn f() -> u64 { return sum(data, 3); }",
+               "f", {}, 24);
+}
+
+TEST(ElcMemoryTest, CompoundAssignOnArray) {
+  expectResult("export fn f() -> u64 {"
+               "  var a: u64[2] = [10, 20];"
+               "  a[1] += 12;"
+               "  a[0] -= 3;"
+               "  return a[0] * 100 + a[1]; }",
+               "f", {}, 732);
+}
+
+TEST(ElcMemoryTest, U16LoadStore) {
+  expectResult("export fn f() -> u64 {"
+               "  var a: u16[2];"
+               "  a[0] = 0xbeef;"
+               "  a[1] = 0x1234;"
+               "  return (a[1] as u64 << 16) | a[0]; }",
+               "f", {}, 0x1234beef);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+void expectCompileError(const std::string &Source,
+                        const std::string &Fragment) {
+  Expected<CompileResult> Result = compileEnclave({{"t.elc", Source}}, {});
+  ASSERT_FALSE(static_cast<bool>(Result)) << "expected a compile error";
+  EXPECT_NE(Result.errorMessage().find(Fragment), std::string::npos)
+      << "got: " << Result.errorMessage();
+}
+
+TEST(ElcDiagnosticsTest, UndeclaredIdentifier) {
+  expectCompileError("export fn f() -> u64 { return nope; }", "undeclared");
+}
+
+TEST(ElcDiagnosticsTest, UndeclaredFunction) {
+  expectCompileError("export fn f() -> u64 { return g(); }", "undeclared");
+}
+
+TEST(ElcDiagnosticsTest, ArgumentCountMismatch) {
+  expectCompileError("fn g(a: u64) -> u64 { return a; }"
+                     "export fn f() -> u64 { return g(1, 2); }",
+                     "expects 1 arguments");
+}
+
+TEST(ElcDiagnosticsTest, VoidValueUse) {
+  expectCompileError("fn g() { }"
+                     "export fn f() -> u64 { return g(); }",
+                     "void");
+}
+
+TEST(ElcDiagnosticsTest, ReturnFromVoid) {
+  expectCompileError("export fn f() { return 3; }", "void function");
+}
+
+TEST(ElcDiagnosticsTest, BreakOutsideLoop) {
+  expectCompileError("export fn f() { break; }", "outside of a loop");
+}
+
+TEST(ElcDiagnosticsTest, DuplicateFunction) {
+  expectCompileError("fn g() {} fn g() {} export fn f() {}", "duplicate");
+}
+
+TEST(ElcDiagnosticsTest, DuplicateLocal) {
+  expectCompileError("export fn f() { var x: u64; var x: u64; }",
+                     "redefinition");
+}
+
+TEST(ElcDiagnosticsTest, PointerTypeMismatch) {
+  expectCompileError("export fn f() {"
+                     "  var a: u64 = 1;"
+                     "  var p: *u64 = &a;"
+                     "  var q: *u32 = p;"
+                     "}",
+                     "cannot initialize");
+}
+
+TEST(ElcDiagnosticsTest, SyntaxError) {
+  expectCompileError("export fn f( { }", "expected parameter name");
+}
+
+TEST(ElcDiagnosticsTest, UnterminatedString) {
+  expectCompileError("var s: u8[4] = \"abc;", "unterminated string");
+}
+
+TEST(ElcDiagnosticsTest, UnknownExternTcall) {
+  expectCompileError("extern tcall fn mystery();"
+                     "export fn f() { mystery(); }",
+                     "not provided");
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime traps
+//===----------------------------------------------------------------------===//
+
+TEST(ElcTrapTest, DivideByZeroTraps) {
+  auto Prog = compileAndLoad(
+      "export fn f(a: u64, b: u64) -> u64 { return a / b; }");
+  ASSERT_NE(Prog, nullptr);
+  ExecResult R = runExport(*Prog, "f", {1, 0});
+  EXPECT_EQ(R.Kind, TrapKind::DivideByZero);
+}
+
+TEST(ElcTrapTest, MissingReturnTraps) {
+  auto Prog = compileAndLoad("export fn f(a: u64) -> u64 {"
+                             "  if (a == 1) { return 5; } }");
+  ASSERT_NE(Prog, nullptr);
+  ExecResult R = runExport(*Prog, "f", {2});
+  EXPECT_EQ(R.Kind, TrapKind::ExplicitTrap);
+}
+
+TEST(ElcTrapTest, OutOfBoundsPointerTraps) {
+  auto Prog = compileAndLoad("export fn f() -> u64 {"
+                             "  var p: *u64 = 0x7fffffff as u64 as *u64;"
+                             "  return *p; }");
+  // Casting int to pointer requires two hops in Elc; accept either a
+  // compile error or a runtime memory fault.
+  if (!Prog)
+    return;
+  ExecResult R = runExport(*Prog, "f");
+  EXPECT_EQ(R.Kind, TrapKind::MemoryFault);
+}
+
+//===----------------------------------------------------------------------===//
+// Ocall / tcall integration
+//===----------------------------------------------------------------------===//
+
+TEST(ElcExternTest, TcallRoundTrip) {
+  CallRegistry Calls;
+  Calls.Tcalls["host_add"] = 7;
+  Expected<CompileResult> Result = compileEnclave(
+      {{"t.elc", "extern tcall fn host_add(a: u64, b: u64) -> u64;"
+                 "export fn f(x: u64) -> u64 { return host_add(x, 5); }"}},
+      Calls);
+  ASSERT_TRUE(static_cast<bool>(Result)) << Result.errorMessage();
+
+  Expected<ElfImage> Image = ElfImage::parse(Result->ElfFile);
+  ASSERT_TRUE(static_cast<bool>(Image));
+  FlatMemory Ram(RamSize);
+  for (const ElfSegment &Seg : Image->segments()) {
+    if (Seg.Type == PT_LOAD && Seg.FileSize > 0) {
+      ASSERT_FALSE(static_cast<bool>(Ram.write(
+          Seg.VAddr,
+          BytesView(Image->fileBytes().data() + Seg.Offset, Seg.FileSize))));
+    }
+  }
+
+  const ElfSymbol *Bridge = Image->symbolByName("__bridge_f");
+  ASSERT_NE(Bridge, nullptr);
+
+  Vm M(Ram);
+  M.setTcallHandler([](uint32_t Index, Vm &V) -> Expected<uint64_t> {
+    EXPECT_EQ(Index, 7u);
+    return V.reg(1) + V.reg(2);
+  });
+  M.setReg(SvmRegSp, RamSize - 64);
+  M.setReg(1, 37);
+  ExecResult R = M.run(Bridge->Value);
+  ASSERT_TRUE(R.halted()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 42u);
+}
+
+//===----------------------------------------------------------------------===//
+// ELF structure of compiled enclaves
+//===----------------------------------------------------------------------===//
+
+TEST(ElcElfTest, SectionsAndSymbols) {
+  Expected<CompileResult> Result = compileEnclave(
+      {{"t.elc", "var g: u64 = 7; var z: u64[4];"
+                 "fn helper(x: u64) -> u64 { return x + g; }"
+                 "export fn entry(x: u64) -> u64 { return helper(x); }"}},
+      {});
+  ASSERT_TRUE(static_cast<bool>(Result)) << Result.errorMessage();
+  Expected<ElfImage> Image = ElfImage::parse(Result->ElfFile);
+  ASSERT_TRUE(static_cast<bool>(Image)) << Image.errorMessage();
+
+  EXPECT_NE(Image->sectionByName(".text"), nullptr);
+  EXPECT_NE(Image->sectionByName(".data"), nullptr);
+  EXPECT_NE(Image->sectionByName(".bss"), nullptr);
+  EXPECT_NE(Image->sectionByName(ecallSectionName()), nullptr);
+
+  const ElfSymbol *Helper = Image->symbolByName("helper");
+  ASSERT_NE(Helper, nullptr);
+  EXPECT_TRUE(Helper->isFunction());
+  EXPECT_GT(Helper->Size, 0u);
+
+  const ElfSymbol *Entry = Image->symbolByName("entry");
+  ASSERT_NE(Entry, nullptr);
+  const ElfSymbol *Bridge = Image->symbolByName("__bridge_entry");
+  ASSERT_NE(Bridge, nullptr);
+
+  const ElfSymbol *G = Image->symbolByName("g");
+  ASSERT_NE(G, nullptr);
+  EXPECT_TRUE(G->isObject());
+
+  // Ecall manifest contains the export.
+  const ElfSection *Ecalls = Image->sectionByName(ecallSectionName());
+  Bytes Manifest = Image->sectionContents(*Ecalls);
+  EXPECT_EQ(stringOfBytes(Manifest), "entry\n");
+
+  // Text segment is R+X and not writable before sanitization.
+  bool FoundText = false;
+  for (const ElfSegment &Seg : Image->segments()) {
+    if (Seg.Type == PT_LOAD && (Seg.Flags & PF_X)) {
+      FoundText = true;
+      EXPECT_EQ(Seg.Flags & PF_W, 0u);
+    }
+  }
+  EXPECT_TRUE(FoundText);
+}
+
+TEST(ElcElfTest, DisassemblyShowsCode) {
+  Expected<CompileResult> Result = compileEnclave(
+      {{"t.elc", "export fn f(a: u64) -> u64 { return a * 3; }"}}, {});
+  ASSERT_TRUE(static_cast<bool>(Result)) << Result.errorMessage();
+  Expected<ElfImage> Image = ElfImage::parse(Result->ElfFile);
+  ASSERT_TRUE(static_cast<bool>(Image));
+  const ElfSection *Text = Image->sectionByName(".text");
+  ASSERT_NE(Text, nullptr);
+  Bytes Code = Image->sectionContents(*Text);
+  std::string Asm = disassemble(Code, Text->Addr);
+  EXPECT_NE(Asm.find("halt"), std::string::npos);
+  EXPECT_NE(Asm.find("ret"), std::string::npos);
+  EXPECT_GT(countValidInstructionSlots(Code), 5u);
+}
+
+} // namespace

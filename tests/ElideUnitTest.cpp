@@ -1,0 +1,237 @@
+//===- tests/ElideUnitTest.cpp - Sanitizer/metadata/whitelist unit tests ------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elide/Bridge.h"
+#include "elide/Pipeline.h"
+#include "elide/Sanitizer.h"
+#include "elide/SecretMeta.h"
+#include "elide/TrustedLib.h"
+#include "elide/Whitelist.h"
+#include "elf/ElfImage.h"
+
+#include <gtest/gtest.h>
+
+using namespace elide;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SecretMeta
+//===----------------------------------------------------------------------===//
+
+TEST(SecretMetaTest, SerializationRoundTrip) {
+  SecretMeta M;
+  M.DataLength = 12345;
+  M.RestoreOffset = 0x2b8;
+  M.Encrypted = true;
+  Drbg Rng(1);
+  Rng.fill(MutableBytesView(M.Key.data(), M.Key.size()));
+  Rng.fill(MutableBytesView(M.Iv.data(), M.Iv.size()));
+  Rng.fill(MutableBytesView(M.Mac.data(), M.Mac.size()));
+
+  Bytes Wire = M.serialize();
+  EXPECT_EQ(Wire.size(), SecretMeta::SerializedSize);
+  Expected<SecretMeta> Back = SecretMeta::deserialize(Wire);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->DataLength, M.DataLength);
+  EXPECT_EQ(Back->RestoreOffset, M.RestoreOffset);
+  EXPECT_EQ(Back->Encrypted, M.Encrypted);
+  EXPECT_EQ(Back->Key, M.Key);
+  EXPECT_EQ(Back->Iv, M.Iv);
+  EXPECT_EQ(Back->Mac, M.Mac);
+}
+
+TEST(SecretMetaTest, RejectsBadSizesAndFlags) {
+  EXPECT_FALSE(static_cast<bool>(SecretMeta::deserialize(Bytes(10))));
+  EXPECT_FALSE(static_cast<bool>(SecretMeta::deserialize(Bytes(100))));
+  Bytes Wire = SecretMeta().serialize();
+  Wire[16] = 7; // invalid encrypted flag
+  EXPECT_FALSE(static_cast<bool>(SecretMeta::deserialize(Wire)));
+}
+
+//===----------------------------------------------------------------------===//
+// Whitelist
+//===----------------------------------------------------------------------===//
+
+TEST(WhitelistTest, SerializeDeserializeAndBridgeRule) {
+  Whitelist W;
+  W.add("elide_restore");
+  W.add("memcpy8");
+  EXPECT_TRUE(W.contains("elide_restore"));
+  EXPECT_FALSE(W.contains("user_secret"));
+  EXPECT_TRUE(W.contains("__bridge_user_secret"))
+      << "bridges are preserved by prefix rule";
+
+  Expected<Whitelist> Back = Whitelist::deserialize(W.serialize());
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->names(), W.names());
+  EXPECT_FALSE(static_cast<bool>(Whitelist::deserialize("")));
+}
+
+TEST(WhitelistTest, FromDummyRejectsFunctionlessImages) {
+  EXPECT_FALSE(static_cast<bool>(
+      Whitelist::fromDummyEnclave(Bytes(64, 0))));
+}
+
+//===----------------------------------------------------------------------===//
+// Sanitizer edge cases
+//===----------------------------------------------------------------------===//
+
+Expected<Bytes> compileWithRuntime(const char *AppSource) {
+  std::vector<elc::SourceFile> Sources = ElideTrustedLib::runtimeSources();
+  Sources.push_back({"app.elc", AppSource});
+  ELIDE_TRY(elc::CompileResult R,
+            elc::compileEnclave(Sources, ElideTrustedLib::callRegistry()));
+  return R.ElfFile;
+}
+
+TEST(SanitizerTest, RefusesEnclaveWithoutRuntime) {
+  // An enclave compiled without the SgxElide runtime has no
+  // elide_restore; sanitizing it would brick it forever.
+  Expected<elc::CompileResult> R = elc::compileEnclave(
+      {{"a.elc", "export fn f(i: *u8, l: u64, o: *u8, c: u64) -> u64 {"
+                 " return 0; }"}},
+      {});
+  ASSERT_TRUE(static_cast<bool>(R));
+  Whitelist W;
+  W.add("something");
+  Drbg Rng(1);
+  Expected<SanitizedEnclave> S =
+      sanitizeEnclave(R->ElfFile, W, SecretStorage::Remote, Rng);
+  ASSERT_FALSE(static_cast<bool>(S));
+  EXPECT_NE(S.errorMessage().find("elide_restore"), std::string::npos);
+}
+
+TEST(SanitizerTest, RefusesWhitelistMissingRestore) {
+  Expected<Bytes> Elf = compileWithRuntime(
+      "export fn f(i: *u8, l: u64, o: *u8, c: u64) -> u64 { return 0; }");
+  ASSERT_TRUE(static_cast<bool>(Elf));
+  Whitelist Wrong;
+  Wrong.add("not_the_restorer");
+  Drbg Rng(1);
+  Expected<SanitizedEnclave> S =
+      sanitizeEnclave(*Elf, Wrong, SecretStorage::Remote, Rng);
+  ASSERT_FALSE(static_cast<bool>(S));
+  EXPECT_NE(S.errorMessage().find("refusing"), std::string::npos);
+}
+
+TEST(SanitizerTest, LocalModeEncryptsDataFile) {
+  Expected<Bytes> Elf = compileWithRuntime(
+      "fn secret() -> u64 { return 0x5eccce7; }"
+      "export fn f(i: *u8, l: u64, o: *u8, c: u64) -> u64 {"
+      "  return secret(); }");
+  ASSERT_TRUE(static_cast<bool>(Elf));
+  // Whitelist from a dummy image containing only the runtime.
+  Expected<Bytes> Dummy = compileWithRuntime("fn unused_placeholder() { }");
+  ASSERT_TRUE(static_cast<bool>(Dummy));
+  Expected<Whitelist> KeepOrErr = Whitelist::fromDummyEnclave(*Dummy);
+  ASSERT_TRUE(static_cast<bool>(KeepOrErr));
+  Whitelist Keep = KeepOrErr.takeValue();
+
+  Drbg Rng(1);
+  Expected<SanitizedEnclave> Remote =
+      sanitizeEnclave(*Elf, Keep, SecretStorage::Remote, Rng);
+  Expected<SanitizedEnclave> Local =
+      sanitizeEnclave(*Elf, Keep, SecretStorage::Local, Rng);
+  ASSERT_TRUE(static_cast<bool>(Remote)) << Remote.errorMessage();
+  ASSERT_TRUE(static_cast<bool>(Local)) << Local.errorMessage();
+
+  EXPECT_FALSE(Remote->Meta.Encrypted);
+  EXPECT_TRUE(Local->Meta.Encrypted);
+  EXPECT_NE(Remote->SecretData, Local->SecretData)
+      << "local data must be ciphertext";
+  EXPECT_EQ(Remote->SecretData.size(), Local->SecretData.size())
+      << "GCM is length-preserving";
+
+  // The local ciphertext decrypts with the metadata key to the remote
+  // plaintext.
+  Expected<Bytes> Plain = aesGcmDecrypt(
+      BytesView(Local->Meta.Key.data(), 16),
+      BytesView(Local->Meta.Iv.data(), 12), Local->SecretData, BytesView(),
+      Local->Meta.Mac);
+  ASSERT_TRUE(static_cast<bool>(Plain));
+  EXPECT_EQ(*Plain, Remote->SecretData);
+}
+
+TEST(SanitizerTest, MetaOffsetPointsAtRestore) {
+  Expected<Bytes> Elf = compileWithRuntime(
+      "export fn f(i: *u8, l: u64, o: *u8, c: u64) -> u64 { return 0; }");
+  ASSERT_TRUE(static_cast<bool>(Elf));
+  Expected<ElfImage> Image = ElfImage::parse(*Elf);
+  ASSERT_TRUE(static_cast<bool>(Image));
+  const ElfSymbol *Restore = Image->symbolByName("elide_restore");
+  const ElfSection *Text = Image->sectionByName(".text");
+  ASSERT_NE(Restore, nullptr);
+  ASSERT_NE(Text, nullptr);
+
+  Whitelist Keep;
+  Keep.add("elide_restore");
+  Drbg Rng(1);
+  Expected<SanitizedEnclave> S =
+      sanitizeEnclave(*Elf, Keep, SecretStorage::Remote, Rng);
+  ASSERT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S->Meta.RestoreOffset, Restore->Value - Text->Addr);
+  EXPECT_EQ(S->Meta.DataLength, Text->Size);
+  EXPECT_EQ(S->SecretData.size(), Text->Size);
+}
+
+TEST(SanitizerTest, ZeroSizedFunctionsAreSkipped) {
+  // The bridge thunks have nonzero size; a synthetic zero-size symbol
+  // must not crash the sanitizer (covered by Sym.Size == 0 guard).
+  Expected<Bytes> Elf = compileWithRuntime(
+      "export fn f(i: *u8, l: u64, o: *u8, c: u64) -> u64 { return 0; }");
+  ASSERT_TRUE(static_cast<bool>(Elf));
+  Whitelist Keep;
+  Keep.add("elide_restore");
+  Drbg Rng(1);
+  Expected<SanitizedEnclave> S =
+      sanitizeEnclave(*Elf, Keep, SecretStorage::Remote, Rng);
+  ASSERT_TRUE(static_cast<bool>(S));
+  EXPECT_GT(S->Report.SanitizedFunctions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Report serialization (bridge)
+//===----------------------------------------------------------------------===//
+
+TEST(BridgeTest, ReportSerializationRoundTrip) {
+  sgx::Report R;
+  R.Body.MrEnclave.fill(1);
+  R.Body.MrSigner.fill(2);
+  R.Body.Attributes = 5;
+  R.Body.Data.fill(9);
+  R.Mac.fill(7);
+  Expected<sgx::Report> Back = deserializeReport(serializeReport(R));
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->Body.MrEnclave, R.Body.MrEnclave);
+  EXPECT_EQ(Back->Body.Attributes, R.Body.Attributes);
+  EXPECT_EQ(Back->Mac, R.Mac);
+  EXPECT_FALSE(static_cast<bool>(deserializeReport(Bytes(10))));
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline invariants
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineTest, PlainAndSanitizedMeasurementsDiffer) {
+  Drbg Rng(1);
+  Ed25519Seed Seed{};
+  Rng.fill(MutableBytesView(Seed.data(), 32));
+  Ed25519KeyPair Vendor = ed25519KeyPairFromSeed(Seed);
+  Expected<BuildArtifacts> A = buildProtectedEnclave(
+      {{"a.elc", "fn s() -> u64 { return 7; }"
+                 "export fn f(i: *u8, l: u64, o: *u8, c: u64) -> u64 {"
+                 "  return s(); }"}},
+      Vendor, {});
+  ASSERT_TRUE(static_cast<bool>(A)) << A.errorMessage();
+  EXPECT_NE(A->PlainSig.MrEnclave, A->SanitizedSig.MrEnclave);
+  EXPECT_EQ(A->PlainSig.mrSigner(), A->SanitizedSig.mrSigner());
+  EXPECT_TRUE(A->PlainSig.verify());
+  EXPECT_TRUE(A->SanitizedSig.verify());
+  EXPECT_GT(A->SanitizeMs, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,434 @@
+//===- tests/SgxTest.cpp - SGX device model unit tests -----------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elc/Compiler.h"
+#include "elide/TrustedLib.h"
+#include "sgx/Attestation.h"
+#include "sgx/EnclaveLoader.h"
+
+#include <gtest/gtest.h>
+
+using namespace elide;
+using namespace elide::sgx;
+
+namespace {
+
+Ed25519KeyPair testVendor(uint64_t Seed = 99) {
+  Drbg Rng(Seed);
+  Ed25519Seed S{};
+  Rng.fill(MutableBytesView(S.data(), 32));
+  return ed25519KeyPairFromSeed(S);
+}
+
+/// Builds a tiny enclave through the raw builder interface.
+Expected<std::unique_ptr<Enclave>> buildTinyEnclave(SgxDevice &Device,
+                                                    uint64_t Attributes,
+                                                    BytesView PageContent) {
+  SgxDevice::Builder B(Device, 0x10000);
+  if (Error E = B.addPage(0x1000, PermRead | PermExec, PageContent))
+    return E;
+  if (Error E = B.addPage(0x2000, PermRead | PermWrite, {}))
+    return E;
+  SigStruct Sig =
+      SigStruct::sign(testVendor(), B.currentMeasurement(), Attributes);
+  return B.init(Sig);
+}
+
+//===----------------------------------------------------------------------===//
+// Measurement (ECREATE / EADD / EEXTEND)
+//===----------------------------------------------------------------------===//
+
+TEST(MeasurementTest, DeterministicAcrossDevices) {
+  Bytes Page(100, 0x5a);
+  SgxDevice D1(1), D2(2);
+  SgxDevice::Builder B1(D1, 0x10000), B2(D2, 0x10000);
+  ASSERT_FALSE(static_cast<bool>(B1.addPage(0x1000, PermRead, Page)));
+  ASSERT_FALSE(static_cast<bool>(B2.addPage(0x1000, PermRead, Page)));
+  EXPECT_EQ(B1.currentMeasurement(), B2.currentMeasurement());
+}
+
+TEST(MeasurementTest, SensitiveToContentPermsAddressAndSize) {
+  auto MeasureWith = [](uint64_t Size, uint64_t VAddr, uint8_t Perms,
+                        uint8_t Fill) {
+    SgxDevice D(1);
+    SgxDevice::Builder B(D, Size);
+    Bytes Page(64, Fill);
+    EXPECT_FALSE(static_cast<bool>(B.addPage(VAddr, Perms, Page)));
+    return B.currentMeasurement();
+  };
+  Measurement Base = MeasureWith(0x10000, 0x1000, PermRead, 0xaa);
+  EXPECT_NE(Base, MeasureWith(0x10000, 0x1000, PermRead, 0xab));
+  EXPECT_NE(Base, MeasureWith(0x10000, 0x1000, PermRead | PermWrite, 0xaa));
+  EXPECT_NE(Base, MeasureWith(0x10000, 0x2000, PermRead, 0xaa));
+  EXPECT_NE(Base, MeasureWith(0x20000, 0x1000, PermRead, 0xaa));
+}
+
+TEST(MeasurementTest, BuilderValidatesPages) {
+  SgxDevice D(1);
+  SgxDevice::Builder B(D, 0x4000);
+  EXPECT_TRUE(static_cast<bool>(B.addPage(0x1004, PermRead, {})))
+      << "unaligned address must be rejected";
+  EXPECT_TRUE(static_cast<bool>(B.addPage(0x4000, PermRead, {})))
+      << "page outside the enclave range must be rejected";
+  EXPECT_FALSE(static_cast<bool>(B.addPage(0x1000, PermRead, {})));
+  EXPECT_TRUE(static_cast<bool>(B.addPage(0x1000, PermRead, {})))
+      << "double-add must be rejected";
+  EXPECT_TRUE(static_cast<bool>(B.addPage(0x2000, PermRead,
+                                          Bytes(4097, 0))))
+      << "oversized content must be rejected";
+}
+
+//===----------------------------------------------------------------------===//
+// EINIT
+//===----------------------------------------------------------------------===//
+
+TEST(EinitTest, AcceptsMatchingSignedMeasurement) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E)) << E.errorMessage();
+  EXPECT_TRUE((*E)->isDebug());
+}
+
+TEST(EinitTest, RejectsWrongMeasurement) {
+  SgxDevice D(1);
+  SgxDevice::Builder B(D, 0x10000);
+  ASSERT_FALSE(static_cast<bool>(B.addPage(0x1000, PermRead, Bytes(8, 7))));
+  Measurement Wrong{};
+  SigStruct Sig = SigStruct::sign(testVendor(), Wrong, 0);
+  Expected<std::unique_ptr<Enclave>> E = B.init(Sig);
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_NE(E.errorMessage().find("measurement"), std::string::npos);
+}
+
+TEST(EinitTest, RejectsTamperedAttributes) {
+  // Attributes are covered by the vendor signature: flipping them after
+  // signing must fail.
+  SgxDevice D(1);
+  SgxDevice::Builder B(D, 0x10000);
+  ASSERT_FALSE(static_cast<bool>(B.addPage(0x1000, PermRead, Bytes(8, 7))));
+  SigStruct Sig = SigStruct::sign(testVendor(), B.currentMeasurement(),
+                                  AttrDebug);
+  Sig.Attributes |= AttrSgx2DynamicPerms; // privilege escalation attempt
+  Expected<std::unique_ptr<Enclave>> E = B.init(Sig);
+  ASSERT_FALSE(static_cast<bool>(E));
+}
+
+TEST(EinitTest, MrSignerDerivesFromVendorKey) {
+  Ed25519KeyPair V1 = testVendor(1), V2 = testVendor(2);
+  Measurement M{};
+  SigStruct S1 = SigStruct::sign(V1, M, 0);
+  SigStruct S2 = SigStruct::sign(V2, M, 0);
+  EXPECT_NE(S1.mrSigner(), S2.mrSigner());
+  EXPECT_EQ(S1.mrSigner(), SigStruct::sign(V1, M, 1).mrSigner());
+}
+
+TEST(EinitTest, SigStructSerializationRoundTrip) {
+  SigStruct S = SigStruct::sign(testVendor(), Measurement{}, AttrDebug);
+  Expected<SigStruct> Back = SigStruct::deserialize(S.serialize());
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->MrEnclave, S.MrEnclave);
+  EXPECT_EQ(Back->Attributes, S.Attributes);
+  EXPECT_EQ(Back->VendorKey, S.VendorKey);
+  EXPECT_TRUE(Back->verify());
+}
+
+//===----------------------------------------------------------------------===//
+// Page permissions
+//===----------------------------------------------------------------------===//
+
+TEST(PagePermTest, WriteToReadOnlyPageFaults) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  // 0x1000 is R+X (no W): stores must fault; 0x2000 is RW: stores work.
+  Bytes Data = {1, 2, 3};
+  EXPECT_TRUE(static_cast<bool>((*E)->writeMemory(0x1000, Data)));
+  EXPECT_FALSE(static_cast<bool>((*E)->writeMemory(0x2000, Data)));
+  Expected<Bytes> Back = (*E)->readMemory(0x2000, 3);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, Data);
+}
+
+TEST(PagePermTest, UnmappedAccessFaults) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_TRUE(static_cast<bool>((*E)->readMemory(0x5000, 8).takeError()));
+}
+
+TEST(PagePermTest, Sgx1ForbidsPermissionChanges) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_TRUE(static_cast<bool>(
+      (*E)->extendPagePermissions(0x1000, PermWrite)));
+  EXPECT_TRUE(static_cast<bool>(
+      (*E)->restrictPagePermissions(0x2000, PermWrite)));
+}
+
+TEST(PagePermTest, Sgx2AllowsExtendAndRestrict) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E = buildTinyEnclave(
+      D, AttrDebug | AttrSgx2DynamicPerms, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  ASSERT_FALSE(static_cast<bool>(
+      (*E)->extendPagePermissions(0x1000, PermWrite)));
+  Bytes Data = {7};
+  EXPECT_FALSE(static_cast<bool>((*E)->writeMemory(0x1000, Data)));
+  ASSERT_FALSE(static_cast<bool>(
+      (*E)->restrictPagePermissions(0x1000, PermWrite)));
+  EXPECT_TRUE(static_cast<bool>((*E)->writeMemory(0x1000, Data)));
+}
+
+//===----------------------------------------------------------------------===//
+// Sealing
+//===----------------------------------------------------------------------===//
+
+TEST(SealingTest, RoundTripWithAad) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  Bytes Secret = bytesOfString("the cake is a lie");
+  Bytes Aad = bytesOfString("v1");
+  Expected<Bytes> Blob = (*E)->seal(SealPolicy::MrEnclave, Secret, Aad);
+  ASSERT_TRUE(static_cast<bool>(Blob));
+  Expected<Unsealed> Back = (*E)->unseal(*Blob);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->Plaintext, Secret);
+  EXPECT_EQ(Back->Aad, Aad);
+}
+
+TEST(SealingTest, TamperedBlobRejected) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  Expected<Bytes> Blob =
+      (*E)->seal(SealPolicy::MrEnclave, bytesOfString("x"), {});
+  ASSERT_TRUE(static_cast<bool>(Blob));
+  Bytes Bad = *Blob;
+  Bad.back() ^= 1;
+  EXPECT_FALSE(static_cast<bool>((*E)->unseal(Bad)));
+  EXPECT_FALSE(static_cast<bool>((*E)->unseal(Bytes(10, 0))));
+}
+
+TEST(SealingTest, MrEnclavePolicyBindsToExactEnclave) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E1 =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  Expected<std::unique_ptr<Enclave>> E2 =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 2)); // different code
+  ASSERT_TRUE(static_cast<bool>(E1));
+  ASSERT_TRUE(static_cast<bool>(E2));
+  Expected<Bytes> Blob =
+      (*E1)->seal(SealPolicy::MrEnclave, bytesOfString("s"), {});
+  ASSERT_TRUE(static_cast<bool>(Blob));
+  EXPECT_FALSE(static_cast<bool>((*E2)->unseal(*Blob)))
+      << "a different enclave must not unseal MRENCLAVE-policy data";
+}
+
+TEST(SealingTest, MrSignerPolicySharesAcrossVendorEnclaves) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E1 =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  Expected<std::unique_ptr<Enclave>> E2 =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 2));
+  ASSERT_TRUE(static_cast<bool>(E1));
+  ASSERT_TRUE(static_cast<bool>(E2));
+  Expected<Bytes> Blob =
+      (*E1)->seal(SealPolicy::MrSigner, bytesOfString("shared"), {});
+  ASSERT_TRUE(static_cast<bool>(Blob));
+  Expected<Unsealed> Back = (*E2)->unseal(*Blob);
+  ASSERT_TRUE(static_cast<bool>(Back))
+      << "same-vendor enclave must unseal MRSIGNER-policy data";
+  EXPECT_EQ(stringOfBytes(Back->Plaintext), "shared");
+}
+
+TEST(SealingTest, OtherDeviceCannotUnseal) {
+  SgxDevice D1(1), D2(2);
+  Expected<std::unique_ptr<Enclave>> E1 =
+      buildTinyEnclave(D1, AttrDebug, Bytes(16, 1));
+  Expected<std::unique_ptr<Enclave>> E2 =
+      buildTinyEnclave(D2, AttrDebug, Bytes(16, 1)); // identical enclave!
+  ASSERT_TRUE(static_cast<bool>(E1));
+  ASSERT_TRUE(static_cast<bool>(E2));
+  Expected<Bytes> Blob =
+      (*E1)->seal(SealPolicy::MrEnclave, bytesOfString("s"), {});
+  ASSERT_TRUE(static_cast<bool>(Blob));
+  EXPECT_FALSE(static_cast<bool>((*E2)->unseal(*Blob)))
+      << "seal keys must be device-bound";
+}
+
+//===----------------------------------------------------------------------===//
+// Reports and quotes
+//===----------------------------------------------------------------------===//
+
+TEST(AttestationTest, LocalReportVerifiesOnlyForTarget) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> A =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  Expected<std::unique_ptr<Enclave>> B =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 2));
+  ASSERT_TRUE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+
+  ReportData Rd{};
+  Rd[0] = 42;
+  Report R = (*A)->createReport(TargetInfo{(*B)->mrEnclave()}, Rd);
+  EXPECT_TRUE((*B)->verifyReportForMe(R));
+  EXPECT_FALSE((*A)->verifyReportForMe(R)) << "wrong target";
+
+  Report Tampered = R;
+  Tampered.Body.Data[0] = 43;
+  EXPECT_FALSE((*B)->verifyReportForMe(Tampered));
+}
+
+TEST(AttestationTest, QuoteChainVerifies) {
+  SgxDevice D(1);
+  AttestationAuthority Authority(5);
+  QuotingEnclave Qe(D, Authority);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+
+  ReportData Rd{};
+  Report R = (*E)->createReport(Qe.targetInfo(), Rd);
+  Expected<Quote> Q = Qe.quoteReport(R);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.errorMessage();
+
+  Expected<ReportBody> Body =
+      AttestationAuthority::verifyQuote(*Q, Authority.publicKey());
+  ASSERT_TRUE(static_cast<bool>(Body)) << Body.errorMessage();
+  EXPECT_EQ(Body->MrEnclave, (*E)->mrEnclave());
+}
+
+TEST(AttestationTest, QeRejectsForeignReports) {
+  SgxDevice D1(1), D2(2);
+  AttestationAuthority Authority(5);
+  QuotingEnclave Qe1(D1, Authority);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D2, AttrDebug, Bytes(16, 1)); // other device!
+  ASSERT_TRUE(static_cast<bool>(E));
+  Report R = (*E)->createReport(Qe1.targetInfo(), ReportData{});
+  EXPECT_FALSE(static_cast<bool>(Qe1.quoteReport(R)))
+      << "reports from another device must not be quotable";
+}
+
+TEST(AttestationTest, TamperedQuoteFailsVerification) {
+  SgxDevice D(1);
+  AttestationAuthority Authority(5);
+  QuotingEnclave Qe(D, Authority);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  Expected<Quote> Q =
+      Qe.quoteReport((*E)->createReport(Qe.targetInfo(), ReportData{}));
+  ASSERT_TRUE(static_cast<bool>(Q));
+
+  Quote Bad = *Q;
+  Bad.Body.MrEnclave[0] ^= 1;
+  EXPECT_FALSE(static_cast<bool>(
+      AttestationAuthority::verifyQuote(Bad, Authority.publicKey())));
+
+  Quote BadKey = *Q;
+  BadKey.AttestationKey[0] ^= 1;
+  EXPECT_FALSE(static_cast<bool>(
+      AttestationAuthority::verifyQuote(BadKey, Authority.publicKey())));
+
+  // Serialization round trip.
+  Expected<Quote> Back = Quote::deserialize(Q->serialize());
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_TRUE(static_cast<bool>(
+      AttestationAuthority::verifyQuote(*Back, Authority.publicKey())));
+}
+
+//===----------------------------------------------------------------------===//
+// EPC eviction (EWB/ELDU)
+//===----------------------------------------------------------------------===//
+
+TEST(EpcPagingTest, EvictThenReloadRestoresContents) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  Bytes Data = bytesOfString("resident page data");
+  ASSERT_FALSE(static_cast<bool>((*E)->writeMemory(0x2000, Data)));
+
+  Expected<Bytes> Blob = (*E)->evictPage(0x2000);
+  ASSERT_TRUE(static_cast<bool>(Blob));
+  // While evicted, accesses fault.
+  EXPECT_TRUE(static_cast<bool>((*E)->readMemory(0x2000, 4).takeError()));
+  // The blob is ciphertext: the plaintext must not appear in it.
+  std::string BlobStr = stringOfBytes(*Blob);
+  EXPECT_EQ(BlobStr.find("resident page"), std::string::npos);
+
+  ASSERT_FALSE(static_cast<bool>((*E)->reloadPage(0x2000, *Blob)));
+  Expected<Bytes> Back = (*E)->readMemory(0x2000, Data.size());
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, Data);
+}
+
+TEST(EpcPagingTest, TamperedOrMisdirectedBlobRejected) {
+  SgxDevice D(1);
+  Expected<std::unique_ptr<Enclave>> E =
+      buildTinyEnclave(D, AttrDebug, Bytes(16, 1));
+  ASSERT_TRUE(static_cast<bool>(E));
+  Expected<Bytes> Blob = (*E)->evictPage(0x2000);
+  ASSERT_TRUE(static_cast<bool>(Blob));
+
+  Bytes Tampered = *Blob;
+  Tampered[100] ^= 1;
+  EXPECT_TRUE(static_cast<bool>((*E)->reloadPage(0x2000, Tampered)));
+
+  // Cannot reload at a different address (AAD binds the vaddr).
+  EXPECT_TRUE(static_cast<bool>((*E)->reloadPage(0x1000, *Blob)));
+
+  // Untampered blob still loads.
+  EXPECT_FALSE(static_cast<bool>((*E)->reloadPage(0x2000, *Blob)));
+}
+
+//===----------------------------------------------------------------------===//
+// Loader
+//===----------------------------------------------------------------------===//
+
+TEST(LoaderTest, OfflineMeasurementMatchesLoad) {
+  // The vendor signs offline; the device measures at load. They must
+  // agree or nothing ever launches.
+  Expected<elc::CompileResult> App = elc::compileEnclave(
+      ElideTrustedLib::runtimeSources(), ElideTrustedLib::callRegistry());
+  ASSERT_TRUE(static_cast<bool>(App)) << App.errorMessage();
+
+  EnclaveLayout Layout;
+  Expected<Measurement> Offline = measureEnclaveImage(App->ElfFile, Layout);
+  ASSERT_TRUE(static_cast<bool>(Offline));
+
+  SgxDevice D(1);
+  SigStruct Sig = SigStruct::sign(testVendor(), *Offline, AttrDebug);
+  Expected<std::unique_ptr<Enclave>> E =
+      loadEnclave(D, App->ElfFile, Sig, Layout);
+  ASSERT_TRUE(static_cast<bool>(E)) << E.errorMessage();
+  EXPECT_EQ((*E)->mrEnclave(), *Offline);
+}
+
+TEST(LoaderTest, LayoutChangesChangeMeasurement) {
+  Expected<elc::CompileResult> App = elc::compileEnclave(
+      ElideTrustedLib::runtimeSources(), ElideTrustedLib::callRegistry());
+  ASSERT_TRUE(static_cast<bool>(App));
+  EnclaveLayout A, B;
+  B.HeapSize = A.HeapSize * 2;
+  Expected<Measurement> Ma = measureEnclaveImage(App->ElfFile, A);
+  Expected<Measurement> Mb = measureEnclaveImage(App->ElfFile, B);
+  ASSERT_TRUE(static_cast<bool>(Ma));
+  ASSERT_TRUE(static_cast<bool>(Mb));
+  EXPECT_NE(*Ma, *Mb) << "heap pages are EADDed and therefore measured";
+}
+
+} // namespace

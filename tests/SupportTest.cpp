@@ -1,0 +1,124 @@
+//===- tests/SupportTest.cpp - Support library unit tests ---------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bytes.h"
+#include "support/Error.h"
+#include "support/File.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace elide;
+
+namespace {
+
+TEST(ErrorTest, SuccessAndFailureStates) {
+  Error Ok = Error::success();
+  EXPECT_FALSE(static_cast<bool>(Ok));
+  Error Bad = makeError("boom");
+  EXPECT_TRUE(static_cast<bool>(Bad));
+  EXPECT_EQ(Bad.message(), "boom");
+}
+
+TEST(ExpectedTest, ValueAndErrorPaths) {
+  Expected<int> V(42);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, 42);
+  EXPECT_FALSE(static_cast<bool>(V.takeError()));
+
+  Expected<int> E(makeError("nope"));
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.errorMessage(), "nope");
+  Error Taken = E.takeError();
+  EXPECT_TRUE(static_cast<bool>(Taken));
+}
+
+Expected<int> half(int X) {
+  if (X % 2)
+    return makeError("odd");
+  return X / 2;
+}
+
+Expected<int> quarter(int X) {
+  ELIDE_TRY(int H, half(X));
+  ELIDE_TRY(int Q, half(H));
+  return Q;
+}
+
+TEST(ExpectedTest, TryMacroPropagates) {
+  Expected<int> Q = quarter(8);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  EXPECT_EQ(*Q, 2);
+  EXPECT_FALSE(static_cast<bool>(quarter(6))); // 6/2=3 is odd
+  EXPECT_FALSE(static_cast<bool>(quarter(7)));
+}
+
+TEST(BytesTest, EndianHelpers) {
+  uint8_t Buf[8];
+  writeLE64(Buf, 0x0102030405060708ULL);
+  EXPECT_EQ(Buf[0], 0x08);
+  EXPECT_EQ(Buf[7], 0x01);
+  EXPECT_EQ(readLE64(Buf), 0x0102030405060708ULL);
+  EXPECT_EQ(readLE32(Buf), 0x05060708u);
+  EXPECT_EQ(readLE16(Buf), 0x0708u);
+
+  writeBE64(Buf, 0x0102030405060708ULL);
+  EXPECT_EQ(Buf[0], 0x01);
+  EXPECT_EQ(readBE64(Buf), 0x0102030405060708ULL);
+  EXPECT_EQ(readBE32(Buf), 0x01020304u);
+
+  Bytes B;
+  appendLE32(B, 0xaabbccdd);
+  appendLE64(B, 1);
+  EXPECT_EQ(B.size(), 12u);
+  EXPECT_EQ(readLE32(B.data()), 0xaabbccddu);
+}
+
+TEST(BytesTest, StringConversions) {
+  std::string S = "hello\0world"; // NUL truncates the literal: 5 chars
+  Bytes B = bytesOfString(S);
+  EXPECT_EQ(stringOfBytes(B), S);
+  EXPECT_EQ(viewOf(S).size(), S.size());
+}
+
+TEST(FileTest, RoundTripAndMissing) {
+  std::string Path = "/tmp/sgxelide_filetest.bin";
+  Bytes Data = {0, 1, 2, 255, 254};
+  ASSERT_FALSE(static_cast<bool>(writeFileBytes(Path, Data)));
+  EXPECT_TRUE(fileExists(Path));
+  Expected<Bytes> Back = readFileBytes(Path);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, Data);
+  removeFile(Path);
+  EXPECT_FALSE(fileExists(Path));
+  EXPECT_FALSE(static_cast<bool>(readFileBytes(Path)));
+}
+
+TEST(StatsTest, SummaryMeanAndStdDev) {
+  Summary S = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(S.Mean, 5.0);
+  EXPECT_NEAR(S.StdDev, 2.138, 0.001); // sample stddev
+  EXPECT_EQ(S.Count, 8u);
+
+  Summary Empty = summarize({});
+  EXPECT_EQ(Empty.Count, 0u);
+  Summary One = summarize({3.5});
+  EXPECT_DOUBLE_EQ(One.Mean, 3.5);
+  EXPECT_DOUBLE_EQ(One.StdDev, 0.0);
+}
+
+TEST(StatsTest, TimerMeasuresElapsed) {
+  Timer T;
+  volatile uint64_t Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + static_cast<uint64_t>(I);
+  EXPECT_GE(T.elapsedMs(), 0.0);
+  double First = T.elapsedMs();
+  T.reset();
+  EXPECT_LE(T.elapsedMs(), First + 100.0);
+}
+
+} // namespace

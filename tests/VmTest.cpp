@@ -1,0 +1,350 @@
+//===- tests/VmTest.cpp - SVM ISA and interpreter unit tests -----------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disassembler.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace elide;
+
+namespace {
+
+/// Assembles instructions at offset 0 of a FlatMemory and runs from 0.
+struct Harness {
+  FlatMemory Ram{1 << 16};
+  Bytes Code;
+
+  void emit(Opcode Op, uint8_t Rd = 0, uint8_t Rs1 = 0, uint8_t Rs2 = 0,
+            int32_t Imm = 0) {
+    emitInstruction(Code, {Op, Rd, Rs1, Rs2, Imm});
+  }
+
+  ExecResult run(std::function<void(Vm &)> Setup = nullptr,
+                 uint64_t Budget = 1 << 20) {
+    EXPECT_FALSE(static_cast<bool>(Ram.write(0, Code)));
+    Vm M(Ram);
+    M.setReg(SvmRegSp, (1 << 16) - 64);
+    if (Setup)
+      Setup(M);
+    return M.run(0, Budget);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+TEST(IsaTest, EncodeDecodeRoundTrip) {
+  Instruction I{Opcode::AddI, 5, 6, 7, -12345};
+  uint8_t Buf[8];
+  encodeInstruction(I, Buf);
+  Instruction Back = decodeInstruction(Buf);
+  EXPECT_EQ(Back.Op, I.Op);
+  EXPECT_EQ(Back.Rd, I.Rd);
+  EXPECT_EQ(Back.Rs1, I.Rs1);
+  EXPECT_EQ(Back.Rs2, I.Rs2);
+  EXPECT_EQ(Back.Imm, I.Imm);
+}
+
+TEST(IsaTest, ZeroBytesDecodeToIllegal) {
+  uint8_t Zeros[8] = {0};
+  Instruction I = decodeInstruction(Zeros);
+  EXPECT_EQ(I.Op, Opcode::Illegal);
+  EXPECT_FALSE(isValidOpcode(0));
+}
+
+TEST(IsaTest, AllNamedOpcodesAreValid) {
+  for (uint8_t Op : {0x01, 0x02, 0x0e, 0x10, 0x19, 0x20, 0x25, 0x30, 0x36,
+                     0x38, 0x3b, 0x40, 0x45, 0x50, 0x53})
+    EXPECT_TRUE(isValidOpcode(Op)) << "opcode " << int(Op);
+  for (uint8_t Op : {0x00, 0x0f, 0x26, 0x37, 0x3c, 0x46, 0x54, 0xff})
+    EXPECT_FALSE(isValidOpcode(Op)) << "opcode " << int(Op);
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic semantics
+//===----------------------------------------------------------------------===//
+
+struct AluCase {
+  Opcode Op;
+  uint64_t A, B, Expect;
+};
+
+class AluTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluTest, ComputesExpected) {
+  const AluCase &C = GetParam();
+  Harness H;
+  H.emit(C.Op, 1, 2, 3);
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run([&](Vm &M) {
+    M.setReg(2, C.A);
+    M.setReg(3, C.B);
+  });
+  ASSERT_TRUE(R.halted()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, C.Expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, AluTest,
+    ::testing::Values(
+        AluCase{Opcode::Add, 7, 8, 15},
+        AluCase{Opcode::Add, UINT64_MAX, 1, 0}, // wraps
+        AluCase{Opcode::Sub, 5, 9, static_cast<uint64_t>(-4)},
+        AluCase{Opcode::Mul, 1ull << 33, 1ull << 32, 0}, // wraps
+        AluCase{Opcode::DivU, 100, 7, 14},
+        AluCase{Opcode::DivS, static_cast<uint64_t>(-100), 7,
+                static_cast<uint64_t>(-14)},
+        AluCase{Opcode::RemU, 100, 7, 2},
+        AluCase{Opcode::RemS, static_cast<uint64_t>(-100), 7,
+                static_cast<uint64_t>(-2)},
+        AluCase{Opcode::DivS, static_cast<uint64_t>(INT64_MIN),
+                static_cast<uint64_t>(-1),
+                static_cast<uint64_t>(INT64_MIN)}, // overflow wraps
+        AluCase{Opcode::And, 0xff00, 0x0ff0, 0x0f00},
+        AluCase{Opcode::Or, 0xff00, 0x0ff0, 0xfff0},
+        AluCase{Opcode::Xor, 0xff00, 0x0ff0, 0xf0f0},
+        AluCase{Opcode::Shl, 1, 63, 1ull << 63},
+        AluCase{Opcode::Shl, 1, 64, 1},              // shift masks to 0
+        AluCase{Opcode::ShrL, 1ull << 63, 63, 1},
+        AluCase{Opcode::ShrA, static_cast<uint64_t>(-8), 2,
+                static_cast<uint64_t>(-2)},
+        AluCase{Opcode::Seq, 4, 4, 1}, AluCase{Opcode::Seq, 4, 5, 0},
+        AluCase{Opcode::Sne, 4, 5, 1},
+        AluCase{Opcode::SltU, 1, static_cast<uint64_t>(-1), 1},
+        AluCase{Opcode::SltS, static_cast<uint64_t>(-1), 1, 1},
+        AluCase{Opcode::SleU, 4, 4, 1},
+        AluCase{Opcode::SleS, static_cast<uint64_t>(-5),
+                static_cast<uint64_t>(-5), 1}));
+
+TEST(VmTest, RegisterZeroIsHardwired) {
+  Harness H;
+  H.emit(Opcode::LdI, 0, 0, 0, 77); // write to r0 discarded
+  H.emit(Opcode::Add, 1, 0, 0);     // r1 = r0 + r0
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted());
+  EXPECT_EQ(R.ReturnValue, 0u);
+}
+
+TEST(VmTest, LdIAndLdIHBuild64BitConstant) {
+  Harness H;
+  H.emit(Opcode::LdI, 1, 0, 0, static_cast<int32_t>(0xdeadbeef));
+  H.emit(Opcode::LdIH, 1, 0, 0, static_cast<int32_t>(0xcafebabe));
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted());
+  EXPECT_EQ(R.ReturnValue, 0xcafebabedeadbeefULL);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory access
+//===----------------------------------------------------------------------===//
+
+TEST(VmTest, LoadStoreWidths) {
+  Harness H;
+  H.emit(Opcode::LdI, 2, 0, 0, 0x1000); // address
+  H.emit(Opcode::LdI, 3, 0, 0, -2);     // 0xffff...fffe
+  H.emit(Opcode::StD, 0, 2, 3, 0);
+  H.emit(Opcode::LdBU, 4, 2, 0, 0);
+  H.emit(Opcode::LdBS, 5, 2, 0, 0);
+  H.emit(Opcode::LdHU, 6, 2, 0, 0);
+  H.emit(Opcode::LdWU, 7, 2, 0, 0);
+  H.emit(Opcode::LdWS, 8, 2, 0, 0);
+  H.emit(Opcode::Add, 1, 4, 0);
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 0xfeu);
+
+  // Inspect the other registers via fresh runs would be tedious; spot
+  // check memory instead.
+  uint8_t Byte;
+  ASSERT_FALSE(static_cast<bool>(
+      H.Ram.read(0x1000, MutableBytesView(&Byte, 1))));
+  EXPECT_EQ(Byte, 0xfe);
+}
+
+TEST(VmTest, SignExtendingLoads) {
+  Harness H;
+  H.emit(Opcode::LdI, 2, 0, 0, 0x2000);
+  H.emit(Opcode::LdI, 3, 0, 0, 0x80); // byte 0x80
+  H.emit(Opcode::StB, 0, 2, 3, 0);
+  H.emit(Opcode::LdBS, 1, 2, 0, 0);
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted());
+  EXPECT_EQ(R.ReturnValue, static_cast<uint64_t>(int64_t{-128}));
+}
+
+TEST(VmTest, OutOfBoundsLoadFaults) {
+  Harness H;
+  H.emit(Opcode::LdI, 2, 0, 0, 0x7fffffff);
+  H.emit(Opcode::LdD, 1, 2, 0, 0);
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  EXPECT_EQ(R.Kind, TrapKind::MemoryFault);
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow and traps
+//===----------------------------------------------------------------------===//
+
+TEST(VmTest, CallAndRet) {
+  Harness H;
+  H.emit(Opcode::Call, 0, 0, 0, 24); // to offset 24
+  H.emit(Opcode::Halt);              // offset 8 (after return)
+  H.emit(Opcode::Nop);               // offset 16 (never runs)
+  H.emit(Opcode::LdI, 1, 0, 0, 55);  // offset 24: callee
+  H.emit(Opcode::Ret);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 55u);
+}
+
+TEST(VmTest, IndirectCall) {
+  Harness H;
+  H.emit(Opcode::LdI, 2, 0, 0, 32);
+  H.emit(Opcode::CallR, 0, 2, 0, 0);
+  H.emit(Opcode::Halt);
+  H.emit(Opcode::Nop);
+  H.emit(Opcode::LdI, 1, 0, 0, 99); // offset 32
+  H.emit(Opcode::Ret);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted());
+  EXPECT_EQ(R.ReturnValue, 99u);
+}
+
+TEST(VmTest, RetAtTopLevelUnderflows) {
+  Harness H;
+  H.emit(Opcode::Ret);
+  EXPECT_EQ(H.run().Kind, TrapKind::CallStackUnderflow);
+}
+
+TEST(VmTest, CallDepthLimit) {
+  Harness H;
+  H.emit(Opcode::Call, 0, 0, 0, 0); // calls itself forever
+  Vm M(H.Ram);
+  ASSERT_FALSE(static_cast<bool>(H.Ram.write(0, H.Code)));
+  M.setMaxCallDepth(64);
+  ExecResult R = M.run(0, 1 << 20);
+  EXPECT_EQ(R.Kind, TrapKind::CallDepthExceeded);
+}
+
+TEST(VmTest, BudgetStopsInfiniteLoop) {
+  Harness H;
+  H.emit(Opcode::Jmp, 0, 0, 0, 0); // jumps to itself
+  ExecResult R = H.run(nullptr, 1000);
+  EXPECT_EQ(R.Kind, TrapKind::BudgetExhausted);
+  EXPECT_EQ(R.InstructionsRetired, 1000u);
+}
+
+TEST(VmTest, ConditionalBranches) {
+  Harness H;
+  H.emit(Opcode::LdI, 2, 0, 0, 0);
+  H.emit(Opcode::Beqz, 0, 2, 0, 24); // taken: to offset 8+24=32
+  H.emit(Opcode::LdI, 1, 0, 0, 1);   // skipped
+  H.emit(Opcode::Halt);              // offset 24 (skipped)
+  H.emit(Opcode::LdI, 1, 0, 0, 2);   // offset 32
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted());
+  EXPECT_EQ(R.ReturnValue, 2u);
+}
+
+TEST(VmTest, UnalignedPcTraps) {
+  Harness H;
+  H.emit(Opcode::Jmp, 0, 0, 0, 4); // misaligned target
+  ExecResult R = H.run();
+  EXPECT_EQ(R.Kind, TrapKind::UnalignedPc);
+}
+
+TEST(VmTest, ExplicitTrapCarriesCode) {
+  Harness H;
+  H.emit(Opcode::Trap, 0, 0, 0, 0xbeef);
+  ExecResult R = H.run();
+  EXPECT_EQ(R.Kind, TrapKind::ExplicitTrap);
+  EXPECT_EQ(R.TrapCode, 0xbeef);
+}
+
+TEST(VmTest, IllegalInstructionReportsPc) {
+  Harness H;
+  H.emit(Opcode::Nop);
+  H.emit(Opcode::Illegal);
+  ExecResult R = H.run();
+  EXPECT_EQ(R.Kind, TrapKind::IllegalInstruction);
+  EXPECT_EQ(R.Pc, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Host calls
+//===----------------------------------------------------------------------===//
+
+TEST(VmTest, TcallDispatchesAndReturnsInR1) {
+  Harness H;
+  H.emit(Opcode::LdI, 1, 0, 0, 20);
+  H.emit(Opcode::Tcall, 0, 0, 0, 3);
+  H.emit(Opcode::Halt);
+  ASSERT_FALSE(static_cast<bool>(H.Ram.write(0, H.Code)));
+  Vm M(H.Ram);
+  M.setTcallHandler([](uint32_t Index, Vm &V) -> Expected<uint64_t> {
+    EXPECT_EQ(Index, 3u);
+    return V.reg(1) * 2 + 2;
+  });
+  ExecResult R = M.run(0);
+  ASSERT_TRUE(R.halted());
+  EXPECT_EQ(R.ReturnValue, 42u);
+}
+
+TEST(VmTest, MissingOcallHandlerFaults) {
+  Harness H;
+  H.emit(Opcode::Ocall, 0, 0, 0, 0);
+  ExecResult R = H.run();
+  EXPECT_EQ(R.Kind, TrapKind::HandlerFault);
+}
+
+TEST(VmTest, HandlerErrorBecomesFault) {
+  Harness H;
+  H.emit(Opcode::Tcall, 0, 0, 0, 9);
+  ASSERT_FALSE(static_cast<bool>(H.Ram.write(0, H.Code)));
+  Vm M(H.Ram);
+  M.setTcallHandler([](uint32_t, Vm &) -> Expected<uint64_t> {
+    return makeError("deliberate");
+  });
+  ExecResult R = M.run(0);
+  EXPECT_EQ(R.Kind, TrapKind::HandlerFault);
+  EXPECT_NE(R.Message.find("deliberate"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+TEST(DisassemblerTest, FormatsCommonInstructions) {
+  EXPECT_EQ(disassembleInstruction({Opcode::Add, 1, 2, 3, 0}, 0),
+            "add    r1, r2, r3");
+  EXPECT_EQ(disassembleInstruction({Opcode::LdI, 4, 0, 0, -7}, 0),
+            "ldi    r4, -7");
+  EXPECT_EQ(disassembleInstruction({Opcode::LdD, 2, 29, 0, 16}, 0),
+            "ldd    r2, [r29+16]");
+  EXPECT_EQ(disassembleInstruction({Opcode::StB, 0, 5, 6, -1}, 0),
+            "stb    [r5-1], r6");
+  EXPECT_EQ(disassembleInstruction({Opcode::Call, 0, 0, 0, 64}, 0x100),
+            "call   0x140");
+  EXPECT_EQ(disassembleInstruction({Opcode::Tcall, 0, 0, 0, 5}, 0),
+            "tcall  #5");
+}
+
+TEST(DisassemblerTest, CountsValidSlots) {
+  Bytes Code;
+  emitInstruction(Code, {Opcode::Add, 1, 2, 3, 0});
+  emitInstruction(Code, {Opcode::Illegal, 0, 0, 0, 0});
+  emitInstruction(Code, {Opcode::Halt, 0, 0, 0, 0});
+  EXPECT_EQ(countValidInstructionSlots(Code), 2u);
+}
+
+} // namespace

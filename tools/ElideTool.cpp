@@ -1,0 +1,422 @@
+//===- tools/ElideTool.cpp - The sgxelide command-line tool --------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line face of the framework, mirroring the paper artifact's
+/// workflow (Makefile sanitizer step, server.py, ./app):
+///
+///   sgxelide compile   out.so src.elc...       # gcc+ld stand-in
+///   sgxelide whitelist  dummy.so               # sec. 4.1
+///   sgxelide sanitize  in.so out.so data meta  # sec. 4.2 (+ --local)
+///   sgxelide measure   enclave.so              # sgx_sign gendata
+///   sgxelide sign      enclave.so sig.bin      # sgx_sign (toy vendor key)
+///   sgxelide objdump   enclave.so              # the attacker's view
+///   sgxelide serve     meta data mrenclave     # server.py
+///   sgxelide run       enclave.so sig.bin ...  # ./app
+///
+/// Keys are derived from --seed flags: this is a reproduction harness, not
+/// a production signer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "elide/HostRuntime.h"
+#include "elide/Pipeline.h"
+#include "elide/TrustedLib.h"
+#include "elf/ElfImage.h"
+#include "server/AuthServer.h"
+#include "server/Transport.h"
+#include "sgx/EnclaveLoader.h"
+#include "support/File.h"
+#include "support/Hex.h"
+#include "support/Stats.h"
+#include "vm/Disassembler.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace elide;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sgxelide <command> [args]\n"
+      "  compile   <out.so> <src.elc>...        compile + link with the "
+      "SgxElide runtime\n"
+      "  whitelist <dummy.so> [out.txt]         derive the function "
+      "whitelist\n"
+      "  sanitize  <in.so> <out.so> <data> <meta> [--local] [--whitelist f]\n"
+      "  measure   <enclave.so>                 print MRENCLAVE\n"
+      "  sign      <enclave.so> <sig.bin> [--seed N] [--sgx2]\n"
+      "  objdump   <enclave.so> [function]      disassemble (attacker's "
+      "view)\n"
+      "  serve     <meta> <data|-> <mrenclave-hex> [--port-file f] "
+      "[--authority-seed N]\n"
+      "  run       <enclave.so> <sig.bin> <port> <ecall> <hex-input> "
+      "[--data f] [--authority-seed N] [--device-seed N]\n");
+  return 2;
+}
+
+bool hasFlag(std::vector<std::string> &Args, const std::string &Flag) {
+  for (auto It = Args.begin(); It != Args.end(); ++It)
+    if (*It == Flag) {
+      Args.erase(It);
+      return true;
+    }
+  return false;
+}
+
+std::string flagValue(std::vector<std::string> &Args, const std::string &Flag,
+                      const std::string &Default) {
+  for (auto It = Args.begin(); It != Args.end(); ++It)
+    if (*It == Flag && It + 1 != Args.end()) {
+      std::string V = *(It + 1);
+      Args.erase(It, It + 2);
+      return V;
+    }
+  return Default;
+}
+
+int fail(const std::string &Message) {
+  std::fprintf(stderr, "sgxelide: error: %s\n", Message.c_str());
+  return 1;
+}
+
+Ed25519KeyPair keyFromSeed(uint64_t Seed) {
+  Drbg Rng(Seed);
+  Ed25519Seed S{};
+  Rng.fill(MutableBytesView(S.data(), 32));
+  return ed25519KeyPairFromSeed(S);
+}
+
+int cmdCompile(std::vector<std::string> Args) {
+  if (Args.size() < 2)
+    return usage();
+  std::string OutPath = Args[0];
+  std::vector<elc::SourceFile> Sources = ElideTrustedLib::runtimeSources();
+  for (size_t I = 1; I < Args.size(); ++I) {
+    Expected<Bytes> Src = readFileBytes(Args[I]);
+    if (!Src)
+      return fail(Src.errorMessage());
+    Sources.push_back({Args[I], stringOfBytes(*Src)});
+  }
+  Expected<elc::CompileResult> R =
+      elc::compileEnclave(Sources, ElideTrustedLib::callRegistry());
+  if (!R)
+    return fail(R.errorMessage());
+  if (Error E = writeFileBytes(OutPath, R->ElfFile))
+    return fail(E.message());
+  std::printf("%s: %zu functions, %zu text bytes, exports:", OutPath.c_str(),
+              R->FunctionNames.size(), R->TextBytes);
+  for (const std::string &Name : R->ExportNames)
+    std::printf(" %s", Name.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmdWhitelist(std::vector<std::string> Args) {
+  if (Args.empty())
+    return usage();
+  Expected<Bytes> Dummy = readFileBytes(Args[0]);
+  if (!Dummy)
+    return fail(Dummy.errorMessage());
+  Expected<Whitelist> W = Whitelist::fromDummyEnclave(*Dummy);
+  if (!W)
+    return fail(W.errorMessage());
+  std::string Text = W->serialize();
+  if (Args.size() > 1) {
+    if (Error E = writeFileBytes(Args[1], viewOf(Text)))
+      return fail(E.message());
+    std::printf("wrote %zu whitelist entries to %s\n", W->size(),
+                Args[1].c_str());
+  } else {
+    std::fputs(Text.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmdSanitize(std::vector<std::string> Args) {
+  bool Local = hasFlag(Args, "--local");
+  std::string WhitelistPath = flagValue(Args, "--whitelist", "");
+  if (Args.size() != 4)
+    return usage();
+
+  Expected<Bytes> In = readFileBytes(Args[0]);
+  if (!In)
+    return fail(In.errorMessage());
+
+  Whitelist Keep;
+  if (!WhitelistPath.empty()) {
+    Expected<Bytes> Text = readFileBytes(WhitelistPath);
+    if (!Text)
+      return fail(Text.errorMessage());
+    Expected<Whitelist> W = Whitelist::deserialize(stringOfBytes(*Text));
+    if (!W)
+      return fail(W.errorMessage());
+    Keep = W.takeValue();
+  } else {
+    // Derive from a freshly built dummy enclave (the default flow).
+    Expected<elc::CompileResult> Dummy = elc::compileEnclave(
+        ElideTrustedLib::runtimeSources(), ElideTrustedLib::callRegistry());
+    if (!Dummy)
+      return fail(Dummy.errorMessage());
+    Expected<Whitelist> W = Whitelist::fromDummyEnclave(Dummy->ElfFile);
+    if (!W)
+      return fail(W.errorMessage());
+    Keep = W.takeValue();
+  }
+
+  Drbg Rng = Drbg::system();
+  Timer T;
+  Expected<SanitizedEnclave> S = sanitizeEnclave(
+      *In, Keep, Local ? SecretStorage::Local : SecretStorage::Remote, Rng);
+  double Ms = T.elapsedMs();
+  if (!S)
+    return fail(S.errorMessage());
+
+  if (Error E = writeFileBytes(Args[1], S->SanitizedElf))
+    return fail(E.message());
+  if (Error E = writeFileBytes(Args[2], S->SecretData))
+    return fail(E.message());
+  if (Error E = writeFileBytes(Args[3], S->Meta.serialize()))
+    return fail(E.message());
+  std::printf("sanitized %zu/%zu functions (%zu bytes) in %.3f ms [%s]\n",
+              S->Report.SanitizedFunctions, S->Report.TotalFunctions,
+              S->Report.SanitizedBytes, Ms, Local ? "local" : "remote");
+  std::printf("NOTE: %s must stay on the authentication server only\n",
+              Args[3].c_str());
+  return 0;
+}
+
+int cmdMeasure(std::vector<std::string> Args) {
+  if (Args.empty())
+    return usage();
+  Expected<Bytes> In = readFileBytes(Args[0]);
+  if (!In)
+    return fail(In.errorMessage());
+  Expected<sgx::Measurement> M =
+      sgx::measureEnclaveImage(*In, sgx::EnclaveLayout{});
+  if (!M)
+    return fail(M.errorMessage());
+  std::printf("%s\n", toHex(BytesView(M->data(), 32)).c_str());
+  return 0;
+}
+
+int cmdSign(std::vector<std::string> Args) {
+  uint64_t Seed = std::stoull(flagValue(Args, "--seed", "1"));
+  bool Sgx2 = hasFlag(Args, "--sgx2");
+  if (Args.size() != 2)
+    return usage();
+  Expected<Bytes> In = readFileBytes(Args[0]);
+  if (!In)
+    return fail(In.errorMessage());
+  Expected<sgx::Measurement> M =
+      sgx::measureEnclaveImage(*In, sgx::EnclaveLayout{});
+  if (!M)
+    return fail(M.errorMessage());
+  uint64_t Attrs = sgx::AttrDebug;
+  if (Sgx2)
+    Attrs |= sgx::AttrSgx2DynamicPerms;
+  sgx::SigStruct Sig = sgx::SigStruct::sign(keyFromSeed(Seed), *M, Attrs);
+  if (Error E = writeFileBytes(Args[1], Sig.serialize()))
+    return fail(E.message());
+  std::printf("signed; MRENCLAVE=%s MRSIGNER=%s\n",
+              toHex(BytesView(M->data(), 32)).c_str(),
+              toHex(BytesView(Sig.mrSigner().data(), 32)).c_str());
+  return 0;
+}
+
+int cmdObjdump(std::vector<std::string> Args) {
+  if (Args.empty())
+    return usage();
+  Expected<Bytes> In = readFileBytes(Args[0]);
+  if (!In)
+    return fail(In.errorMessage());
+  Expected<ElfImage> Image = ElfImage::parse(*In);
+  if (!Image)
+    return fail(Image.errorMessage());
+  const ElfSection *Text = Image->sectionByName(".text");
+  if (!Text)
+    return fail("no .text section");
+  Bytes Code = Image->sectionContents(*Text);
+
+  for (const ElfSymbol &Sym : Image->symbols()) {
+    if (!Sym.isFunction())
+      continue;
+    if (Args.size() > 1 && Sym.Name != Args[1])
+      continue;
+    std::printf("\n%016llx <%s>:  (%llu bytes)\n",
+                static_cast<unsigned long long>(Sym.Value), Sym.Name.c_str(),
+                static_cast<unsigned long long>(Sym.Size));
+    size_t Off = Sym.Value - Text->Addr;
+    BytesView Body(Code.data() + Off, Sym.Size);
+    if (countValidInstructionSlots(Body) == 0 && Sym.Size > 0) {
+      std::printf("  [sanitized: %llu zeroed bytes]\n",
+                  static_cast<unsigned long long>(Sym.Size));
+      continue;
+    }
+    std::fputs(disassemble(Body, Sym.Value).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmdServe(std::vector<std::string> Args) {
+  uint64_t AuthoritySeed =
+      std::stoull(flagValue(Args, "--authority-seed", "1"));
+  std::string PortFile = flagValue(Args, "--port-file", "");
+  if (Args.size() != 3)
+    return usage();
+
+  Expected<Bytes> MetaBytes = readFileBytes(Args[0]);
+  if (!MetaBytes)
+    return fail(MetaBytes.errorMessage());
+  Expected<SecretMeta> Meta = SecretMeta::deserialize(*MetaBytes);
+  if (!Meta)
+    return fail(Meta.errorMessage());
+
+  Bytes Data;
+  if (Args[1] != "-") {
+    Expected<Bytes> DataBytes = readFileBytes(Args[1]);
+    if (!DataBytes)
+      return fail(DataBytes.errorMessage());
+    Data = DataBytes.takeValue();
+  }
+
+  Expected<Bytes> Mr = fromHex(Args[2]);
+  if (!Mr || Mr->size() != 32)
+    return fail("mrenclave must be 64 hex digits");
+
+  sgx::AttestationAuthority Authority(AuthoritySeed);
+  AuthServerConfig Config;
+  Config.AuthorityKey = Authority.publicKey();
+  std::memcpy(Config.ExpectedMrEnclave.data(), Mr->data(), 32);
+  Config.Meta = *Meta;
+  Config.SecretData = Data;
+  Config.RngSeed = Drbg::system().next64();
+  AuthServer Server(std::move(Config));
+
+  Expected<std::unique_ptr<TcpServer>> Tcp = TcpServer::start(Server);
+  if (!Tcp)
+    return fail(Tcp.errorMessage());
+  std::printf("sgxelide server listening on 127.0.0.1:%u (mode: %s)\n",
+              (*Tcp)->port(), Meta->Encrypted ? "local-data" : "remote-data");
+  if (!PortFile.empty()) {
+    std::string P = std::to_string((*Tcp)->port());
+    if (Error E = writeFileBytes(PortFile, viewOf(P)))
+      return fail(E.message());
+  }
+  std::fflush(stdout);
+
+  // Serve until killed.
+  sigset_t Set;
+  sigemptyset(&Set);
+  sigaddset(&Set, SIGINT);
+  sigaddset(&Set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &Set, nullptr);
+  int Sig = 0;
+  sigwait(&Set, &Sig);
+  (*Tcp)->stop();
+  std::printf("server stopping (signal %d); stats: %zu handshakes, "
+              "%zu rejected, %zu meta, %zu data\n",
+              Sig, Server.stats().HandshakesCompleted,
+              Server.stats().HandshakesRejected, Server.stats().MetaRequests,
+              Server.stats().DataRequests);
+  return 0;
+}
+
+int cmdRun(std::vector<std::string> Args) {
+  uint64_t AuthoritySeed =
+      std::stoull(flagValue(Args, "--authority-seed", "1"));
+  uint64_t DeviceSeed = std::stoull(flagValue(Args, "--device-seed", "1"));
+  std::string DataPath = flagValue(Args, "--data", "");
+  if (Args.size() != 5)
+    return usage();
+
+  Expected<Bytes> ElfFile = readFileBytes(Args[0]);
+  if (!ElfFile)
+    return fail(ElfFile.errorMessage());
+  Expected<Bytes> SigBytes = readFileBytes(Args[1]);
+  if (!SigBytes)
+    return fail(SigBytes.errorMessage());
+  Expected<sgx::SigStruct> Sig = sgx::SigStruct::deserialize(*SigBytes);
+  if (!Sig)
+    return fail(Sig.errorMessage());
+  uint16_t Port = static_cast<uint16_t>(std::stoul(Args[2]));
+  std::string Ecall = Args[3];
+  Expected<Bytes> Input = fromHex(Args[4]);
+  if (!Input)
+    return fail("input must be hex: " + Input.errorMessage());
+
+  sgx::SgxDevice Device(DeviceSeed);
+  sgx::AttestationAuthority Authority(AuthoritySeed);
+  sgx::QuotingEnclave Qe(Device, Authority);
+
+  Expected<std::unique_ptr<sgx::Enclave>> E =
+      sgx::loadEnclave(Device, *ElfFile, *Sig, sgx::EnclaveLayout{});
+  if (!E)
+    return fail(E.errorMessage());
+
+  TcpClientTransport Link("127.0.0.1", Port);
+  ElideHost Host(&Link, &Qe);
+  if (!DataPath.empty()) {
+    Expected<Bytes> Data = readFileBytes(DataPath);
+    if (!Data)
+      return fail(Data.errorMessage());
+    Host.setSecretDataFile(Data.takeValue());
+  }
+  Host.attach(**E);
+
+  Timer T;
+  Expected<uint64_t> Status = Host.restore(**E);
+  if (!Status)
+    return fail(Status.errorMessage());
+  if (*Status != 0)
+    return fail("elide_restore returned status " + std::to_string(*Status));
+  std::printf("restored in %.2f ms\n", T.elapsedMs());
+
+  Expected<sgx::EcallResult> R = (*E)->ecall(Ecall, *Input, 256);
+  if (!R)
+    return fail(R.errorMessage());
+  if (!R->ok())
+    return fail(std::string("ecall trapped: ") + trapKindName(R->Exec.Kind) +
+                ": " + R->Exec.Message);
+  std::printf("ecall %s: status=%llu output=%s\n", Ecall.c_str(),
+              static_cast<unsigned long long>(R->status()),
+              toHex(R->Output).c_str());
+  if (!Host.debugOutput().empty())
+    std::printf("enclave debug output:\n%s", Host.debugOutput().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Command = argv[1];
+  std::vector<std::string> Args(argv + 2, argv + argc);
+  if (Command == "compile")
+    return cmdCompile(std::move(Args));
+  if (Command == "whitelist")
+    return cmdWhitelist(std::move(Args));
+  if (Command == "sanitize")
+    return cmdSanitize(std::move(Args));
+  if (Command == "measure")
+    return cmdMeasure(std::move(Args));
+  if (Command == "sign")
+    return cmdSign(std::move(Args));
+  if (Command == "objdump")
+    return cmdObjdump(std::move(Args));
+  if (Command == "serve")
+    return cmdServe(std::move(Args));
+  if (Command == "run")
+    return cmdRun(std::move(Args));
+  return usage();
+}
