@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/apps/AesApp.cpp" "apps/CMakeFiles/elide_apps.dir/AesApp.cpp.o" "gcc" "apps/CMakeFiles/elide_apps.dir/AesApp.cpp.o.d"
+  "/root/repo/apps/AppUtil.cpp" "apps/CMakeFiles/elide_apps.dir/AppUtil.cpp.o" "gcc" "apps/CMakeFiles/elide_apps.dir/AppUtil.cpp.o.d"
+  "/root/repo/apps/BiniaxApp.cpp" "apps/CMakeFiles/elide_apps.dir/BiniaxApp.cpp.o" "gcc" "apps/CMakeFiles/elide_apps.dir/BiniaxApp.cpp.o.d"
+  "/root/repo/apps/CrackmeApp.cpp" "apps/CMakeFiles/elide_apps.dir/CrackmeApp.cpp.o" "gcc" "apps/CMakeFiles/elide_apps.dir/CrackmeApp.cpp.o.d"
+  "/root/repo/apps/DesApp.cpp" "apps/CMakeFiles/elide_apps.dir/DesApp.cpp.o" "gcc" "apps/CMakeFiles/elide_apps.dir/DesApp.cpp.o.d"
+  "/root/repo/apps/Game2048App.cpp" "apps/CMakeFiles/elide_apps.dir/Game2048App.cpp.o" "gcc" "apps/CMakeFiles/elide_apps.dir/Game2048App.cpp.o.d"
+  "/root/repo/apps/Sha1App.cpp" "apps/CMakeFiles/elide_apps.dir/Sha1App.cpp.o" "gcc" "apps/CMakeFiles/elide_apps.dir/Sha1App.cpp.o.d"
+  "/root/repo/apps/ShasApp.cpp" "apps/CMakeFiles/elide_apps.dir/ShasApp.cpp.o" "gcc" "apps/CMakeFiles/elide_apps.dir/ShasApp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elide/CMakeFiles/elide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/elide_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/elide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/elide_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/elc/CMakeFiles/elide_elc.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elide_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elide_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

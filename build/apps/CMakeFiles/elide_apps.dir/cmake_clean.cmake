@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_apps.dir/AesApp.cpp.o"
+  "CMakeFiles/elide_apps.dir/AesApp.cpp.o.d"
+  "CMakeFiles/elide_apps.dir/AppUtil.cpp.o"
+  "CMakeFiles/elide_apps.dir/AppUtil.cpp.o.d"
+  "CMakeFiles/elide_apps.dir/BiniaxApp.cpp.o"
+  "CMakeFiles/elide_apps.dir/BiniaxApp.cpp.o.d"
+  "CMakeFiles/elide_apps.dir/CrackmeApp.cpp.o"
+  "CMakeFiles/elide_apps.dir/CrackmeApp.cpp.o.d"
+  "CMakeFiles/elide_apps.dir/DesApp.cpp.o"
+  "CMakeFiles/elide_apps.dir/DesApp.cpp.o.d"
+  "CMakeFiles/elide_apps.dir/Game2048App.cpp.o"
+  "CMakeFiles/elide_apps.dir/Game2048App.cpp.o.d"
+  "CMakeFiles/elide_apps.dir/Sha1App.cpp.o"
+  "CMakeFiles/elide_apps.dir/Sha1App.cpp.o.d"
+  "CMakeFiles/elide_apps.dir/ShasApp.cpp.o"
+  "CMakeFiles/elide_apps.dir/ShasApp.cpp.o.d"
+  "libelide_apps.a"
+  "libelide_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

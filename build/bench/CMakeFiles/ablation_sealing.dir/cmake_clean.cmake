@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sealing.dir/AblationSealing.cpp.o"
+  "CMakeFiles/ablation_sealing.dir/AblationSealing.cpp.o.d"
+  "ablation_sealing"
+  "ablation_sealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

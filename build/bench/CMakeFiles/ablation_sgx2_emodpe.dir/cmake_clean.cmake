@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sgx2_emodpe.dir/AblationSgx2.cpp.o"
+  "CMakeFiles/ablation_sgx2_emodpe.dir/AblationSgx2.cpp.o.d"
+  "ablation_sgx2_emodpe"
+  "ablation_sgx2_emodpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sgx2_emodpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

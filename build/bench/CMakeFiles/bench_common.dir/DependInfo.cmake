@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/BenchCommon.cpp" "bench/CMakeFiles/bench_common.dir/BenchCommon.cpp.o" "gcc" "bench/CMakeFiles/bench_common.dir/BenchCommon.cpp.o.d"
+  "/root/repo/bench/FigOverhead.cpp" "bench/CMakeFiles/bench_common.dir/FigOverhead.cpp.o" "gcc" "bench/CMakeFiles/bench_common.dir/FigOverhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/apps/CMakeFiles/elide_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/elide/CMakeFiles/elide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/elide_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/elide_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/elc/CMakeFiles/elide_elc.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elide_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elide_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/elide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_overhead_remote.dir/Fig3OverheadRemote.cpp.o"
+  "CMakeFiles/fig3_overhead_remote.dir/Fig3OverheadRemote.cpp.o.d"
+  "fig3_overhead_remote"
+  "fig3_overhead_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_overhead_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

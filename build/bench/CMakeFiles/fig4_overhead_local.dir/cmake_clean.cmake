@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overhead_local.dir/Fig4OverheadLocal.cpp.o"
+  "CMakeFiles/fig4_overhead_local.dir/Fig4OverheadLocal.cpp.o.d"
+  "fig4_overhead_local"
+  "fig4_overhead_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overhead_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sanitize_restore.dir/Table2SanitizeRestore.cpp.o"
+  "CMakeFiles/table2_sanitize_restore.dir/Table2SanitizeRestore.cpp.o.d"
+  "table2_sanitize_restore"
+  "table2_sanitize_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sanitize_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

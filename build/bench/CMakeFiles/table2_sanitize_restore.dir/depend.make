@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_sanitize_restore.
+# This may be replaced when dependencies are built.

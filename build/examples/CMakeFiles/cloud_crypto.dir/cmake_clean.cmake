@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_crypto.dir/CloudCrypto.cpp.o"
+  "CMakeFiles/cloud_crypto.dir/CloudCrypto.cpp.o.d"
+  "cloud_crypto"
+  "cloud_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crackme_challenge.dir/CrackmeChallenge.cpp.o"
+  "CMakeFiles/crackme_challenge.dir/CrackmeChallenge.cpp.o.d"
+  "crackme_challenge"
+  "crackme_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crackme_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_drm.dir/GameDrm.cpp.o"
+  "CMakeFiles/game_drm.dir/GameDrm.cpp.o.d"
+  "game_drm"
+  "game_drm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_drm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

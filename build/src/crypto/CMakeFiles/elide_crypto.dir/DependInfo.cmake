@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/Aes.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Aes.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Aes.cpp.o.d"
+  "/root/repo/src/crypto/AesGcm.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/AesGcm.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/AesGcm.cpp.o.d"
+  "/root/repo/src/crypto/Cmac.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Cmac.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Cmac.cpp.o.d"
+  "/root/repo/src/crypto/Drbg.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Drbg.cpp.o.d"
+  "/root/repo/src/crypto/Ed25519.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Ed25519.cpp.o.d"
+  "/root/repo/src/crypto/Field25519.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Field25519.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Field25519.cpp.o.d"
+  "/root/repo/src/crypto/Hkdf.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Hkdf.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Hkdf.cpp.o.d"
+  "/root/repo/src/crypto/Hmac.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Hmac.cpp.o.d"
+  "/root/repo/src/crypto/Sha256.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Sha256.cpp.o.d"
+  "/root/repo/src/crypto/Sha512.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/Sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/Sha512.cpp.o.d"
+  "/root/repo/src/crypto/X25519.cpp" "src/crypto/CMakeFiles/elide_crypto.dir/X25519.cpp.o" "gcc" "src/crypto/CMakeFiles/elide_crypto.dir/X25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

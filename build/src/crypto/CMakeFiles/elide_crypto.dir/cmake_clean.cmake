@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_crypto.dir/Aes.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Aes.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/AesGcm.cpp.o"
+  "CMakeFiles/elide_crypto.dir/AesGcm.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/Cmac.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Cmac.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/Drbg.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Drbg.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/Ed25519.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Ed25519.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/Field25519.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Field25519.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/Hkdf.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Hkdf.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/Hmac.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Hmac.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/Sha256.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Sha256.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/Sha512.cpp.o"
+  "CMakeFiles/elide_crypto.dir/Sha512.cpp.o.d"
+  "CMakeFiles/elide_crypto.dir/X25519.cpp.o"
+  "CMakeFiles/elide_crypto.dir/X25519.cpp.o.d"
+  "libelide_crypto.a"
+  "libelide_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

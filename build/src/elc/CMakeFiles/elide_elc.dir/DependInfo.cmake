@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elc/CodeGen.cpp" "src/elc/CMakeFiles/elide_elc.dir/CodeGen.cpp.o" "gcc" "src/elc/CMakeFiles/elide_elc.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/elc/Compiler.cpp" "src/elc/CMakeFiles/elide_elc.dir/Compiler.cpp.o" "gcc" "src/elc/CMakeFiles/elide_elc.dir/Compiler.cpp.o.d"
+  "/root/repo/src/elc/Lexer.cpp" "src/elc/CMakeFiles/elide_elc.dir/Lexer.cpp.o" "gcc" "src/elc/CMakeFiles/elide_elc.dir/Lexer.cpp.o.d"
+  "/root/repo/src/elc/Parser.cpp" "src/elc/CMakeFiles/elide_elc.dir/Parser.cpp.o" "gcc" "src/elc/CMakeFiles/elide_elc.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elide_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elide_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

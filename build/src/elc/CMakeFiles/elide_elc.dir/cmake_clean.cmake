@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_elc.dir/CodeGen.cpp.o"
+  "CMakeFiles/elide_elc.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/elide_elc.dir/Compiler.cpp.o"
+  "CMakeFiles/elide_elc.dir/Compiler.cpp.o.d"
+  "CMakeFiles/elide_elc.dir/Lexer.cpp.o"
+  "CMakeFiles/elide_elc.dir/Lexer.cpp.o.d"
+  "CMakeFiles/elide_elc.dir/Parser.cpp.o"
+  "CMakeFiles/elide_elc.dir/Parser.cpp.o.d"
+  "libelide_elc.a"
+  "libelide_elc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_elc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

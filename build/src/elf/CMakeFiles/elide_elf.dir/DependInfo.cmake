@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elf/ElfBuilder.cpp" "src/elf/CMakeFiles/elide_elf.dir/ElfBuilder.cpp.o" "gcc" "src/elf/CMakeFiles/elide_elf.dir/ElfBuilder.cpp.o.d"
+  "/root/repo/src/elf/ElfImage.cpp" "src/elf/CMakeFiles/elide_elf.dir/ElfImage.cpp.o" "gcc" "src/elf/CMakeFiles/elide_elf.dir/ElfImage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

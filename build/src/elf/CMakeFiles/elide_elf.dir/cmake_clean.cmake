@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_elf.dir/ElfBuilder.cpp.o"
+  "CMakeFiles/elide_elf.dir/ElfBuilder.cpp.o.d"
+  "CMakeFiles/elide_elf.dir/ElfImage.cpp.o"
+  "CMakeFiles/elide_elf.dir/ElfImage.cpp.o.d"
+  "libelide_elf.a"
+  "libelide_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

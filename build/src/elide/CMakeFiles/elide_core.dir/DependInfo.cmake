@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elide/Bridge.cpp" "src/elide/CMakeFiles/elide_core.dir/Bridge.cpp.o" "gcc" "src/elide/CMakeFiles/elide_core.dir/Bridge.cpp.o.d"
+  "/root/repo/src/elide/HostRuntime.cpp" "src/elide/CMakeFiles/elide_core.dir/HostRuntime.cpp.o" "gcc" "src/elide/CMakeFiles/elide_core.dir/HostRuntime.cpp.o.d"
+  "/root/repo/src/elide/Pipeline.cpp" "src/elide/CMakeFiles/elide_core.dir/Pipeline.cpp.o" "gcc" "src/elide/CMakeFiles/elide_core.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/elide/Sanitizer.cpp" "src/elide/CMakeFiles/elide_core.dir/Sanitizer.cpp.o" "gcc" "src/elide/CMakeFiles/elide_core.dir/Sanitizer.cpp.o.d"
+  "/root/repo/src/elide/SecretMeta.cpp" "src/elide/CMakeFiles/elide_core.dir/SecretMeta.cpp.o" "gcc" "src/elide/CMakeFiles/elide_core.dir/SecretMeta.cpp.o.d"
+  "/root/repo/src/elide/TrustedLib.cpp" "src/elide/CMakeFiles/elide_core.dir/TrustedLib.cpp.o" "gcc" "src/elide/CMakeFiles/elide_core.dir/TrustedLib.cpp.o.d"
+  "/root/repo/src/elide/Whitelist.cpp" "src/elide/CMakeFiles/elide_core.dir/Whitelist.cpp.o" "gcc" "src/elide/CMakeFiles/elide_core.dir/Whitelist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sgx/CMakeFiles/elide_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/elide_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/elide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elide_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/elc/CMakeFiles/elide_elc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elide_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_core.dir/Bridge.cpp.o"
+  "CMakeFiles/elide_core.dir/Bridge.cpp.o.d"
+  "CMakeFiles/elide_core.dir/HostRuntime.cpp.o"
+  "CMakeFiles/elide_core.dir/HostRuntime.cpp.o.d"
+  "CMakeFiles/elide_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/elide_core.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/elide_core.dir/Sanitizer.cpp.o"
+  "CMakeFiles/elide_core.dir/Sanitizer.cpp.o.d"
+  "CMakeFiles/elide_core.dir/SecretMeta.cpp.o"
+  "CMakeFiles/elide_core.dir/SecretMeta.cpp.o.d"
+  "CMakeFiles/elide_core.dir/TrustedLib.cpp.o"
+  "CMakeFiles/elide_core.dir/TrustedLib.cpp.o.d"
+  "CMakeFiles/elide_core.dir/Whitelist.cpp.o"
+  "CMakeFiles/elide_core.dir/Whitelist.cpp.o.d"
+  "libelide_core.a"
+  "libelide_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/AuthServer.cpp" "src/server/CMakeFiles/elide_server.dir/AuthServer.cpp.o" "gcc" "src/server/CMakeFiles/elide_server.dir/AuthServer.cpp.o.d"
+  "/root/repo/src/server/Protocol.cpp" "src/server/CMakeFiles/elide_server.dir/Protocol.cpp.o" "gcc" "src/server/CMakeFiles/elide_server.dir/Protocol.cpp.o.d"
+  "/root/repo/src/server/Transport.cpp" "src/server/CMakeFiles/elide_server.dir/Transport.cpp.o" "gcc" "src/server/CMakeFiles/elide_server.dir/Transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sgx/CMakeFiles/elide_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/elide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/elc/CMakeFiles/elide_elc.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elide_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elide_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_server.dir/AuthServer.cpp.o"
+  "CMakeFiles/elide_server.dir/AuthServer.cpp.o.d"
+  "CMakeFiles/elide_server.dir/Protocol.cpp.o"
+  "CMakeFiles/elide_server.dir/Protocol.cpp.o.d"
+  "CMakeFiles/elide_server.dir/Transport.cpp.o"
+  "CMakeFiles/elide_server.dir/Transport.cpp.o.d"
+  "libelide_server.a"
+  "libelide_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/Attestation.cpp" "src/sgx/CMakeFiles/elide_sgx.dir/Attestation.cpp.o" "gcc" "src/sgx/CMakeFiles/elide_sgx.dir/Attestation.cpp.o.d"
+  "/root/repo/src/sgx/Enclave.cpp" "src/sgx/CMakeFiles/elide_sgx.dir/Enclave.cpp.o" "gcc" "src/sgx/CMakeFiles/elide_sgx.dir/Enclave.cpp.o.d"
+  "/root/repo/src/sgx/EnclaveLoader.cpp" "src/sgx/CMakeFiles/elide_sgx.dir/EnclaveLoader.cpp.o" "gcc" "src/sgx/CMakeFiles/elide_sgx.dir/EnclaveLoader.cpp.o.d"
+  "/root/repo/src/sgx/SgxDevice.cpp" "src/sgx/CMakeFiles/elide_sgx.dir/SgxDevice.cpp.o" "gcc" "src/sgx/CMakeFiles/elide_sgx.dir/SgxDevice.cpp.o.d"
+  "/root/repo/src/sgx/SgxTypes.cpp" "src/sgx/CMakeFiles/elide_sgx.dir/SgxTypes.cpp.o" "gcc" "src/sgx/CMakeFiles/elide_sgx.dir/SgxTypes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/elide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elide_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elide_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elc/CMakeFiles/elide_elc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_sgx.dir/Attestation.cpp.o"
+  "CMakeFiles/elide_sgx.dir/Attestation.cpp.o.d"
+  "CMakeFiles/elide_sgx.dir/Enclave.cpp.o"
+  "CMakeFiles/elide_sgx.dir/Enclave.cpp.o.d"
+  "CMakeFiles/elide_sgx.dir/EnclaveLoader.cpp.o"
+  "CMakeFiles/elide_sgx.dir/EnclaveLoader.cpp.o.d"
+  "CMakeFiles/elide_sgx.dir/SgxDevice.cpp.o"
+  "CMakeFiles/elide_sgx.dir/SgxDevice.cpp.o.d"
+  "CMakeFiles/elide_sgx.dir/SgxTypes.cpp.o"
+  "CMakeFiles/elide_sgx.dir/SgxTypes.cpp.o.d"
+  "libelide_sgx.a"
+  "libelide_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_support.dir/File.cpp.o"
+  "CMakeFiles/elide_support.dir/File.cpp.o.d"
+  "CMakeFiles/elide_support.dir/Hex.cpp.o"
+  "CMakeFiles/elide_support.dir/Hex.cpp.o.d"
+  "libelide_support.a"
+  "libelide_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelide_support.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Disassembler.cpp" "src/vm/CMakeFiles/elide_vm.dir/Disassembler.cpp.o" "gcc" "src/vm/CMakeFiles/elide_vm.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/vm/CMakeFiles/elide_vm.dir/Interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/elide_vm.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/MemoryBus.cpp" "src/vm/CMakeFiles/elide_vm.dir/MemoryBus.cpp.o" "gcc" "src/vm/CMakeFiles/elide_vm.dir/MemoryBus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_vm.dir/Disassembler.cpp.o"
+  "CMakeFiles/elide_vm.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/elide_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/elide_vm.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/elide_vm.dir/MemoryBus.cpp.o"
+  "CMakeFiles/elide_vm.dir/MemoryBus.cpp.o.d"
+  "libelide_vm.a"
+  "libelide_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AppsTest.cpp" "tests/CMakeFiles/elide_tests.dir/AppsTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/AppsTest.cpp.o.d"
+  "/root/repo/tests/BridgeTest.cpp" "tests/CMakeFiles/elide_tests.dir/BridgeTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/BridgeTest.cpp.o.d"
+  "/root/repo/tests/CryptoTest.cpp" "tests/CMakeFiles/elide_tests.dir/CryptoTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/CryptoTest.cpp.o.d"
+  "/root/repo/tests/ElcPropertyTest.cpp" "tests/CMakeFiles/elide_tests.dir/ElcPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/ElcPropertyTest.cpp.o.d"
+  "/root/repo/tests/ElcTest.cpp" "tests/CMakeFiles/elide_tests.dir/ElcTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/ElcTest.cpp.o.d"
+  "/root/repo/tests/ElfTest.cpp" "tests/CMakeFiles/elide_tests.dir/ElfTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/ElfTest.cpp.o.d"
+  "/root/repo/tests/ElideIntegrationTest.cpp" "tests/CMakeFiles/elide_tests.dir/ElideIntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/ElideIntegrationTest.cpp.o.d"
+  "/root/repo/tests/ElideUnitTest.cpp" "tests/CMakeFiles/elide_tests.dir/ElideUnitTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/ElideUnitTest.cpp.o.d"
+  "/root/repo/tests/RobustnessTest.cpp" "tests/CMakeFiles/elide_tests.dir/RobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/RobustnessTest.cpp.o.d"
+  "/root/repo/tests/ServerTest.cpp" "tests/CMakeFiles/elide_tests.dir/ServerTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/ServerTest.cpp.o.d"
+  "/root/repo/tests/SgxTest.cpp" "tests/CMakeFiles/elide_tests.dir/SgxTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/SgxTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/elide_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/VmTest.cpp" "tests/CMakeFiles/elide_tests.dir/VmTest.cpp.o" "gcc" "tests/CMakeFiles/elide_tests.dir/VmTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/apps/CMakeFiles/elide_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/elide/CMakeFiles/elide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/elide_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/elide_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/elide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/elc/CMakeFiles/elide_elc.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elide_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elide_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elide_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elide_tests.dir/AppsTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/AppsTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/BridgeTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/BridgeTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/CryptoTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/CryptoTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/ElcPropertyTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/ElcPropertyTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/ElcTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/ElcTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/ElfTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/ElfTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/ElideIntegrationTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/ElideIntegrationTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/ElideUnitTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/ElideUnitTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/RobustnessTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/RobustnessTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/ServerTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/ServerTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/SgxTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/SgxTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/SupportTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/SupportTest.cpp.o.d"
+  "CMakeFiles/elide_tests.dir/VmTest.cpp.o"
+  "CMakeFiles/elide_tests.dir/VmTest.cpp.o.d"
+  "elide_tests"
+  "elide_tests.pdb"
+  "elide_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elide_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

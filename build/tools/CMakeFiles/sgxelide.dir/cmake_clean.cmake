@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxelide.dir/ElideTool.cpp.o"
+  "CMakeFiles/sgxelide.dir/ElideTool.cpp.o.d"
+  "sgxelide"
+  "sgxelide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxelide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
