@@ -9,7 +9,33 @@
 #include "elide/TrustedLib.h"
 #include "support/File.h"
 
+#include <chrono>
+#include <thread>
+
 using namespace elide;
+
+const char *elide::restoreStatusName(uint64_t Status) {
+  switch (Status) {
+  case RestoreOk:
+    return "ok";
+  case RestoreNoSecrets:
+    return "no-secrets";
+  case RestoreShortSecrets:
+    return "short-secrets";
+  case RestoreQuoteFailed:
+    return "quote-failed";
+  case RestoreServerUnreachable:
+    return "server-unreachable";
+  case RestoreRejected:
+    return "attestation-rejected";
+  case RestoreMetaFetchFailed:
+    return "meta-fetch-failed";
+  case RestoreMetaParseFailed:
+    return "meta-parse-failed";
+  default:
+    return "unknown";
+  }
+}
 
 void ElideHost::attach(sgx::Enclave &E) {
   ElideTrustedLib::install(E, Qe ? Qe->targetInfo() : sgx::TargetInfo{});
@@ -24,6 +50,24 @@ Expected<uint64_t> ElideHost::restore(sgx::Enclave &E) {
     return makeError(std::string("elide_restore trapped: ") +
                      trapKindName(R.Exec.Kind) + ": " + R.Exec.Message);
   return R.status();
+}
+
+Expected<uint64_t> ElideHost::restore(sgx::Enclave &E,
+                                      const RestorePolicy &Policy) {
+  int Attempts = Policy.MaxAttempts > 0 ? Policy.MaxAttempts : 1;
+  uint64_t Status = RestoreNoSecrets;
+  long long DelayMs = Policy.RetryDelayMs;
+  for (int Attempt = 1; Attempt <= Attempts; ++Attempt) {
+    if (Attempt > 1 && DelayMs > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+      DelayMs *= 2;
+    }
+    ELIDE_TRY(uint64_t S, restore(E));
+    Status = S;
+    if (Status == RestoreOk)
+      return Status;
+  }
+  return Status;
 }
 
 Expected<Bytes> ElideHost::handleOcall(uint32_t Index, BytesView Request) {

@@ -30,6 +30,43 @@ namespace elide {
 using AppOcallHandler =
     std::function<Expected<Bytes>(uint32_t Index, BytesView Request)>;
 
+/// Statuses the elide_restore ecall returns. Every nonzero status leaves
+/// the enclave sanitized-but-retryable (the restorer never writes a
+/// partial buffer over the text section), so a later restore() on the
+/// same enclave can still succeed.
+enum RestoreStatus : uint64_t {
+  RestoreOk = 0,
+  /// Secrets could not be obtained (missing data file, failed unseal +
+  /// failed exchange, bad local decrypt).
+  RestoreNoSecrets = 1,
+  /// The exchange produced fewer/more bytes than the metadata promised.
+  RestoreShortSecrets = 2,
+  /// The quoting enclave was unavailable.
+  RestoreQuoteFailed = 10,
+  /// The server round trip itself failed (dead/unreachable server -- the
+  /// paper's denial-of-service case).
+  RestoreServerUnreachable = 11,
+  /// The server answered but rejected the attestation.
+  RestoreRejected = 12,
+  /// The metadata exchange failed (decrypt error / server ERROR frame).
+  RestoreMetaFetchFailed = 21,
+  /// The metadata arrived but did not parse.
+  RestoreMetaParseFailed = 22,
+};
+
+/// Human-readable name for a restore status (diagnostics).
+const char *restoreStatusName(uint64_t Status);
+
+/// Retry behavior for `ElideHost::restore`. Because a failed restore
+/// never half-writes the text section, retrying any nonzero status is
+/// safe; the budget only bounds how long the host keeps trying.
+struct RestorePolicy {
+  /// Total restore attempts (1 = no retry).
+  int MaxAttempts = 1;
+  /// Pause between attempts, doubled each retry.
+  int RetryDelayMs = 10;
+};
+
 /// The untrusted SgxElide runtime for one enclave.
 class ElideHost {
 public:
@@ -63,8 +100,15 @@ public:
   void attach(sgx::Enclave &E);
 
   /// The paper's single developer-facing call: invokes the elide_restore
-  /// ecall. Returns the restorer's status (0 = success).
+  /// ecall. Returns the restorer's status (0 = success; see
+  /// RestoreStatus).
   Expected<uint64_t> restore(sgx::Enclave &E);
+
+  /// Like restore(), but keeps attempting under \p Policy while the
+  /// restorer reports a nonzero status. Returns the final status (0 when
+  /// some attempt succeeded). Ecall traps abort immediately -- a trapped
+  /// restorer is a broken build, not a network hiccup.
+  Expected<uint64_t> restore(sgx::Enclave &E, const RestorePolicy &Policy);
 
 private:
   Expected<Bytes> handleOcall(uint32_t Index, BytesView Request);

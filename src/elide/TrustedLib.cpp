@@ -24,6 +24,7 @@ struct ElideState {
   sgx::TargetInfo QeTarget;
   std::optional<SessionKeys> Keys;
   std::optional<SecretMeta> Meta;
+  uint64_t Sid = 0; ///< Server-issued session id from the handshake.
   X25519Key Priv{};
   X25519Key Pub{};
 };
@@ -55,11 +56,12 @@ uint64_t channelInit(Enclave &E, ElideState &S) {
   Expected<Bytes> Response = E.hostOcall(OcallServerRequest, Hello);
   if (!Response)
     return 11;
-  if (Response->size() != 33 || (*Response)[0] != FrameHello)
+  if (Response->size() != HelloOkSize || (*Response)[0] != FrameHello)
     return 12; // Server rejected the attestation.
 
+  S.Sid = readLE64(Response->data() + 1);
   X25519Key ServerPub;
-  std::memcpy(ServerPub.data(), Response->data() + 1, 32);
+  std::memcpy(ServerPub.data(), Response->data() + 1 + SessionIdSize, 32);
   X25519Key Shared = x25519(S.Priv, ServerPub);
   S.Keys = deriveSessionKeys(Shared, S.Pub, ServerPub);
   return 0;
@@ -70,8 +72,8 @@ Expected<Bytes> secureRequest(Enclave &E, ElideState &S, uint8_t Code) {
   if (!S.Keys)
     return makeError("channel not established");
   Bytes Request(1, Code);
-  ELIDE_TRY(Bytes Frame,
-            sealRecord(S.Keys->ClientToServer, Request, E.trustedRng()));
+  ELIDE_TRY(Bytes Frame, sealSessionRecord(S.Sid, S.Keys->ClientToServer,
+                                           Request, E.trustedRng()));
   ELIDE_TRY(Bytes ResponseFrame, E.hostOcall(OcallServerRequest, Frame));
   return openRecord(S.Keys->ServerToClient, ResponseFrame);
 }
@@ -145,6 +147,12 @@ void ElideTrustedLib::install(Enclave &E, const sgx::TargetInfo &QeTarget) {
       return 0;
     Expected<Bytes> Payload = secureRequest(En, *S, RequestData);
     if (!Payload || Payload->empty() || Payload->size() > Cap)
+      return 0;
+    // The metadata promised exactly DataLength bytes; anything else (a
+    // truncated or padded body that somehow authenticated) must never
+    // reach the text section, or a failed exchange could leave the
+    // enclave half-restored.
+    if (Payload->size() != S->Meta->DataLength)
       return 0;
     if (Error Err = En.writeMemory(Ptr, *Payload))
       return Err;
@@ -316,18 +324,25 @@ fn elide_buf_cap() -> u64 {
 }
 
 // Obtains the secret bytes into elide_buf: sealed fast path first, then
-// the attested server exchange. Returns the byte count, 0 on failure.
-fn elide_obtain_secrets(fresh: *u64) -> u64 {
+// the attested server exchange. Returns the byte count, 0 on failure;
+// *errc carries the failing step's status so the application can tell a
+// dead server from a rejected attestation (and retry accordingly).
+fn elide_obtain_secrets(fresh: *u64, errc: *u64) -> u64 {
   *fresh = 0;
+  *errc = 0;
   var n: u64 = elide_unseal_load(&elide_buf[0], elide_buf_cap());
   if (n != 0) {
     return n;
   }
   *fresh = 1;
-  if (elide_channel_init() != 0) {
+  var st: u64 = elide_channel_init();
+  if (st != 0) {
+    *errc = st;
     return 0;
   }
-  if (elide_fetch_meta() != 0) {
+  st = elide_fetch_meta();
+  if (st != 0) {
+    *errc = st;
     return 0;
   }
   if (elide_meta_encrypted() != 0) {
@@ -345,12 +360,22 @@ fn elide_obtain_secrets(fresh: *u64) -> u64 {
 
 // The one ecall SgxElide adds to an application (paper section 3.4).
 // Returns 0 on success; nonzero codes let the application handle network
-// or server failures its own way.
+// or server failures its own way. A failed attempt never touches the text
+// section, so the enclave stays sanitized-but-retryable: the copy loop
+// below only runs once the buffer holds every byte the metadata promised.
 export fn elide_restore(inp: *u8, inlen: u64, outp: *u8, outcap: u64) -> u64 {
   var fresh: u64 = 0;
-  var n: u64 = elide_obtain_secrets(&fresh);
+  var errc: u64 = 0;
+  var n: u64 = elide_obtain_secrets(&fresh, &errc);
   if (n == 0) {
+    if (errc != 0) {
+      return errc;
+    }
     return 1;
+  }
+  if (n != elide_meta_datalen()) {
+    // Partial secrets must not be copied over the text section.
+    return 2;
   }
   // Text base = &elide_restore - offset(elide_restore), as in the paper's
   // position-independent scheme.

@@ -29,56 +29,92 @@ Bytes AuthServer::handle(BytesView Request) {
 }
 
 Bytes AuthServer::handleHello(BytesView Frame) {
-  Expected<sgx::Quote> Quote = sgx::Quote::deserialize(Frame.subspan(1));
-  if (!Quote) {
+  auto reject = [this](const std::string &Why) {
+    std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.HandshakesRejected;
-    return errorFrame("malformed quote: " + Quote.errorMessage());
-  }
+    return errorFrame(Why);
+  };
+
+  // Quote parsing and signature verification are the expensive part of a
+  // handshake; they touch only immutable config, so they run unlocked and
+  // concurrent HELLOs verify in parallel.
+  Expected<sgx::Quote> Quote = sgx::Quote::deserialize(Frame.subspan(1));
+  if (!Quote)
+    return reject("malformed quote: " + Quote.errorMessage());
 
   // 1. The quote must chain to the attestation authority.
   Expected<sgx::ReportBody> Body =
       sgx::AttestationAuthority::verifyQuote(*Quote, Config.AuthorityKey);
-  if (!Body) {
-    ++Stats.HandshakesRejected;
-    return errorFrame(Body.errorMessage());
-  }
+  if (!Body)
+    return reject(Body.errorMessage());
 
   // 2. The attested enclave must be the developer's sanitized enclave --
   // this is what stops an attacker's enclave (or a tampered image) from
   // ever receiving the secrets.
-  if (Body->MrEnclave != Config.ExpectedMrEnclave) {
-    ++Stats.HandshakesRejected;
-    return errorFrame("attested MRENCLAVE does not match the deployed "
-                      "sanitized enclave");
-  }
-  if (Config.ExpectedMrSigner && Body->MrSigner != *Config.ExpectedMrSigner) {
-    ++Stats.HandshakesRejected;
-    return errorFrame("attested MRSIGNER does not match the expected "
-                      "vendor");
-  }
+  if (Body->MrEnclave != Config.ExpectedMrEnclave)
+    return reject("attested MRENCLAVE does not match the deployed "
+                  "sanitized enclave");
+  if (Config.ExpectedMrSigner && Body->MrSigner != *Config.ExpectedMrSigner)
+    return reject("attested MRSIGNER does not match the expected vendor");
 
   // 3. The enclave's channel public key rides in the report data,
   // integrity-bound by the quote signature.
   X25519Key ClientPub;
   std::memcpy(ClientPub.data(), Body->Data.data(), 32);
 
-  X25519Key ServerPriv;
-  Rng.fill(MutableBytesView(ServerPriv.data(), 32));
-  X25519Key ServerPub = x25519PublicKey(ServerPriv);
-  X25519Key Shared = x25519(ServerPriv, ClientPub);
-  Session = deriveSessionKeys(Shared, ClientPub, ServerPub);
-  ++Stats.HandshakesCompleted;
+  uint64_t Sid;
+  X25519Key ServerPub;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    X25519Key ServerPriv;
+    Rng.fill(MutableBytesView(ServerPriv.data(), 32));
+    ServerPub = x25519PublicKey(ServerPriv);
+    X25519Key Shared = x25519(ServerPriv, ClientPub);
+
+    do
+      Sid = Rng.next64();
+    while (Sid == 0 || Sessions.count(Sid));
+
+    if (Sessions.size() >= Config.MaxSessions) {
+      // Evict the oldest session; its client can simply re-attest.
+      auto Oldest = Sessions.begin();
+      for (auto It = Sessions.begin(); It != Sessions.end(); ++It)
+        if (It->second.Sequence < Oldest->second.Sequence)
+          Oldest = It;
+      Sessions.erase(Oldest);
+      ++Stats.SessionsEvicted;
+    }
+    Session &S = Sessions[Sid];
+    S.Keys = deriveSessionKeys(Shared, ClientPub, ServerPub);
+    S.Sequence = NextSequence++;
+    ++Stats.HandshakesCompleted;
+    Stats.LiveSessions = Sessions.size();
+  }
 
   Bytes Response;
   Response.push_back(FrameHello);
+  uint8_t SidBytes[SessionIdSize];
+  writeLE64(SidBytes, Sid);
+  appendBytes(Response, BytesView(SidBytes, SessionIdSize));
   appendBytes(Response, BytesView(ServerPub.data(), 32));
   return Response;
 }
 
 Bytes AuthServer::handleRecord(BytesView Frame) {
-  if (!Session)
-    return errorFrame("no session established (send HELLO first)");
-  Expected<Bytes> Plain = openRecord(Session->ClientToServer, Frame);
+  Expected<uint64_t> Sid = peekSessionId(Frame);
+  if (!Sid)
+    return errorFrame(Sid.errorMessage());
+
+  SessionKeys Keys;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Sessions.find(*Sid);
+    if (It == Sessions.end())
+      return errorFrame("unknown session (send HELLO first)");
+    Keys = It->second.Keys;
+  }
+
+  Expected<Bytes> Plain = openSessionRecord(Keys.ClientToServer, Frame);
   if (!Plain)
     return errorFrame("cannot decrypt request: " + Plain.errorMessage());
   if (Plain->size() != 1)
@@ -86,24 +122,29 @@ Bytes AuthServer::handleRecord(BytesView Frame) {
 
   Bytes Payload;
   switch ((*Plain)[0]) {
-  case RequestMeta:
+  case RequestMeta: {
+    std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.MetaRequests;
     Payload = Config.Meta.serialize();
     break;
-  case RequestData:
-    ++Stats.DataRequests;
+  }
+  case RequestData: {
     if (Config.Meta.Encrypted)
       return errorFrame("secret data is stored locally (encrypted); the "
                         "server only serves the metadata");
     if (Config.SecretData.empty())
       return errorFrame("server has no secret data configured");
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.DataRequests;
     Payload = Config.SecretData;
     break;
+  }
   default:
     return errorFrame("unknown request byte");
   }
 
-  Expected<Bytes> Response = sealRecord(Session->ServerToClient, Payload, Rng);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Expected<Bytes> Response = sealRecord(Keys.ServerToClient, Payload, Rng);
   if (!Response)
     return errorFrame("cannot seal response: " + Response.errorMessage());
   return Response.takeValue();

@@ -25,7 +25,10 @@
 #include "server/Protocol.h"
 #include "sgx/SgxTypes.h"
 
+#include <cstddef>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 namespace elide {
 
@@ -44,6 +47,9 @@ struct AuthServerConfig {
   Bytes SecretData;
   /// Server randomness seed (IVs, ephemeral keys).
   uint64_t RngSeed = 1;
+  /// Upper bound on live sessions; when full, the oldest session is
+  /// evicted (its client simply re-attests).
+  size_t MaxSessions = 1024;
 };
 
 /// Usage counters (benchmarks read these).
@@ -52,30 +58,47 @@ struct AuthServerStats {
   size_t HandshakesRejected = 0;
   size_t MetaRequests = 0;
   size_t DataRequests = 0;
+  size_t SessionsEvicted = 0;
+  size_t LiveSessions = 0;
 };
 
-/// A single-session authentication server. Transport-agnostic: feed it
+/// A multi-session authentication server. Transport-agnostic: feed it
 /// request frames, send back its response frames (LoopbackTransport does
-/// this in-process; TcpServer over sockets).
+/// this in-process; TcpServer over sockets). `handle` is thread-safe, so
+/// a concurrent transport may call it from many connections at once; each
+/// HELLO mints an independent session whose directional keys never mix
+/// with another client's.
 class AuthServer {
 public:
   explicit AuthServer(AuthServerConfig Config);
 
   /// Handles one request frame and produces one response frame. Protocol
   /// violations produce ERROR frames rather than C++ errors so the
-  /// transport can always answer the client.
+  /// transport can always answer the client. Safe to call concurrently.
   Bytes handle(BytesView Request);
 
-  const AuthServerStats &stats() const { return Stats; }
+  /// Snapshot of the usage counters.
+  AuthServerStats stats() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Stats;
+  }
 
 private:
+  /// One attested client channel.
+  struct Session {
+    SessionKeys Keys;
+    uint64_t Sequence = 0; ///< Admission order, for LRU-ish eviction.
+  };
+
   Bytes handleHello(BytesView Frame);
   Bytes handleRecord(BytesView Frame);
 
   AuthServerConfig Config;
-  Drbg Rng;
-  std::optional<SessionKeys> Session;
-  AuthServerStats Stats;
+  mutable std::mutex Mutex;
+  Drbg Rng;                                      ///< Guarded by Mutex.
+  std::unordered_map<uint64_t, Session> Sessions; ///< Guarded by Mutex.
+  uint64_t NextSequence = 0;                      ///< Guarded by Mutex.
+  AuthServerStats Stats;                          ///< Guarded by Mutex.
 };
 
 } // namespace elide

@@ -1,0 +1,103 @@
+//===- server/FaultInjection.h - Deterministic transport fault injection --------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `Transport` decorator that injects network failures between the
+/// restorer and the authentication server: dropped requests, delays,
+/// truncated / corrupted responses, disconnects after the request was
+/// delivered, and duplicated requests. Faults are seeded and
+/// deterministic, so a failing test or bench run replays exactly.
+///
+/// Two scheduling modes compose:
+///  - a *script*: the Nth roundTrip suffers `Script[N]` (then pass-through)
+///    -- the fault-matrix tests use this for precise placement;
+///  - a *rate*: each unscripted call draws from the seeded generator and
+///    suffers a random planned kind with probability `FaultPerMille/1000`
+///    -- the stress tests use this to soak the retry paths.
+///
+/// The decorator is thread-safe and wraps any `Transport` (loopback in
+/// tests and benches, the TCP client in soak runs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SERVER_FAULTINJECTION_H
+#define SGXELIDE_SERVER_FAULTINJECTION_H
+
+#include "server/Transport.h"
+
+#include <mutex>
+#include <vector>
+
+namespace elide {
+
+/// The fault vocabulary.
+enum class FaultKind {
+  None,               ///< Pass through untouched.
+  Drop,               ///< Request never reaches the server.
+  Delay,              ///< Exchange completes after an added delay.
+  Truncate,           ///< Response arrives cut short.
+  Corrupt,            ///< Response arrives with a flipped byte.
+  DisconnectMidFrame, ///< Server got the request; the response is lost.
+  DuplicateRequest,   ///< Request delivered twice (client reads one reply).
+};
+
+/// Human-readable fault name (test output).
+const char *faultKindName(FaultKind Kind);
+
+/// All injectable kinds, for matrix tests.
+std::vector<FaultKind> allFaultKinds();
+
+/// What to inject and when.
+struct FaultPlan {
+  /// Seed for every random draw (positions, bytes, rate rolls).
+  uint64_t Seed = 1;
+  /// Per-call script; call N (0-based) suffers Script[N]. Calls past the
+  /// end fall back to the rate mode.
+  std::vector<FaultKind> Script;
+  /// Probability, in per-mille, that an unscripted call faults.
+  uint32_t FaultPerMille = 0;
+  /// Kinds eligible for rate-mode injection (empty = all kinds).
+  std::vector<FaultKind> RateKinds;
+  /// Added latency for FaultKind::Delay.
+  int DelayMs = 5;
+};
+
+/// Injection counters.
+struct FaultStats {
+  size_t Calls = 0;
+  size_t Injected = 0;
+  size_t Dropped = 0;
+  size_t Delayed = 0;
+  size_t Truncated = 0;
+  size_t Corrupted = 0;
+  size_t Disconnected = 0;
+  size_t Duplicated = 0;
+};
+
+/// The decorator. Owns no transport -- the inner one must outlive it.
+class FaultInjectingTransport : public Transport {
+public:
+  FaultInjectingTransport(Transport &Inner, FaultPlan Plan);
+
+  Expected<Bytes> roundTrip(BytesView Request) override;
+
+  /// Snapshot of the injection counters.
+  FaultStats stats() const;
+
+private:
+  FaultKind planNext();
+
+  Transport &Inner;
+  FaultPlan Plan;
+  mutable std::mutex Mutex;
+  Drbg Rng;         ///< Guarded by Mutex.
+  size_t CallIndex = 0; ///< Guarded by Mutex.
+  FaultStats Stats;     ///< Guarded by Mutex.
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_SERVER_FAULTINJECTION_H

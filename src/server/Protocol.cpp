@@ -55,6 +55,47 @@ Expected<Bytes> elide::openRecord(const Aes128Key &Key, BytesView Frame) {
                        BytesView(), Tag);
 }
 
+Expected<Bytes> elide::sealSessionRecord(uint64_t SessionId,
+                                         const Aes128Key &Key,
+                                         BytesView Plaintext, Drbg &Rng) {
+  uint8_t Sid[SessionIdSize];
+  writeLE64(Sid, SessionId);
+  Bytes Iv = Rng.bytes(12);
+  ELIDE_TRY(GcmSealed Sealed,
+            aesGcmEncrypt(BytesView(Key.data(), 16), Iv, Plaintext,
+                          BytesView(Sid, SessionIdSize)));
+  Bytes Frame;
+  Frame.push_back(FrameRecord);
+  appendBytes(Frame, BytesView(Sid, SessionIdSize));
+  appendBytes(Frame, Iv);
+  appendBytes(Frame, BytesView(Sealed.Tag.data(), 16));
+  appendBytes(Frame, Sealed.Ciphertext);
+  return Frame;
+}
+
+Expected<uint64_t> elide::peekSessionId(BytesView Frame) {
+  if (Frame.size() < 1 + SessionIdSize || Frame[0] != FrameRecord)
+    return makeError("not a session record frame");
+  return readLE64(Frame.data() + 1);
+}
+
+Expected<Bytes> elide::openSessionRecord(const Aes128Key &Key,
+                                         BytesView Frame) {
+  if (!Frame.empty() && Frame[0] == FrameError)
+    return makeError("peer error: " + stringOfBytes(Frame.subspan(1)));
+  if (Frame.size() < 1 + SessionIdSize + 12 + 16)
+    return makeError("session record frame too short");
+  if (Frame[0] != FrameRecord)
+    return makeError("expected a record frame, got type " +
+                     std::to_string(Frame[0]));
+  BytesView Sid = Frame.subspan(1, SessionIdSize);
+  BytesView Iv = Frame.subspan(1 + SessionIdSize, 12);
+  GcmTag Tag;
+  std::memcpy(Tag.data(), Frame.data() + 1 + SessionIdSize + 12, 16);
+  BytesView Ciphertext = Frame.subspan(1 + SessionIdSize + 12 + 16);
+  return aesGcmDecrypt(BytesView(Key.data(), 16), Iv, Ciphertext, Sid, Tag);
+}
+
 Bytes elide::errorFrame(const std::string &Message) {
   Bytes Frame;
   Frame.push_back(FrameError);

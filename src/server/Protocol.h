@@ -14,14 +14,20 @@
 /// Frames:
 ///   HELLO     : 0x01 || serialized quote            (quote's report data
 ///               carries the enclave's X25519 public key)
-///   HELLO-OK  : 0x01 || server X25519 public key
-///   RECORD    : 0x02 || iv[12] || tag[16] || ciphertext   (AES-128-GCM)
+///   HELLO-OK  : 0x01 || session id[8] || server X25519 public key
+///   RECORD    : 0x02 || session id[8] || iv[12] || tag[16] || ciphertext
+///               (client->server; AES-128-GCM, session id bound as AAD)
+///   RECORD    : 0x02 || iv[12] || tag[16] || ciphertext
+///               (server->client; the client knows which session it is)
 ///   ERROR     : 0xee || utf-8 message
 ///
 /// Record plaintexts: requests are the paper's single byte (REQUEST_META /
 /// REQUEST_DATA); responses are the raw metadata / secret data bytes.
 /// Session keys derive from X25519(client, server) via HKDF, one key per
-/// direction.
+/// direction. The session id lets one server interleave many concurrent
+/// clients: it selects the per-session keys, and because it is only a
+/// *selector* (the keys themselves come from the attested handshake), a
+/// forged or replayed id yields nothing but a GCM failure.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +51,12 @@ constexpr uint8_t FrameError = 0xee;
 constexpr uint8_t RequestMeta = 0x4d; // 'M'
 constexpr uint8_t RequestData = 0x44; // 'D'
 
+/// Wire size of the session id carried by HELLO-OK and client records.
+constexpr size_t SessionIdSize = 8;
+
+/// Wire size of a HELLO-OK frame: type || sid || server public key.
+constexpr size_t HelloOkSize = 1 + SessionIdSize + 32;
+
 /// Per-direction AES-128 session keys derived from the handshake.
 struct SessionKeys {
   Aes128Key ClientToServer{};
@@ -57,12 +69,26 @@ SessionKeys deriveSessionKeys(const X25519Key &Shared,
                               const X25519Key &ClientPub,
                               const X25519Key &ServerPub);
 
-/// Encrypts \p Plaintext into a RECORD frame under \p Key.
+/// Encrypts \p Plaintext into a server->client RECORD frame under \p Key.
 Expected<Bytes> sealRecord(const Aes128Key &Key, BytesView Plaintext,
                            Drbg &Rng);
 
-/// Decrypts a RECORD frame (including the leading type byte).
+/// Decrypts a server->client RECORD frame (including the leading type
+/// byte).
 Expected<Bytes> openRecord(const Aes128Key &Key, BytesView Frame);
+
+/// Encrypts \p Plaintext into a client->server RECORD frame that names
+/// \p SessionId (bound into the GCM additional authenticated data).
+Expected<Bytes> sealSessionRecord(uint64_t SessionId, const Aes128Key &Key,
+                                  BytesView Plaintext, Drbg &Rng);
+
+/// Reads the session id of a client->server RECORD frame without
+/// decrypting it (the server uses this to select the session keys).
+Expected<uint64_t> peekSessionId(BytesView Frame);
+
+/// Decrypts a client->server RECORD frame, verifying that the session id
+/// it names was authenticated under \p Key.
+Expected<Bytes> openSessionRecord(const Aes128Key &Key, BytesView Frame);
 
 /// Builds an ERROR frame.
 Bytes errorFrame(const std::string &Message);

@@ -8,8 +8,11 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -21,55 +24,186 @@ Expected<Bytes> LoopbackTransport::roundTrip(BytesView Request) {
   return Server.handle(Request);
 }
 
+Error elide::makeTransportError(TransportErrc Errc, std::string Message) {
+  return makeError(static_cast<int>(Errc), std::move(Message));
+}
+
+TransportErrc elide::transportErrcOf(const Error &E) {
+  int Code = E.code();
+  return (Code >= static_cast<int>(TransportErrc::ConnectFailed) &&
+          Code <= static_cast<int>(TransportErrc::InjectedFault))
+             ? static_cast<TransportErrc>(Code)
+             : TransportErrc::None;
+}
+
+bool elide::isRetryableTransportErrc(TransportErrc Errc) {
+  switch (Errc) {
+  case TransportErrc::ConnectFailed:
+  case TransportErrc::ConnectTimeout:
+  case TransportErrc::ReadTimeout:
+  case TransportErrc::WriteTimeout:
+  case TransportErrc::PeerClosed:
+  case TransportErrc::InjectedFault:
+    return true;
+  default:
+    return false;
+  }
+}
+
 //===----------------------------------------------------------------------===//
-// Framing helpers
+// Deadline socket IO
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-Error sendAll(int Fd, const uint8_t *Data, size_t Len) {
+using Clock = std::chrono::steady_clock;
+
+/// A point in time after which an IO operation gives up.
+struct Deadline {
+  Clock::time_point At;
+
+  static Deadline in(int Ms) { return {Clock::now() + std::chrono::milliseconds(Ms)}; }
+
+  /// Milliseconds left, clamped to [0, Slice]. Polling in slices lets the
+  /// server observe its stop flag while parked on a quiet connection.
+  int remainingMs(int Slice = 100) const {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    At - Clock::now())
+                    .count();
+    if (Left <= 0)
+      return 0;
+    return static_cast<int>(Left < Slice ? Left : Slice);
+  }
+
+  bool expired() const { return Clock::now() >= At; }
+};
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+/// Waits until \p Fd is ready for \p Events. Returns +1 ready, 0 deadline
+/// expired (or \p Stop raised), -1 socket error.
+int waitReady(int Fd, short Events, const Deadline &D,
+              const std::atomic<bool> *Stop) {
+  for (;;) {
+    if (Stop && Stop->load())
+      return 0;
+    int Ms = D.remainingMs();
+    pollfd Pfd{Fd, Events, 0};
+    int N = ::poll(&Pfd, 1, Ms ? Ms : 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N > 0)
+      return 1;
+    if (D.expired())
+      return 0;
+  }
+}
+
+/// Writes all of \p Data before the deadline, riding out short writes.
+Error sendAllDeadline(int Fd, const uint8_t *Data, size_t Len,
+                      const Deadline &D, const std::atomic<bool> *Stop) {
   size_t Sent = 0;
   while (Sent < Len) {
-    ssize_t N = ::send(Fd, Data + Sent, Len - Sent, 0);
-    if (N <= 0)
-      return makeError(std::string("send failed: ") + std::strerror(errno));
+    int Ready = waitReady(Fd, POLLOUT, D, Stop);
+    if (Ready < 0)
+      return makeTransportError(TransportErrc::PeerClosed,
+                                std::string("send poll failed: ") +
+                                    std::strerror(errno));
+    if (Ready == 0)
+      return makeTransportError(TransportErrc::WriteTimeout,
+                                "write deadline exceeded after " +
+                                    std::to_string(Sent) + "/" +
+                                    std::to_string(Len) + " bytes");
+    ssize_t N = ::send(Fd, Data + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return makeTransportError(TransportErrc::PeerClosed,
+                                std::string("send failed: ") +
+                                    std::strerror(errno));
+    }
     Sent += static_cast<size_t>(N);
   }
   return Error::success();
 }
 
-Error recvAll(int Fd, uint8_t *Data, size_t Len) {
+/// Reads exactly \p Len bytes before the deadline, riding out short reads.
+/// \p GotOut reports progress so callers can tell "clean close between
+/// frames" from "peer vanished mid-frame".
+Error recvAllDeadline(int Fd, uint8_t *Data, size_t Len, const Deadline &D,
+                      const std::atomic<bool> *Stop, size_t *GotOut = nullptr) {
   size_t Got = 0;
   while (Got < Len) {
+    if (GotOut)
+      *GotOut = Got;
+    int Ready = waitReady(Fd, POLLIN, D, Stop);
+    if (Ready < 0)
+      return makeTransportError(TransportErrc::PeerClosed,
+                                std::string("recv poll failed: ") +
+                                    std::strerror(errno));
+    if (Ready == 0)
+      return makeTransportError(TransportErrc::ReadTimeout,
+                                "read deadline exceeded after " +
+                                    std::to_string(Got) + "/" +
+                                    std::to_string(Len) + " bytes");
     ssize_t N = ::recv(Fd, Data + Got, Len - Got, 0);
     if (N == 0)
-      return makeError("connection closed");
-    if (N < 0)
-      return makeError(std::string("recv failed: ") + std::strerror(errno));
+      return makeTransportError(TransportErrc::PeerClosed,
+                                "connection closed after " +
+                                    std::to_string(Got) + "/" +
+                                    std::to_string(Len) + " bytes");
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return makeTransportError(TransportErrc::PeerClosed,
+                                std::string("recv failed: ") +
+                                    std::strerror(errno));
+    }
     Got += static_cast<size_t>(N);
   }
+  if (GotOut)
+    *GotOut = Got;
   return Error::success();
 }
 
-Error sendFrame(int Fd, BytesView Frame) {
+Error sendFrameDeadline(int Fd, BytesView Frame, const Deadline &D,
+                        const std::atomic<bool> *Stop) {
   uint8_t Len[4];
   writeLE32(Len, static_cast<uint32_t>(Frame.size()));
-  if (Error E = sendAll(Fd, Len, 4))
+  if (Error E = sendAllDeadline(Fd, Len, 4, D, Stop))
     return E;
-  return sendAll(Fd, Frame.data(), Frame.size());
+  return sendAllDeadline(Fd, Frame.data(), Frame.size(), D, Stop);
 }
 
-Expected<Bytes> recvFrame(int Fd) {
+Expected<Bytes> recvFrameDeadline(int Fd, const Deadline &D,
+                                  uint32_t MaxFrameBytes,
+                                  const std::atomic<bool> *Stop,
+                                  size_t *GotOut = nullptr) {
   uint8_t LenBytes[4];
-  if (Error E = recvAll(Fd, LenBytes, 4))
+  if (Error E = recvAllDeadline(Fd, LenBytes, 4, D, Stop, GotOut))
     return E;
   uint32_t Len = readLE32(LenBytes);
-  if (Len > (64u << 20))
-    return makeError("frame too large: " + std::to_string(Len));
+  if (Len > MaxFrameBytes)
+    return makeTransportError(TransportErrc::FrameTooLarge,
+                              "frame too large: " + std::to_string(Len));
   Bytes Frame(Len);
-  if (Len)
-    if (Error E = recvAll(Fd, Frame.data(), Len))
+  if (Len) {
+    size_t Got = 0;
+    if (Error E = recvAllDeadline(Fd, Frame.data(), Len, D, Stop, &Got)) {
+      if (GotOut)
+        *GotOut += Got;
       return E;
+    }
+    if (GotOut)
+      *GotOut += Len;
+  }
   return Frame;
 }
 
@@ -79,7 +213,10 @@ Expected<Bytes> recvFrame(int Fd) {
 // TcpServer
 //===----------------------------------------------------------------------===//
 
-Expected<std::unique_ptr<TcpServer>> TcpServer::start(AuthServer &Server) {
+Expected<std::unique_ptr<TcpServer>>
+TcpServer::start(AuthServer &Server, const TcpServerConfig &Config) {
+  if (Config.WorkerThreads == 0)
+    return makeError("TcpServerConfig.WorkerThreads must be positive");
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return makeError(std::string("socket: ") + std::strerror(errno));
@@ -94,7 +231,7 @@ Expected<std::unique_ptr<TcpServer>> TcpServer::start(AuthServer &Server) {
     ::close(Fd);
     return makeError(std::string("bind: ") + std::strerror(errno));
   }
-  if (::listen(Fd, 4) < 0) {
+  if (::listen(Fd, Config.Backlog) < 0) {
     ::close(Fd);
     return makeError(std::string("listen: ") + std::strerror(errno));
   }
@@ -106,41 +243,114 @@ Expected<std::unique_ptr<TcpServer>> TcpServer::start(AuthServer &Server) {
 
   std::unique_ptr<TcpServer> S(new TcpServer());
   S->Server = &Server;
+  S->Config = Config;
   S->ListenFd = Fd;
   S->Port = ntohs(Addr.sin_port);
-  S->Worker = std::thread([Raw = S.get()] { Raw->serveLoop(); });
+  S->Workers.reserve(Config.WorkerThreads);
+  for (size_t I = 0; I < Config.WorkerThreads; ++I)
+    S->Workers.emplace_back([Raw = S.get()] { Raw->workerLoop(); });
+  S->Acceptor = std::thread([Raw = S.get()] { Raw->acceptLoop(); });
   return S;
 }
 
-void TcpServer::serveLoop() {
+void TcpServer::acceptLoop() {
   while (!Stopping.load()) {
     int Client = ::accept(ListenFd, nullptr, nullptr);
     if (Client < 0) {
       if (Stopping.load())
         return;
+      if (errno == EINTR)
+        continue;
+      // Transient accept failures (EMFILE and friends): brief pause so a
+      // hot error does not spin the CPU.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
       continue;
     }
-    // Serve frames on this connection until the peer closes it.
-    while (true) {
-      Expected<Bytes> Request = recvFrame(Client);
-      if (!Request)
-        break;
-      Bytes Response = Server->handle(*Request);
-      if (Error E = sendFrame(Client, Response))
-        break;
+    ConnectionsAccepted.fetch_add(1);
+    setNonBlocking(Client);
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      PendingFds.push_back(Client);
     }
-    ::close(Client);
+    QueueCv.notify_one();
   }
+}
+
+void TcpServer::workerLoop() {
+  for (;;) {
+    int Client = -1;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock,
+                   [this] { return Stopping.load() || !PendingFds.empty(); });
+      if (PendingFds.empty())
+        return; // Stopping and drained.
+      Client = PendingFds.front();
+      PendingFds.pop_front();
+    }
+    serveConnection(Client);
+  }
+}
+
+void TcpServer::serveConnection(int ClientFd) {
+  // Serve frames until the peer closes, an IO deadline fires, or the
+  // server drains. A stop request interrupts the idle wait for the *next*
+  // frame but lets an exchange already in flight finish.
+  for (;;) {
+    size_t Got = 0;
+    Expected<Bytes> Request =
+        recvFrameDeadline(ClientFd, Deadline::in(Config.ReadTimeoutMs),
+                          Config.MaxFrameBytes, &Stopping, &Got);
+    if (!Request) {
+      // Quiet closes and stop-drains between frames are normal; only count
+      // deadline hits, and only when the client left a frame dangling.
+      if (transportErrcOf(Request) == TransportErrc::ReadTimeout && Got > 0 &&
+          !Stopping.load())
+        ReadTimeouts.fetch_add(1);
+      break;
+    }
+    Bytes Response = Server->handle(*Request);
+    if (Error E = sendFrameDeadline(ClientFd, Response,
+                                    Deadline::in(Config.WriteTimeoutMs),
+                                    /*Stop=*/nullptr)) {
+      if (transportErrcOf(E) == TransportErrc::WriteTimeout)
+        WriteTimeouts.fetch_add(1);
+      break;
+    }
+    FramesServed.fetch_add(1);
+    if (Stopping.load())
+      break;
+  }
+  ::close(ClientFd);
 }
 
 void TcpServer::stop() {
   if (Stopping.exchange(true))
     return;
-  // Shut the listener down to unblock accept().
+  // Shut the listener down to unblock accept(), then wake every worker;
+  // in-flight connections finish their current exchange before closing.
   ::shutdown(ListenFd, SHUT_RDWR);
   ::close(ListenFd);
-  if (Worker.joinable())
-    Worker.join();
+  QueueCv.notify_all();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  // Connections that were queued but never picked up get closed unserved.
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  for (int Fd : PendingFds)
+    ::close(Fd);
+  PendingFds.clear();
+}
+
+TcpServerStats TcpServer::stats() const {
+  TcpServerStats S;
+  S.ConnectionsAccepted = ConnectionsAccepted.load();
+  S.FramesServed = FramesServed.load();
+  S.ReadTimeouts = ReadTimeouts.load();
+  S.WriteTimeouts = WriteTimeouts.load();
+  return S;
 }
 
 TcpServer::~TcpServer() { stop(); }
@@ -149,27 +359,103 @@ TcpServer::~TcpServer() { stop(); }
 // TcpClientTransport
 //===----------------------------------------------------------------------===//
 
-Expected<Bytes> TcpClientTransport::roundTrip(BytesView Request) {
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return makeError(std::string("socket: ") + std::strerror(errno));
+namespace {
+
+/// RAII socket close.
+struct FdGuard {
+  int Fd;
+  ~FdGuard() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+};
+
+/// Non-blocking connect bounded by a deadline.
+Expected<int> connectDeadline(const std::string &Host, uint16_t Port,
+                              int TimeoutMs) {
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
   Addr.sin_port = htons(Port);
-  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
-    ::close(Fd);
-    return makeError("invalid server address " + Host);
-  }
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return makeTransportError(TransportErrc::BadAddress,
+                              "invalid server address " + Host);
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return makeTransportError(TransportErrc::ConnectFailed,
+                              std::string("socket: ") + std::strerror(errno));
+  FdGuard Guard{Fd};
+  setNonBlocking(Fd);
+
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    ::close(Fd);
-    return makeError(std::string("connect: ") + std::strerror(errno));
+    if (errno != EINPROGRESS)
+      return makeTransportError(TransportErrc::ConnectFailed,
+                                std::string("connect: ") +
+                                    std::strerror(errno));
+    int Ready = waitReady(Fd, POLLOUT, Deadline::in(TimeoutMs), nullptr);
+    if (Ready <= 0)
+      return makeTransportError(TransportErrc::ConnectTimeout,
+                                "connect timed out after " +
+                                    std::to_string(TimeoutMs) + " ms");
+    int SoError = 0;
+    socklen_t Len = sizeof(SoError);
+    ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoError, &Len);
+    if (SoError != 0)
+      return makeTransportError(TransportErrc::ConnectFailed,
+                                std::string("connect: ") +
+                                    std::strerror(SoError));
   }
-  Error SendErr = sendFrame(Fd, Request);
-  if (SendErr) {
-    ::close(Fd);
-    return SendErr;
+  Guard.Fd = -1; // Ownership passes to the caller.
+  return Fd;
+}
+
+} // namespace
+
+Expected<Bytes> TcpClientTransport::attemptOnce(BytesView Request) {
+  ELIDE_TRY(int Fd, connectDeadline(Host, Port, Config.ConnectTimeoutMs));
+  FdGuard Guard{Fd};
+  if (Error E = sendFrameDeadline(Fd, Request,
+                                  Deadline::in(Config.IoTimeoutMs), nullptr))
+    return E;
+  return recvFrameDeadline(Fd, Deadline::in(Config.IoTimeoutMs),
+                           64u << 20, nullptr);
+}
+
+Expected<Bytes> TcpClientTransport::roundTrip(BytesView Request) {
+  int Attempts = Config.MaxAttempts > 0 ? Config.MaxAttempts : 1;
+  Error Last;
+  for (int Attempt = 1; Attempt <= Attempts; ++Attempt) {
+    if (Attempt > 1) {
+      // Exponential backoff with deterministic jitter: base * 2^(n-1),
+      // capped, plus up to 50% random spread so a fleet of clients
+      // recovering from the same outage does not reconnect in lockstep.
+      long long Backoff = static_cast<long long>(Config.BackoffBaseMs)
+                          << (Attempt - 2);
+      if (Backoff > Config.BackoffMaxMs)
+        Backoff = Config.BackoffMaxMs;
+      long long Spread;
+      {
+        std::lock_guard<std::mutex> Lock(JitterMutex);
+        Spread = Backoff > 1
+                     ? static_cast<long long>(Jitter.nextBelow(Backoff / 2 + 1))
+                     : 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(Backoff + Spread));
+    }
+    LastAttempts.store(Attempt);
+    Expected<Bytes> Response = attemptOnce(Request);
+    if (Response)
+      return Response;
+    Error E = Response.takeError();
+    TransportErrc Errc = transportErrcOf(E);
+    if (!isRetryableTransportErrc(Errc))
+      return E;
+    Last = std::move(E);
   }
-  Expected<Bytes> Response = recvFrame(Fd);
-  ::close(Fd);
-  return Response;
+  if (Attempts == 1)
+    return Last; // No retry budget: surface the underlying kind directly.
+  return makeTransportError(TransportErrc::RetriesExhausted,
+                            "retry budget exhausted after " +
+                                std::to_string(Attempts) +
+                                " attempts; last error: " + Last.message());
 }

@@ -12,18 +12,71 @@
 /// `TcpServer`/`TcpClientTransport` run the same byte protocol over real
 /// TCP sockets with length-prefixed frames.
 ///
+/// The paper observes that a missing server is a denial of service on the
+/// protected application, so this layer is built for failure: the server
+/// serves many connections concurrently from a worker pool with
+/// per-operation read/write deadlines and drains gracefully on `stop()`;
+/// the client bounds connect/IO time and retries with exponential backoff
+/// and deterministic jitter, surfacing a typed `TransportErrc` when the
+/// budget is exhausted.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SGXELIDE_SERVER_TRANSPORT_H
 #define SGXELIDE_SERVER_TRANSPORT_H
 
+#include "crypto/Drbg.h"
 #include "server/AuthServer.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 namespace elide {
+
+//===----------------------------------------------------------------------===//
+// Typed transport errors
+//===----------------------------------------------------------------------===//
+
+/// Failure kinds surfaced by the socket transports, carried as the
+/// `Error::code()` of transport errors so callers can branch on the kind
+/// (retry, re-attest, give up) without parsing messages.
+enum class TransportErrc : int {
+  None = 0,
+  ConnectFailed = 101,    ///< Connection refused / unreachable.
+  ConnectTimeout = 102,   ///< Connect exceeded its deadline.
+  ReadTimeout = 103,      ///< A read exceeded its deadline.
+  WriteTimeout = 104,     ///< A write exceeded its deadline.
+  PeerClosed = 105,       ///< Peer closed mid-frame.
+  FrameTooLarge = 106,    ///< Length prefix exceeds the frame cap.
+  BadAddress = 107,       ///< Unparseable server address.
+  RetriesExhausted = 108, ///< The whole retry budget failed.
+  InjectedFault = 109,    ///< A FaultInjectingTransport ate the exchange.
+};
+
+/// Creates a transport failure tagged with \p Errc.
+Error makeTransportError(TransportErrc Errc, std::string Message);
+
+/// The transport error kind of \p E (None for untagged/foreign errors).
+TransportErrc transportErrcOf(const Error &E);
+
+/// Same, reading the code of an errored `Expected` without consuming it.
+template <typename T> TransportErrc transportErrcOf(const Expected<T> &E) {
+  int Code = E.errorCode();
+  return (Code >= static_cast<int>(TransportErrc::ConnectFailed) &&
+          Code <= static_cast<int>(TransportErrc::InjectedFault))
+             ? static_cast<TransportErrc>(Code)
+             : TransportErrc::None;
+}
+
+/// True for failures a fresh attempt may cure (timeouts, refused
+/// connections, dropped peers) -- as opposed to structural ones
+/// (bad address, oversized frame).
+bool isRetryableTransportErrc(TransportErrc Errc);
 
 /// Synchronous request/response channel to the authentication server.
 class Transport {
@@ -44,44 +97,125 @@ private:
   AuthServer &Server;
 };
 
-/// Serves an AuthServer over TCP (one connection at a time; frames are
-/// u32-length-prefixed). Binds to 127.0.0.1 on an ephemeral port.
+//===----------------------------------------------------------------------===//
+// TcpServer
+//===----------------------------------------------------------------------===//
+
+/// Tuning knobs for the concurrent TCP server.
+struct TcpServerConfig {
+  /// Worker threads serving accepted connections concurrently.
+  size_t WorkerThreads = 8;
+  /// Deadline for reading one full frame off a connection.
+  int ReadTimeoutMs = 5000;
+  /// Deadline for writing one full frame to a connection.
+  int WriteTimeoutMs = 5000;
+  /// listen(2) backlog.
+  int Backlog = 64;
+  /// Largest frame the server will accept.
+  uint32_t MaxFrameBytes = 64u << 20;
+};
+
+/// Usage counters for the TCP server (tests and benches read these).
+struct TcpServerStats {
+  size_t ConnectionsAccepted = 0;
+  size_t FramesServed = 0;
+  size_t ReadTimeouts = 0;
+  size_t WriteTimeouts = 0;
+};
+
+/// Serves an AuthServer over TCP. Connections are accepted on a
+/// background thread and handed to a pool of workers, so one slow or
+/// stalled client never blocks the rest; frames are u32-length-prefixed.
+/// Binds to 127.0.0.1 on an ephemeral port. `stop()` drains gracefully:
+/// the listener closes immediately, in-flight exchanges finish (bounded by
+/// their IO deadlines), then the workers join.
 class TcpServer {
 public:
-  /// Starts the accept loop on a background thread.
-  static Expected<std::unique_ptr<TcpServer>> start(AuthServer &Server);
+  /// Starts the accept loop and worker pool on background threads.
+  static Expected<std::unique_ptr<TcpServer>>
+  start(AuthServer &Server, const TcpServerConfig &Config = TcpServerConfig());
   ~TcpServer();
 
   /// The bound port.
   uint16_t port() const { return Port; }
 
-  /// Stops the accept loop and joins the thread.
+  /// Stops accepting, drains in-flight connections, joins all threads.
+  /// Idempotent.
   void stop();
+
+  /// Snapshot of the usage counters.
+  TcpServerStats stats() const;
 
 private:
   TcpServer() = default;
-  void serveLoop();
+  void acceptLoop();
+  void workerLoop();
+  void serveConnection(int ClientFd);
 
   AuthServer *Server = nullptr;
+  TcpServerConfig Config;
   int ListenFd = -1;
   uint16_t Port = 0;
-  std::thread Worker;
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
   std::atomic<bool> Stopping{false};
+
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::deque<int> PendingFds; ///< Guarded by QueueMutex.
+
+  std::atomic<size_t> ConnectionsAccepted{0};
+  std::atomic<size_t> FramesServed{0};
+  std::atomic<size_t> ReadTimeouts{0};
+  std::atomic<size_t> WriteTimeouts{0};
+};
+
+//===----------------------------------------------------------------------===//
+// TcpClientTransport
+//===----------------------------------------------------------------------===//
+
+/// Client-side failure policy: deadlines per operation plus a bounded
+/// retry budget with exponential backoff and deterministic jitter.
+struct TcpClientConfig {
+  /// Deadline for establishing the connection.
+  int ConnectTimeoutMs = 2000;
+  /// Deadline for each frame read/write.
+  int IoTimeoutMs = 5000;
+  /// Total connection attempts per roundTrip (1 = no retry).
+  int MaxAttempts = 3;
+  /// First retry delay; doubles each retry.
+  int BackoffBaseMs = 25;
+  /// Backoff ceiling.
+  int BackoffMaxMs = 1000;
+  /// Seed for the jitter source (deterministic for reproducible tests).
+  uint64_t JitterSeed = 1;
 };
 
 /// TCP client side: connects per roundTrip (the restorer makes only a
 /// handful of requests, so connection reuse is not worth statefulness --
-/// but the session key survives across connections since the server keys
-/// the session, not the socket).
+/// and the session survives across connections because the server keys
+/// the session id, not the socket; that same property makes retrying a
+/// failed exchange on a fresh connection safe).
 class TcpClientTransport : public Transport {
 public:
-  TcpClientTransport(std::string Host, uint16_t Port)
-      : Host(std::move(Host)), Port(Port) {}
+  TcpClientTransport(std::string Host, uint16_t Port,
+                     const TcpClientConfig &Config = TcpClientConfig())
+      : Host(std::move(Host)), Port(Port), Config(Config),
+        Jitter(Config.JitterSeed ^ 0x4a49545445ULL) {}
   Expected<Bytes> roundTrip(BytesView Request) override;
 
+  /// Attempts consumed by the most recent roundTrip (tests read this).
+  int lastAttempts() const { return LastAttempts.load(); }
+
 private:
+  Expected<Bytes> attemptOnce(BytesView Request);
+
   std::string Host;
   uint16_t Port;
+  TcpClientConfig Config;
+  std::mutex JitterMutex;
+  Drbg Jitter; ///< Guarded by JitterMutex.
+  std::atomic<int> LastAttempts{0};
 };
 
 } // namespace elide

@@ -24,7 +24,10 @@
 
 namespace elide {
 
-/// A recoverable error: either success (empty) or a failure message.
+/// A recoverable error: either success (empty) or a failure message,
+/// optionally tagged with a numeric code so callers can branch on the
+/// failure kind without parsing the message (subsystems define their own
+/// code spaces; 0 means "uncategorized").
 ///
 /// Converts to `true` when it holds a failure, enabling
 /// `if (Error E = mayFail()) return E;`.
@@ -40,6 +43,13 @@ public:
     return E;
   }
 
+  /// Constructs a failure carrying \p Message tagged with \p Code.
+  static Error failure(int Code, std::string Message) {
+    Error E = failure(std::move(Message));
+    E.Code = Code;
+    return E;
+  }
+
   /// Constructs a success value (readability alias for `Error()`).
   static Error success() { return Error(); }
 
@@ -52,13 +62,22 @@ public:
     return *Message;
   }
 
+  /// Returns the failure's numeric code (0 when untagged or success).
+  int code() const { return Code; }
+
 private:
   std::optional<std::string> Message;
+  int Code = 0;
 };
 
 /// Creates a failure `Error` from a message.
 inline Error makeError(std::string Message) {
   return Error::failure(std::move(Message));
+}
+
+/// Creates a code-tagged failure `Error`.
+inline Error makeError(int Code, std::string Message) {
+  return Error::failure(Code, std::move(Message));
 }
 
 /// Either a `T` or an `Error`. Mirrors `llvm::Expected`.
@@ -101,6 +120,13 @@ public:
   const std::string &errorMessage() const {
     assert(!*this && "errorMessage() on a success Expected");
     return std::get<Error>(Storage).message();
+  }
+
+  /// Returns the error's numeric code without consuming the error (0 when
+  /// untagged).
+  int errorCode() const {
+    assert(!*this && "errorCode() on a success Expected");
+    return std::get<Error>(Storage).code();
   }
 
   /// Moves the value out. Must only be called on success.

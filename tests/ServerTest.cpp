@@ -75,6 +75,34 @@ TEST(ProtocolTest, ErrorFramesSurfaceAsErrors) {
   EXPECT_NE(R.errorMessage().find("nope"), std::string::npos);
 }
 
+TEST(ProtocolTest, SessionRecordRoundTripAndPeek) {
+  Aes128Key Key{};
+  Key[3] = 7;
+  Drbg Rng(5);
+  Bytes Plain = Bytes{RequestMeta};
+  Expected<Bytes> Frame = sealSessionRecord(0x1122334455667788ULL, Key,
+                                            Plain, Rng);
+  ASSERT_TRUE(static_cast<bool>(Frame));
+  Expected<uint64_t> Sid = peekSessionId(*Frame);
+  ASSERT_TRUE(static_cast<bool>(Sid));
+  EXPECT_EQ(*Sid, 0x1122334455667788ULL);
+  Expected<Bytes> Back = openSessionRecord(Key, *Frame);
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.errorMessage();
+  EXPECT_EQ(*Back, Plain);
+}
+
+TEST(ProtocolTest, SessionIdIsAuthenticated) {
+  // The id is a selector, not a capability -- but it is still bound into
+  // the GCM AAD, so redirecting a record to another session id fails.
+  Aes128Key Key{};
+  Drbg Rng(6);
+  Expected<Bytes> Frame = sealSessionRecord(42, Key, Bytes{RequestData}, Rng);
+  ASSERT_TRUE(static_cast<bool>(Frame));
+  Bytes Redirected = *Frame;
+  Redirected[1] ^= 0x01; // Session id 42 -> 43.
+  EXPECT_FALSE(static_cast<bool>(openSessionRecord(Key, Redirected)));
+}
+
 //===----------------------------------------------------------------------===//
 // AuthServer protocol behavior (driven without an enclave: we forge the
 // client side directly to probe edge cases)
@@ -191,9 +219,13 @@ TEST(AuthServerTest, RejectsWrongMeasurementAndAcceptsRight) {
 
     Bytes Resp = Server.handle(Hello);
     ASSERT_EQ(Resp[0], FrameHello);
-    ASSERT_EQ(Resp.size(), 33u);
+    ASSERT_EQ(Resp.size(), HelloOkSize);
+    uint64_t Sid = 0;
+    for (size_t I = 0; I < SessionIdSize; ++I)
+      Sid |= static_cast<uint64_t>(Resp[1 + I]) << (8 * I);
+    EXPECT_NE(Sid, 0u);
     X25519Key ServerPub;
-    std::memcpy(ServerPub.data(), Resp.data() + 1, 32);
+    std::memcpy(ServerPub.data(), Resp.data() + 1 + SessionIdSize, 32);
     X25519Key Shared = x25519(Priv, ServerPub);
     SessionKeys Keys =
         deriveSessionKeys(Shared, x25519PublicKey(Priv), ServerPub);
@@ -201,7 +233,7 @@ TEST(AuthServerTest, RejectsWrongMeasurementAndAcceptsRight) {
     // REQUEST_META.
     Drbg Rng(8);
     Expected<Bytes> Req =
-        sealRecord(Keys.ClientToServer, Bytes{RequestMeta}, Rng);
+        sealSessionRecord(Sid, Keys.ClientToServer, Bytes{RequestMeta}, Rng);
     ASSERT_TRUE(static_cast<bool>(Req));
     Bytes MetaResp = Server.handle(*Req);
     Expected<Bytes> MetaPlain = openRecord(Keys.ServerToClient, MetaResp);
@@ -212,7 +244,7 @@ TEST(AuthServerTest, RejectsWrongMeasurementAndAcceptsRight) {
 
     // REQUEST_DATA.
     Expected<Bytes> Req2 =
-        sealRecord(Keys.ClientToServer, Bytes{RequestData}, Rng);
+        sealSessionRecord(Sid, Keys.ClientToServer, Bytes{RequestData}, Rng);
     ASSERT_TRUE(static_cast<bool>(Req2));
     Expected<Bytes> DataPlain =
         openRecord(Keys.ServerToClient, Server.handle(*Req2));
@@ -220,17 +252,29 @@ TEST(AuthServerTest, RejectsWrongMeasurementAndAcceptsRight) {
     EXPECT_EQ(*DataPlain, F.Data);
 
     // Unknown request byte and oversized requests are rejected.
-    Expected<Bytes> Req3 = sealRecord(Keys.ClientToServer, Bytes{0x7a}, Rng);
+    Expected<Bytes> Req3 =
+        sealSessionRecord(Sid, Keys.ClientToServer, Bytes{0x7a}, Rng);
     ASSERT_TRUE(static_cast<bool>(Req3));
     EXPECT_EQ(Server.handle(*Req3)[0], FrameError);
     Expected<Bytes> Req4 =
-        sealRecord(Keys.ClientToServer, Bytes{RequestMeta, 0}, Rng);
+        sealSessionRecord(Sid, Keys.ClientToServer, Bytes{RequestMeta, 0},
+                          Rng);
     ASSERT_TRUE(static_cast<bool>(Req4));
     EXPECT_EQ(Server.handle(*Req4)[0], FrameError);
+
+    // A record aimed at a different session id fails cleanly: the id
+    // selects no session (or the AAD check fails), never another
+    // client's keys.
+    Expected<Bytes> Req5 =
+        sealSessionRecord(Sid + 1, Keys.ClientToServer, Bytes{RequestData},
+                          Rng);
+    ASSERT_TRUE(static_cast<bool>(Req5));
+    EXPECT_EQ(Server.handle(*Req5)[0], FrameError);
 
     EXPECT_EQ(Server.stats().HandshakesCompleted, 1u);
     EXPECT_EQ(Server.stats().MetaRequests, 1u);
     EXPECT_EQ(Server.stats().DataRequests, 1u);
+    EXPECT_EQ(Server.stats().LiveSessions, 1u);
   }
 }
 
@@ -248,13 +292,17 @@ TEST(AuthServerTest, LocalModeRefusesDataRequests) {
 
   Bytes Resp = Server.handle(Hello);
   ASSERT_EQ(Resp[0], FrameHello);
+  ASSERT_EQ(Resp.size(), HelloOkSize);
+  uint64_t Sid = 0;
+  for (size_t I = 0; I < SessionIdSize; ++I)
+    Sid |= static_cast<uint64_t>(Resp[1 + I]) << (8 * I);
   X25519Key ServerPub;
-  std::memcpy(ServerPub.data(), Resp.data() + 1, 32);
+  std::memcpy(ServerPub.data(), Resp.data() + 1 + SessionIdSize, 32);
   SessionKeys Keys = deriveSessionKeys(x25519(Priv, ServerPub),
                                        x25519PublicKey(Priv), ServerPub);
   Drbg Rng(4);
   Expected<Bytes> Req =
-      sealRecord(Keys.ClientToServer, Bytes{RequestData}, Rng);
+      sealSessionRecord(Sid, Keys.ClientToServer, Bytes{RequestData}, Rng);
   ASSERT_TRUE(static_cast<bool>(Req));
   EXPECT_EQ(Server.handle(*Req)[0], FrameError);
 }
@@ -284,9 +332,35 @@ TEST(TcpTransportTest, FramesSurviveTheWire) {
   (*Tcp)->stop();
 }
 
-TEST(TcpTransportTest, ConnectToClosedPortFails) {
-  TcpClientTransport Client("127.0.0.1", 1);
-  EXPECT_FALSE(static_cast<bool>(Client.roundTrip(Bytes{1})));
+TEST(TcpTransportTest, ConnectToClosedPortFailsTyped) {
+  TcpClientConfig Config;
+  Config.MaxAttempts = 2;
+  Config.BackoffBaseMs = 1;
+  TcpClientTransport Client("127.0.0.1", 1, Config);
+  Expected<Bytes> R = Client.roundTrip(Bytes{1});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(transportErrcOf(R), TransportErrc::RetriesExhausted);
+  EXPECT_EQ(Client.lastAttempts(), 2);
+}
+
+TEST(TcpTransportTest, SingleAttemptSurfacesUnderlyingError) {
+  TcpClientConfig Config;
+  Config.MaxAttempts = 1;
+  TcpClientTransport Client("127.0.0.1", 1, Config);
+  Expected<Bytes> R = Client.roundTrip(Bytes{1});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(transportErrcOf(R), TransportErrc::ConnectFailed);
+  EXPECT_EQ(Client.lastAttempts(), 1);
+}
+
+TEST(TcpTransportTest, BadAddressIsNotRetried) {
+  TcpClientConfig Config;
+  Config.MaxAttempts = 5;
+  TcpClientTransport Client("definitely-not-a-host.invalid", 9, Config);
+  Expected<Bytes> R = Client.roundTrip(Bytes{1});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(transportErrcOf(R), TransportErrc::BadAddress);
+  EXPECT_EQ(Client.lastAttempts(), 1);
 }
 
 } // namespace

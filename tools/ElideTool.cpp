@@ -59,8 +59,11 @@ int usage() {
       "view)\n"
       "  serve     <meta> <data|-> <mrenclave-hex> [--port-file f] "
       "[--authority-seed N]\n"
+      "            [--threads N] [--io-timeout-ms N]\n"
       "  run       <enclave.so> <sig.bin> <port> <ecall> <hex-input> "
-      "[--data f] [--authority-seed N] [--device-seed N]\n");
+      "[--data f] [--authority-seed N] [--device-seed N]\n"
+      "            [--connect-timeout-ms N] [--io-timeout-ms N] "
+      "[--retries N] [--retry-backoff-ms N]\n");
   return 2;
 }
 
@@ -271,6 +274,12 @@ int cmdServe(std::vector<std::string> Args) {
   uint64_t AuthoritySeed =
       std::stoull(flagValue(Args, "--authority-seed", "1"));
   std::string PortFile = flagValue(Args, "--port-file", "");
+  TcpServerConfig NetConfig;
+  NetConfig.WorkerThreads = static_cast<size_t>(std::stoull(flagValue(
+      Args, "--threads", std::to_string(NetConfig.WorkerThreads))));
+  NetConfig.ReadTimeoutMs = std::stoi(flagValue(
+      Args, "--io-timeout-ms", std::to_string(NetConfig.ReadTimeoutMs)));
+  NetConfig.WriteTimeoutMs = NetConfig.ReadTimeoutMs;
   if (Args.size() != 3)
     return usage();
 
@@ -302,11 +311,14 @@ int cmdServe(std::vector<std::string> Args) {
   Config.RngSeed = Drbg::system().next64();
   AuthServer Server(std::move(Config));
 
-  Expected<std::unique_ptr<TcpServer>> Tcp = TcpServer::start(Server);
+  Expected<std::unique_ptr<TcpServer>> Tcp =
+      TcpServer::start(Server, NetConfig);
   if (!Tcp)
     return fail(Tcp.errorMessage());
-  std::printf("sgxelide server listening on 127.0.0.1:%u (mode: %s)\n",
-              (*Tcp)->port(), Meta->Encrypted ? "local-data" : "remote-data");
+  std::printf("sgxelide server listening on 127.0.0.1:%u (mode: %s, "
+              "%zu workers)\n",
+              (*Tcp)->port(), Meta->Encrypted ? "local-data" : "remote-data",
+              NetConfig.WorkerThreads);
   if (!PortFile.empty()) {
     std::string P = std::to_string((*Tcp)->port());
     if (Error E = writeFileBytes(PortFile, viewOf(P)))
@@ -336,6 +348,16 @@ int cmdRun(std::vector<std::string> Args) {
       std::stoull(flagValue(Args, "--authority-seed", "1"));
   uint64_t DeviceSeed = std::stoull(flagValue(Args, "--device-seed", "1"));
   std::string DataPath = flagValue(Args, "--data", "");
+  TcpClientConfig NetConfig;
+  NetConfig.ConnectTimeoutMs = std::stoi(flagValue(
+      Args, "--connect-timeout-ms", std::to_string(NetConfig.ConnectTimeoutMs)));
+  NetConfig.IoTimeoutMs = std::stoi(flagValue(
+      Args, "--io-timeout-ms", std::to_string(NetConfig.IoTimeoutMs)));
+  NetConfig.MaxAttempts = std::stoi(flagValue(
+      Args, "--retries", std::to_string(NetConfig.MaxAttempts)));
+  NetConfig.BackoffBaseMs = std::stoi(flagValue(
+      Args, "--retry-backoff-ms", std::to_string(NetConfig.BackoffBaseMs)));
+  NetConfig.JitterSeed = DeviceSeed; // Distinct machines spread their retries.
   if (Args.size() != 5)
     return usage();
 
@@ -363,7 +385,7 @@ int cmdRun(std::vector<std::string> Args) {
   if (!E)
     return fail(E.errorMessage());
 
-  TcpClientTransport Link("127.0.0.1", Port);
+  TcpClientTransport Link("127.0.0.1", Port, NetConfig);
   ElideHost Host(&Link, &Qe);
   if (!DataPath.empty()) {
     Expected<Bytes> Data = readFileBytes(DataPath);
@@ -378,7 +400,8 @@ int cmdRun(std::vector<std::string> Args) {
   if (!Status)
     return fail(Status.errorMessage());
   if (*Status != 0)
-    return fail("elide_restore returned status " + std::to_string(*Status));
+    return fail("elide_restore returned status " + std::to_string(*Status) +
+                " (" + restoreStatusName(*Status) + ")");
   std::printf("restored in %.2f ms\n", T.elapsedMs());
 
   Expected<sgx::EcallResult> R = (*E)->ecall(Ecall, *Input, 256);
