@@ -53,7 +53,10 @@ CmacTag elide::aesCmac(const Aes128Key &Key, BytesView Data) {
       Last[I] = Data[Off + I] ^ K1[I];
   } else {
     size_t Rem = Data.size() - Off;
-    std::memcpy(Last, Data.data() + Off, Rem);
+    // Empty input: Rem == 0 and Data.data() may be null (memcpy forbids
+    // null arguments even for zero sizes).
+    if (Rem)
+      std::memcpy(Last, Data.data() + Off, Rem);
     Last[Rem] = 0x80;
     for (int I = 0; I < 16; ++I)
       Last[I] ^= K2[I];

@@ -86,7 +86,8 @@ void Sha256::update(BytesView Data) {
   if (BufferLen > 0) {
     size_t Need = 64 - BufferLen;
     size_t Take = Data.size() < Need ? Data.size() : Need;
-    std::memcpy(Buffer + BufferLen, Data.data(), Take);
+    if (Take) // Empty views may carry a null data pointer.
+      std::memcpy(Buffer + BufferLen, Data.data(), Take);
     BufferLen += Take;
     Offset = Take;
     if (BufferLen < 64)

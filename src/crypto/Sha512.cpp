@@ -102,7 +102,8 @@ void Sha512::update(BytesView Data) {
   if (BufferLen > 0) {
     size_t Need = 128 - BufferLen;
     size_t Take = Data.size() < Need ? Data.size() : Need;
-    std::memcpy(Buffer + BufferLen, Data.data(), Take);
+    if (Take) // Empty views may carry a null data pointer.
+      std::memcpy(Buffer + BufferLen, Data.data(), Take);
     BufferLen += Take;
     Offset = Take;
     if (BufferLen < 128)

@@ -26,17 +26,26 @@ static std::string stringAt(BytesView Table, uint64_t Offset) {
   return Out;
 }
 
+/// True when [Offset, Offset+Size) fits inside a buffer of \p Limit bytes.
+/// Phrased as subtraction so crafted 64-bit offsets cannot wrap the sum --
+/// `Offset + Size > Limit` is exactly the comparison an attacker defeats
+/// with Offset = 2^64 - Size.
+static bool rangeFits(uint64_t Offset, uint64_t Size, uint64_t Limit) {
+  return Offset <= Limit && Size <= Limit - Offset;
+}
+
 Error ElfImage::parseInto() {
   if (Raw.size() < Elf64EhdrSize)
-    return makeError("file too small to be ELF64 (" +
-                     std::to_string(Raw.size()) + " bytes)");
+    return makeError(ElfErrcTruncated, "file too small to be ELF64 (" +
+                                           std::to_string(Raw.size()) +
+                                           " bytes)");
   const uint8_t *P = Raw.data();
   if (P[0] != ElfMag0 || P[1] != ElfMag1 || P[2] != ElfMag2 || P[3] != ElfMag3)
-    return makeError("bad ELF magic");
+    return makeError(ElfErrcBadMagic, "bad ELF magic");
   if (P[4] != ElfClass64)
-    return makeError("not an ELF64 file");
+    return makeError(ElfErrcBadMagic, "not an ELF64 file");
   if (P[5] != ElfData2Lsb)
-    return makeError("not little-endian");
+    return makeError(ElfErrcBadMagic, "not little-endian");
 
   Header.Type = readLE16(P + 16);
   Header.Machine = readLE16(P + 18);
@@ -48,10 +57,12 @@ Error ElfImage::parseInto() {
   Header.ShNum = readLE16(P + 60);
   Header.ShStrNdx = readLE16(P + 62);
 
-  // Program headers.
-  uint64_t PhEnd = Header.PhOff + uint64_t(Header.PhNum) * Elf64PhdrSize;
-  if (PhEnd > Raw.size())
-    return makeError("program header table extends past end of file");
+  // Program headers. Table extent and each segment's file range use the
+  // wrap-safe comparison: a segment with Offset near 2^64 must not pass.
+  if (!rangeFits(Header.PhOff, uint64_t(Header.PhNum) * Elf64PhdrSize,
+                 Raw.size()))
+    return makeError(ElfErrcBounds,
+                     "program header table extends past end of file");
   for (unsigned I = 0; I < Header.PhNum; ++I) {
     const uint8_t *H = P + Header.PhOff + I * Elf64PhdrSize;
     ElfSegment Seg;
@@ -63,16 +74,17 @@ Error ElfImage::parseInto() {
     Seg.FileSize = readLE64(H + 32);
     Seg.MemSize = readLE64(H + 40);
     Seg.Align = readLE64(H + 48);
-    if (Seg.Offset + Seg.FileSize > Raw.size())
-      return makeError("segment " + std::to_string(I) +
-                       " extends past end of file");
+    if (!rangeFits(Seg.Offset, Seg.FileSize, Raw.size()))
+      return makeError(ElfErrcBounds, "segment " + std::to_string(I) +
+                                          " extends past end of file");
     Segments.push_back(Seg);
   }
 
   // Section headers.
-  uint64_t ShEnd = Header.ShOff + uint64_t(Header.ShNum) * Elf64ShdrSize;
-  if (ShEnd > Raw.size())
-    return makeError("section header table extends past end of file");
+  if (!rangeFits(Header.ShOff, uint64_t(Header.ShNum) * Elf64ShdrSize,
+                 Raw.size()))
+    return makeError(ElfErrcBounds,
+                     "section header table extends past end of file");
   for (unsigned I = 0; I < Header.ShNum; ++I) {
     const uint8_t *H = P + Header.ShOff + I * Elf64ShdrSize;
     ElfSection Sec;
@@ -86,15 +98,20 @@ Error ElfImage::parseInto() {
     Sec.Info = readLE32(H + 44);
     Sec.AddrAlign = readLE64(H + 48);
     Sec.EntSize = readLE64(H + 56);
-    if (Sec.Type != SHT_NOBITS && Sec.Offset + Sec.Size > Raw.size())
-      return makeError("section " + std::to_string(I) +
-                       " extends past end of file");
+    if (Sec.Type != SHT_NOBITS && !rangeFits(Sec.Offset, Sec.Size, Raw.size()))
+      return makeError(ElfErrcBounds, "section " + std::to_string(I) +
+                                          " extends past end of file");
     Sections.push_back(Sec);
   }
 
-  // Resolve section names through .shstrtab.
+  // Resolve section names through .shstrtab. A SHT_NOBITS shstrtab has no
+  // file bytes behind its (unvalidated) Offset/Size, so viewing it would
+  // read out of bounds; reject rather than resolve names from garbage.
   if (Header.ShStrNdx < Sections.size()) {
     const ElfSection &ShStr = Sections[Header.ShStrNdx];
+    if (ShStr.Type == SHT_NOBITS)
+      return makeError(ElfErrcBadLink,
+                       "section name table is SHT_NOBITS (no file bytes)");
     BytesView Table(Raw.data() + ShStr.Offset, ShStr.Size);
     for (ElfSection &Sec : Sections)
       Sec.Name = stringAt(Table, Sec.NameOffset);
@@ -105,9 +122,12 @@ Error ElfImage::parseInto() {
     if (Sec.Type != SHT_SYMTAB)
       continue;
     if (Sec.Link >= Sections.size())
-      return makeError("symtab has invalid strtab link " +
-                       std::to_string(Sec.Link));
+      return makeError(ElfErrcBadLink, "symtab has invalid strtab link " +
+                                           std::to_string(Sec.Link));
     const ElfSection &StrTab = Sections[Sec.Link];
+    if (StrTab.Type == SHT_NOBITS)
+      return makeError(ElfErrcBadLink,
+                       "symtab strtab is SHT_NOBITS (no file bytes)");
     BytesView Names(Raw.data() + StrTab.Offset, StrTab.Size);
     uint64_t Count = Sec.Size / Elf64SymSize;
     for (uint64_t I = 0; I < Count; ++I) {
@@ -154,15 +174,24 @@ Bytes ElfImage::sectionContents(const ElfSection &Section) const {
 Expected<uint64_t> ElfImage::fileOffsetOf(const ElfSection &Section,
                                           uint64_t VAddr,
                                           uint64_t Length) const {
-  if (VAddr < Section.Addr || VAddr + Length > Section.Addr + Section.Size)
-    return makeError("address range [" + std::to_string(VAddr) + ", +" +
-                     std::to_string(Length) + ") outside section " +
-                     Section.Name);
+  // Wrap-safe containment: a symbol forged with VAddr or Length near 2^64
+  // must not slip past via overflow of `VAddr + Length`.
+  if (VAddr < Section.Addr || VAddr - Section.Addr > Section.Size ||
+      Length > Section.Size - (VAddr - Section.Addr))
+    return makeError(ElfErrcRange, "address range [" + std::to_string(VAddr) +
+                                       ", +" + std::to_string(Length) +
+                                       ") outside section " + Section.Name);
   return Section.Offset + (VAddr - Section.Addr);
 }
 
 Error ElfImage::zeroRange(const ElfSection &Section, uint64_t VAddr,
                           uint64_t Length) {
+  // A SHT_NOBITS section occupies no file bytes and its Offset was never
+  // bounds-checked at parse time; editing "through" it would write out of
+  // bounds of Raw.
+  if (Section.Type == SHT_NOBITS)
+    return makeError(ElfErrcRange,
+                     "cannot edit SHT_NOBITS section " + Section.Name);
   ELIDE_TRY(uint64_t Offset, fileOffsetOf(Section, VAddr, Length));
   std::memset(Raw.data() + Offset, 0, Length);
   return Error::success();
@@ -170,8 +199,12 @@ Error ElfImage::zeroRange(const ElfSection &Section, uint64_t VAddr,
 
 Error ElfImage::writeRange(const ElfSection &Section, uint64_t VAddr,
                            BytesView Data) {
+  if (Section.Type == SHT_NOBITS)
+    return makeError(ElfErrcRange,
+                     "cannot edit SHT_NOBITS section " + Section.Name);
   ELIDE_TRY(uint64_t Offset, fileOffsetOf(Section, VAddr, Data.size()));
-  std::memcpy(Raw.data() + Offset, Data.data(), Data.size());
+  if (!Data.empty())
+    std::memcpy(Raw.data() + Offset, Data.data(), Data.size());
   return Error::success();
 }
 

@@ -25,6 +25,18 @@
 
 namespace elide {
 
+/// `Error::code()` values for ELF parse/edit failures. Callers (the
+/// loader, the sanitizer, the fuzz harness) branch on these instead of
+/// parsing messages; 0x45 ('E') namespaces the code space.
+enum ElfErrc : int {
+  ElfErrcTruncated = 0x4501, ///< File shorter than a required structure.
+  ElfErrcBadMagic = 0x4502,  ///< Not an ELF64 little-endian file at all.
+  ElfErrcBounds = 0x4503,    ///< A header/section/segment range escapes the
+                             ///< file (including 64-bit offset wraparound).
+  ElfErrcBadLink = 0x4504,   ///< A symtab/strtab cross-reference is invalid.
+  ElfErrcRange = 0x4505,     ///< Edit address range outside its section.
+};
+
 /// An ELF64 enclave image: raw file bytes plus parsed views.
 class ElfImage {
 public:

@@ -69,13 +69,14 @@ Expected<SanitizedEnclave> elide::sanitizeEnclave(BytesView ElfFile,
 
   const ElfSection *Text = Image.sectionByName(".text");
   if (!Text)
-    return makeError("enclave image has no .text section");
+    return makeError(SanitizerErrcNoText, "enclave image has no .text section");
 
   // The runtime restorer must itself be present (it is framework code
   // from the dummy enclave).
   const ElfSymbol *Restore = Image.symbolByName("elide_restore");
   if (!Restore)
-    return makeError("enclave was not linked with the SgxElide runtime "
+    return makeError(SanitizerErrcNoRuntime,
+                     "enclave was not linked with the SgxElide runtime "
                      "(no elide_restore symbol)");
   if (!Keep.contains("elide_restore"))
     return makeError("whitelist does not preserve elide_restore; refusing "
@@ -98,7 +99,10 @@ Expected<SanitizedEnclave> elide::sanitizeEnclave(BytesView ElfFile,
     if (Sym.Size == 0)
       continue;
     if (Error E = Image.zeroRange(*Text, Sym.Value, Sym.Size))
-      return makeError("cannot sanitize '" + Sym.Name + "': " + E.message());
+      // The symbol table names a "function" whose range escapes .text --
+      // a forged image trying to aim the redaction writes elsewhere.
+      return makeError(SanitizerErrcRegionOutsideText,
+                       "cannot sanitize '" + Sym.Name + "': " + E.message());
     ++Report.SanitizedFunctions;
     Report.SanitizedBytes += Sym.Size;
   }
@@ -122,10 +126,11 @@ Expected<SanitizedEnclave> elide::sanitizeEnclaveBlacklist(
 
   const ElfSection *Text = Image.sectionByName(".text");
   if (!Text)
-    return makeError("enclave image has no .text section");
+    return makeError(SanitizerErrcNoText, "enclave image has no .text section");
   const ElfSymbol *Restore = Image.symbolByName("elide_restore");
   if (!Restore)
-    return makeError("enclave was not linked with the SgxElide runtime");
+    return makeError(SanitizerErrcNoRuntime,
+                     "enclave was not linked with the SgxElide runtime");
 
   SanitizerReport Report;
   Report.TextBytes = Text->Size;
@@ -144,11 +149,19 @@ Expected<SanitizedEnclave> elide::sanitizeEnclaveBlacklist(
       continue;
     if (SecretFunctions.count("elide_restore"))
       return makeError("cannot blacklist elide_restore itself");
-    ELIDE_TRY(uint64_t Offset, Image.fileOffsetOf(*Text, Sym.Value, Sym.Size));
+    Expected<uint64_t> Offset = Image.fileOffsetOf(*Text, Sym.Value, Sym.Size);
+    if (!Offset)
+      // The secret-region table this mode emits (range list || bytes) must
+      // only ever name text bytes; a region overlapping another section
+      // would exfiltrate non-text contents into the secret data file.
+      return makeError(SanitizerErrcRegionOutsideText,
+                       "secret region for '" + Sym.Name +
+                           "' overlaps non-text sections: " +
+                           Offset.errorMessage());
     appendLE64(Ranges, Sym.Value - Text->Addr);
     appendLE64(Ranges, Sym.Size);
     appendBytes(Contents,
-                BytesView(Image.fileBytes().data() + Offset, Sym.Size));
+                BytesView(Image.fileBytes().data() + *Offset, Sym.Size));
     if (Error E = Image.zeroRange(*Text, Sym.Value, Sym.Size))
       return E;
     ++Count;

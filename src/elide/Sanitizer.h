@@ -31,6 +31,16 @@
 
 namespace elide {
 
+/// `Error::code()` values for sanitizer failures on hostile or broken
+/// inputs (0x5a, 'Z', namespaces the code space).
+enum SanitizerErrc : int {
+  SanitizerErrcNoText = 0x5a01,    ///< Image has no .text section.
+  SanitizerErrcNoRuntime = 0x5a02, ///< Image lacks the SgxElide runtime.
+  SanitizerErrcRegionOutsideText = 0x5a03, ///< A secret region (function
+                                           ///< symbol range) escapes the
+                                           ///< text section.
+};
+
 /// How secrets are delivered at runtime (the two modes of Figure 2).
 enum class SecretStorage {
   Remote, ///< Plaintext data stays on the server (steps 4/5).

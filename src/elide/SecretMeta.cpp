@@ -23,14 +23,20 @@ Bytes SecretMeta::serialize() const {
 
 Expected<SecretMeta> SecretMeta::deserialize(BytesView Data) {
   if (Data.size() != SerializedSize)
-    return makeError("secret metadata must be " +
-                     std::to_string(SerializedSize) + " bytes, got " +
-                     std::to_string(Data.size()));
+    return makeError(MetaErrcSize, "secret metadata must be " +
+                                       std::to_string(SerializedSize) +
+                                       " bytes, got " +
+                                       std::to_string(Data.size()));
   SecretMeta M;
   M.DataLength = readLE64(Data.data());
   M.RestoreOffset = readLE64(Data.data() + 8);
+  if (M.DataLength > MaxDataLength)
+    return makeError(MetaErrcImplausible,
+                     "secret metadata claims " +
+                         std::to_string(M.DataLength) +
+                         " bytes of data; no enclave is that large");
   if (Data[16] > 1)
-    return makeError("secret metadata has invalid encrypted flag");
+    return makeError(MetaErrcFlag, "secret metadata has invalid encrypted flag");
   M.Encrypted = Data[16] == 1;
   std::memcpy(M.Key.data(), Data.data() + 17, 16);
   std::memcpy(M.Iv.data(), Data.data() + 33, 12);

@@ -27,6 +27,14 @@
 
 namespace elide {
 
+/// `Error::code()` values for secret-metadata decoding failures (0x4d,
+/// 'M', namespaces the code space).
+enum MetaErrc : int {
+  MetaErrcSize = 0x4d01,        ///< Blob is not exactly SerializedSize bytes.
+  MetaErrcFlag = 0x4d02,        ///< Encrypted flag is neither 0 nor 1.
+  MetaErrcImplausible = 0x4d03, ///< DataLength exceeds any real enclave.
+};
+
 /// Metadata describing one enclave's redacted secrets.
 struct SecretMeta {
   /// Length of the secret data (the original text section) in bytes.
@@ -46,6 +54,12 @@ struct SecretMeta {
   static Expected<SecretMeta> deserialize(BytesView Data);
 
   static constexpr size_t SerializedSize = 8 + 8 + 1 + 16 + 12 + 16;
+
+  /// Upper bound on a believable DataLength: no enclave text section
+  /// approaches the 1 GiB enclave address-space ceiling, and the restorer
+  /// sizes buffers from this field, so a forged 2^64-scale value must be
+  /// rejected at decode time.
+  static constexpr uint64_t MaxDataLength = 1ull << 30;
 };
 
 } // namespace elide

@@ -36,13 +36,15 @@ AttestationAuthority::verifyQuote(const Quote &Q,
   appendBytes(CertMsg, viewOf(std::string("ATTESTATION-KEY")));
   appendBytes(CertMsg, BytesView(Q.AttestationKey.data(), 32));
   if (!ed25519Verify(Authority, CertMsg, Q.KeyCertificate))
-    return makeError("quote verification failed: attestation key is not "
+    return makeError(SgxErrcBadSignature,
+                     "quote verification failed: attestation key is not "
                      "certified by the authority");
   Bytes QuoteMsg;
   appendBytes(QuoteMsg, viewOf(std::string("QUOTE")));
   appendBytes(QuoteMsg, Q.Body.serialize());
   if (!ed25519Verify(Q.AttestationKey, QuoteMsg, Q.Signature))
-    return makeError("quote verification failed: bad quote signature");
+    return makeError(SgxErrcBadSignature,
+                     "quote verification failed: bad quote signature");
   return Q.Body;
 }
 

@@ -55,7 +55,10 @@ Error SgxDevice::Builder::addPage(uint64_t VAddr, uint8_t Perms,
                      " already added");
 
   Bytes PageData(EpcPageSize, 0);
-  std::memcpy(PageData.data(), Content.data(), Content.size());
+  // Zero-fill pages (heap, stack, bss) arrive as empty views whose data
+  // pointer may be null; memcpy's arguments must never be.
+  if (!Content.empty())
+    std::memcpy(PageData.data(), Content.data(), Content.size());
 
   // EADD measures the page's security attributes...
   Hash.update(viewOf(std::string("EADD")));
@@ -91,10 +94,12 @@ SgxDevice::Builder::init(const SigStruct &Sig) {
   if (Consumed)
     return makeError("builder already consumed by EINIT");
   if (!Sig.verify())
-    return makeError("EINIT: SIGSTRUCT signature verification failed");
+    return makeError(SgxErrcBadSignature,
+                     "EINIT: SIGSTRUCT signature verification failed");
   Measurement Measured = currentMeasurement();
   if (Measured != Sig.MrEnclave)
-    return makeError("EINIT: enclave measurement does not match SIGSTRUCT "
+    return makeError(SgxErrcMeasurementMismatch,
+                     "EINIT: enclave measurement does not match SIGSTRUCT "
                      "(the image was modified after signing)");
   Consumed = true;
 

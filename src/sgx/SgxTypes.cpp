@@ -53,8 +53,8 @@ Bytes SigStruct::serialize() const {
 
 Expected<SigStruct> SigStruct::deserialize(BytesView Data) {
   if (Data.size() != 32 + 8 + 32 + 64)
-    return makeError("SIGSTRUCT must be 136 bytes, got " +
-                     std::to_string(Data.size()));
+    return makeError(SgxErrcMalformed, "SIGSTRUCT must be 136 bytes, got " +
+                                          std::to_string(Data.size()));
   SigStruct S;
   std::memcpy(S.MrEnclave.data(), Data.data(), 32);
   S.Attributes = readLE64(Data.data() + 32);
@@ -74,8 +74,8 @@ Bytes ReportBody::serialize() const {
 
 Expected<ReportBody> ReportBody::deserialize(BytesView Data) {
   if (Data.size() != 32 + 32 + 8 + 64)
-    return makeError("report body must be 136 bytes, got " +
-                     std::to_string(Data.size()));
+    return makeError(SgxErrcMalformed, "report body must be 136 bytes, got " +
+                                          std::to_string(Data.size()));
   ReportBody B;
   std::memcpy(B.MrEnclave.data(), Data.data(), 32);
   std::memcpy(B.MrSigner.data(), Data.data() + 32, 32);
@@ -95,8 +95,8 @@ Bytes Quote::serialize() const {
 Expected<Quote> Quote::deserialize(BytesView Data) {
   constexpr size_t BodySize = 136;
   if (Data.size() != BodySize + 32 + 64 + 64)
-    return makeError("quote must be 296 bytes, got " +
-                     std::to_string(Data.size()));
+    return makeError(SgxErrcMalformed, "quote must be 296 bytes, got " +
+                                          std::to_string(Data.size()));
   Quote Q;
   ELIDE_TRY(ReportBody B,
             ReportBody::deserialize(Data.subspan(0, BodySize)));

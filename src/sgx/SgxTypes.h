@@ -31,6 +31,19 @@
 namespace elide {
 namespace sgx {
 
+/// `Error::code()` values for SGX structure parsing and enclave launch
+/// failures. The loader's callers (and the adversarial-input tests) branch
+/// on these rather than matching message text; 0x53 ('S') namespaces the
+/// code space.
+enum SgxErrc : int {
+  SgxErrcMalformed = 0x5301,           ///< Serialized structure has the
+                                       ///< wrong size or impossible fields.
+  SgxErrcBadSignature = 0x5302,        ///< SIGSTRUCT/quote signature does
+                                       ///< not verify.
+  SgxErrcMeasurementMismatch = 0x5303, ///< EINIT: measured MRENCLAVE is not
+                                       ///< the one the vendor signed.
+};
+
 /// MRENCLAVE / MRSIGNER: a SHA-256 digest.
 using Measurement = std::array<uint8_t, 32>;
 

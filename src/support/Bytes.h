@@ -42,8 +42,12 @@ inline Bytes toBytes(BytesView V) { return Bytes(V.begin(), V.end()); }
 /// Builds a buffer from a string's bytes.
 inline Bytes bytesOfString(const std::string &S) { return toBytes(viewOf(S)); }
 
-/// Interprets a byte buffer as a string.
+/// Interprets a byte buffer as a string. An empty view may carry a null
+/// data pointer (e.g. a default-constructed span), which the string
+/// constructor must never see.
 inline std::string stringOfBytes(BytesView V) {
+  if (V.empty())
+    return std::string();
   return std::string(reinterpret_cast<const char *>(V.data()), V.size());
 }
 
@@ -130,7 +134,10 @@ inline void appendLE64(Bytes &B, uint64_t V) {
 }
 
 /// Overwrites \p B with zeros (best effort; not a secure wipe guarantee).
-inline void zeroize(Bytes &B) { std::memset(B.data(), 0, B.size()); }
+inline void zeroize(Bytes &B) {
+  if (!B.empty())
+    std::memset(B.data(), 0, B.size());
+}
 
 } // namespace elide
 

@@ -22,14 +22,16 @@ Error FlatMemory::checkRange(uint64_t Addr, uint64_t Size) const {
 Error FlatMemory::read(uint64_t Addr, MutableBytesView Out) {
   if (Error E = checkRange(Addr, Out.size()))
     return E;
-  std::memcpy(Out.data(), Ram.data() + Addr, Out.size());
+  if (!Out.empty()) // Empty views may carry a null data pointer.
+    std::memcpy(Out.data(), Ram.data() + Addr, Out.size());
   return Error::success();
 }
 
 Error FlatMemory::write(uint64_t Addr, BytesView Data) {
   if (Error E = checkRange(Addr, Data.size()))
     return E;
-  std::memcpy(Ram.data() + Addr, Data.data(), Data.size());
+  if (!Data.empty())
+    std::memcpy(Ram.data() + Addr, Data.data(), Data.size());
   return Error::success();
 }
 

@@ -1,0 +1,211 @@
+//===- tests/EnclaveLoaderNegativeTest.cpp - Launch-path negative space -----===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The enclave launch path rejecting what it must reject -- and saying
+/// *why* with a typed error code, never by crashing. Each test forges one
+/// artifact of a real pipeline build: the measured text, the SIGSTRUCT
+/// signature, the secret metadata, and the blacklist sanitizer's
+/// secret-region table.
+///
+//===----------------------------------------------------------------------===//
+
+#include "elf/ElfBuilder.h"
+#include "elf/ElfImage.h"
+#include "elide/Pipeline.h"
+#include "sgx/Attestation.h"
+
+#include <gtest/gtest.h>
+
+using namespace elide;
+
+namespace {
+
+const char *AppSource = R"elc(
+fn secret_add(x: u64) -> u64 {
+  return x + 0x5151;
+}
+
+export fn run_secret(inp: *u8, inlen: u64, outp: *u8, outcap: u64) -> u64 {
+  var x: u64 = 0;
+  if (inlen >= 8) {
+    x = load_le64(inp);
+  }
+  if (outcap >= 8) {
+    store_le64(outp, secret_add(x));
+  }
+  return 0;
+}
+)elc";
+
+/// One pipeline build shared by every test (building is the slow part and
+/// all tests only forge copies of its artifacts).
+const BuildArtifacts &artifacts() {
+  static const BuildArtifacts A = [] {
+    Drbg Rng(42);
+    Ed25519Seed Seed{};
+    Rng.fill(MutableBytesView(Seed.data(), 32));
+    Expected<BuildArtifacts> Built = buildProtectedEnclave(
+        {{"app.elc", AppSource}}, ed25519KeyPairFromSeed(Seed), BuildOptions{});
+    if (!Built) {
+      ADD_FAILURE() << "pipeline failed: " << Built.errorMessage();
+      return BuildArtifacts{};
+    }
+    return Built.takeValue();
+  }();
+  return A;
+}
+
+sgx::SgxDevice &device() {
+  static sgx::SgxDevice Device(1001);
+  return Device;
+}
+
+//===----------------------------------------------------------------------===//
+// EINIT rejections
+//===----------------------------------------------------------------------===//
+
+TEST(EnclaveLoaderNegative, TamperedTextFailsMeasurementTyped) {
+  const BuildArtifacts &A = artifacts();
+  ASSERT_FALSE(A.SanitizedElf.empty());
+
+  // Flip one byte inside .text: the file still parses, the pages still
+  // map, but the running measurement no longer matches the signed one.
+  Expected<ElfImage> Image = ElfImage::parse(A.SanitizedElf);
+  ASSERT_TRUE(static_cast<bool>(Image)) << Image.errorMessage();
+  const ElfSection *Text = Image->sectionByName(".text");
+  ASSERT_NE(Text, nullptr);
+  Bytes Tampered = A.SanitizedElf;
+  Tampered[Text->Offset + Text->Size / 2] ^= 0x01;
+
+  Expected<std::unique_ptr<sgx::Enclave>> E =
+      sgx::loadEnclave(device(), Tampered, A.SanitizedSig, BuildOptions{}.Layout);
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.errorCode(), sgx::SgxErrcMeasurementMismatch)
+      << E.errorMessage();
+}
+
+TEST(EnclaveLoaderNegative, CorruptedSigstructSignatureTyped) {
+  const BuildArtifacts &A = artifacts();
+  ASSERT_FALSE(A.SanitizedElf.empty());
+
+  sgx::SigStruct Forged = A.SanitizedSig;
+  Forged.Signature[0] ^= 0x01;
+  Expected<std::unique_ptr<sgx::Enclave>> E = sgx::loadEnclave(
+      device(), A.SanitizedElf, Forged, BuildOptions{}.Layout);
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.errorCode(), sgx::SgxErrcBadSignature) << E.errorMessage();
+}
+
+TEST(EnclaveLoaderNegative, WrongVendorKeyFailsSignatureTyped) {
+  const BuildArtifacts &A = artifacts();
+  ASSERT_FALSE(A.SanitizedElf.empty());
+
+  // A SIGSTRUCT whose embedded vendor key did not produce the signature:
+  // signature check first, so the (correct) measurement never matters.
+  Ed25519Seed Other{};
+  Other.fill(0x99);
+  sgx::SigStruct Forged = sgx::SigStruct::sign(
+      ed25519KeyPairFromSeed(Other), A.SanitizedSig.MrEnclave,
+      A.SanitizedSig.Attributes);
+  Forged.VendorKey = A.SanitizedSig.VendorKey; // Claim the real vendor.
+  Expected<std::unique_ptr<sgx::Enclave>> E = sgx::loadEnclave(
+      device(), A.SanitizedElf, Forged, BuildOptions{}.Layout);
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.errorCode(), sgx::SgxErrcBadSignature) << E.errorMessage();
+}
+
+//===----------------------------------------------------------------------===//
+// Serialized-structure rejections
+//===----------------------------------------------------------------------===//
+
+TEST(EnclaveLoaderNegative, TruncatedMetadataTyped) {
+  const BuildArtifacts &A = artifacts();
+  Bytes Blob = A.Meta.serialize();
+  ASSERT_EQ(Blob.size(), SecretMeta::SerializedSize);
+  for (size_t Len = 0; Len < Blob.size(); ++Len) {
+    Expected<SecretMeta> M =
+        SecretMeta::deserialize(BytesView(Blob.data(), Len));
+    ASSERT_FALSE(static_cast<bool>(M)) << "accepted " << Len << " bytes";
+    EXPECT_EQ(M.errorCode(), MetaErrcSize);
+  }
+}
+
+TEST(EnclaveLoaderNegative, TruncatedSigstructAndQuoteTyped) {
+  const BuildArtifacts &A = artifacts();
+  Bytes Sig = A.SanitizedSig.serialize();
+  for (size_t Len : {size_t(0), size_t(1), Sig.size() - 1, Sig.size() + 1}) {
+    Bytes Probe(Len, 0x41);
+    std::copy_n(Sig.begin(), std::min(Len, Sig.size()), Probe.begin());
+    Expected<sgx::SigStruct> S = sgx::SigStruct::deserialize(Probe);
+    ASSERT_FALSE(static_cast<bool>(S));
+    EXPECT_EQ(S.errorCode(), sgx::SgxErrcMalformed);
+  }
+  Expected<sgx::Quote> Q = sgx::Quote::deserialize(BytesView(Sig.data(), 17));
+  ASSERT_FALSE(static_cast<bool>(Q));
+  EXPECT_EQ(Q.errorCode(), sgx::SgxErrcMalformed);
+}
+
+//===----------------------------------------------------------------------===//
+// Sanitizer secret-region rejections
+//===----------------------------------------------------------------------===//
+
+/// An enclave-shaped image whose symbol table lies: `secret_fn`'s range
+/// runs past the end of .text into .rodata.
+Bytes imageWithEscapingRegion(uint64_t SymValue, uint64_t SymSize) {
+  ElfBuilder B;
+  Bytes Text(256, 0x90);
+  size_t TextIdx =
+      B.addProgbits(".text", 0x1000, Text, SHF_ALLOC | SHF_EXECINSTR);
+  Bytes Ro(128, 0x17); // The bytes a forged region would exfiltrate.
+  B.addProgbits(".rodata", 0x2000, Ro, SHF_ALLOC);
+  B.addSymbol("elide_restore", 0x1000, 32, STT_FUNC, TextIdx);
+  B.addSymbol("secret_fn", SymValue, SymSize, STT_FUNC, TextIdx);
+  Expected<Bytes> File = B.build();
+  EXPECT_TRUE(static_cast<bool>(File)) << File.errorMessage();
+  return File ? File.takeValue() : Bytes();
+}
+
+TEST(SanitizerNegative, BlacklistRegionOverlappingRodataTyped) {
+  // 0x1080 + 0x1000 reaches well into .rodata.
+  Bytes File = imageWithEscapingRegion(0x1080, 0x1000);
+  ASSERT_FALSE(File.empty());
+  Drbg Rng(7);
+  Expected<SanitizedEnclave> Out = sanitizeEnclaveBlacklist(
+      File, {"secret_fn"}, SecretStorage::Local, Rng);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.errorCode(), SanitizerErrcRegionOutsideText)
+      << Out.errorMessage();
+}
+
+TEST(SanitizerNegative, BlacklistRegionWith64BitWrapTyped) {
+  // Value + Size wraps around 2^64 back into the section -- the shape that
+  // once slipped the additive bounds check in fileOffsetOf.
+  Bytes File = imageWithEscapingRegion(0xffffffffffffff00ull, 0x200);
+  ASSERT_FALSE(File.empty());
+  Drbg Rng(7);
+  Expected<SanitizedEnclave> Out = sanitizeEnclaveBlacklist(
+      File, {"secret_fn"}, SecretStorage::Remote, Rng);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.errorCode(), SanitizerErrcRegionOutsideText)
+      << Out.errorMessage();
+}
+
+TEST(SanitizerNegative, WhitelistModeEscapingFunctionTyped) {
+  // Whole-text mode hits the same forged symbol through zeroRange.
+  Bytes File = imageWithEscapingRegion(0x1080, 0x1000);
+  ASSERT_FALSE(File.empty());
+  Whitelist Keep;
+  Keep.add("elide_restore"); // secret_fn stays off the list -> redacted.
+  Drbg Rng(7);
+  Expected<SanitizedEnclave> Out =
+      sanitizeEnclave(File, Keep, SecretStorage::Remote, Rng);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.errorCode(), SanitizerErrcRegionOutsideText)
+      << Out.errorMessage();
+}
+
+} // namespace

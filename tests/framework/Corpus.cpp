@@ -1,0 +1,81 @@
+//===- tests/framework/Corpus.cpp - Seed corpus loading and reproducers -----===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/framework/Corpus.h"
+
+#include "support/File.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+using namespace elide;
+using namespace elide::fuzz;
+
+#ifndef ELIDE_CORPUS_DEFAULT
+#define ELIDE_CORPUS_DEFAULT "tests/fuzz/corpus"
+#endif
+
+std::string fuzz::corpusRoot() {
+  if (const char *Env = std::getenv("ELIDE_CORPUS_DIR"))
+    return Env;
+  return ELIDE_CORPUS_DEFAULT;
+}
+
+Expected<std::vector<CorpusEntry>> fuzz::loadCorpus(const std::string &Target) {
+  std::filesystem::path Dir =
+      std::filesystem::path(corpusRoot()) / Target;
+  std::error_code Ec;
+  if (!std::filesystem::is_directory(Dir, Ec))
+    return makeError("corpus directory missing: " + Dir.string());
+  std::vector<CorpusEntry> Entries;
+  for (const auto &DirEntry :
+       std::filesystem::directory_iterator(Dir, Ec)) {
+    if (!DirEntry.is_regular_file())
+      continue;
+    CorpusEntry E;
+    E.Name = DirEntry.path().filename().string();
+    ELIDE_TRY(E.Data, readFileBytes(DirEntry.path().string()));
+    Entries.push_back(std::move(E));
+  }
+  if (Ec)
+    return makeError("cannot list corpus directory " + Dir.string() + ": " +
+                     Ec.message());
+  std::sort(Entries.begin(), Entries.end(),
+            [](const CorpusEntry &A, const CorpusEntry &B) {
+              return A.Name < B.Name;
+            });
+  return Entries;
+}
+
+Error fuzz::writeCorpusEntry(const std::string &Target,
+                             const std::string &Name, BytesView Data) {
+  std::filesystem::path Dir =
+      std::filesystem::path(corpusRoot()) / Target;
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec)
+    return makeError("cannot create corpus directory " + Dir.string() +
+                     ": " + Ec.message());
+  return writeFileBytes((Dir / Name).string(), Data);
+}
+
+Expected<std::string> fuzz::writeReproducer(const std::string &Target,
+                                            BytesView Data) {
+  // FNV-1a over the contents names the file stably across machines.
+  uint64_t H = 1469598103934665603ull;
+  for (uint8_t B : Data) {
+    H ^= B;
+    H *= 1099511628211ull;
+  }
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "crash-%016llx",
+                static_cast<unsigned long long>(H));
+  if (Error E = writeCorpusEntry(Target, Name, Data))
+    return E;
+  return (std::filesystem::path(corpusRoot()) / Target / Name).string();
+}

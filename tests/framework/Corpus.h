@@ -1,0 +1,59 @@
+//===- tests/framework/Corpus.h - Seed corpus loading and reproducers -------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access to the checked-in seed corpora under `tests/fuzz/corpus/<target>/`.
+/// The replay suite runs every entry through its target on plain ctest
+/// builds (and under sanitizers in CI), so each corpus doubles as a
+/// regression suite: when the fuzzer finds a crash, the shrunk input is
+/// checked in here and replays forever after.
+///
+/// The directory root resolves, in order: the `ELIDE_CORPUS_DIR`
+/// environment variable, then the compiled-in source-tree path
+/// (`ELIDE_CORPUS_DEFAULT`, set by CMake).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_TESTS_FRAMEWORK_CORPUS_H
+#define SGXELIDE_TESTS_FRAMEWORK_CORPUS_H
+
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace elide {
+namespace fuzz {
+
+/// One corpus file: its basename (for diagnostics) and contents.
+struct CorpusEntry {
+  std::string Name;
+  Bytes Data;
+};
+
+/// The corpus root directory (no trailing slash).
+std::string corpusRoot();
+
+/// Loads every file under `<root>/<Target>/`, sorted by name for
+/// deterministic replay order. Fails when the directory is missing --
+/// a target without a corpus is a harness bug, not an empty success.
+Expected<std::vector<CorpusEntry>> loadCorpus(const std::string &Target);
+
+/// Writes \p Data as `<root>/<Target>/<Name>`, creating the directory.
+Error writeCorpusEntry(const std::string &Target, const std::string &Name,
+                       BytesView Data);
+
+/// Writes a shrunk crashing input as `crash-<fnv1a hash>` under the
+/// target's corpus directory and returns the path (for the developer to
+/// inspect, name properly, and check in).
+Expected<std::string> writeReproducer(const std::string &Target,
+                                      BytesView Data);
+
+} // namespace fuzz
+} // namespace elide
+
+#endif // SGXELIDE_TESTS_FRAMEWORK_CORPUS_H

@@ -1,0 +1,31 @@
+//===- tests/framework/FuzzHarness.cpp - Replay and sweep runners -----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/framework/FuzzHarness.h"
+
+#include "tests/framework/Mutator.h"
+
+using namespace elide;
+using namespace elide::fuzz;
+
+Expected<size_t> fuzz::replayCorpus(const std::string &Target, TargetFn Fn) {
+  ELIDE_TRY(std::vector<CorpusEntry> Entries, loadCorpus(Target));
+  for (const CorpusEntry &E : Entries)
+    Fn(E.Data);
+  return Entries.size();
+}
+
+void fuzz::generativeSweep(TargetFn Fn, GeneratorFn Gen, uint64_t Seed,
+                           int Iterations) {
+  for (int K = 0; K < Iterations; ++K) {
+    // Mix (Seed, K) into an independent stream per iteration; the odd
+    // multiplier keeps adjacent iterations decorrelated.
+    Drbg Rng(Seed * 0x9e3779b97f4a7c15ull + uint64_t(K) * 0x100000001b3ull);
+    Bytes Input = Gen(Rng);
+    Fn(Input);
+    Fn(mutate(Input, Rng));
+  }
+}

@@ -1,0 +1,53 @@
+//===- tests/framework/FuzzHarness.h - Replay and sweep runners -------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two execution modes shared by every fuzz driver:
+///
+///  - corpus replay: run each checked-in seed/regression input once --
+///    this is the mode that runs under plain `ctest -L fuzz` and under
+///    the sanitizer jobs in CI;
+///  - generative sweep: N fresh structure-aware inputs (plus mutated
+///    variants) from a deterministic seed, so every ctest run is also a
+///    short fuzzing campaign that reproduces exactly from its seed.
+///
+/// libFuzzer mode does not use these: there `LLVMFuzzerTestOneInput` is
+/// driven by the libFuzzer runtime directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_TESTS_FRAMEWORK_FUZZHARNESS_H
+#define SGXELIDE_TESTS_FRAMEWORK_FUZZHARNESS_H
+
+#include "tests/framework/Corpus.h"
+
+#include "crypto/Drbg.h"
+
+namespace elide {
+namespace fuzz {
+
+/// One fuzz-target invocation. Must be total: any input either returns
+/// normally or the harness run (rightly) fails.
+using TargetFn = void (*)(BytesView);
+
+/// A structure-aware input generator.
+using GeneratorFn = Bytes (*)(Drbg &);
+
+/// Replays every corpus entry for \p Target through \p Fn. Returns the
+/// number of entries executed; fails when the corpus directory is absent.
+Expected<size_t> replayCorpus(const std::string &Target, TargetFn Fn);
+
+/// Runs \p Iterations generated inputs (and a mutated variant of each)
+/// through \p Fn. Reproducible from \p Seed alone: iteration K uses an
+/// independent Drbg derived from (Seed, K), so a failure report of
+/// "seed S, iteration K" replays without rerunning the whole sweep.
+void generativeSweep(TargetFn Fn, GeneratorFn Gen, uint64_t Seed,
+                     int Iterations);
+
+} // namespace fuzz
+} // namespace elide
+
+#endif // SGXELIDE_TESTS_FRAMEWORK_FUZZHARNESS_H

@@ -1,0 +1,151 @@
+//===- tests/framework/Mutator.cpp - Seeded byte mutators -------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/framework/Mutator.h"
+
+#include <algorithm>
+
+using namespace elide;
+using namespace elide::fuzz;
+
+namespace {
+
+constexpr uint64_t Interesting64[] = {
+    0,
+    1,
+    0x7f,
+    0x80,
+    0xff,
+    0x100,
+    0x7fff,
+    0x8000,
+    0xffff,
+    0x10000,
+    0x7fffffffull,
+    0x80000000ull,
+    0xffffffffull,
+    0x100000000ull,
+    0x7fffffffffffffffull,
+    0x8000000000000000ull,
+    0xffffffffffffffffull,
+    // Values that make `offset + size` wrap just past 2^64 when paired
+    // with a small partner -- the exact shape that defeats `a + b > n`.
+    0xffffffffffffff00ull,
+    0xfffffffffffff000ull,
+    0xffffffffffff0000ull,
+};
+
+constexpr size_t InterestingCount =
+    sizeof(Interesting64) / sizeof(Interesting64[0]);
+
+} // namespace
+
+uint64_t fuzz::pickInteresting64(Drbg &Rng) {
+  return Interesting64[Rng.nextBelow(InterestingCount)];
+}
+
+void fuzz::spliceInterestingAt(Bytes &Data, size_t Offset, Drbg &Rng) {
+  if (Data.empty())
+    return;
+  Offset = std::min(Offset, Data.size() - 1);
+  uint64_t V = pickInteresting64(Rng);
+  uint8_t Tmp[8];
+  writeLE64(Tmp, V);
+  size_t N = std::min<size_t>(8, Data.size() - Offset);
+  std::copy(Tmp, Tmp + N, Data.begin() + static_cast<ptrdiff_t>(Offset));
+}
+
+void fuzz::spliceInteresting(Bytes &Data, Drbg &Rng) {
+  if (Data.empty())
+    return;
+  size_t Widths[] = {1, 2, 4, 8};
+  size_t Width = Widths[Rng.nextBelow(4)];
+  size_t Offset = Rng.nextBelow(Data.size());
+  uint64_t V = pickInteresting64(Rng);
+  uint8_t Tmp[8];
+  writeLE64(Tmp, V);
+  size_t N = std::min(Width, Data.size() - Offset);
+  std::copy(Tmp, Tmp + N, Data.begin() + static_cast<ptrdiff_t>(Offset));
+}
+
+void fuzz::mutateOnce(Bytes &Data, Drbg &Rng) {
+  // Empty buffers can only grow.
+  if (Data.empty()) {
+    Data = Rng.bytes(1 + Rng.nextBelow(16));
+    return;
+  }
+  switch (Rng.nextBelow(7)) {
+  case 0: { // Bit flip.
+    size_t Bit = Rng.nextBelow(Data.size() * 8);
+    Data[Bit / 8] ^= static_cast<uint8_t>(1u << (Bit % 8));
+    break;
+  }
+  case 1: { // Byte rewrite.
+    Data[Rng.nextBelow(Data.size())] = static_cast<uint8_t>(Rng.next64());
+    break;
+  }
+  case 2: { // Delete a chunk.
+    size_t Start = Rng.nextBelow(Data.size());
+    size_t Len = 1 + Rng.nextBelow(Data.size() - Start);
+    Data.erase(Data.begin() + static_cast<ptrdiff_t>(Start),
+               Data.begin() + static_cast<ptrdiff_t>(Start + Len));
+    break;
+  }
+  case 3: { // Duplicate a chunk in place.
+    size_t Start = Rng.nextBelow(Data.size());
+    size_t Len = 1 + Rng.nextBelow(
+                         std::min<size_t>(Data.size() - Start, 64));
+    Bytes Chunk(Data.begin() + static_cast<ptrdiff_t>(Start),
+                Data.begin() + static_cast<ptrdiff_t>(Start + Len));
+    size_t At = Rng.nextBelow(Data.size() + 1);
+    Data.insert(Data.begin() + static_cast<ptrdiff_t>(At), Chunk.begin(),
+                Chunk.end());
+    break;
+  }
+  case 4: { // Insert random bytes.
+    Bytes Chunk = Rng.bytes(1 + Rng.nextBelow(16));
+    size_t At = Rng.nextBelow(Data.size() + 1);
+    Data.insert(Data.begin() + static_cast<ptrdiff_t>(At), Chunk.begin(),
+                Chunk.end());
+    break;
+  }
+  case 5: { // Truncate.
+    Data.resize(Rng.nextBelow(Data.size()) + 1);
+    break;
+  }
+  case 6: // Interesting-value splice.
+    spliceInteresting(Data, Rng);
+    break;
+  }
+}
+
+Bytes fuzz::mutate(BytesView Input, Drbg &Rng, size_t MaxMutations) {
+  Bytes Out = toBytes(Input);
+  size_t N = 1 + Rng.nextBelow(MaxMutations);
+  for (size_t I = 0; I < N; ++I)
+    mutateOnce(Out, Rng);
+  return Out;
+}
+
+Bytes fuzz::crossover(BytesView Input, BytesView Other, Drbg &Rng) {
+  Bytes Out = toBytes(Input);
+  if (Other.empty())
+    return Out;
+  size_t SrcStart = Rng.nextBelow(Other.size());
+  size_t SrcLen = 1 + Rng.nextBelow(Other.size() - SrcStart);
+  size_t At = Out.empty() ? 0 : Rng.nextBelow(Out.size() + 1);
+  if (!Out.empty() && Rng.nextBelow(2) == 0) {
+    // Overwrite mode.
+    for (size_t I = 0; I < SrcLen && At + I < Out.size(); ++I)
+      Out[At + I] = Other[SrcStart + I];
+  } else {
+    // Insert mode.
+    Out.insert(Out.begin() + static_cast<ptrdiff_t>(At),
+               Other.begin() + static_cast<ptrdiff_t>(SrcStart),
+               Other.begin() + static_cast<ptrdiff_t>(SrcStart + SrcLen));
+  }
+  return Out;
+}

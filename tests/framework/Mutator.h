@@ -1,0 +1,54 @@
+//===- tests/framework/Mutator.h - Seeded byte mutators ---------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic byte-level mutators for the adversarial-input harness.
+/// Every mutation draws from the caller's `Drbg`, so a failing input is
+/// fully reproducible from the seed that produced it. The strategies are
+/// the classic fuzzing set: bit flips, byte rewrites, chunk
+/// deletion/duplication/insertion, truncation, and splicing of
+/// "interesting" integers (boundary values that defeat naive `a + b > n`
+/// bounds checks by wrapping 64-bit arithmetic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_TESTS_FRAMEWORK_MUTATOR_H
+#define SGXELIDE_TESTS_FRAMEWORK_MUTATOR_H
+
+#include "crypto/Drbg.h"
+#include "support/Bytes.h"
+
+namespace elide {
+namespace fuzz {
+
+/// Picks one of the boundary integers that historically break parsers:
+/// zero, sign/width edges, and values chosen so `offset + size` wraps past
+/// 2^64.
+uint64_t pickInteresting64(Drbg &Rng);
+
+/// Applies one randomly chosen mutation to \p Data in place. Handles empty
+/// buffers (the only applicable mutations then are insertions).
+void mutateOnce(Bytes &Data, Drbg &Rng);
+
+/// Returns a copy of \p Input with 1..MaxMutations mutations applied.
+Bytes mutate(BytesView Input, Drbg &Rng, size_t MaxMutations = 8);
+
+/// Overwrites 1/2/4/8 bytes at a random offset with an interesting value
+/// (little-endian). This is the structure-killer: applied at a field
+/// offset it forges the crafted 64-bit sizes the bounds checks must
+/// survive.
+void spliceInteresting(Bytes &Data, Drbg &Rng);
+
+/// Writes an interesting 64-bit value at \p Offset (clamped to fit).
+void spliceInterestingAt(Bytes &Data, size_t Offset, Drbg &Rng);
+
+/// Crossover: splices a random chunk of \p Other into a copy of \p Input.
+Bytes crossover(BytesView Input, BytesView Other, Drbg &Rng);
+
+} // namespace fuzz
+} // namespace elide
+
+#endif // SGXELIDE_TESTS_FRAMEWORK_MUTATOR_H

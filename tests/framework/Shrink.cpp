@@ -1,0 +1,57 @@
+//===- tests/framework/Shrink.cpp - Greedy input shrinking ------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/framework/Shrink.h"
+
+using namespace elide;
+using namespace elide::fuzz;
+
+Bytes fuzz::shrinkInput(Bytes Input, const FailPredicate &StillFails,
+                        size_t MaxProbes) {
+  size_t Probes = 0;
+  auto tryAccept = [&](Bytes Candidate, Bytes &Current) {
+    if (Probes >= MaxProbes)
+      return false;
+    ++Probes;
+    if (!StillFails(Candidate))
+      return false;
+    Current = std::move(Candidate);
+    return true;
+  };
+
+  // Phase 1: chunk deletion, halving the chunk size until single bytes.
+  bool Progress = true;
+  while (Progress && Probes < MaxProbes) {
+    Progress = false;
+    for (size_t Chunk = Input.size() / 2; Chunk >= 1; Chunk /= 2) {
+      for (size_t Start = 0; Start + Chunk <= Input.size();) {
+        Bytes Candidate = Input;
+        Candidate.erase(Candidate.begin() + static_cast<ptrdiff_t>(Start),
+                        Candidate.begin() +
+                            static_cast<ptrdiff_t>(Start + Chunk));
+        if (tryAccept(std::move(Candidate), Input))
+          Progress = true; // Do not advance: same Start now covers new bytes.
+        else
+          Start += Chunk;
+        if (Probes >= MaxProbes)
+          break;
+      }
+      if (Chunk == 1 || Probes >= MaxProbes)
+        break;
+    }
+  }
+
+  // Phase 2: byte simplification toward zero (stable reproducers diff
+  // cleanly and compress well in the corpus).
+  for (size_t I = 0; I < Input.size() && Probes < MaxProbes; ++I) {
+    if (Input[I] == 0)
+      continue;
+    Bytes Candidate = Input;
+    Candidate[I] = 0;
+    tryAccept(std::move(Candidate), Input);
+  }
+  return Input;
+}

@@ -1,0 +1,39 @@
+//===- tests/framework/Shrink.h - Greedy input shrinking --------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy minimization of a failing input, for turning a fuzzer find into
+/// a checked-in reproducer: repeatedly try chunk deletion (large chunks
+/// first) and byte simplification (toward zero), keeping any candidate for
+/// which the caller's predicate still reports failure. Deterministic --
+/// no randomness -- so a reproducer shrinks the same way on every machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_TESTS_FRAMEWORK_SHRINK_H
+#define SGXELIDE_TESTS_FRAMEWORK_SHRINK_H
+
+#include "support/Bytes.h"
+
+#include <functional>
+
+namespace elide {
+namespace fuzz {
+
+/// Returns true when the input still exhibits the failure being chased
+/// (crash under a death test, property violation, specific error code...).
+using FailPredicate = std::function<bool(BytesView)>;
+
+/// Shrinks \p Input while \p StillFails holds, bounded by \p MaxProbes
+/// predicate evaluations. Returns the smallest failing input found (at
+/// worst, \p Input itself).
+Bytes shrinkInput(Bytes Input, const FailPredicate &StillFails,
+                  size_t MaxProbes = 4096);
+
+} // namespace fuzz
+} // namespace elide
+
+#endif // SGXELIDE_TESTS_FRAMEWORK_SHRINK_H

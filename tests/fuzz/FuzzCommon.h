@@ -1,0 +1,31 @@
+//===- tests/fuzz/FuzzCommon.h - Shared driver plumbing ---------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one macro every fuzz driver needs: an assertion that works in both
+/// execution modes. Under libFuzzer there is no gtest, so a violated
+/// property must abort (libFuzzer then saves the input); under the gtest
+/// replay binary the abort fails the test with the message on stderr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_TESTS_FUZZ_FUZZCOMMON_H
+#define SGXELIDE_TESTS_FUZZ_FUZZCOMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Property check valid in both libFuzzer and gtest modes.
+#define FUZZ_ASSERT(Cond)                                                      \
+  do {                                                                         \
+    if (!(Cond)) {                                                             \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s at %s:%d\n", #Cond,         \
+                   __FILE__, __LINE__);                                        \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+#endif // SGXELIDE_TESTS_FUZZ_FUZZCOMMON_H

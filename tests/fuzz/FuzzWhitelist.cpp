@@ -1,0 +1,82 @@
+//===- tests/fuzz/FuzzWhitelist.cpp - Whitelist decode fuzz target ----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fuzz target for `Whitelist::deserialize`. The whitelist file travels
+/// with the build system, not the enclave, but the sanitizer consumes it
+/// from disk and a corrupted or attacker-substituted file must fail
+/// closed. Properties: empty inputs are rejected (an empty whitelist
+/// would sanitize nothing); accepted lists are canonical under
+/// serialize/deserialize; membership queries are total, including the
+/// always-whitelisted bridge prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tests/fuzz/FuzzCommon.h"
+
+#include "elc/Compiler.h"
+#include "elide/Whitelist.h"
+
+namespace {
+
+using namespace elide;
+
+void fuzzWhitelistOne(BytesView Input) {
+  std::string Text = stringOfBytes(Input);
+  Expected<Whitelist> W = Whitelist::deserialize(Text);
+  if (!W) {
+    // The only rejection is the empty list: every non-empty line is a
+    // name, so failure means no non-empty line existed.
+    for (char C : Text)
+      FUZZ_ASSERT(C == '\n');
+    return;
+  }
+  FUZZ_ASSERT(W->size() > 0);
+
+  // Canonical round-trip: serialize -> deserialize -> serialize fixes.
+  std::string Canonical = W->serialize();
+  Expected<Whitelist> Again = Whitelist::deserialize(Canonical);
+  FUZZ_ASSERT(static_cast<bool>(Again));
+  FUZZ_ASSERT(Again->size() == W->size());
+  FUZZ_ASSERT(Again->serialize() == Canonical);
+
+  // Membership is total and bridge stubs are always preserved.
+  for (const std::string &Name : W->names())
+    FUZZ_ASSERT(W->contains(Name));
+  FUZZ_ASSERT(W->contains(std::string(elc::bridgePrefix()) + "anything"));
+}
+
+} // namespace
+
+#ifdef ELIDE_LIBFUZZER_DRIVER
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  fuzzWhitelistOne(elide::BytesView(Data, Size));
+  return 0;
+}
+
+#else // gtest replay + generative sweep
+
+#include "tests/framework/Builders.h"
+#include "tests/framework/FuzzHarness.h"
+
+#include <gtest/gtest.h>
+
+TEST(WhitelistFuzz, CorpusReplay) {
+  elide::Expected<size_t> N =
+      elide::fuzz::replayCorpus("whitelist", fuzzWhitelistOne);
+  ASSERT_TRUE(static_cast<bool>(N)) << N.errorMessage();
+  EXPECT_GE(*N, 3u) << "whitelist corpus lost its seed entries";
+}
+
+TEST(WhitelistFuzz, GeneratedSweep) {
+  elide::fuzz::generativeSweep(fuzzWhitelistOne,
+                               elide::fuzz::buildWhitelistText,
+                               /*Seed=*/0x57484954454c4953ull,
+                               /*Iterations=*/2000);
+}
+
+#endif // ELIDE_LIBFUZZER_DRIVER

@@ -1,0 +1,250 @@
+//===- tests/fuzz/MakeCorpus.cpp - Deterministic seed-corpus generator ------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the checked-in seed corpora under `tests/fuzz/corpus/`
+/// (or `ELIDE_CORPUS_DIR` when set). Every entry is deterministic -- fixed
+/// Drbg seeds, fixed patch offsets -- so rerunning the tool is a no-op
+/// diff. The `regression-*` entries encode inputs that triggered real
+/// bugs fixed in this repository: keep them forever, they are the proof
+/// the fixes hold.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tests/framework/Builders.h"
+#include "tests/framework/Corpus.h"
+
+#include "crypto/Drbg.h"
+#include "elf/ElfTypes.h"
+#include "elide/SecretMeta.h"
+#include "server/Protocol.h"
+#include "sgx/SgxTypes.h"
+
+#include <cstdio>
+
+using namespace elide;
+
+namespace {
+
+int Failures = 0;
+
+void emit(const std::string &Target, const std::string &Name, BytesView Data) {
+  if (Error E = fuzz::writeCorpusEntry(Target, Name, Data)) {
+    std::fprintf(stderr, "error: %s/%s: %s\n", Target.c_str(), Name.c_str(),
+                 E.message().c_str());
+    ++Failures;
+    return;
+  }
+  std::printf("  %s/%-32s %5zu bytes\n", Target.c_str(), Name.c_str(),
+              Data.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Raw ELF64 patch helpers (fixed architectural offsets, independent of the
+// parser under test -- a corpus built through ElfImage would be blind to
+// exactly the bugs it is meant to pin).
+//===----------------------------------------------------------------------===//
+
+constexpr size_t EhdrPhOff = 32;  // e_phoff
+constexpr size_t EhdrShOff = 40;  // e_shoff
+constexpr size_t EhdrShNum = 60;  // e_shnum
+constexpr size_t EhdrShStrNdx = 62;
+constexpr size_t PhdrSize = 56;
+constexpr size_t ShdrSize = 64;
+constexpr size_t SymSize = 24;
+
+/// First program header's p_offset/p_filesz -> values whose sum wraps
+/// around 2^64 to a small number. The seed parser's `Offset + FileSize >
+/// size` check accepted this (wrapped sum = 0x100); the fixed subtraction
+/// form rejects it with ElfErrcBounds.
+Bytes patchSegmentOffsetWrap(Bytes Elf) {
+  uint64_t PhOff = readLE64(Elf.data() + EhdrPhOff);
+  writeLE64(Elf.data() + PhOff + 8, 0xffffffffffffff00ull);  // p_offset
+  writeLE64(Elf.data() + PhOff + 32, 0x200);                 // p_filesz
+  return Elf;
+}
+
+/// Section-name string table re-typed SHT_NOBITS: its Offset/Size then
+/// describe no file bytes at all, and the seed parser viewed them as a
+/// string table anyway (out-of-bounds reads for every section name). The
+/// fix rejects with ElfErrcBadLink.
+Bytes patchNobitsShstrtab(Bytes Elf) {
+  uint64_t ShOff = readLE64(Elf.data() + EhdrShOff);
+  uint16_t ShStrNdx = readLE16(Elf.data() + EhdrShStrNdx);
+  writeLE32(Elf.data() + ShOff + ShStrNdx * ShdrSize + 4, SHT_NOBITS);
+  return Elf;
+}
+
+/// A symbol whose st_value + st_size wraps 2^64: `fileOffsetOf` computed
+/// `VAddr + Length > Addr + Size` with both sides wrapping, so zeroRange
+/// and writeRange scribbled outside the section. The fix fails typed with
+/// ElfErrcRange.
+Bytes patchSymbolRangeWrap(Bytes Elf) {
+  uint64_t ShOff = readLE64(Elf.data() + EhdrShOff);
+  uint16_t ShNum = readLE16(Elf.data() + EhdrShNum);
+  for (uint16_t I = 0; I < ShNum; ++I) {
+    const uint8_t *Shdr = Elf.data() + ShOff + uint64_t(I) * ShdrSize;
+    if (readLE32(Shdr + 4) != SHT_SYMTAB)
+      continue;
+    uint64_t SymTabOff = readLE64(Shdr + 24); // sh_offset
+    uint64_t SymTabSize = readLE64(Shdr + 32);
+    if (SymTabSize < 2 * SymSize)
+      break;
+    // Entry 1 (entry 0 is the null symbol).
+    writeLE64(Elf.data() + SymTabOff + SymSize + 8, 0xffffffffffffff00ull);
+    writeLE64(Elf.data() + SymTabOff + SymSize + 16, 0x200);
+    break;
+  }
+  return Elf;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-target corpora
+//===----------------------------------------------------------------------===//
+
+void makeProtocolCorpus() {
+  // Regression: the empty frame. Empty views carried null data pointers
+  // into string/memcpy calls before the Bytes.h guards.
+  emit("protocol", "regression-empty-input", BytesView());
+
+  Drbg Rng(101);
+  Bytes Hello;
+  Hello.push_back(FrameHello);
+  appendBytes(Hello, Rng.bytes(296)); // Quote-sized garbage body.
+  emit("protocol", "seed-hello-quote-sized", Hello);
+
+  Bytes Record;
+  Record.push_back(FrameRecord);
+  appendBytes(Record, Rng.bytes(8 + 12 + 10)); // Truncated mid-tag.
+  emit("protocol", "seed-record-truncated", Record);
+
+  Bytes ErrorFrame;
+  ErrorFrame.push_back(FrameError);
+  appendBytes(ErrorFrame, viewOf(std::string("corpus error frame")));
+  emit("protocol", "seed-error-frame", ErrorFrame);
+
+  emit("protocol", "seed-structured", fuzz::buildProtocolFrame(Rng));
+}
+
+void makeElfCorpus() {
+  Drbg Rng(201);
+  Bytes Seed = fuzz::buildSeedElf(Rng);
+  emit("elf", "seed-valid", Seed);
+  emit("elf", "regression-segment-offset-wrap", patchSegmentOffsetWrap(Seed));
+  emit("elf", "regression-nobits-shstrtab", patchNobitsShstrtab(Seed));
+  emit("elf", "regression-symbol-range-wrap", patchSymbolRangeWrap(Seed));
+  emit("elf", "seed-truncated",
+       BytesView(Seed.data(), Seed.size() < 48 ? Seed.size() : 48));
+}
+
+void makeSecretMetaCorpus() {
+  SecretMeta Plain;
+  Plain.DataLength = 512;
+  Plain.RestoreOffset = 64;
+  emit("secretmeta", "seed-valid-plain", Plain.serialize());
+
+  Drbg Rng(301);
+  SecretMeta Enc;
+  Enc.DataLength = 4096;
+  Enc.RestoreOffset = 128;
+  Enc.Encrypted = true;
+  Rng.fill(MutableBytesView(Enc.Key.data(), Enc.Key.size()));
+  Rng.fill(MutableBytesView(Enc.Iv.data(), Enc.Iv.size()));
+  Rng.fill(MutableBytesView(Enc.Mac.data(), Enc.Mac.size()));
+  emit("secretmeta", "seed-valid-encrypted", Enc.serialize());
+
+  // Regression: a forged 2^64-scale DataLength deserialized fine before
+  // the MaxDataLength plausibility bound (MetaErrcImplausible).
+  Bytes Huge = Plain.serialize();
+  writeLE64(Huge.data(), 0xffffffffffffffffull);
+  emit("secretmeta", "regression-huge-datalength", Huge);
+
+  Bytes BadFlag = Plain.serialize();
+  BadFlag[16] = 7; // Encrypted flag: only 0/1 are valid.
+  emit("secretmeta", "seed-bad-flag", BadFlag);
+
+  emit("secretmeta", "seed-truncated", BytesView(Huge.data(), 13));
+}
+
+void makeWhitelistCorpus() {
+  emit("whitelist", "seed-names",
+       viewOf(std::string("enclave_main\nelide_restore\npublic_helper\n")));
+  // Regression: empty input reached std::string(nullptr, 0) via
+  // stringOfBytes before the empty-view guard.
+  emit("whitelist", "regression-empty", BytesView());
+  emit("whitelist", "seed-duplicates",
+       viewOf(std::string("dup\ndup\nother\n\n\ndup\n")));
+  Bytes Hostile = bytesOfString("ok\n");
+  Hostile.push_back(0x00);
+  Hostile.push_back(0xff);
+  appendBytes(Hostile, viewOf(std::string("\x7f high\n")));
+  Hostile.insert(Hostile.end(), 300, 'A'); // Long name, no trailing newline.
+  emit("whitelist", "seed-hostile-bytes", Hostile);
+}
+
+void makeLoaderCorpus() {
+  Drbg Rng(501);
+
+  Ed25519Seed VSeed{};
+  VSeed.fill(0x11);
+  Ed25519KeyPair Vendor = ed25519KeyPairFromSeed(VSeed);
+  sgx::Measurement Mr;
+  Rng.fill(MutableBytesView(Mr.data(), Mr.size()));
+  sgx::SigStruct Sig = sgx::SigStruct::sign(Vendor, Mr, 0);
+
+  Bytes GoodSig;
+  GoodSig.push_back(0x00);
+  appendBytes(GoodSig, Sig.serialize());
+  emit("loader", "seed-sigstruct-valid", GoodSig);
+
+  Bytes BadSig = GoodSig;
+  BadSig[1 + 32 + 8 + 32] ^= 0x01; // Flip one signature byte.
+  emit("loader", "seed-sigstruct-tampered", BadSig);
+
+  // A quote that parses (right size, internally signed) but whose key
+  // certificate no authority issued -- verification must reject it.
+  sgx::Quote Q;
+  Rng.fill(MutableBytesView(Q.Body.MrEnclave.data(), 32));
+  Rng.fill(MutableBytesView(Q.Body.MrSigner.data(), 32));
+  Rng.fill(MutableBytesView(Q.Body.Data.data(), Q.Body.Data.size()));
+  Ed25519Seed ASeed{};
+  ASeed.fill(0x22);
+  Ed25519KeyPair AttKey = ed25519KeyPairFromSeed(ASeed);
+  Q.AttestationKey = AttKey.PublicKey;
+  Bytes QuoteMsg = bytesOfString("QUOTE");
+  appendBytes(QuoteMsg, Q.Body.serialize());
+  Q.Signature = ed25519Sign(AttKey, QuoteMsg);
+  Rng.fill(MutableBytesView(Q.KeyCertificate.data(), Q.KeyCertificate.size()));
+  Bytes ForgedQuote;
+  ForgedQuote.push_back(0x01);
+  appendBytes(ForgedQuote, Q.serialize());
+  emit("loader", "seed-quote-forged-cert", ForgedQuote);
+
+  Bytes SeedElf = fuzz::buildSeedElf(Rng);
+  Bytes ElfInput;
+  ElfInput.push_back(0x02);
+  appendBytes(ElfInput, SeedElf);
+  emit("loader", "seed-elf", ElfInput);
+
+  // Regression: the segment-offset wrap again, this time walked by the
+  // loader's page loop, which trusted the parser's (broken) bounds check.
+  Bytes WrapInput;
+  WrapInput.push_back(0x02);
+  appendBytes(WrapInput, patchSegmentOffsetWrap(SeedElf));
+  emit("loader", "regression-elf-segment-wrap", WrapInput);
+}
+
+} // namespace
+
+int main() {
+  std::printf("writing seed corpora under %s\n", fuzz::corpusRoot().c_str());
+  makeProtocolCorpus();
+  makeElfCorpus();
+  makeSecretMetaCorpus();
+  makeWhitelistCorpus();
+  makeLoaderCorpus();
+  return Failures == 0 ? 0 : 1;
+}
