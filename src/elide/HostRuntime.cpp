@@ -32,8 +32,27 @@ const char *elide::restoreStatusName(uint64_t Status) {
     return "meta-fetch-failed";
   case RestoreMetaParseFailed:
     return "meta-parse-failed";
+  case RestoreDataFetchFailed:
+    return "data-fetch-failed";
   default:
     return "unknown";
+  }
+}
+
+bool elide::isRetryableRestoreStatus(uint64_t Status) {
+  switch (Status) {
+  case RestoreShortSecrets:
+  case RestoreQuoteFailed:
+  case RestoreServerUnreachable:
+  case RestoreMetaFetchFailed:
+  case RestoreDataFetchFailed:
+    return true;
+  case RestoreOk:
+  case RestoreNoSecrets:
+  case RestoreRejected:
+  case RestoreMetaParseFailed:
+  default:
+    return false;
   }
 }
 
@@ -64,10 +83,50 @@ Expected<uint64_t> ElideHost::restore(sgx::Enclave &E,
     }
     ELIDE_TRY(uint64_t S, restore(E));
     Status = S;
-    if (Status == RestoreOk)
+    if (Status == RestoreOk || !isRetryableRestoreStatus(Status))
       return Status;
   }
   return Status;
+}
+
+void ElideHost::emit(const ProvisionEvent &Event) {
+  if (EventCallback)
+    EventCallback(Event);
+}
+
+Expected<Bytes> ElideHost::readSealed() {
+  if (SealedPath.empty() || !fileExists(SealedPath))
+    return SealedBlob;
+  ELIDE_TRY(Bytes Container, readFileBytes(SealedPath));
+  Expected<Bytes> Payload = decodeVersionedBlob(Container);
+  if (Payload)
+    return Payload;
+  // Torn or corrupt: move it aside so the next write starts clean, and
+  // report an empty cache so the chain falls through to the server /
+  // local-data sources. The quarantined file stays on disk for forensics.
+  std::string Quarantined = quarantineFile(SealedPath);
+  emit({ProvisionEventKind::CacheQuarantined, -1, SealedPath,
+        TransportErrc::None, 0,
+        Payload.errorMessage() + "; moved to " + Quarantined});
+  return SealedBlob;
+}
+
+Expected<Bytes> ElideHost::writeSealed(BytesView Request) {
+  SealedBlob = toBytes(Request);
+  if (!SealedPath.empty()) {
+    AtomicCrashPoint Crash = SealedCrashPoint;
+    SealedCrashPoint = AtomicCrashPoint::None; // One-shot injection.
+    if (Error E = atomicWriteFileBytes(SealedPath,
+                                       encodeVersionedBlob(Request), Crash)) {
+      emit({ProvisionEventKind::CacheWriteFailed, -1, SealedPath,
+            TransportErrc::None, 0, E.message()});
+      return E;
+    }
+    emit({ProvisionEventKind::CacheWritten, -1, SealedPath,
+          TransportErrc::None, 0,
+          std::to_string(Request.size()) + " payload bytes"});
+  }
+  return Bytes();
 }
 
 Expected<Bytes> ElideHost::handleOcall(uint32_t Index, BytesView Request) {
@@ -83,19 +142,11 @@ Expected<Bytes> ElideHost::handleOcall(uint32_t Index, BytesView Request) {
     // tells the enclave the file is missing.
     return SecretDataFile;
 
-  case OcallReadSealed: {
-    if (!SealedPath.empty() && fileExists(SealedPath))
-      return readFileBytes(SealedPath);
-    return SealedBlob;
-  }
+  case OcallReadSealed:
+    return readSealed();
 
-  case OcallWriteSealed: {
-    SealedBlob = toBytes(Request);
-    if (!SealedPath.empty())
-      if (Error E = writeFileBytes(SealedPath, Request))
-        return E;
-    return Bytes();
-  }
+  case OcallWriteSealed:
+    return writeSealed(Request);
 
   case OcallGetQuote: {
     if (!Qe)

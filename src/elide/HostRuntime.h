@@ -17,9 +17,11 @@
 #define SGXELIDE_ELIDE_HOSTRUNTIME_H
 
 #include "elide/Bridge.h"
+#include "elide/Provisioner.h"
 #include "server/Transport.h"
 #include "sgx/Attestation.h"
 #include "sgx/Enclave.h"
+#include "support/AtomicFile.h"
 
 #include <functional>
 #include <string>
@@ -52,14 +54,27 @@ enum RestoreStatus : uint64_t {
   RestoreMetaFetchFailed = 21,
   /// The metadata arrived but did not parse.
   RestoreMetaParseFailed = 22,
+  /// The remote data exchange failed or returned the wrong byte count
+  /// (dropped connection, server ERROR frame, exhausted session budget).
+  RestoreDataFetchFailed = 23,
 };
 
 /// Human-readable name for a restore status (diagnostics).
 const char *restoreStatusName(uint64_t Status);
 
+/// Whether retrying a restore that ended in \p Status can plausibly
+/// change the outcome. Transient statuses (short reads, dead quoting
+/// enclave, unreachable or erroring server) are retryable; verdicts
+/// (missing secrets, rejected attestation, unparseable metadata) are
+/// terminal -- the same enclave will lose the same way every time, and a
+/// rejected attestation in particular must not be hammered against the
+/// server.
+bool isRetryableRestoreStatus(uint64_t Status);
+
 /// Retry behavior for `ElideHost::restore`. Because a failed restore
-/// never half-writes the text section, retrying any nonzero status is
-/// safe; the budget only bounds how long the host keeps trying.
+/// never half-writes the text section, retrying is always *safe*; the
+/// policy bounds how long the host keeps trying, and the loop stops
+/// early on terminal statuses (see `isRetryableRestoreStatus`).
 struct RestorePolicy {
   /// Total restore attempts (1 = no retry).
   int MaxAttempts = 1;
@@ -85,7 +100,27 @@ public:
 
   /// Uses \p Path to persist the sealed-secrets blob across launches;
   /// when unset, the blob is kept in memory (single-process lifetime).
+  /// On-disk blobs are wrapped in a CRC-protected versioned container and
+  /// written crash-consistently (temp file + fsync + atomic rename); a
+  /// torn or corrupt blob found on read is quarantined to
+  /// `Path + ".quarantine"` and the restore chain falls through to the
+  /// remaining secret sources.
   void setSealedPath(std::string Path) { SealedPath = std::move(Path); }
+
+  /// Observation hook for cache persistence events (CacheWritten,
+  /// CacheWriteFailed, CacheQuarantined). Shares the ProvisionEvent
+  /// vocabulary with `Provisioner`, so one callback can watch the whole
+  /// chain.
+  void setEventCallback(ProvisionEventCallback Callback) {
+    EventCallback = std::move(Callback);
+  }
+
+  /// Test hook: injects a simulated crash into the next sealed-cache
+  /// write (see AtomicCrashPoint). The chaos suite uses this to prove a
+  /// crash between temp-file write and rename never corrupts the cache.
+  void setSealedCrashPoint(AtomicCrashPoint Point) {
+    SealedCrashPoint = Point;
+  }
 
   /// Collects t_debug_print output (tests and game frontends read this).
   std::string &debugOutput() { return DebugOutput; }
@@ -112,6 +147,9 @@ public:
 
 private:
   Expected<Bytes> handleOcall(uint32_t Index, BytesView Request);
+  Expected<Bytes> readSealed();
+  Expected<Bytes> writeSealed(BytesView Request);
+  void emit(const ProvisionEvent &Event);
 
   Transport *Server;
   sgx::QuotingEnclave *Qe;
@@ -120,6 +158,8 @@ private:
   std::string SealedPath;
   std::string DebugOutput;
   AppOcallHandler AppHandler;
+  ProvisionEventCallback EventCallback;
+  AtomicCrashPoint SealedCrashPoint = AtomicCrashPoint::None;
 };
 
 } // namespace elide

@@ -1,0 +1,452 @@
+//===- elide/Provisioner.cpp - Multi-endpoint failover provisioning --------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elide/Provisioner.h"
+
+#include "server/Protocol.h"
+
+#include <condition_variable>
+#include <memory>
+#include <optional>
+
+using namespace elide;
+
+const char *elide::provisionEventKindName(ProvisionEventKind Kind) {
+  switch (Kind) {
+  case ProvisionEventKind::EndpointAttempt:
+    return "endpoint-attempt";
+  case ProvisionEventKind::EndpointSuccess:
+    return "endpoint-success";
+  case ProvisionEventKind::EndpointFailure:
+    return "endpoint-failure";
+  case ProvisionEventKind::EndpointOverloaded:
+    return "endpoint-overloaded";
+  case ProvisionEventKind::EndpointSkipped:
+    return "endpoint-skipped";
+  case ProvisionEventKind::BreakerOpened:
+    return "breaker-opened";
+  case ProvisionEventKind::BreakerHalfOpen:
+    return "breaker-half-open";
+  case ProvisionEventKind::BreakerClosed:
+    return "breaker-closed";
+  case ProvisionEventKind::HedgeLaunched:
+    return "hedge-launched";
+  case ProvisionEventKind::HedgeWon:
+    return "hedge-won";
+  case ProvisionEventKind::FailoverExhausted:
+    return "failover-exhausted";
+  case ProvisionEventKind::CacheWritten:
+    return "cache-written";
+  case ProvisionEventKind::CacheWriteFailed:
+    return "cache-write-failed";
+  case ProvisionEventKind::CacheQuarantined:
+    return "cache-quarantined";
+  }
+  return "unknown";
+}
+
+const char *elide::breakerStateName(BreakerState State) {
+  switch (State) {
+  case BreakerState::Closed:
+    return "closed";
+  case BreakerState::Open:
+    return "open";
+  case BreakerState::HalfOpen:
+    return "half-open";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// CircuitBreaker
+//===----------------------------------------------------------------------===//
+
+void CircuitBreaker::open(int BaseMs) {
+  State = BreakerState::Open;
+  ProbeInFlight = false;
+  long long Cooldown = BaseMs;
+  if (BaseMs > 1)
+    Cooldown += static_cast<long long>(
+        Jitter.nextBelow(static_cast<uint64_t>(BaseMs) / 2 + 1));
+  ReopenAt = Clock::now() + std::chrono::milliseconds(Cooldown);
+}
+
+bool CircuitBreaker::admit() {
+  switch (State) {
+  case BreakerState::Closed:
+    return true;
+  case BreakerState::Open:
+    if (Clock::now() < ReopenAt)
+      return false;
+    State = BreakerState::HalfOpen;
+    ProbeInFlight = true;
+    return true;
+  case BreakerState::HalfOpen:
+    // One probe at a time: a second caller waits for the verdict.
+    if (ProbeInFlight)
+      return false;
+    ProbeInFlight = true;
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::onSuccess() {
+  State = BreakerState::Closed;
+  ConsecutiveFailures = 0;
+  ProbeInFlight = false;
+}
+
+void CircuitBreaker::onFailure() {
+  if (State == BreakerState::HalfOpen) {
+    // The probe failed: straight back to Open for another cool-down.
+    open(Config.CooldownMs);
+    return;
+  }
+  ++ConsecutiveFailures;
+  if (Config.FailureThreshold > 0 &&
+      ConsecutiveFailures >= Config.FailureThreshold)
+    open(Config.CooldownMs);
+}
+
+void CircuitBreaker::onOverloaded(uint32_t RetryAfterMs) {
+  // Backpressure, not death: park for the advertised interval without
+  // advancing the failure count.
+  open(static_cast<int>(RetryAfterMs ? RetryAfterMs
+                                     : Config.DefaultOverloadCooldownMs));
+}
+
+//===----------------------------------------------------------------------===//
+// Provisioner
+//===----------------------------------------------------------------------===//
+
+Provisioner::Provisioner(ProvisionerConfig Config)
+    : Config(std::move(Config)) {}
+
+Provisioner::~Provisioner() {
+  std::vector<std::thread> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Pending.swap(Stragglers);
+  }
+  for (std::thread &T : Pending)
+    if (T.joinable())
+      T.join();
+}
+
+void Provisioner::addEndpoint(std::string Name, Transport *Link) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  BreakerConfig B = Config.Breaker;
+  // De-correlate per-endpoint jitter so a fleet-wide outage does not make
+  // every breaker probe on the same beat.
+  B.JitterSeed ^= 0x9e3779b97f4a7c15ULL * (Endpoints.size() + 1);
+  Endpoints.push_back(Endpoint{std::move(Name), Link, CircuitBreaker(B)});
+}
+
+void Provisioner::setEventCallback(ProvisionEventCallback NewCallback) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Callback = std::move(NewCallback);
+}
+
+size_t Provisioner::endpointCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Endpoints.size();
+}
+
+BreakerState Provisioner::breakerState(size_t Index) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Index < Endpoints.size() ? Endpoints[Index].Breaker.state()
+                                  : BreakerState::Closed;
+}
+
+void Provisioner::emit(const ProvisionEvent &Event) const {
+  // Callers hold Mutex; copy the callback out so a slow observer does not
+  // serialize the chain. The callback itself must be thread-safe under
+  // hedging anyway.
+  if (Callback)
+    Callback(Event);
+}
+
+bool Provisioner::admitLocked(size_t I) {
+  Endpoint &Ep = Endpoints[I];
+  BreakerState Before = Ep.Breaker.state();
+  bool Admitted = Ep.Breaker.admit();
+  if (!Admitted) {
+    emit({ProvisionEventKind::EndpointSkipped, static_cast<int>(I), Ep.Name,
+          TransportErrc::BreakerOpen, 0,
+          std::string("breaker ") + breakerStateName(Ep.Breaker.state())});
+    return false;
+  }
+  if (Before == BreakerState::Open)
+    emit({ProvisionEventKind::BreakerHalfOpen, static_cast<int>(I), Ep.Name,
+          TransportErrc::None, 0, "cool-down elapsed; probing"});
+  emit({ProvisionEventKind::EndpointAttempt, static_cast<int>(I), Ep.Name,
+        TransportErrc::None, 0,
+        Ep.Breaker.state() == BreakerState::HalfOpen ? "probe" : ""});
+  return true;
+}
+
+Provisioner::Outcome Provisioner::classify(Expected<Bytes> Result) {
+  Outcome O{std::move(Result)};
+  if (O.Result) {
+    // In-process transports (loopback, fault injector) hand the raw
+    // OVERLOADED frame up; normalize it to the typed form here.
+    if (std::optional<uint32_t> After = overloadedRetryAfterMs(*O.Result)) {
+      O.IsOverloaded = true;
+      O.RetryAfterMs = *After;
+      O.Result = makeTransportError(TransportErrc::Overloaded,
+                                    "server shed load; retry-after-ms=" +
+                                        std::to_string(*After));
+    }
+    return O;
+  }
+  if (transportErrcOf(O.Result) == TransportErrc::Overloaded) {
+    O.IsOverloaded = true;
+    O.RetryAfterMs = retryAfterHintOf(O.Result.errorMessage()).value_or(0);
+  }
+  return O;
+}
+
+void Provisioner::recordOutcome(size_t I, const Outcome &O) {
+  Endpoint &Ep = Endpoints[I];
+  BreakerState Before = Ep.Breaker.state();
+  if (O.Result) {
+    Ep.Breaker.onSuccess();
+    emit({ProvisionEventKind::EndpointSuccess, static_cast<int>(I), Ep.Name,
+          TransportErrc::None, 0, ""});
+    if (Before != BreakerState::Closed)
+      emit({ProvisionEventKind::BreakerClosed, static_cast<int>(I), Ep.Name,
+            TransportErrc::None, 0, "probe succeeded"});
+    return;
+  }
+  if (O.IsOverloaded) {
+    Ep.Breaker.onOverloaded(O.RetryAfterMs);
+    emit({ProvisionEventKind::EndpointOverloaded, static_cast<int>(I),
+          Ep.Name, TransportErrc::Overloaded, O.RetryAfterMs,
+          O.Result.errorMessage()});
+    emit({ProvisionEventKind::BreakerOpened, static_cast<int>(I), Ep.Name,
+          TransportErrc::Overloaded, O.RetryAfterMs,
+          "parked by server backpressure"});
+    return;
+  }
+  Ep.Breaker.onFailure();
+  emit({ProvisionEventKind::EndpointFailure, static_cast<int>(I), Ep.Name,
+        transportErrcOf(O.Result), 0, O.Result.errorMessage()});
+  if (Before != BreakerState::Open &&
+      Ep.Breaker.state() == BreakerState::Open)
+    emit({ProvisionEventKind::BreakerOpened, static_cast<int>(I), Ep.Name,
+          transportErrcOf(O.Result), 0,
+          Before == BreakerState::HalfOpen
+              ? "half-open probe failed"
+              : "failure threshold reached"});
+}
+
+Provisioner::Outcome Provisioner::attempt(size_t I, BytesView Request) {
+  Transport *Link;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Link = Endpoints[I].Link;
+  }
+  Outcome O = classify(Link->roundTrip(Request));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  recordOutcome(I, O);
+  return O;
+}
+
+Provisioner::Outcome Provisioner::hedgedAttempt(size_t I, size_t J,
+                                                BytesView Request,
+                                                bool &PartnerConsumed) {
+  // Shared state of the race. Worker threads own a shared_ptr so the
+  // state outlives an early-returning caller.
+  struct HedgeRace {
+    std::mutex M;
+    std::condition_variable Cv;
+    std::optional<Outcome> Results[2];
+  };
+
+  PartnerConsumed = false;
+  auto Race = std::make_shared<HedgeRace>();
+  auto Body = toBytes(Request); // Workers outlive the caller's view.
+
+  auto runOne = [this, Race, Body](size_t Slot, size_t EpIndex) {
+    Transport *Link;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Link = Endpoints[EpIndex].Link;
+    }
+    Outcome O = classify(Link->roundTrip(Body));
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      recordOutcome(EpIndex, O);
+    }
+    std::lock_guard<std::mutex> Lock(Race->M);
+    Race->Results[Slot] = std::move(O);
+    Race->Cv.notify_all();
+  };
+
+  std::thread Primary(runOne, 0, I);
+  std::thread Hedge;
+
+  std::unique_lock<std::mutex> RaceLock(Race->M);
+  bool PrimaryDone = Race->Cv.wait_for(
+      RaceLock, std::chrono::milliseconds(Config.HedgeAfterMs),
+      [&] { return Race->Results[0].has_value(); });
+
+  if (PrimaryDone) {
+    RaceLock.unlock();
+    Primary.join();
+    return std::move(*Race->Results[0]);
+  }
+
+  // The primary is past the latency threshold: fire the hedge.
+  PartnerConsumed = true;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    emit({ProvisionEventKind::HedgeLaunched, static_cast<int>(J),
+          Endpoints[J].Name, TransportErrc::None, 0,
+          "primary " + Endpoints[I].Name + " exceeded " +
+              std::to_string(Config.HedgeAfterMs) + " ms"});
+  }
+  Hedge = std::thread(runOne, 1, J);
+
+  // First success wins; a failure waits for the other runner's verdict.
+  size_t Winner = 2;
+  Race->Cv.wait(RaceLock, [&] {
+    for (size_t S = 0; S < 2; ++S)
+      if (Race->Results[S] && Race->Results[S]->Result) {
+        Winner = S;
+        return true;
+      }
+    return Race->Results[0].has_value() && Race->Results[1].has_value();
+  });
+
+  Outcome Final = [&]() -> Outcome {
+    if (Winner == 1) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      emit({ProvisionEventKind::HedgeWon, static_cast<int>(J),
+            Endpoints[J].Name, TransportErrc::None, 0,
+            "hedged request answered first"});
+    }
+    if (Winner < 2)
+      return std::move(*Race->Results[Winner]);
+    // Both failed: report the primary's failure (the hedge partner's
+    // verdict is already folded into its breaker).
+    return std::move(*Race->Results[0]);
+  }();
+  RaceLock.unlock();
+
+  // Join what finished; park the straggler so its transport stays safe to
+  // use until the Provisioner dies.
+  auto park = [this](std::thread &T, bool Done) {
+    if (!T.joinable())
+      return;
+    if (Done) {
+      T.join();
+      return;
+    }
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stragglers.push_back(std::move(T));
+  };
+  {
+    std::lock_guard<std::mutex> Lock(Race->M);
+    park(Primary, Race->Results[0].has_value());
+    park(Hedge, Race->Results[1].has_value());
+  }
+  return Final;
+}
+
+Expected<Bytes> Provisioner::roundTrip(BytesView Request) {
+  size_t Count;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Count = Endpoints.size();
+    if (Count == 0)
+      return makeTransportError(TransportErrc::AllEndpointsFailed,
+                                "no provisioning endpoints configured");
+  }
+
+  std::vector<bool> Tried(Count, false);
+  bool AnyAttempted = false;
+  bool AllOverloaded = true;
+  uint32_t MaxRetryAfter = 0;
+  std::string LastMessage = "every breaker is open";
+
+  for (;;) {
+    // Pick the first admissible untried endpoint, and (for hedging) the
+    // one after it.
+    size_t I = Count, J = Count;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      for (size_t K = 0; K < Count && J == Count; ++K) {
+        if (Tried[K])
+          continue;
+        if (I == Count) {
+          if (admitLocked(K))
+            I = K;
+          else
+            Tried[K] = true;
+          continue;
+        }
+        // Hedge partners are gated only when actually launched; a cheap
+        // state peek avoids pairing with an open breaker.
+        if (Config.HedgeAfterMs >= 0 &&
+            Endpoints[K].Breaker.state() != BreakerState::Open)
+          J = K;
+        else
+          break;
+      }
+    }
+    if (I == Count)
+      break;
+
+    Tried[I] = true;
+    AnyAttempted = true;
+
+    Outcome O = [&] {
+      if (J < Count) {
+        bool PartnerConsumed = false;
+        // The partner runs without its own admit() gate (peeked above);
+        // its breaker still records the outcome.
+        Outcome R = hedgedAttempt(I, J, Request, PartnerConsumed);
+        if (PartnerConsumed)
+          Tried[J] = true;
+        return R;
+      }
+      return attempt(I, Request);
+    }();
+
+    if (O.Result)
+      return O.Result;
+    if (O.IsOverloaded)
+      MaxRetryAfter = std::max(MaxRetryAfter, O.RetryAfterMs);
+    else
+      AllOverloaded = false;
+    LastMessage = O.Result.errorMessage();
+  }
+
+  // Synthesize the chain-level verdict: the caller (and the enclave's
+  // cache fallback behind it) can tell backpressure from death.
+  TransportErrc Verdict;
+  std::string Message;
+  if (!AnyAttempted) {
+    Verdict = TransportErrc::BreakerOpen;
+    Message = "all endpoint breakers are open; retry later";
+  } else if (AllOverloaded) {
+    Verdict = TransportErrc::Overloaded;
+    Message = "every endpoint shed load; retry-after-ms=" +
+              std::to_string(MaxRetryAfter);
+  } else {
+    Verdict = TransportErrc::AllEndpointsFailed;
+    Message = "all " + std::to_string(Count) +
+              " endpoints failed; last error: " + LastMessage;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    emit({ProvisionEventKind::FailoverExhausted, -1, "", Verdict,
+          MaxRetryAfter, Message});
+  }
+  return makeTransportError(Verdict, Message);
+}

@@ -1,0 +1,240 @@
+//===- elide/Provisioner.h - Multi-endpoint failover provisioning ----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The provisioning resilience layer between the untrusted host runtime
+/// and the developer's authentication servers. The paper's availability
+/// model is a single remote exchange at startup; this layer grows it into
+/// an ordered failover chain of secret sources:
+///
+///   endpoint[0] -> endpoint[1] -> ... -> sealed cache -> local data blob
+///
+/// Each remote endpoint sits behind its own circuit breaker
+/// (closed / open / half-open with a single probe request and a jittered
+/// cool-down), so a dead or drowning server stops costing a connect
+/// timeout on every exchange. A server that sheds load with a typed
+/// OVERLOADED frame parks the breaker for exactly the advertised
+/// retry-after instead of counting toward endpoint death. Optionally, a
+/// hedged second request fires at the next endpoint once the first has
+/// been in flight past a latency threshold.
+///
+/// The sealed-cache and local-blob tail of the chain lives in the enclave
+/// (TrustedLib's obtain-secrets order) and in ElideHost's crash-consistent
+/// cache persistence; the `Provisioner` is the remote head of the chain
+/// and implements `Transport`, so it drops into `ElideHost` unchanged.
+///
+/// Every transition is reported through a typed `ProvisionEvent` callback
+/// so callers, tools, and the chaos suite can observe the chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ELIDE_PROVISIONER_H
+#define SGXELIDE_ELIDE_PROVISIONER_H
+
+#include "crypto/Drbg.h"
+#include "server/Transport.h"
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace elide {
+
+//===----------------------------------------------------------------------===//
+// Provision events
+//===----------------------------------------------------------------------===//
+
+/// Transitions the provisioning chain reports. Endpoint* events describe
+/// one attempt; Breaker* events describe breaker state changes; Cache*
+/// events come from ElideHost's sealed-cache persistence; Hedge* events
+/// trace the latency-hedging path.
+enum class ProvisionEventKind {
+  EndpointAttempt,    ///< A request is about to hit this endpoint.
+  EndpointSuccess,    ///< The endpoint answered.
+  EndpointFailure,    ///< The endpoint failed (typed Errc attached).
+  EndpointOverloaded, ///< The endpoint shed load (RetryAfterMs attached).
+  EndpointSkipped,    ///< Breaker open: the endpoint was not tried.
+  BreakerOpened,      ///< Breaker tripped (Detail says why).
+  BreakerHalfOpen,    ///< Cool-down elapsed; a probe request is admitted.
+  BreakerClosed,      ///< Probe succeeded; endpoint back in rotation.
+  HedgeLaunched,      ///< Latency threshold passed; second request fired.
+  HedgeWon,           ///< The hedged request beat the primary.
+  FailoverExhausted,  ///< Every remote endpoint failed or was skipped.
+  CacheWritten,       ///< Sealed cache persisted crash-consistently.
+  CacheWriteFailed,   ///< Sealed cache persist failed (Detail attached).
+  CacheQuarantined,   ///< Torn/corrupt cache moved aside, chain falls through.
+};
+
+/// Human-readable event kind name (logs, tests).
+const char *provisionEventKindName(ProvisionEventKind Kind);
+
+/// One observed transition.
+struct ProvisionEvent {
+  ProvisionEventKind Kind;
+  /// Index of the endpoint in chain order; -1 for cache events.
+  int EndpointIndex = -1;
+  /// The endpoint's name ("host:port" or a caller-chosen label).
+  std::string Endpoint;
+  /// Typed failure kind for EndpointFailure.
+  TransportErrc Errc = TransportErrc::None;
+  /// Server retry-after hint for EndpointOverloaded.
+  uint32_t RetryAfterMs = 0;
+  /// Free-form context (error message, quarantine path, probe verdict).
+  std::string Detail;
+};
+
+/// Observation hook. May be invoked from hedge worker threads; the
+/// callback must be thread-safe if hedging is enabled.
+using ProvisionEventCallback = std::function<void(const ProvisionEvent &)>;
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker
+//===----------------------------------------------------------------------===//
+
+/// Breaker states, classic semantics: Closed passes traffic, Open
+/// refuses it while a cool-down runs, HalfOpen admits one probe whose
+/// outcome decides between Closed and another Open round.
+enum class BreakerState { Closed, Open, HalfOpen };
+
+/// Human-readable breaker state name.
+const char *breakerStateName(BreakerState State);
+
+/// Per-endpoint breaker tuning.
+struct BreakerConfig {
+  /// Consecutive hard failures that trip Closed -> Open.
+  int FailureThreshold = 3;
+  /// Base cool-down before an Open breaker admits a half-open probe.
+  int CooldownMs = 1000;
+  /// Cool-downs get up to 50% deterministic jitter on top of the base so
+  /// a fleet recovering from one outage does not probe in lockstep; this
+  /// seeds the jitter source.
+  uint64_t JitterSeed = 1;
+  /// Cool-down used for an OVERLOADED verdict when the server supplied no
+  /// usable retry-after hint.
+  uint32_t DefaultOverloadCooldownMs = 100;
+};
+
+/// One endpoint's breaker. Not internally synchronized -- the Provisioner
+/// serializes access under its own mutex.
+class CircuitBreaker {
+public:
+  explicit CircuitBreaker(const BreakerConfig &Config)
+      : Config(Config), Jitter(Config.JitterSeed ^ 0x4252454bULL) {}
+
+  /// Gate for one request. Closed: admit. Open: admit only once the
+  /// cool-down elapsed (transitioning to HalfOpen). HalfOpen: admit one
+  /// probe at a time.
+  bool admit();
+
+  /// The admitted request succeeded: any state -> Closed.
+  void onSuccess();
+
+  /// The admitted request failed hard. Closed counts toward the
+  /// threshold; a HalfOpen probe failure re-opens immediately.
+  void onFailure();
+
+  /// The endpoint shed load: park Open for the advertised retry-after
+  /// (plus jitter) without counting toward endpoint death.
+  void onOverloaded(uint32_t RetryAfterMs);
+
+  BreakerState state() const { return State; }
+  int consecutiveFailures() const { return ConsecutiveFailures; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Enters Open for \p BaseMs plus deterministic jitter.
+  void open(int BaseMs);
+
+  BreakerConfig Config;
+  Drbg Jitter;
+  BreakerState State = BreakerState::Closed;
+  int ConsecutiveFailures = 0;
+  bool ProbeInFlight = false;
+  Clock::time_point ReopenAt{};
+};
+
+//===----------------------------------------------------------------------===//
+// Provisioner
+//===----------------------------------------------------------------------===//
+
+/// Chain-level tuning.
+struct ProvisionerConfig {
+  /// Breaker template applied to every endpoint (the jitter seed is
+  /// perturbed per endpoint so cool-downs de-correlate).
+  BreakerConfig Breaker;
+  /// Hedging: when >= 0 and a further endpoint is available, a request
+  /// still in flight after this many milliseconds fires a second request
+  /// at the next endpoint and the first answer wins. < 0 disables.
+  int HedgeAfterMs = -1;
+};
+
+/// The remote head of the failover chain. Implements `Transport`, so the
+/// enclave's server exchanges route through it transparently. Thread-safe;
+/// endpoints must outlive the Provisioner.
+class Provisioner : public Transport {
+public:
+  explicit Provisioner(ProvisionerConfig Config = ProvisionerConfig());
+  ~Provisioner() override;
+
+  /// Appends an endpoint to the chain (tried in insertion order).
+  void addEndpoint(std::string Name, Transport *Link);
+
+  /// Installs the observation hook (replacing any previous one).
+  void setEventCallback(ProvisionEventCallback Callback);
+
+  size_t endpointCount() const;
+
+  /// The breaker state of endpoint \p Index (tests and tools read this).
+  BreakerState breakerState(size_t Index) const;
+
+  /// Walks the chain: skips open breakers, tries endpoints in order
+  /// (hedging when configured), classifies overload distinctly from
+  /// death, and returns the first answer -- or a typed error
+  /// (`Overloaded`, `BreakerOpen`, or `AllEndpointsFailed`) when the
+  /// whole remote chain is down.
+  Expected<Bytes> roundTrip(BytesView Request) override;
+
+private:
+  struct Endpoint {
+    std::string Name;
+    Transport *Link;
+    CircuitBreaker Breaker;
+  };
+
+  /// Outcome of one endpoint attempt, normalized: an overloaded frame or
+  /// typed Overloaded error becomes {Overloaded, RetryAfterMs}.
+  struct Outcome {
+    Expected<Bytes> Result;
+    bool IsOverloaded = false;
+    uint32_t RetryAfterMs = 0;
+  };
+
+  void emit(const ProvisionEvent &Event) const;
+  /// Runs the breaker gate for endpoint \p I under the lock, emitting
+  /// skip/half-open events. Returns true when the endpoint may be tried.
+  bool admitLocked(size_t I);
+  /// Normalizes a raw transport result into an Outcome.
+  static Outcome classify(Expected<Bytes> Result);
+  /// Updates breaker + events for endpoint \p I after an attempt.
+  void recordOutcome(size_t I, const Outcome &O);
+  /// Plain attempt against endpoint \p I (no hedging).
+  Outcome attempt(size_t I, BytesView Request);
+  /// Hedged attempt: primary \p I, hedge partner \p J.
+  Outcome hedgedAttempt(size_t I, size_t J, BytesView Request,
+                        bool &PartnerConsumed);
+
+  ProvisionerConfig Config;
+  mutable std::mutex Mutex;
+  std::vector<Endpoint> Endpoints;          ///< Guarded by Mutex.
+  ProvisionEventCallback Callback;          ///< Guarded by Mutex.
+  std::vector<std::thread> Stragglers;      ///< Guarded by Mutex.
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_ELIDE_PROVISIONER_H

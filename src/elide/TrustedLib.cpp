@@ -354,8 +354,14 @@ fn elide_obtain_secrets(fresh: *u64, errc: *u64) -> u64 {
     }
     return elide_decrypt_local(&elide_buf[0], clen, &elide_buf[0], elide_buf_cap());
   }
-  // Remote-data mode: the server sends the plaintext over the channel.
-  return elide_fetch_data(&elide_buf[0], elide_buf_cap());
+  // Remote-data mode: the server sends the plaintext over the channel. A
+  // failed or short exchange is typed (23) so the host can tell this
+  // transient from "there are no secrets anywhere" and retry.
+  var dn: u64 = elide_fetch_data(&elide_buf[0], elide_buf_cap());
+  if (dn == 0) {
+    *errc = 23;
+  }
+  return dn;
 }
 
 // The one ecall SgxElide adds to an application (paper section 3.4).

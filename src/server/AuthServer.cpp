@@ -15,7 +15,30 @@ using namespace elide;
 AuthServer::AuthServer(AuthServerConfig C)
     : Config(std::move(C)), Rng(Config.RngSeed ^ 0x5345525645ULL) {}
 
+namespace {
+
+/// RAII decrement for the in-flight counter.
+struct InFlightGuard {
+  std::atomic<size_t> &Counter;
+  ~InFlightGuard() { Counter.fetch_sub(1); }
+};
+
+} // namespace
+
 Bytes AuthServer::handle(BytesView Request) {
+  // Load shedding happens before any parsing or crypto: under overload
+  // the cheapest possible answer is the whole point. The counter includes
+  // this call, so a threshold of N admits N concurrent exchanges.
+  size_t Concurrent = InFlight.fetch_add(1) + 1;
+  InFlightGuard Guard{InFlight};
+  if (Config.OverloadThreshold && Concurrent > Config.OverloadThreshold) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.RequestsShed;
+    }
+    return overloadedFrame(Config.OverloadRetryAfterMs);
+  }
+
   if (Request.empty())
     return errorFrame("empty request");
   switch (Request[0]) {
@@ -111,6 +134,16 @@ Bytes AuthServer::handleRecord(BytesView Frame) {
     auto It = Sessions.find(*Sid);
     if (It == Sessions.end())
       return errorFrame("unknown session (send HELLO first)");
+    if (Config.MaxRequestsPerSession &&
+        It->second.RequestsServed >= Config.MaxRequestsPerSession) {
+      // Budget spent: drop the session so the keys cannot be milked
+      // indefinitely; the legitimate client simply re-attests.
+      Sessions.erase(It);
+      Stats.LiveSessions = Sessions.size();
+      ++Stats.SessionBudgetsExhausted;
+      return errorFrame("session request budget exhausted (re-attest)");
+    }
+    ++It->second.RequestsServed;
     Keys = It->second.Keys;
   }
 

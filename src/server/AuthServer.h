@@ -25,6 +25,7 @@
 #include "server/Protocol.h"
 #include "sgx/SgxTypes.h"
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <optional>
@@ -50,6 +51,17 @@ struct AuthServerConfig {
   /// Upper bound on live sessions; when full, the oldest session is
   /// evicted (its client simply re-attests).
   size_t MaxSessions = 1024;
+  /// Per-session request budget: RECORD exchanges beyond this many on one
+  /// session are refused and the session is dropped (the client
+  /// re-attests, which re-proves it still runs the sanitized enclave).
+  /// 0 = unlimited.
+  size_t MaxRequestsPerSession = 0;
+  /// Load shedding: when more than this many `handle` calls are in
+  /// flight concurrently, the excess are answered with an OVERLOADED
+  /// frame instead of queueing behind quote verification. 0 = disabled.
+  size_t OverloadThreshold = 0;
+  /// Retry-after hint carried by shed responses.
+  uint32_t OverloadRetryAfterMs = 100;
 };
 
 /// Usage counters (benchmarks read these).
@@ -60,6 +72,8 @@ struct AuthServerStats {
   size_t DataRequests = 0;
   size_t SessionsEvicted = 0;
   size_t LiveSessions = 0;
+  size_t RequestsShed = 0;
+  size_t SessionBudgetsExhausted = 0;
 };
 
 /// A multi-session authentication server. Transport-agnostic: feed it
@@ -88,12 +102,14 @@ private:
   struct Session {
     SessionKeys Keys;
     uint64_t Sequence = 0; ///< Admission order, for LRU-ish eviction.
+    uint64_t RequestsServed = 0; ///< Counted against MaxRequestsPerSession.
   };
 
   Bytes handleHello(BytesView Frame);
   Bytes handleRecord(BytesView Frame);
 
   AuthServerConfig Config;
+  std::atomic<size_t> InFlight{0}; ///< Concurrent handle() calls.
   mutable std::mutex Mutex;
   Drbg Rng;                                      ///< Guarded by Mutex.
   std::unordered_map<uint64_t, Session> Sessions; ///< Guarded by Mutex.

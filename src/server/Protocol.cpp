@@ -102,3 +102,16 @@ Bytes elide::errorFrame(const std::string &Message) {
   appendBytes(Frame, viewOf(Message));
   return Frame;
 }
+
+Bytes elide::overloadedFrame(uint32_t RetryAfterMs) {
+  Bytes Frame;
+  Frame.push_back(FrameOverloaded);
+  appendLE32(Frame, RetryAfterMs);
+  return Frame;
+}
+
+std::optional<uint32_t> elide::overloadedRetryAfterMs(BytesView Frame) {
+  if (Frame.size() != OverloadedFrameSize || Frame[0] != FrameOverloaded)
+    return std::nullopt;
+  return readLE32(Frame.data() + 1);
+}

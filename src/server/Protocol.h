@@ -40,12 +40,19 @@
 #include "support/Bytes.h"
 #include "support/Error.h"
 
+#include <optional>
+
 namespace elide {
 
 /// Frame type bytes.
 constexpr uint8_t FrameHello = 0x01;
 constexpr uint8_t FrameRecord = 0x02;
 constexpr uint8_t FrameError = 0xee;
+/// Load-shedding response: the server is up but refuses this exchange.
+/// Unlike ERROR (a verdict about the request), OVERLOADED is a statement
+/// about the server's state, so clients treat it as transient and retry
+/// elsewhere / later instead of counting it as an endpoint failure.
+constexpr uint8_t FrameOverloaded = 0xb5;
 
 /// The paper's single-byte request codes.
 constexpr uint8_t RequestMeta = 0x4d; // 'M'
@@ -92,6 +99,18 @@ Expected<Bytes> openSessionRecord(const Aes128Key &Key, BytesView Frame);
 
 /// Builds an ERROR frame.
 Bytes errorFrame(const std::string &Message);
+
+/// Wire size of an OVERLOADED frame: type || retry-after-ms u32.
+constexpr size_t OverloadedFrameSize = 1 + 4;
+
+/// Builds an OVERLOADED frame advising the client to retry this endpoint
+/// no sooner than \p RetryAfterMs from now.
+Bytes overloadedFrame(uint32_t RetryAfterMs);
+
+/// If \p Frame is a well-formed OVERLOADED frame, returns its
+/// retry-after hint; otherwise nullopt (malformed overload frames are
+/// treated as ordinary garbage, not trusted as backpressure).
+std::optional<uint32_t> overloadedRetryAfterMs(BytesView Frame);
 
 } // namespace elide
 

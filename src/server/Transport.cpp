@@ -31,9 +31,23 @@ Error elide::makeTransportError(TransportErrc Errc, std::string Message) {
 TransportErrc elide::transportErrcOf(const Error &E) {
   int Code = E.code();
   return (Code >= static_cast<int>(TransportErrc::ConnectFailed) &&
-          Code <= static_cast<int>(TransportErrc::InjectedFault))
+          Code <= static_cast<int>(TransportErrc::AllEndpointsFailed))
              ? static_cast<TransportErrc>(Code)
              : TransportErrc::None;
+}
+
+std::optional<uint32_t> elide::retryAfterHintOf(const std::string &Message) {
+  const std::string Tag = "retry-after-ms=";
+  size_t Pos = Message.find(Tag);
+  if (Pos == std::string::npos)
+    return std::nullopt;
+  size_t Start = Pos + Tag.size();
+  size_t End = Start;
+  while (End < Message.size() && Message[End] >= '0' && Message[End] <= '9')
+    ++End;
+  if (End == Start || End - Start > 9)
+    return std::nullopt;
+  return static_cast<uint32_t>(std::stoul(Message.substr(Start, End - Start)));
 }
 
 bool elide::isRetryableTransportErrc(TransportErrc Errc) {
@@ -44,6 +58,9 @@ bool elide::isRetryableTransportErrc(TransportErrc Errc) {
   case TransportErrc::WriteTimeout:
   case TransportErrc::PeerClosed:
   case TransportErrc::InjectedFault:
+  case TransportErrc::Overloaded:
+  case TransportErrc::BreakerOpen:
+  case TransportErrc::AllEndpointsFailed:
     return true;
   default:
     return false;
@@ -268,6 +285,35 @@ void TcpServer::acceptLoop() {
     }
     ConnectionsAccepted.fetch_add(1);
     setNonBlocking(Client);
+    if (Config.MaxConnections &&
+        LiveConnections.load() >= Config.MaxConnections) {
+      // Load-shed at the door: an explicit OVERLOADED frame (with a
+      // retry-after hint) instead of a silent queue that only turns into a
+      // timeout later. The client's breaker treats this as backpressure,
+      // not endpoint death.
+      ConnectionsShed.fetch_add(1);
+      Bytes Shed = overloadedFrame(Config.OverloadRetryAfterMs);
+      (void)sendFrameDeadline(Client, Shed, Deadline::in(250), &Stopping);
+      // A straight close() can RST the connection (the client's request
+      // bytes are unread in our buffer), destroying the frame before the
+      // client reads it. Half-close and drain briefly so it survives.
+      ::shutdown(Client, SHUT_WR);
+      uint8_t Sink[256];
+      Deadline DrainBy = Deadline::in(250);
+      while (!DrainBy.expired() && !Stopping.load()) {
+        ssize_t N = ::recv(Client, Sink, sizeof(Sink), 0);
+        if (N == 0)
+          break;
+        if (N < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK)
+            break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      ::close(Client);
+      continue;
+    }
+    LiveConnections.fetch_add(1);
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
       PendingFds.push_back(Client);
@@ -289,6 +335,7 @@ void TcpServer::workerLoop() {
       PendingFds.pop_front();
     }
     serveConnection(Client);
+    LiveConnections.fetch_sub(1);
   }
 }
 
@@ -339,14 +386,17 @@ void TcpServer::stop() {
       W.join();
   // Connections that were queued but never picked up get closed unserved.
   std::lock_guard<std::mutex> Lock(QueueMutex);
-  for (int Fd : PendingFds)
+  for (int Fd : PendingFds) {
     ::close(Fd);
+    LiveConnections.fetch_sub(1);
+  }
   PendingFds.clear();
 }
 
 TcpServerStats TcpServer::stats() const {
   TcpServerStats S;
   S.ConnectionsAccepted = ConnectionsAccepted.load();
+  S.ConnectionsShed = ConnectionsShed.load();
   S.FramesServed = FramesServed.load();
   S.ReadTimeouts = ReadTimeouts.load();
   S.WriteTimeouts = WriteTimeouts.load();
@@ -444,8 +494,17 @@ Expected<Bytes> TcpClientTransport::roundTrip(BytesView Request) {
     }
     LastAttempts.store(Attempt);
     Expected<Bytes> Response = attemptOnce(Request);
-    if (Response)
+    if (Response) {
+      // Backpressure is not payload: surface an OVERLOADED answer as a
+      // typed error immediately (no intra-transport retry burn) so a
+      // failover layer can move to another endpoint, carrying the
+      // server's retry-after hint in the message.
+      if (std::optional<uint32_t> After = overloadedRetryAfterMs(*Response))
+        return makeTransportError(TransportErrc::Overloaded,
+                                  "server shed load; retry-after-ms=" +
+                                      std::to_string(*After));
       return Response;
+    }
     Error E = Response.takeError();
     TransportErrc Errc = transportErrcOf(E);
     if (!isRetryableTransportErrc(Errc))

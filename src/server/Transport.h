@@ -33,6 +33,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -56,6 +57,9 @@ enum class TransportErrc : int {
   BadAddress = 107,       ///< Unparseable server address.
   RetriesExhausted = 108, ///< The whole retry budget failed.
   InjectedFault = 109,    ///< A FaultInjectingTransport ate the exchange.
+  Overloaded = 110,       ///< The server shed load (OVERLOADED frame).
+  BreakerOpen = 111,      ///< Circuit breaker refused the endpoint.
+  AllEndpointsFailed = 112, ///< Every endpoint in a failover chain failed.
 };
 
 /// Creates a transport failure tagged with \p Errc.
@@ -68,7 +72,7 @@ TransportErrc transportErrcOf(const Error &E);
 template <typename T> TransportErrc transportErrcOf(const Expected<T> &E) {
   int Code = E.errorCode();
   return (Code >= static_cast<int>(TransportErrc::ConnectFailed) &&
-          Code <= static_cast<int>(TransportErrc::InjectedFault))
+          Code <= static_cast<int>(TransportErrc::AllEndpointsFailed))
              ? static_cast<TransportErrc>(Code)
              : TransportErrc::None;
 }
@@ -77,6 +81,11 @@ template <typename T> TransportErrc transportErrcOf(const Expected<T> &E) {
 /// connections, dropped peers) -- as opposed to structural ones
 /// (bad address, oversized frame).
 bool isRetryableTransportErrc(TransportErrc Errc);
+
+/// Extracts a "retry-after-ms=<n>" hint from an Overloaded error message
+/// (the transports embed the server's hint there so it survives the typed
+/// error path). nullopt when absent or malformed.
+std::optional<uint32_t> retryAfterHintOf(const std::string &Message);
 
 /// Synchronous request/response channel to the authentication server.
 class Transport {
@@ -113,11 +122,18 @@ struct TcpServerConfig {
   int Backlog = 64;
   /// Largest frame the server will accept.
   uint32_t MaxFrameBytes = 64u << 20;
+  /// Connection cap: accepted connections beyond this many concurrently
+  /// live (queued or being served) are shed with an OVERLOADED frame
+  /// instead of being queued behind a saturated worker pool. 0 = no cap.
+  size_t MaxConnections = 0;
+  /// Retry-after hint carried by shed responses.
+  uint32_t OverloadRetryAfterMs = 100;
 };
 
 /// Usage counters for the TCP server (tests and benches read these).
 struct TcpServerStats {
   size_t ConnectionsAccepted = 0;
+  size_t ConnectionsShed = 0;
   size_t FramesServed = 0;
   size_t ReadTimeouts = 0;
   size_t WriteTimeouts = 0;
@@ -165,6 +181,8 @@ private:
   std::deque<int> PendingFds; ///< Guarded by QueueMutex.
 
   std::atomic<size_t> ConnectionsAccepted{0};
+  std::atomic<size_t> ConnectionsShed{0};
+  std::atomic<size_t> LiveConnections{0}; ///< Queued + being served.
   std::atomic<size_t> FramesServed{0};
   std::atomic<size_t> ReadTimeouts{0};
   std::atomic<size_t> WriteTimeouts{0};

@@ -1,0 +1,171 @@
+//===- support/AtomicFile.cpp - Crash-consistent file persistence ----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include "support/File.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <libgen.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace elide;
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t elide::crc32(BytesView Data) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  uint32_t C = 0xffffffffu;
+  for (uint8_t B : Data)
+    C = Table[(C ^ B) & 0xff] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic write
+//===----------------------------------------------------------------------===//
+
+std::string elide::atomicTempPath(const std::string &Path) {
+  return Path + ".tmp";
+}
+
+namespace {
+
+/// fsync the directory containing \p Path so the rename itself is
+/// durable. Best effort: some filesystems refuse O_DIRECTORY fsync.
+void syncParentDir(const std::string &Path) {
+  std::string Copy = Path;
+  const char *Dir = ::dirname(Copy.data());
+  int Fd = ::open(Dir, O_RDONLY | O_DIRECTORY);
+  if (Fd >= 0) {
+    (void)::fsync(Fd);
+    ::close(Fd);
+  }
+}
+
+} // namespace
+
+Error elide::atomicWriteFileBytes(const std::string &Path, BytesView Data,
+                                  AtomicCrashPoint Crash) {
+  std::string Tmp = atomicTempPath(Path);
+  // A stale temp from an earlier crash must not survive under a new write.
+  removeFile(Tmp);
+
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (Fd < 0)
+    return makeError("cannot create " + Tmp + ": " + std::strerror(errno));
+
+  size_t Limit = Data.size();
+  if (Crash == AtomicCrashPoint::MidTempWrite)
+    Limit = Data.size() / 2; // The power cut out mid-stream.
+
+  size_t Written = 0;
+  while (Written < Limit) {
+    ssize_t N = ::write(Fd, Data.data() + Written, Limit - Written);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int E = errno;
+      ::close(Fd);
+      return makeError("write error on " + Tmp + ": " + std::strerror(E));
+    }
+    Written += static_cast<size_t>(N);
+  }
+
+  if (Crash == AtomicCrashPoint::MidTempWrite) {
+    ::close(Fd);
+    return makeError("simulated crash mid temp-file write of " + Tmp);
+  }
+
+  if (::fsync(Fd) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return makeError("fsync error on " + Tmp + ": " + std::strerror(E));
+  }
+  if (::close(Fd) != 0)
+    return makeError("close error on " + Tmp + ": " + std::strerror(errno));
+
+  if (Crash == AtomicCrashPoint::AfterTempWrite)
+    return makeError("simulated crash between temp-file write and rename of " +
+                     Path);
+
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0)
+    return makeError("rename " + Tmp + " -> " + Path + ": " +
+                     std::strerror(errno));
+  syncParentDir(Path);
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Versioned CRC container
+//===----------------------------------------------------------------------===//
+
+static const char VersionedBlobMagic[8] = {'E', 'L', 'I', 'D',
+                                           'C', 'A', 'C', 'H'};
+
+Bytes elide::encodeVersionedBlob(BytesView Payload) {
+  Bytes Out;
+  Out.reserve(VersionedBlobHeaderSize + Payload.size());
+  Out.insert(Out.end(), VersionedBlobMagic, VersionedBlobMagic + 8);
+  appendLE32(Out, VersionedBlobVersion);
+  appendLE64(Out, Payload.size());
+  appendLE32(Out, crc32(Payload));
+  appendBytes(Out, Payload);
+  return Out;
+}
+
+Expected<Bytes> elide::decodeVersionedBlob(BytesView File) {
+  if (File.size() < VersionedBlobHeaderSize)
+    return makeError("cached blob truncated: " + std::to_string(File.size()) +
+                     " bytes is shorter than the header");
+  if (std::memcmp(File.data(), VersionedBlobMagic, 8) != 0)
+    return makeError("cached blob has no container magic (foreign or torn "
+                     "file)");
+  uint32_t Version = readLE32(File.data() + 8);
+  if (Version != VersionedBlobVersion)
+    return makeError("cached blob version " + std::to_string(Version) +
+                     " is not the supported version " +
+                     std::to_string(VersionedBlobVersion));
+  uint64_t Len = readLE64(File.data() + 12);
+  if (Len != File.size() - VersionedBlobHeaderSize)
+    return makeError("cached blob length mismatch: header promises " +
+                     std::to_string(Len) + " payload bytes, file carries " +
+                     std::to_string(File.size() - VersionedBlobHeaderSize));
+  uint32_t Crc = readLE32(File.data() + 20);
+  BytesView Payload = File.subspan(VersionedBlobHeaderSize);
+  if (crc32(Payload) != Crc)
+    return makeError("cached blob CRC mismatch (torn write or corruption)");
+  return toBytes(Payload);
+}
+
+std::string elide::quarantineFile(const std::string &Path) {
+  std::string Quarantine = Path + ".quarantine";
+  removeFile(Quarantine);
+  (void)::rename(Path.c_str(), Quarantine.c_str());
+  return Quarantine;
+}

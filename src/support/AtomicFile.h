@@ -1,0 +1,72 @@
+//===- support/AtomicFile.h - Crash-consistent file persistence ------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-consistent whole-file writes plus a CRC-protected versioned
+/// container, used by the sealed-secret cache. A write lands through a
+/// temp file + fsync + atomic rename, so a host crash at any instant
+/// leaves either the old file or the new one -- never a torn mix. The
+/// container header lets a reader tell a valid cache from a torn or
+/// bit-rotted one and quarantine the latter instead of failing restores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SUPPORT_ATOMICFILE_H
+#define SGXELIDE_SUPPORT_ATOMICFILE_H
+
+#include "support/Bytes.h"
+#include "support/Error.h"
+
+namespace elide {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of \p Data.
+uint32_t crc32(BytesView Data);
+
+/// Simulated host-crash points inside `atomicWriteFileBytes`, for tests
+/// that model a power cut mid-persist. `None` in production.
+enum class AtomicCrashPoint {
+  None,           ///< Normal operation.
+  MidTempWrite,   ///< Crash with the temp file half-written (torn temp).
+  AfterTempWrite, ///< Crash after the temp fsync but before the rename.
+};
+
+/// The temp-file path `atomicWriteFileBytes` stages through (tests and
+/// cleanup logic need to name it).
+std::string atomicTempPath(const std::string &Path);
+
+/// Writes \p Data to \p Path crash-consistently: stage to a temp file,
+/// fsync, rename over \p Path, fsync the directory. Any pre-existing
+/// stale temp file is discarded first. With \p Crash != None the write
+/// stops at that point and reports a failure, leaving the disk exactly as
+/// a real crash would.
+Error atomicWriteFileBytes(const std::string &Path, BytesView Data,
+                           AtomicCrashPoint Crash = AtomicCrashPoint::None);
+
+/// Header-protected container format for cached blobs:
+///   magic[8] "ELIDCACH" || version u32 || payload length u64 ||
+///   crc32(payload) u32 || payload
+/// The fixed size of everything before the payload.
+constexpr size_t VersionedBlobHeaderSize = 8 + 4 + 8 + 4;
+
+/// The current container version.
+constexpr uint32_t VersionedBlobVersion = 1;
+
+/// Wraps \p Payload in the versioned CRC container.
+Bytes encodeVersionedBlob(BytesView Payload);
+
+/// Unwraps a versioned container, verifying magic, version, length, and
+/// CRC. Fails (with a descriptive message) on any mismatch -- a torn
+/// write, truncation, or corruption.
+Expected<Bytes> decodeVersionedBlob(BytesView File);
+
+/// Moves the file at \p Path aside to `Path + ".quarantine"` (replacing
+/// any previous quarantine) so a corrupt blob is preserved for diagnosis
+/// without being retried forever. Returns the quarantine path.
+std::string quarantineFile(const std::string &Path);
+
+} // namespace elide
+
+#endif // SGXELIDE_SUPPORT_ATOMICFILE_H

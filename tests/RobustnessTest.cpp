@@ -16,10 +16,14 @@
 #include "crypto/AesGcm.h"
 #include "elc/Compiler.h"
 #include "elf/ElfImage.h"
+#include "elide/HostRuntime.h"
+#include "elide/Pipeline.h"
 #include "elide/TrustedLib.h"
 #include "server/AuthServer.h"
+#include "server/Transport.h"
 #include "sgx/Attestation.h"
 #include "sgx/EnclaveLoader.h"
+#include "support/File.h"
 
 #include <gtest/gtest.h>
 
@@ -155,5 +159,83 @@ TEST_P(MutationTest, X25519AgreementProperty) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationTest,
                          ::testing::Range<uint64_t>(0, 20));
+
+//===----------------------------------------------------------------------===//
+// Sealed-blob persistence across a simulated relaunch
+//===----------------------------------------------------------------------===//
+
+TEST(SealedPersistenceTest, RelaunchRestoresFromDiskWithoutNetwork) {
+  // Launch 1 restores over the network and seals to disk. "Relaunch" =
+  // a brand-new ElideHost and freshly loaded enclave pointed at the same
+  // sealed path -- with NO server at all, proving the restore consumed
+  // zero network calls.
+  const char *Src = R"elc(
+export fn get_value(inp: *u8, inlen: u64, outp: *u8, outcap: u64) -> u64 {
+  if (outcap >= 8) {
+    store_le64(outp, 0x5ea1ed);
+  }
+  return 0;
+}
+)elc";
+  Drbg Rng(31);
+  Ed25519Seed Seed{};
+  Rng.fill(MutableBytesView(Seed.data(), 32));
+  Ed25519KeyPair Vendor = ed25519KeyPairFromSeed(Seed);
+  BuildOptions Options;
+  Options.Storage = SecretStorage::Remote;
+  Expected<BuildArtifacts> Artifacts =
+      buildProtectedEnclave({{"app.elc", Src}}, Vendor, Options);
+  ASSERT_TRUE(static_cast<bool>(Artifacts)) << Artifacts.errorMessage();
+
+  sgx::SgxDevice Device(9);
+  sgx::AttestationAuthority Authority(10);
+  sgx::QuotingEnclave Qe(Device, Authority);
+  ServerProvisioning P = provisioningFor(*Artifacts, Options);
+  AuthServerConfig Config;
+  Config.AuthorityKey = Authority.publicKey();
+  Config.ExpectedMrEnclave = P.SanitizedMrEnclave;
+  Config.ExpectedMrSigner = P.MrSigner;
+  Config.Meta = Artifacts->Meta;
+  Config.SecretData = Artifacts->SecretData;
+  AuthServer Server(std::move(Config));
+  LoopbackTransport Link(Server);
+
+  std::string Path = "/tmp/sgxelide_relaunch_cache.bin";
+  removeFile(Path);
+
+  {
+    Expected<std::unique_ptr<sgx::Enclave>> E = sgx::loadEnclave(
+        Device, Artifacts->SanitizedElf, Artifacts->SanitizedSig,
+        Options.Layout);
+    ASSERT_TRUE(static_cast<bool>(E)) << E.errorMessage();
+    ElideHost Host(&Link, &Qe);
+    Host.setSealedPath(Path);
+    Host.attach(**E);
+    ASSERT_EQ(*Host.restore(**E), RestoreOk);
+    ASSERT_TRUE(fileExists(Path));
+  }
+  size_t HandshakesAfterLaunch1 = Server.stats().HandshakesCompleted;
+  EXPECT_EQ(HandshakesAfterLaunch1, 1u);
+
+  // The relaunch: no transport, no quoting needed -- cache only.
+  Expected<std::unique_ptr<sgx::Enclave>> E = sgx::loadEnclave(
+      Device, Artifacts->SanitizedElf, Artifacts->SanitizedSig,
+      Options.Layout);
+  ASSERT_TRUE(static_cast<bool>(E)) << E.errorMessage();
+  ElideHost Relaunched(/*Server=*/nullptr, &Qe);
+  Relaunched.setSealedPath(Path);
+  Relaunched.attach(**E);
+
+  Expected<uint64_t> Status = Relaunched.restore(**E);
+  ASSERT_TRUE(static_cast<bool>(Status)) << Status.errorMessage();
+  EXPECT_EQ(*Status, RestoreOk);
+  EXPECT_EQ(Server.stats().HandshakesCompleted, HandshakesAfterLaunch1);
+
+  Expected<sgx::EcallResult> R = (*E)->ecall("get_value", {}, 8);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.errorMessage();
+  ASSERT_TRUE(R->ok()) << R->Exec.Message;
+  EXPECT_EQ(readLE64(R->Output.data()), 0x5ea1edu);
+  removeFile(Path);
+}
 
 } // namespace

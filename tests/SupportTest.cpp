@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/AtomicFile.h"
 #include "support/Bytes.h"
 #include "support/Error.h"
 #include "support/File.h"
@@ -95,6 +96,117 @@ TEST(FileTest, RoundTripAndMissing) {
   removeFile(Path);
   EXPECT_FALSE(fileExists(Path));
   EXPECT_FALSE(static_cast<bool>(readFileBytes(Path)));
+}
+
+TEST(Crc32Test, KnownVectorsAndSensitivity) {
+  // The classic check value for "123456789".
+  Bytes Check = bytesOfString("123456789");
+  EXPECT_EQ(crc32(Check), 0xcbf43926u);
+  EXPECT_EQ(crc32(BytesView()), 0u);
+  Bytes Flipped = Check;
+  Flipped[4] ^= 1;
+  EXPECT_NE(crc32(Flipped), crc32(Check));
+}
+
+TEST(VersionedBlobTest, RoundTrip) {
+  Bytes Payload = {9, 8, 7, 6, 5, 0, 255};
+  Bytes Container = encodeVersionedBlob(Payload);
+  EXPECT_EQ(Container.size(), VersionedBlobHeaderSize + Payload.size());
+  Expected<Bytes> Back = decodeVersionedBlob(Container);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, Payload);
+
+  // Empty payloads are legal (an empty sealed cache).
+  Expected<Bytes> Empty = decodeVersionedBlob(encodeVersionedBlob({}));
+  ASSERT_TRUE(static_cast<bool>(Empty));
+  EXPECT_TRUE(Empty->empty());
+}
+
+TEST(VersionedBlobTest, RejectsTornAndCorrupt) {
+  Bytes Container = encodeVersionedBlob(bytesOfString("sealed secrets"));
+
+  // Truncated mid-header and mid-payload (torn writes).
+  EXPECT_FALSE(static_cast<bool>(
+      decodeVersionedBlob(BytesView(Container.data(), 5))));
+  EXPECT_FALSE(static_cast<bool>(decodeVersionedBlob(
+      BytesView(Container.data(), Container.size() - 3))));
+
+  // Wrong magic, wrong version, flipped payload bit.
+  Bytes BadMagic = Container;
+  BadMagic[0] ^= 0xff;
+  EXPECT_FALSE(static_cast<bool>(decodeVersionedBlob(BadMagic)));
+  Bytes BadVersion = Container;
+  BadVersion[8] ^= 0xff;
+  EXPECT_FALSE(static_cast<bool>(decodeVersionedBlob(BadVersion)));
+  Bytes BitRot = Container;
+  BitRot[VersionedBlobHeaderSize + 2] ^= 0x10;
+  EXPECT_FALSE(static_cast<bool>(decodeVersionedBlob(BitRot)));
+}
+
+TEST(AtomicFileTest, WriteLandsAtomically) {
+  std::string Path = "/tmp/sgxelide_atomicfile.bin";
+  removeFile(Path);
+  removeFile(atomicTempPath(Path));
+
+  Bytes First = bytesOfString("generation one");
+  ASSERT_FALSE(static_cast<bool>(atomicWriteFileBytes(Path, First)));
+  EXPECT_FALSE(fileExists(atomicTempPath(Path))); // Temp renamed away.
+  Expected<Bytes> Back = readFileBytes(Path);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, First);
+
+  Bytes Second = bytesOfString("generation two (longer than one)");
+  ASSERT_FALSE(static_cast<bool>(atomicWriteFileBytes(Path, Second)));
+  Back = readFileBytes(Path);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, Second);
+  removeFile(Path);
+}
+
+TEST(AtomicFileTest, CrashPointsNeverCorruptTheTarget) {
+  std::string Path = "/tmp/sgxelide_atomicfile_crash.bin";
+  removeFile(Path);
+  removeFile(atomicTempPath(Path));
+
+  Bytes Old = bytesOfString("previous generation");
+  ASSERT_FALSE(static_cast<bool>(atomicWriteFileBytes(Path, Old)));
+
+  // Crash mid temp-file write: target untouched, temp is torn.
+  Bytes New = bytesOfString("next generation that never lands");
+  EXPECT_TRUE(static_cast<bool>(
+      atomicWriteFileBytes(Path, New, AtomicCrashPoint::MidTempWrite)));
+  Expected<Bytes> Back = readFileBytes(Path);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, Old);
+
+  // Crash between fsync and rename: target still the old generation.
+  EXPECT_TRUE(static_cast<bool>(
+      atomicWriteFileBytes(Path, New, AtomicCrashPoint::AfterTempWrite)));
+  Back = readFileBytes(Path);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, Old);
+  EXPECT_TRUE(fileExists(atomicTempPath(Path))); // The orphan a crash leaves.
+
+  // The next write discards the stale temp and lands normally.
+  ASSERT_FALSE(static_cast<bool>(atomicWriteFileBytes(Path, New)));
+  EXPECT_FALSE(fileExists(atomicTempPath(Path)));
+  Back = readFileBytes(Path);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, New);
+  removeFile(Path);
+}
+
+TEST(AtomicFileTest, QuarantineMovesTheFileAside) {
+  std::string Path = "/tmp/sgxelide_atomicfile_quar.bin";
+  Bytes Junk = {1, 2, 3};
+  ASSERT_FALSE(static_cast<bool>(writeFileBytes(Path, Junk)));
+  std::string Quarantined = quarantineFile(Path);
+  EXPECT_EQ(Quarantined, Path + ".quarantine");
+  EXPECT_FALSE(fileExists(Path));
+  Expected<Bytes> Preserved = readFileBytes(Quarantined);
+  ASSERT_TRUE(static_cast<bool>(Preserved));
+  EXPECT_EQ(*Preserved, Junk);
+  removeFile(Quarantined);
 }
 
 TEST(StatsTest, SummaryMeanAndStdDev) {

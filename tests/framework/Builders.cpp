@@ -124,7 +124,7 @@ Bytes fuzz::buildProtocolFrame(Drbg &Rng) {
   Aes128Key Key{};
   Rng.fill(MutableBytesView(Key.data(), Key.size()));
 
-  switch (Rng.nextBelow(8)) {
+  switch (Rng.nextBelow(9)) {
   case 0: { // HELLO with a quote-sized (296-byte) random body.
     Bytes F(1, FrameHello);
     appendBytes(F, Rng.bytes(296));
@@ -159,6 +159,15 @@ Bytes fuzz::buildProtocolFrame(Drbg &Rng) {
   case 6: { // ERROR frame with arbitrary payload (possibly empty).
     Bytes F(1, FrameError);
     appendBytes(F, Rng.bytes(Rng.nextBelow(64)));
+    return F;
+  }
+  case 7: { // OVERLOADED frame: exact, truncated, or oversized.
+    Bytes F = overloadedFrame(static_cast<uint32_t>(Rng.next64()));
+    uint64_t Shape = Rng.nextBelow(3);
+    if (Shape == 1)
+      F.resize(Rng.nextBelow(F.size()) + 1); // Truncated (keeps the type).
+    else if (Shape == 2)
+      appendBytes(F, Rng.bytes(1 + Rng.nextBelow(16))); // Trailing junk.
     return F;
   }
   default: // Unknown frame type / pure garbage / empty.

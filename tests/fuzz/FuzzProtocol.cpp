@@ -49,6 +49,15 @@ void fuzzProtocolOne(BytesView Input) {
   (void)openRecord(Key, Input);
   (void)openSessionRecord(Key, Input);
   (void)peekSessionId(Input);
+
+  // Load-shed frame parser: must reject everything except the exact
+  // 5-byte OVERLOADED shape, and round-trip the advertised hint when the
+  // input happens to be one.
+  std::optional<uint32_t> RetryAfter = overloadedRetryAfterMs(Input);
+  if (RetryAfter) {
+    FUZZ_ASSERT(Input.size() == OverloadedFrameSize);
+    FUZZ_ASSERT(toBytes(overloadedFrame(*RetryAfter)) == toBytes(Input));
+  }
 }
 
 } // namespace
@@ -71,7 +80,7 @@ TEST(ProtocolFuzz, CorpusReplay) {
   elide::Expected<size_t> N =
       elide::fuzz::replayCorpus("protocol", fuzzProtocolOne);
   ASSERT_TRUE(static_cast<bool>(N)) << N.errorMessage();
-  EXPECT_GE(*N, 3u) << "protocol corpus lost its seed entries";
+  EXPECT_GE(*N, 5u) << "protocol corpus lost its seed entries";
 }
 
 TEST(ProtocolFuzz, GeneratedSweep) {

@@ -126,6 +126,11 @@ void makeProtocolCorpus() {
   appendBytes(ErrorFrame, viewOf(std::string("corpus error frame")));
   emit("protocol", "seed-error-frame", ErrorFrame);
 
+  Bytes Overloaded = overloadedFrame(77);
+  emit("protocol", "seed-overloaded-frame", Overloaded);
+  emit("protocol", "seed-overloaded-truncated",
+       BytesView(Overloaded.data(), OverloadedFrameSize - 2));
+
   emit("protocol", "seed-structured", fuzz::buildProtocolFrame(Rng));
 }
 

@@ -59,12 +59,68 @@ int usage() {
       "view)\n"
       "  serve     <meta> <data|-> <mrenclave-hex> [--port-file f] "
       "[--authority-seed N]\n"
-      "            [--threads N] [--io-timeout-ms N]\n"
+      "            [--threads N] [--io-timeout-ms N] [--max-connections N]\n"
+      "            [--overload-threshold N] [--retry-after-ms N] "
+      "[--session-budget N]\n"
       "  run       <enclave.so> <sig.bin> <port> <ecall> <hex-input> "
       "[--data f] [--authority-seed N] [--device-seed N]\n"
       "            [--connect-timeout-ms N] [--io-timeout-ms N] "
-      "[--retries N] [--retry-backoff-ms N]\n");
+      "[--retries N] [--retry-backoff-ms N]\n"
+      "            [--endpoint host:port]... [--breaker-failures N] "
+      "[--breaker-cooldown-ms N] [--hedge-ms N]\n"
+      "            [--sealed-cache f] [--restore-attempts N] "
+      "[--restore-backoff-ms N] [--trace-provision]\n"
+      "\n"
+      "run exit codes (distinct per restore outcome):\n"
+      "   0  restored and ecall succeeded\n"
+      "   1  host-side error (bad file, trapped ecall, ...)\n"
+      "   2  usage error\n"
+      "  10  no-secrets: every secret source failed (terminal)\n"
+      "  11  short-secrets: exchange returned wrong byte count (transient)\n"
+      "  12  quote-failed: quoting enclave unavailable (transient)\n"
+      "  13  server-unreachable: endpoints down, no usable cache "
+      "(transient)\n"
+      "  14  attestation-rejected: server refused this enclave (terminal)\n"
+      "  15  meta-fetch-failed: metadata exchange failed (transient)\n"
+      "  16  meta-parse-failed: metadata corrupt (terminal)\n"
+      "  17  unknown nonzero restore status\n"
+      "  18  overloaded: every endpoint shed load (honor retry-after)\n"
+      "  19  breaker-open: all endpoint breakers open (retry later)\n"
+      "  20  data-fetch-failed: secret data exchange failed (transient)\n");
   return 2;
+}
+
+/// Maps the restore outcome onto the exit-code table printed by usage().
+/// \p Exhaustion is the chain verdict of the last FailoverExhausted
+/// provision event (None when the chain never exhausted), which splits
+/// the server-unreachable case into its backpressure / breaker flavors.
+int exitCodeForRestore(uint64_t Status, TransportErrc Exhaustion) {
+  switch (Status) {
+  case RestoreOk:
+    return 0;
+  case RestoreNoSecrets:
+    return 10;
+  case RestoreShortSecrets:
+    return 11;
+  case RestoreQuoteFailed:
+    return 12;
+  case RestoreServerUnreachable:
+    if (Exhaustion == TransportErrc::Overloaded)
+      return 18;
+    if (Exhaustion == TransportErrc::BreakerOpen)
+      return 19;
+    return 13;
+  case RestoreRejected:
+    return 14;
+  case RestoreMetaFetchFailed:
+    return 15;
+  case RestoreMetaParseFailed:
+    return 16;
+  case RestoreDataFetchFailed:
+    return 20;
+  default:
+    return 17;
+  }
 }
 
 bool hasFlag(std::vector<std::string> &Args, const std::string &Flag) {
@@ -85,6 +141,20 @@ std::string flagValue(std::vector<std::string> &Args, const std::string &Flag,
       return V;
     }
   return Default;
+}
+
+/// Collects every occurrence of a repeatable flag, in order.
+std::vector<std::string> flagValues(std::vector<std::string> &Args,
+                                    const std::string &Flag) {
+  std::vector<std::string> Values;
+  for (auto It = Args.begin(); It != Args.end();)
+    if (*It == Flag && It + 1 != Args.end()) {
+      Values.push_back(*(It + 1));
+      It = Args.erase(It, It + 2);
+    } else {
+      ++It;
+    }
+  return Values;
 }
 
 int fail(const std::string &Message) {
@@ -280,6 +350,15 @@ int cmdServe(std::vector<std::string> Args) {
   NetConfig.ReadTimeoutMs = std::stoi(flagValue(
       Args, "--io-timeout-ms", std::to_string(NetConfig.ReadTimeoutMs)));
   NetConfig.WriteTimeoutMs = NetConfig.ReadTimeoutMs;
+  NetConfig.MaxConnections = static_cast<size_t>(std::stoull(flagValue(
+      Args, "--max-connections", std::to_string(NetConfig.MaxConnections))));
+  uint32_t RetryAfterMs = static_cast<uint32_t>(
+      std::stoul(flagValue(Args, "--retry-after-ms", "100")));
+  NetConfig.OverloadRetryAfterMs = RetryAfterMs;
+  size_t OverloadThreshold = static_cast<size_t>(
+      std::stoull(flagValue(Args, "--overload-threshold", "0")));
+  size_t SessionBudget = static_cast<size_t>(
+      std::stoull(flagValue(Args, "--session-budget", "0")));
   if (Args.size() != 3)
     return usage();
 
@@ -309,6 +388,9 @@ int cmdServe(std::vector<std::string> Args) {
   Config.Meta = *Meta;
   Config.SecretData = Data;
   Config.RngSeed = Drbg::system().next64();
+  Config.OverloadThreshold = OverloadThreshold;
+  Config.OverloadRetryAfterMs = RetryAfterMs;
+  Config.MaxRequestsPerSession = SessionBudget;
   AuthServer Server(std::move(Config));
 
   Expected<std::unique_ptr<TcpServer>> Tcp =
@@ -358,6 +440,24 @@ int cmdRun(std::vector<std::string> Args) {
   NetConfig.BackoffBaseMs = std::stoi(flagValue(
       Args, "--retry-backoff-ms", std::to_string(NetConfig.BackoffBaseMs)));
   NetConfig.JitterSeed = DeviceSeed; // Distinct machines spread their retries.
+  std::vector<std::string> ExtraEndpoints = flagValues(Args, "--endpoint");
+  ProvisionerConfig ProvConfig;
+  ProvConfig.Breaker.FailureThreshold = std::stoi(
+      flagValue(Args, "--breaker-failures",
+                std::to_string(ProvConfig.Breaker.FailureThreshold)));
+  ProvConfig.Breaker.CooldownMs = std::stoi(
+      flagValue(Args, "--breaker-cooldown-ms",
+                std::to_string(ProvConfig.Breaker.CooldownMs)));
+  ProvConfig.Breaker.JitterSeed = DeviceSeed ^ 0x50524f56ULL;
+  ProvConfig.HedgeAfterMs = std::stoi(flagValue(
+      Args, "--hedge-ms", std::to_string(ProvConfig.HedgeAfterMs)));
+  std::string SealedCache = flagValue(Args, "--sealed-cache", "");
+  RestorePolicy Policy;
+  Policy.MaxAttempts =
+      std::stoi(flagValue(Args, "--restore-attempts", "1"));
+  Policy.RetryDelayMs = std::stoi(flagValue(
+      Args, "--restore-backoff-ms", std::to_string(Policy.RetryDelayMs)));
+  bool TraceProvision = hasFlag(Args, "--trace-provision");
   if (Args.size() != 5)
     return usage();
 
@@ -385,8 +485,46 @@ int cmdRun(std::vector<std::string> Args) {
   if (!E)
     return fail(E.errorMessage());
 
-  TcpClientTransport Link("127.0.0.1", Port, NetConfig);
-  ElideHost Host(&Link, &Qe);
+  // Failover chain: the positional port is endpoint 0, each --endpoint
+  // appends another. The Provisioner is itself a Transport, so the host
+  // (and the enclave behind it) is oblivious to the chain.
+  std::vector<std::unique_ptr<TcpClientTransport>> Links;
+  Provisioner Chain(ProvConfig);
+  auto addEndpoint = [&](const std::string &HostName, uint16_t P) {
+    Links.push_back(
+        std::make_unique<TcpClientTransport>(HostName, P, NetConfig));
+    Chain.addEndpoint(HostName + ":" + std::to_string(P), Links.back().get());
+  };
+  addEndpoint("127.0.0.1", Port);
+  for (const std::string &Spec : ExtraEndpoints) {
+    size_t Colon = Spec.rfind(':');
+    if (Colon == std::string::npos)
+      return fail("--endpoint expects host:port, got '" + Spec + "'");
+    addEndpoint(Spec.substr(0, Colon), static_cast<uint16_t>(std::stoul(
+                                           Spec.substr(Colon + 1))));
+  }
+
+  // The exit-code table splits server-unreachable by the chain's last
+  // verdict; remember it as events stream past.
+  TransportErrc LastExhaustion = TransportErrc::None;
+  Chain.setEventCallback([&](const ProvisionEvent &Event) {
+    if (Event.Kind == ProvisionEventKind::FailoverExhausted)
+      LastExhaustion = Event.Errc;
+    if (TraceProvision)
+      std::fprintf(stderr, "provision: %-19s %s%s%s\n",
+                   provisionEventKindName(Event.Kind), Event.Endpoint.c_str(),
+                   Event.Detail.empty() ? "" : " -- ", Event.Detail.c_str());
+  });
+
+  ElideHost Host(&Chain, &Qe);
+  Host.setEventCallback([&](const ProvisionEvent &Event) {
+    if (TraceProvision)
+      std::fprintf(stderr, "provision: %-19s %s%s%s\n",
+                   provisionEventKindName(Event.Kind), Event.Endpoint.c_str(),
+                   Event.Detail.empty() ? "" : " -- ", Event.Detail.c_str());
+  });
+  if (!SealedCache.empty())
+    Host.setSealedPath(SealedCache);
   if (!DataPath.empty()) {
     Expected<Bytes> Data = readFileBytes(DataPath);
     if (!Data)
@@ -396,12 +534,16 @@ int cmdRun(std::vector<std::string> Args) {
   Host.attach(**E);
 
   Timer T;
-  Expected<uint64_t> Status = Host.restore(**E);
+  Expected<uint64_t> Status = Host.restore(**E, Policy);
   if (!Status)
     return fail(Status.errorMessage());
-  if (*Status != 0)
-    return fail("elide_restore returned status " + std::to_string(*Status) +
-                " (" + restoreStatusName(*Status) + ")");
+  if (*Status != 0) {
+    std::fprintf(stderr,
+                 "sgxelide: error: elide_restore returned status %llu (%s)\n",
+                 static_cast<unsigned long long>(*Status),
+                 restoreStatusName(*Status));
+    return exitCodeForRestore(*Status, LastExhaustion);
+  }
   std::printf("restored in %.2f ms\n", T.elapsedMs());
 
   Expected<sgx::EcallResult> R = (*E)->ecall(Ecall, *Input, 256);
