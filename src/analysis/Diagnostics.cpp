@@ -1,0 +1,288 @@
+//===- analysis/Diagnostics.cpp - Typed audit diagnostics ------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diagnostics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace elide {
+namespace analysis {
+
+std::string auditCodeName(int Code) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "AUD%03d", Code);
+  return Buf;
+}
+
+const char *auditCodeTitle(int Code) {
+  switch (Code) {
+  case AudResidualSecretBytes:
+    return "elided range contains nonzero bytes";
+  case AudSecretBytesLeaked:
+    return "original secret bytes found outside the elided ranges";
+  case AudCodeLikeData:
+    return "data section decodes as plausible SVM code";
+  case AudMetaInImage:
+    return "secret metadata embedded in the shipped image";
+  case AudElidedSymbolNamed:
+    return "symbol table names an elided function";
+  case AudStrtabResidue:
+    return "string table retains bytes no symbol references";
+  case AudRelocationLeak:
+    return "relocation targets an elided range";
+  case AudOrphanBridge:
+    return "bridge symbol has no ecall-manifest entry";
+  case AudManifestUnbound:
+    return "ecall-manifest entry has no bridge symbol";
+  case AudTextNotWritable:
+    return "SGX1 sanitized text segment is not writable";
+  case AudWxSegment:
+    return "non-text loadable segment is writable and executable";
+  case AudWritableNoElision:
+    return "text is writable but no region is elided";
+  case AudRegionOutsideText:
+    return "elided region escapes the text section";
+  case AudSegmentMisaligned:
+    return "text segment is not EPC-page aligned";
+  case AudMetaInconsistent:
+    return "secret metadata disagrees with the image";
+  case AudRegionSharesPage:
+    return "elided region shares an EPC page with surviving code";
+  case AudRestoreEntryMissing:
+    return "no usable restore entry point";
+  case AudPreRestoreReachesElided:
+    return "pre-restore path reaches an elided region";
+  case AudIndirectPreRestore:
+    return "indirect call on the pre-restore path";
+  case AudBridgeElided:
+    return "ecall bridge body is elided";
+  case AudFlowEscapesText:
+    return "pre-restore control flow leaves the text section";
+  default:
+    return "unknown diagnostic";
+  }
+}
+
+static const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "error";
+}
+
+/// Keys live one-per-line in baseline files, so section/symbol names from
+/// hostile images (newlines, trailing whitespace, control bytes) must not
+/// be able to split or mutate a line: every such byte becomes '_'. The
+/// mapping is applied identically when writing and when matching, so
+/// sanitized keys still suppress.
+static void appendKeyPart(std::string &K, const std::string &Part) {
+  for (unsigned char C : Part)
+    K += (C <= 0x20 || C == 0x7f) ? '_' : (char)C;
+}
+
+std::string Diagnostic::key() const {
+  char Off[32];
+  std::snprintf(Off, sizeof(Off), "0x%llx", (unsigned long long)Offset);
+  std::string K = auditCodeName(Code);
+  K += ':';
+  appendKeyPart(K, Section);
+  K += ':';
+  K += Off;
+  if (!Symbol.empty()) {
+    K += ':';
+    appendKeyPart(K, Symbol);
+  }
+  return K;
+}
+
+std::string Diagnostic::render() const {
+  std::string Out = severityName(Sev);
+  Out += ": ";
+  Out += auditCodeName(Code);
+  Out += ": ";
+  Out += Message;
+  if (!Section.empty()) {
+    char Loc[64];
+    if (Length > 0)
+      std::snprintf(Loc, sizeof(Loc), " [%s+0x%llx..0x%llx]", Section.c_str(),
+                    (unsigned long long)Offset,
+                    (unsigned long long)(Offset + Length));
+    else
+      std::snprintf(Loc, sizeof(Loc), " [%s+0x%llx]", Section.c_str(),
+                    (unsigned long long)Offset);
+    Out += Loc;
+  }
+  return Out;
+}
+
+Expected<Baseline> Baseline::parse(const std::string &Text) {
+  Baseline B;
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    // Trim trailing CR and surrounding whitespace.
+    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' ' ||
+                             Line.back() == '\t'))
+      Line.pop_back();
+    size_t Start = Line.find_first_not_of(" \t");
+    if (Start == std::string::npos)
+      continue;
+    Line = Line.substr(Start);
+    if (Line[0] == '#')
+      continue;
+    // A valid key is AUD<3 digits>:<section>:<offset>[:<symbol>].
+    if (Line.size() < 8 || Line.compare(0, 3, "AUD") != 0 ||
+        !std::isdigit((unsigned char)Line[3]) ||
+        !std::isdigit((unsigned char)Line[4]) ||
+        !std::isdigit((unsigned char)Line[5]) || Line[6] != ':')
+      return makeError("baseline line " + std::to_string(LineNo) +
+                       ": malformed suppression key '" + Line + "'");
+    B.Keys.insert(Line);
+  }
+  return B;
+}
+
+std::string AuditReport::renderText() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += '\n';
+  }
+  char Summary[160];
+  std::snprintf(Summary, sizeof(Summary),
+                "audit: %zu error(s), %zu warning(s), %zu note(s), "
+                "%zu suppressed\n",
+                Errors, Warnings, Notes, Suppressed);
+  Out += Summary;
+  return Out;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += (char)C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string AuditReport::renderJson() const {
+  std::ostringstream Out;
+  Out << "{\"version\":1,\"diagnostics\":[";
+  bool First = true;
+  for (const Diagnostic &D : Diags) {
+    if (!First)
+      Out << ',';
+    First = false;
+    Out << "{\"code\":\"" << auditCodeName(D.Code) << "\",\"severity\":\""
+        << severityName(D.Sev) << "\",\"message\":\"" << jsonEscape(D.Message)
+        << "\",\"section\":\"" << jsonEscape(D.Section)
+        << "\",\"offset\":" << D.Offset << ",\"length\":" << D.Length
+        << ",\"symbol\":\"" << jsonEscape(D.Symbol) << "\",\"key\":\""
+        << jsonEscape(D.key()) << "\"}";
+  }
+  Out << "],\"summary\":{\"errors\":" << Errors << ",\"warnings\":" << Warnings
+      << ",\"notes\":" << Notes << ",\"suppressed\":" << Suppressed << "}}";
+  return Out.str();
+}
+
+std::string AuditReport::renderBaseline() const {
+  std::string Out = "# sgxelide audit baseline -- one suppression key per "
+                    "line; '#' comments.\n";
+  for (const Diagnostic &D : Diags) {
+    Out += "# ";
+    Out += auditCodeTitle(D.Code);
+    Out += '\n';
+    Out += D.key();
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagnosticEngine::report(Diagnostic D) {
+  if (Suppressions && Suppressions->suppresses(D)) {
+    ++Report.Suppressed;
+    return;
+  }
+  Report.Diags.push_back(std::move(D));
+}
+
+void DiagnosticEngine::report(int Code, Severity Sev, std::string Message,
+                              std::string Section, uint64_t Offset,
+                              uint64_t Length, std::string Symbol) {
+  Diagnostic D;
+  D.Code = Code;
+  D.Sev = Sev;
+  D.Message = std::move(Message);
+  D.Section = std::move(Section);
+  D.Offset = Offset;
+  D.Length = Length;
+  D.Symbol = std::move(Symbol);
+  report(std::move(D));
+}
+
+AuditReport DiagnosticEngine::take() {
+  std::stable_sort(Report.Diags.begin(), Report.Diags.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Code != B.Code)
+                       return A.Code < B.Code;
+                     if (A.Section != B.Section)
+                       return A.Section < B.Section;
+                     return A.Offset < B.Offset;
+                   });
+  Report.Errors = Report.Warnings = Report.Notes = 0;
+  for (const Diagnostic &D : Report.Diags) {
+    switch (D.Sev) {
+    case Severity::Error:
+      ++Report.Errors;
+      break;
+    case Severity::Warning:
+      ++Report.Warnings;
+      break;
+    case Severity::Note:
+      ++Report.Notes;
+      break;
+    }
+  }
+  return std::move(Report);
+}
+
+} // namespace analysis
+} // namespace elide

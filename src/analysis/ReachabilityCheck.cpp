@@ -1,0 +1,269 @@
+//===- analysis/ReachabilityCheck.cpp - AUD4xx pre-restore reachability ----===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pre-restore reachability: the only code that may run before
+/// `elide_restore` completes is whitelisted startup code, and no static
+/// path through it may land in an elided (zeroed) region -- zeroed slots
+/// decode to `Illegal` and trap the enclave before provisioning can
+/// happen. The checker disassembles the whitelisted ECALL entries with
+/// the SVM disassembler and walks the static control-flow graph:
+///
+///   AUD401  the restore entry itself is missing or unbound;
+///   AUD402  a pre-restore path reaches an elided region (hard error;
+///           the diagnostic quotes the offending branch);
+///   AUD403  an indirect `callr` on a pre-restore path (target not
+///           statically checkable -- flagged, not proven);
+///   AUD404  an ecall bridge body is itself zeroed;
+///   AUD405  pre-restore control flow leaves the text section.
+///
+/// Bridges to *non-whitelisted* exports are intentionally not walked:
+/// jumping into elided code is their job once restoration has happened.
+/// A `call` whose target is the restore entry ends the pre-restore walk
+/// on that path -- everything after it executes against restored text.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Audit.h"
+#include "vm/Disassembler.h"
+#include "vm/Isa.h"
+
+#include <cstdio>
+#include <deque>
+
+namespace elide {
+namespace analysis {
+
+namespace {
+
+std::string hexString(uint64_t V) {
+  char B[32];
+  std::snprintf(B, sizeof(B), "%llx", (unsigned long long)V);
+  return B;
+}
+
+bool startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::vector<std::string> parseManifest(const ElfImage &Image,
+                                       const std::string &SectionName) {
+  std::vector<std::string> Names;
+  const ElfSection *S = Image.sectionByName(SectionName);
+  if (!S)
+    return Names;
+  Bytes Raw = Image.sectionContents(*S);
+  std::string Line;
+  for (uint8_t B : Raw) {
+    if (B == '\n') {
+      if (!Line.empty())
+        Names.push_back(Line);
+      Line.clear();
+    } else if (B != 0) {
+      Line.push_back((char)B);
+    }
+  }
+  if (!Line.empty())
+    Names.push_back(Line);
+  return Names;
+}
+
+} // namespace
+
+void checkReachability(const AuditInput &Input, const AuditOptions &,
+                       DiagnosticEngine &Engine) {
+  const ElfImage &Image = *Input.Image;
+  const ElfSection *Text = Image.sectionByName(Input.TextSection);
+  std::vector<ElidedRegion> Regions = effectiveElidedRegions(Input, nullptr);
+
+  std::vector<std::string> Manifest =
+      parseManifest(Image, Input.EcallManifestSection);
+
+  // --- AUD401: locate the restore entry. ---
+  const std::string RestoreBridgeName =
+      Input.BridgePrefix + Input.RestoreSymbol;
+  const ElfSymbol *RestoreBridge = Image.symbolByName(RestoreBridgeName);
+  const ElfSymbol *RestoreFn = Image.symbolByName(Input.RestoreSymbol);
+  bool ManifestHasRestore = false;
+  for (const std::string &Name : Manifest)
+    ManifestHasRestore |= (Name == Input.RestoreSymbol);
+  if (Manifest.empty()) {
+    Engine.report(AudRestoreEntryMissing, Severity::Warning,
+                  "no ecall manifest ('" + Input.EcallManifestSection +
+                      "'); the restore entry cannot be verified",
+                  Input.EcallManifestSection, 0, 0);
+  } else if (!ManifestHasRestore) {
+    Engine.report(AudRestoreEntryMissing, Severity::Error,
+                  "ecall manifest does not export '" + Input.RestoreSymbol +
+                      "'; the host can never trigger restoration",
+                  Input.EcallManifestSection, 0, 0);
+  } else if (!RestoreBridge) {
+    Engine.report(AudRestoreEntryMissing, Severity::Error,
+                  "manifest exports '" + Input.RestoreSymbol +
+                      "' but the bridge symbol '" + RestoreBridgeName +
+                      "' is absent; the loader cannot bind the restore "
+                      "ecall",
+                  Input.EcallManifestSection, 0, 0, RestoreBridgeName);
+  }
+
+  if (!Text)
+    return;
+  Bytes Code = Image.sectionContents(*Text);
+
+  auto inText = [&](uint64_t Addr) {
+    return Addr >= Text->Addr && Addr + SvmInstrSize <= Text->Addr + Text->Size;
+  };
+  auto inElided = [&](uint64_t Addr) -> const ElidedRegion * {
+    if (Addr < Text->Addr)
+      return nullptr;
+    uint64_t Rel = Addr - Text->Addr;
+    for (const ElidedRegion &R : Regions)
+      if (Rel >= R.Offset && Rel < R.Offset + R.Length)
+        return &R;
+    return nullptr;
+  };
+  auto decodeAt = [&](uint64_t Addr) {
+    return decodeInstruction(Code.data() + (Addr - Text->Addr));
+  };
+
+  uint64_t RestoreFnAddr = RestoreFn ? RestoreFn->Value : 0;
+  uint64_t RestoreBridgeAddr = RestoreBridge ? RestoreBridge->Value : 0;
+
+  // --- Collect the pre-restore roots: every bridge whose export is
+  // whitelisted (those are the ecalls the host may invoke before
+  // provisioning), plus the restore function body itself. ---
+  struct Root {
+    uint64_t Addr;
+    std::string Name;
+  };
+  std::vector<Root> Roots;
+  for (const ElfSymbol &Sym : Image.symbols()) {
+    if (!startsWith(Sym.Name, Input.BridgePrefix))
+      continue;
+    std::string Export = Sym.Name.substr(Input.BridgePrefix.size());
+    bool PreRestoreEntry =
+        Export == Input.RestoreSymbol ||
+        (Input.HaveWhitelist && Input.WhitelistNames.count(Export));
+    if (!inText(Sym.Value))
+      continue;
+    // --- AUD404: a bridge whose first slot is zeroed traps on entry. ---
+    Instruction First = decodeAt(Sym.Value);
+    if (First.Op == Opcode::Illegal)
+      Engine.report(AudBridgeElided, Severity::Error,
+                    "ecall bridge '" + Sym.Name +
+                        "' begins with an illegal (zeroed) instruction; "
+                        "the sanitizer elided a bridge",
+                    Input.TextSection, Sym.Value - Text->Addr, SvmInstrSize,
+                    Sym.Name);
+    if (PreRestoreEntry)
+      Roots.push_back({Sym.Value, Sym.Name});
+  }
+  if (RestoreFn && inText(RestoreFn->Value))
+    Roots.push_back({RestoreFn->Value, Input.RestoreSymbol});
+
+  // --- BFS over the static CFG from each root. ---
+  struct WorkItem {
+    uint64_t Pc;
+    uint64_t FromPc; // Predecessor instruction (0 = root entry).
+    size_t RootIdx;
+  };
+  std::set<uint64_t> Visited;
+  std::deque<WorkItem> Queue;
+  for (size_t I = 0; I < Roots.size(); ++I)
+    Queue.push_back({Roots[I].Addr, 0, I});
+
+  auto describeEdge = [&](const WorkItem &W) {
+    std::string Out = "path from '" + Roots[W.RootIdx].Name + "'";
+    if (W.FromPc != 0 && inText(W.FromPc)) {
+      Instruction I = decodeAt(W.FromPc);
+      Out += " via `" + disassembleInstruction(I, W.FromPc) + "`";
+    }
+    return Out;
+  };
+
+  size_t ReportedElided = 0, ReportedEscape = 0, ReportedIndirect = 0;
+  constexpr size_t MaxPerCode = 8;
+  while (!Queue.empty()) {
+    WorkItem W = Queue.front();
+    Queue.pop_front();
+    if (!inText(W.Pc) || (W.Pc % SvmInstrSize) != 0) {
+      if (++ReportedEscape <= MaxPerCode)
+        Engine.report(AudFlowEscapesText, Severity::Error,
+                      describeEdge(W) +
+                          " leaves the text section (target 0x" +
+                          hexString(W.Pc) + ")",
+                      Input.TextSection,
+                      W.FromPc >= Text->Addr ? W.FromPc - Text->Addr : 0,
+                      SvmInstrSize, Roots[W.RootIdx].Name);
+      continue;
+    }
+    if (const ElidedRegion *R = inElided(W.Pc)) {
+      if (++ReportedElided <= MaxPerCode)
+        Engine.report(AudPreRestoreReachesElided, Severity::Error,
+                      "pre-restore " + describeEdge(W) +
+                          " reaches elided region" +
+                          (R->Name.empty() ? std::string()
+                                           : " of '" + R->Name + "'") +
+                          " before restoration; the enclave traps on a "
+                          "zeroed slot",
+                      Input.TextSection, W.Pc - Text->Addr, SvmInstrSize,
+                      R->Name.empty() ? Roots[W.RootIdx].Name : R->Name);
+      continue;
+    }
+    if (!Visited.insert(W.Pc).second)
+      continue;
+
+    Instruction I = decodeAt(W.Pc);
+    uint64_t Next = W.Pc + SvmInstrSize;
+    switch (I.Op) {
+    case Opcode::Jmp:
+      Queue.push_back({W.Pc + (int64_t)I.Imm, W.Pc, W.RootIdx});
+      break;
+    case Opcode::Beqz:
+    case Opcode::Bnez:
+      Queue.push_back({W.Pc + (int64_t)I.Imm, W.Pc, W.RootIdx});
+      Queue.push_back({Next, W.Pc, W.RootIdx});
+      break;
+    case Opcode::Call: {
+      uint64_t Target = W.Pc + (int64_t)I.Imm;
+      bool CallsRestore =
+          (RestoreFnAddr != 0 && Target == RestoreFnAddr) ||
+          (RestoreBridgeAddr != 0 && Target == RestoreBridgeAddr);
+      if (CallsRestore)
+        break; // Past this call the text is restored; the walk ends.
+      Queue.push_back({Target, W.Pc, W.RootIdx});
+      Queue.push_back({Next, W.Pc, W.RootIdx});
+      break;
+    }
+    case Opcode::CallR:
+      if (++ReportedIndirect <= MaxPerCode)
+        Engine.report(AudIndirectPreRestore, Severity::Warning,
+                      "indirect call on pre-restore " + describeEdge(W) +
+                          "; its target cannot be statically shown to "
+                          "avoid elided code",
+                      Input.TextSection, W.Pc - Text->Addr, SvmInstrSize,
+                      Roots[W.RootIdx].Name);
+      Queue.push_back({Next, W.Pc, W.RootIdx});
+      break;
+    case Opcode::Ret:
+    case Opcode::Halt:
+    case Opcode::Trap:
+      break;
+    case Opcode::Illegal:
+      // Outside any elided region: dead slot on a whitelisted path. The
+      // interpreter would trap here, but without region info this is
+      // indistinguishable from padding; stop the walk quietly.
+      break;
+    default:
+      Queue.push_back({Next, W.Pc, W.RootIdx});
+      break;
+    }
+  }
+}
+
+} // namespace analysis
+} // namespace elide

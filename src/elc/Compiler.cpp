@@ -50,6 +50,20 @@ elide::elc::compileEnclave(const std::vector<SourceFile> &Sources,
   }
   Module Merged = mergeModules(std::move(Modules));
 
+  // The `__bridge_` namespace belongs to the compiler: bridge symbols are
+  // implicitly whitelisted by the sanitizer (and trusted by the loader as
+  // ecall entry points), so a user-defined `__bridge_evil` would ship
+  // unsanitized and masquerade as an entry thunk.
+  const std::string Reserved = bridgePrefix();
+  for (const FunctionDecl &F : Merged.Functions)
+    if (F.Name.compare(0, Reserved.size(), Reserved) == 0)
+      return makeError("function name '" + F.Name + "' uses the reserved '" +
+                       Reserved + "' prefix");
+  for (const GlobalDecl &G : Merged.Globals)
+    if (G.Name.compare(0, Reserved.size(), Reserved) == 0)
+      return makeError("global name '" + G.Name + "' uses the reserved '" +
+                       Reserved + "' prefix");
+
   ELIDE_TRY(CompiledUnit Unit, generateCode(Merged, Calls, Types));
 
   // Synthesize ecall bridge thunks: `__bridge_f: call f; halt`.

@@ -208,6 +208,66 @@ Error ElfImage::writeRange(const ElfSection &Section, uint64_t VAddr,
   return Error::success();
 }
 
+Expected<size_t> ElfImage::scrubSymbols(const std::set<std::string> &Doomed) {
+  // Locate the same symtab parseInto() used (the first SHT_SYMTAB).
+  const ElfSection *SymTab = nullptr;
+  for (const ElfSection &Sec : Sections)
+    if (Sec.Type == SHT_SYMTAB) {
+      SymTab = &Sec;
+      break;
+    }
+  if (!SymTab)
+    return size_t(0);
+  if (SymTab->Link >= Sections.size())
+    return makeError(ElfErrcBadLink, "symtab has invalid strtab link " +
+                                         std::to_string(SymTab->Link));
+  const ElfSection &StrTab = Sections[SymTab->Link];
+  if (StrTab.Type == SHT_NOBITS)
+    return makeError(ElfErrcBadLink,
+                     "symtab strtab is SHT_NOBITS (no file bytes)");
+
+  BytesView Names(Raw.data() + StrTab.Offset, StrTab.Size);
+  uint64_t Count = SymTab->Size / Elf64SymSize;
+  size_t Scrubbed = 0;
+  for (uint64_t I = 0; I < Count; ++I) {
+    uint8_t *S = Raw.data() + SymTab->Offset + I * Elf64SymSize;
+    if (!Doomed.count(stringAt(Names, readLE32(S))))
+      continue;
+    std::memset(S, 0, Elf64SymSize);
+    ++Scrubbed;
+  }
+
+  // Zero the string-table bytes no surviving entry references. Skipped
+  // when the strtab doubles as the section-name table -- section names
+  // are not symbol names and must survive.
+  if (Scrubbed > 0 && SymTab->Link != Header.ShStrNdx) {
+    std::vector<bool> Referenced(StrTab.Size, false);
+    if (!Referenced.empty())
+      Referenced[0] = true; // The shared empty string.
+    for (uint64_t I = 0; I < Count; ++I) {
+      const uint8_t *S = Raw.data() + SymTab->Offset + I * Elf64SymSize;
+      for (uint64_t B = readLE32(S); B < StrTab.Size; ++B) {
+        Referenced[B] = true;
+        if (Raw[StrTab.Offset + B] == 0)
+          break;
+      }
+    }
+    for (uint64_t B = 0; B < StrTab.Size; ++B)
+      if (!Referenced[B])
+        Raw[StrTab.Offset + B] = 0;
+  }
+
+  // The raw bytes changed under the parsed views; rebuild them.
+  if (Scrubbed > 0) {
+    Sections.clear();
+    Segments.clear();
+    Symbols.clear();
+    if (Error E = parseInto())
+      return E;
+  }
+  return Scrubbed;
+}
+
 Error ElfImage::orSegmentFlags(size_t Index, uint32_t Flags) {
   if (Index >= Segments.size())
     return makeError("segment index " + std::to_string(Index) +

@@ -21,6 +21,8 @@
 #include "support/Error.h"
 
 #include <optional>
+#include <set>
+#include <string>
 #include <vector>
 
 namespace elide {
@@ -75,6 +77,16 @@ public:
   /// ORs \p Flags into segment \p Index's p_flags, updating the raw bytes.
   /// This is how the sanitizer makes the text segment writable (PF_W).
   Error orSegmentFlags(size_t Index, uint32_t Flags);
+
+  /// Redacts every symbol named in \p Doomed from the symbol table: the
+  /// 24-byte symtab entry is zeroed (an address-0/size-0 null entry), and
+  /// string-table bytes that no surviving entry references are zeroed as
+  /// well -- a name must not outlive its symbol. Interned names shared
+  /// with a surviving symbol are kept; the section-name table is never
+  /// touched. The parsed views are rebuilt afterwards, invalidating any
+  /// section/symbol pointers previously obtained from this image.
+  /// Returns the number of symtab entries redacted.
+  Expected<size_t> scrubSymbols(const std::set<std::string> &Doomed);
 
   /// The raw file bytes (reflecting any edits made through this object).
   const Bytes &fileBytes() const { return Raw; }

@@ -57,7 +57,55 @@ elide::buildProtectedEnclave(const std::vector<elc::SourceFile> &AppSources,
             sgx::measureEnclaveImage(Out.SanitizedElf, Options.Layout));
   Out.SanitizedSig =
       sgx::SigStruct::sign(Vendor, SanitizedMr, Options.Attributes);
+
+  // 5. Self-audit: statically verify the sanitized image leaks nothing
+  //    about the elided code before it is allowed to ship.
+  if (Options.SelfAudit) {
+    ELIDE_TRY(ElfImage Image, ElfImage::parse(Out.SanitizedElf));
+    // In Remote mode SecretData *is* the plaintext; in Local mode it is
+    // ciphertext, so diff against the original text from the plain image.
+    Bytes Plaintext;
+    if (Options.Storage == SecretStorage::Remote) {
+      Plaintext = Out.SecretData;
+    } else {
+      ELIDE_TRY(ElfImage Plain, ElfImage::parse(Out.PlainElf));
+      if (const ElfSection *Text = Plain.sectionByName(".text"))
+        Plaintext = Plain.sectionContents(*Text);
+    }
+    analysis::AuditInput Input = auditInputFor(
+        Image, Sanitized.ElidedRegions, Keep, Out.Meta, Plaintext);
+    analysis::AuditOptions AuditOpts;
+    AuditOpts.Mode = (Options.Attributes & sgx::AttrSgx2DynamicPerms)
+                         ? analysis::SgxMode::Sgx2
+                         : analysis::SgxMode::Sgx1;
+    Out.Audit = analysis::runAudit(Input, AuditOpts);
+    if (Out.Audit.Errors > 0)
+      return makeError("self-audit rejected the sanitized enclave:\n" +
+                       Out.Audit.renderText());
+  }
   return Out;
+}
+
+analysis::AuditInput
+elide::auditInputFor(const ElfImage &Image,
+                     const std::vector<SecretRegion> &Regions,
+                     const Whitelist &Keep, const SecretMeta &Meta,
+                     BytesView SecretPlaintext) {
+  analysis::AuditInput Input;
+  Input.Image = &Image;
+  for (const SecretRegion &R : Regions)
+    Input.ElidedRegions.push_back({R.Offset, R.Length, R.Name});
+  Input.WhitelistNames = Keep.names();
+  Input.HaveWhitelist = true;
+  analysis::AuditMeta AM;
+  AM.DataLength = Meta.DataLength;
+  AM.RestoreOffset = Meta.RestoreOffset;
+  AM.Encrypted = Meta.Encrypted;
+  AM.KeyBytes.assign(Meta.Key.begin(), Meta.Key.end());
+  AM.Serialized = Meta.serialize();
+  Input.Meta = std::move(AM);
+  Input.SecretPlaintext = toBytes(SecretPlaintext);
+  return Input;
 }
 
 ServerProvisioning elide::provisioningFor(const BuildArtifacts &Artifacts,

@@ -21,6 +21,7 @@
 #ifndef SGXELIDE_ELIDE_PIPELINE_H
 #define SGXELIDE_ELIDE_PIPELINE_H
 
+#include "analysis/Audit.h"
 #include "elc/Compiler.h"
 #include "elide/Sanitizer.h"
 #include "sgx/EnclaveLoader.h"
@@ -33,6 +34,10 @@ struct BuildOptions {
   uint64_t Attributes = sgx::AttrDebug;
   sgx::EnclaveLayout Layout;
   uint64_t RngSeed = 7;
+  /// Run the static secrecy audit over the sanitized image and fail the
+  /// build on any error-severity diagnostic. On by default: a build that
+  /// ships a leaky image should not succeed quietly.
+  bool SelfAudit = true;
 };
 
 /// Everything the pipeline produces.
@@ -55,7 +60,20 @@ struct BuildArtifacts {
   size_t TrustedTextBytes = 0;
   /// Wall-clock milliseconds spent inside sanitizeEnclave (Table 2).
   double SanitizeMs = 0.0;
+  /// Self-audit findings (empty when `SelfAudit` is off or clean).
+  analysis::AuditReport Audit;
 };
+
+/// Builds the auditor's input from build-side facts: the sanitized image,
+/// the exact regions the sanitizer zeroed, the whitelist, the metadata,
+/// and the secret plaintext. \p Image must outlive the returned input.
+/// Exposed so `sgxelide audit` and the tests assemble the same view the
+/// pipeline self-audit uses.
+analysis::AuditInput auditInputFor(const ElfImage &Image,
+                                   const std::vector<SecretRegion> &Regions,
+                                   const Whitelist &Keep,
+                                   const SecretMeta &Meta,
+                                   BytesView SecretPlaintext);
 
 /// Runs the full pipeline over the developer's enclave sources (the
 /// SgxElide runtime sources are linked in automatically, mirroring

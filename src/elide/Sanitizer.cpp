@@ -90,12 +90,15 @@ Expected<SanitizedEnclave> elide::sanitizeEnclave(BytesView ElfFile,
 
   // Enumerate every function in the shared object; zero the body of each
   // one that is not on the whitelist.
+  std::vector<SecretRegion> Regions;
+  std::set<std::string> Doomed;
   for (const ElfSymbol &Sym : Image.symbols()) {
     if (!Sym.isFunction())
       continue;
     ++Report.TotalFunctions;
     if (Keep.contains(Sym.Name))
       continue;
+    Doomed.insert(Sym.Name); // Even a zero-size function's name leaks.
     if (Sym.Size == 0)
       continue;
     if (Error E = Image.zeroRange(*Text, Sym.Value, Sym.Size))
@@ -103,6 +106,7 @@ Expected<SanitizedEnclave> elide::sanitizeEnclave(BytesView ElfFile,
       // a forged image trying to aim the redaction writes elsewhere.
       return makeError(SanitizerErrcRegionOutsideText,
                        "cannot sanitize '" + Sym.Name + "': " + E.message());
+    Regions.push_back({Sym.Value - Text->Addr, Sym.Size, Sym.Name});
     ++Report.SanitizedFunctions;
     Report.SanitizedBytes += Sym.Size;
   }
@@ -115,8 +119,19 @@ Expected<SanitizedEnclave> elide::sanitizeEnclave(BytesView ElfFile,
     return E;
 
   uint64_t RestoreOffset = Restore->Value - Text->Addr;
-  return packageSecrets(std::move(Image), std::move(OriginalText),
-                        RestoreOffset, Storage, Rng, Report);
+
+  // Redact the symbol-table entries and names of everything just elided:
+  // zeroing the bytes is pointless if the symtab still records each
+  // secret function's name and exact [start, end). The symtab is not
+  // SHF_ALLOC, so MRENCLAVE is unaffected. Invalidates Text/Restore.
+  ELIDE_TRY(size_t Scrubbed, Image.scrubSymbols(Doomed));
+  Report.ScrubbedSymbols = Scrubbed;
+
+  ELIDE_TRY(SanitizedEnclave Out,
+            packageSecrets(std::move(Image), std::move(OriginalText),
+                           RestoreOffset, Storage, Rng, Report));
+  Out.ElidedRegions = std::move(Regions);
+  return Out;
 }
 
 Expected<SanitizedEnclave> elide::sanitizeEnclaveBlacklist(
@@ -141,6 +156,7 @@ Expected<SanitizedEnclave> elide::sanitizeEnclaveBlacklist(
   uint32_t Count = 0;
   Bytes Ranges;
   Bytes Contents;
+  std::vector<SecretRegion> Regions;
   for (const ElfSymbol &Sym : Image.symbols()) {
     if (!Sym.isFunction())
       continue;
@@ -164,6 +180,7 @@ Expected<SanitizedEnclave> elide::sanitizeEnclaveBlacklist(
                 BytesView(Image.fileBytes().data() + *Offset, Sym.Size));
     if (Error E = Image.zeroRange(*Text, Sym.Value, Sym.Size))
       return E;
+    Regions.push_back({Sym.Value - Text->Addr, Sym.Size, Sym.Name});
     ++Count;
     ++Report.SanitizedFunctions;
     Report.SanitizedBytes += Sym.Size;
@@ -177,6 +194,15 @@ Expected<SanitizedEnclave> elide::sanitizeEnclaveBlacklist(
     return E;
 
   uint64_t RestoreOffset = Restore->Value - Text->Addr;
-  return packageSecrets(std::move(Image), std::move(SecretBytes),
-                        RestoreOffset, Storage, Rng, Report);
+
+  // The blacklisted functions' symtab entries pin their names and exact
+  // boundaries; redact them like the whitelist mode does.
+  ELIDE_TRY(size_t Scrubbed, Image.scrubSymbols(SecretFunctions));
+  Report.ScrubbedSymbols = Scrubbed;
+
+  ELIDE_TRY(SanitizedEnclave Out,
+            packageSecrets(std::move(Image), std::move(SecretBytes),
+                           RestoreOffset, Storage, Rng, Report));
+  Out.ElidedRegions = std::move(Regions);
+  return Out;
 }

@@ -29,6 +29,9 @@
 #include "elide/SecretMeta.h"
 #include "elide/Whitelist.h"
 
+#include <string>
+#include <vector>
+
 namespace elide {
 
 /// `Error::code()` values for sanitizer failures on hostile or broken
@@ -54,6 +57,17 @@ struct SanitizerReport {
   size_t SanitizedFunctions = 0; ///< Functions redacted.
   size_t SanitizedBytes = 0;     ///< Bytes zeroed.
   size_t TextBytes = 0;          ///< Size of the text section.
+  size_t ScrubbedSymbols = 0;    ///< Symtab entries redacted with them.
+};
+
+/// One elided byte range, relative to the start of the text section.
+/// Recorded at sanitize time so the auditor checks exactly what was
+/// zeroed instead of re-deriving it from (now scrubbed) symbols.
+struct SecretRegion {
+  uint64_t Offset = 0;
+  uint64_t Length = 0;
+  std::string Name; ///< The elided function (build-side only; the name
+                    ///< never ships with the enclave).
 };
 
 /// Sanitizer output: the three artifacts plus statistics.
@@ -61,6 +75,7 @@ struct SanitizedEnclave {
   Bytes SanitizedElf;
   Bytes SecretData; ///< enclave.secret.data (ciphertext in Local mode).
   SecretMeta Meta;  ///< enclave.secret.meta (server-side only).
+  std::vector<SecretRegion> ElidedRegions; ///< Build-side audit facts.
   SanitizerReport Report;
 };
 

@@ -1,0 +1,164 @@
+//===- tests/fuzz/FuzzAudit.cpp - Static-audit fuzz target ------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fuzz target for `analysis::runAudit`. The auditor consumes attacker-
+/// shaped inputs by design -- `sgxelide audit` is pointed at arbitrary
+/// shipped binaries -- so it must be total over any image the ELF parser
+/// accepts, under any combination of side facts.
+///
+/// Input layout: `[flags][param][elf bytes...]`. The flag byte selects
+/// which optional facts accompany the image (whitelist, metadata, explicit
+/// region, plaintext, SGX2 mode); `param` seeds their values.
+///
+/// Properties checked on every run:
+///  - runAudit returns (no crash, no hang) and its counts match the
+///    severities of the findings it reports;
+///  - every finding's key renders into a baseline the parser accepts
+///    (hostile section/symbol names must not corrupt `--write-baseline`
+///    output);
+///  - re-running under that baseline suppresses exactly the reported
+///    findings -- the suppression path agrees with the reporting path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tests/fuzz/FuzzCommon.h"
+
+#include "analysis/Audit.h"
+#include "elf/ElfImage.h"
+
+namespace {
+
+using namespace elide;
+using namespace elide::analysis;
+
+enum AuditFuzzFlags : uint8_t {
+  FuzzWhitelist = 1 << 0,
+  FuzzMeta = 1 << 1,
+  FuzzMetaScaled = 1 << 2,
+  FuzzEncrypted = 1 << 3,
+  FuzzRegion = 1 << 4,
+  FuzzPlaintext = 1 << 5,
+  FuzzSgx2 = 1 << 6,
+};
+
+void fuzzAuditOne(BytesView Input) {
+  if (Input.size() < 2)
+    return;
+  uint8_t Flags = Input[0];
+  uint8_t Param = Input[1];
+  Expected<ElfImage> Image =
+      ElfImage::parse(toBytes(BytesView(Input.data() + 2, Input.size() - 2)));
+  if (!Image)
+    return; // Malformed files are FuzzElfImage's business.
+
+  AuditInput In;
+  In.Image = &*Image;
+  if (Flags & FuzzWhitelist) {
+    In.HaveWhitelist = true;
+    In.WhitelistNames.insert("elide_restore");
+    In.WhitelistNames.insert("fn_1");
+  }
+  if (Flags & FuzzMeta) {
+    AuditMeta M;
+    M.DataLength = uint64_t(Param) << ((Flags & FuzzMetaScaled) ? 8 : 0);
+    M.RestoreOffset = Param;
+    M.Encrypted = (Flags & FuzzEncrypted) != 0;
+    M.KeyBytes = Bytes(16, Param);
+    size_t SerLen = Input.size() < 61 ? Input.size() : 61;
+    M.Serialized.assign(Input.begin(), Input.begin() + SerLen);
+    In.Meta = std::move(M);
+  }
+  if (Flags & FuzzRegion)
+    In.ElidedRegions.push_back(
+        {uint64_t(Param), uint64_t(Param) * 3 + 8, "fuzz_fn"});
+  if ((Flags & FuzzPlaintext) && Input.size() >= 34)
+    In.SecretPlaintext.assign(Input.begin() + 2, Input.begin() + 34);
+
+  AuditOptions Opts;
+  Opts.Mode = (Flags & FuzzSgx2) ? SgxMode::Sgx2 : SgxMode::Sgx1;
+  AuditReport R = runAudit(In, Opts);
+
+  // Counts must agree with the findings.
+  size_t Errors = 0, Warnings = 0, Notes = 0;
+  for (const Diagnostic &D : R.Diags) {
+    switch (D.Sev) {
+    case Severity::Error:
+      ++Errors;
+      break;
+    case Severity::Warning:
+      ++Warnings;
+      break;
+    case Severity::Note:
+      ++Notes;
+      break;
+    }
+  }
+  FUZZ_ASSERT(Errors == R.Errors && Warnings == R.Warnings &&
+              Notes == R.Notes);
+  FUZZ_ASSERT(R.clean() == (R.Diags.empty()));
+
+  // The rendered baseline must parse back, whatever the image put into
+  // section and symbol names...
+  Expected<Baseline> B = Baseline::parse(R.renderBaseline());
+  FUZZ_ASSERT(static_cast<bool>(B));
+
+  // ...and a re-run under it must suppress exactly the reported findings:
+  // the audit is deterministic and the suppression path agrees with the
+  // reporting path.
+  Opts.Suppressions = &*B;
+  AuditReport Suppressed = runAudit(In, Opts);
+  FUZZ_ASSERT(Suppressed.clean());
+  FUZZ_ASSERT(Suppressed.Suppressed == R.Diags.size());
+}
+
+} // namespace
+
+#ifdef ELIDE_LIBFUZZER_DRIVER
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  fuzzAuditOne(elide::BytesView(Data, Size));
+  return 0;
+}
+
+#else // gtest replay + generative sweep
+
+#include "tests/framework/Builders.h"
+#include "tests/framework/FuzzHarness.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+/// Structure-aware generator: a flag byte, a parameter byte, and a valid
+/// (sometimes structurally corrupted) seed ELF behind them.
+elide::Bytes buildAuditBlob(elide::Drbg &Rng) {
+  elide::Bytes Out;
+  Out.push_back((uint8_t)Rng.next64());
+  Out.push_back((uint8_t)Rng.next64());
+  elide::Bytes Elf = elide::fuzz::buildSeedElf(Rng);
+  if (Rng.nextBelow(2) == 0)
+    elide::fuzz::mutateElfStructure(Elf, Rng);
+  elide::appendBytes(Out, Elf);
+  return Out;
+}
+
+} // namespace
+
+TEST(AuditFuzz, CorpusReplay) {
+  elide::Expected<size_t> N =
+      elide::fuzz::replayCorpus("audit", fuzzAuditOne);
+  ASSERT_TRUE(static_cast<bool>(N)) << N.errorMessage();
+  EXPECT_GE(*N, 4u) << "audit corpus lost its seed entries";
+}
+
+TEST(AuditFuzz, GeneratedSweep) {
+  elide::fuzz::generativeSweep(fuzzAuditOne, buildAuditBlob,
+                               /*Seed=*/0x4155444954000001ull,
+                               /*Iterations=*/1000);
+}
+
+#endif // ELIDE_LIBFUZZER_DRIVER

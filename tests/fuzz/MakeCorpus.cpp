@@ -78,6 +78,25 @@ Bytes patchNobitsShstrtab(Bytes Elf) {
   return Elf;
 }
 
+/// Replaces a byte of the first '.'-led section name in the section-name
+/// string table with '\n'. Pins the audit's baseline-key sanitization: a
+/// hostile name must not be able to split a `--write-baseline` line.
+Bytes patchNewlineSectionName(Bytes Elf) {
+  uint64_t ShOff = readLE64(Elf.data() + EhdrShOff);
+  uint16_t ShStrNdx = readLE16(Elf.data() + EhdrShStrNdx);
+  const uint8_t *Shdr = Elf.data() + ShOff + uint64_t(ShStrNdx) * ShdrSize;
+  uint64_t StrOff = readLE64(Shdr + 24);
+  uint64_t StrSize = readLE64(Shdr + 32);
+  for (uint64_t I = StrOff; I + 1 < StrOff + StrSize && I + 1 < Elf.size();
+       ++I) {
+    if (Elf[I] == '.' && Elf[I + 1] != 0) {
+      Elf[I + 1] = '\n';
+      break;
+    }
+  }
+  return Elf;
+}
+
 /// A symbol whose st_value + st_size wraps 2^64: `fileOffsetOf` computed
 /// `VAddr + Length > Addr + Size` with both sides wrapping, so zeroRange
 /// and writeRange scribbled outside the section. The fix fails typed with
@@ -242,6 +261,31 @@ void makeLoaderCorpus() {
   emit("loader", "regression-elf-segment-wrap", WrapInput);
 }
 
+void makeAuditCorpus() {
+  // Input layout (see FuzzAudit.cpp): [flags][param][elf...]. Flag bits:
+  // 0x01 whitelist, 0x02 meta, 0x04 scaled DataLength, 0x08 encrypted,
+  // 0x10 explicit region, 0x20 plaintext, 0x40 SGX2 mode.
+  Drbg Rng(601);
+  Bytes Elf = fuzz::buildSeedElf(Rng);
+  auto blob = [](uint8_t Flags, uint8_t Param, BytesView Body) {
+    Bytes B;
+    B.push_back(Flags);
+    B.push_back(Param);
+    appendBytes(B, Body);
+    return B;
+  };
+  emit("audit", "seed-all-facts", blob(0x33, 0x20, Elf));
+  emit("audit", "seed-no-facts", blob(0x00, 0x00, Elf));
+  emit("audit", "seed-sgx2-encrypted-meta", blob(0x4b, 0x40, Elf));
+  emit("audit", "seed-truncated-elf",
+       blob(0x33, 0x20, BytesView(Elf.data(), Elf.size() < 48 ? Elf.size() : 48)));
+  emit("audit", "regression-empty", BytesView());
+  // Regression: a '\n' inside a section name reached --write-baseline
+  // output unescaped before Diagnostic::key() sanitized name bytes.
+  emit("audit", "regression-newline-section-name",
+       blob(0x13, 0x10, patchNewlineSectionName(Elf)));
+}
+
 } // namespace
 
 int main() {
@@ -251,5 +295,6 @@ int main() {
   makeSecretMetaCorpus();
   makeWhitelistCorpus();
   makeLoaderCorpus();
+  makeAuditCorpus();
   return Failures == 0 ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Audit.h"
 #include "elide/HostRuntime.h"
 #include "elide/Pipeline.h"
 #include "elide/TrustedLib.h"
@@ -50,9 +51,12 @@ int usage() {
       "usage: sgxelide <command> [args]\n"
       "  compile   <out.so> <src.elc>...        compile + link with the "
       "SgxElide runtime\n"
-      "  whitelist <dummy.so> [out.txt]         derive the function "
-      "whitelist\n"
+      "  whitelist <dummy.so|-> [out.txt]       derive the function "
+      "whitelist ('-' = builtin dummy)\n"
       "  sanitize  <in.so> <out.so> <data> <meta> [--local] [--whitelist f]\n"
+      "            [--no-audit] [--sgx2]\n"
+      "  audit     <sanitized.so> [--meta f] [--whitelist f] [--data f]\n"
+      "            [--json] [--baseline f] [--write-baseline f] [--sgx2]\n"
       "  measure   <enclave.so>                 print MRENCLAVE\n"
       "  sign      <enclave.so> <sig.bin> [--seed N] [--sgx2]\n"
       "  objdump   <enclave.so> [function]      disassemble (attacker's "
@@ -70,6 +74,13 @@ int usage() {
       "[--breaker-cooldown-ms N] [--hedge-ms N]\n"
       "            [--sealed-cache f] [--restore-attempts N] "
       "[--restore-backoff-ms N] [--trace-provision]\n"
+      "\n"
+      "audit exit codes:\n"
+      "   0  clean (no non-baselined diagnostics)\n"
+      "   1  host-side error (unreadable/unparseable input)\n"
+      "   2  usage error\n"
+      "   3  error-severity diagnostics present\n"
+      "   4  warning-severity diagnostics only\n"
       "\n"
       "run exit codes (distinct per restore outcome):\n"
       "   0  restored and ecall succeeded\n"
@@ -197,10 +208,22 @@ int cmdCompile(std::vector<std::string> Args) {
 int cmdWhitelist(std::vector<std::string> Args) {
   if (Args.empty())
     return usage();
-  Expected<Bytes> Dummy = readFileBytes(Args[0]);
-  if (!Dummy)
-    return fail(Dummy.errorMessage());
-  Expected<Whitelist> W = Whitelist::fromDummyEnclave(*Dummy);
+  // "-" derives the whitelist from a freshly compiled builtin dummy
+  // enclave (runtime sources only) instead of a dummy.so on disk.
+  Bytes DummyElf;
+  if (Args[0] == "-") {
+    Expected<elc::CompileResult> Dummy = elc::compileEnclave(
+        ElideTrustedLib::runtimeSources(), ElideTrustedLib::callRegistry());
+    if (!Dummy)
+      return fail(Dummy.errorMessage());
+    DummyElf = std::move(Dummy->ElfFile);
+  } else {
+    Expected<Bytes> FromDisk = readFileBytes(Args[0]);
+    if (!FromDisk)
+      return fail(FromDisk.errorMessage());
+    DummyElf = FromDisk.takeValue();
+  }
+  Expected<Whitelist> W = Whitelist::fromDummyEnclave(DummyElf);
   if (!W)
     return fail(W.errorMessage());
   std::string Text = W->serialize();
@@ -215,8 +238,111 @@ int cmdWhitelist(std::vector<std::string> Args) {
   return 0;
 }
 
+/// Renders an audit report and maps it onto the audit exit-code table
+/// (0 clean / 3 errors / 4 warnings only).
+int reportAuditAndExit(const analysis::AuditReport &Report, bool Json) {
+  if (Json)
+    std::printf("%s\n", Report.renderJson().c_str());
+  else
+    std::fputs(Report.renderText().c_str(), stdout);
+  if (Report.Errors > 0)
+    return 3;
+  if (Report.Warnings > 0)
+    return 4;
+  return 0;
+}
+
+int cmdAudit(std::vector<std::string> Args) {
+  bool Json = hasFlag(Args, "--json");
+  bool Sgx2 = hasFlag(Args, "--sgx2");
+  std::string MetaPath = flagValue(Args, "--meta", "");
+  std::string WhitelistPath = flagValue(Args, "--whitelist", "");
+  std::string DataPath = flagValue(Args, "--data", "");
+  std::string BaselinePath = flagValue(Args, "--baseline", "");
+  std::string WriteBaselinePath = flagValue(Args, "--write-baseline", "");
+  if (Args.size() != 1)
+    return usage();
+
+  Expected<Bytes> In = readFileBytes(Args[0]);
+  if (!In)
+    return fail(In.errorMessage());
+  Expected<ElfImage> Image = ElfImage::parse(*In);
+  if (!Image)
+    return fail(Image.errorMessage());
+
+  analysis::AuditInput Input;
+  Input.Image = &*Image;
+
+  if (!WhitelistPath.empty()) {
+    Expected<Bytes> Text = readFileBytes(WhitelistPath);
+    if (!Text)
+      return fail(Text.errorMessage());
+    Expected<Whitelist> W = Whitelist::deserialize(stringOfBytes(*Text));
+    if (!W)
+      return fail(W.errorMessage());
+    Input.WhitelistNames = W->names();
+    Input.HaveWhitelist = true;
+  }
+
+  std::optional<SecretMeta> Meta;
+  if (!MetaPath.empty()) {
+    Expected<Bytes> MetaBytes = readFileBytes(MetaPath);
+    if (!MetaBytes)
+      return fail(MetaBytes.errorMessage());
+    Expected<SecretMeta> M = SecretMeta::deserialize(*MetaBytes);
+    if (!M)
+      return fail(M.errorMessage());
+    Meta = *M;
+    analysis::AuditMeta AM;
+    AM.DataLength = M->DataLength;
+    AM.RestoreOffset = M->RestoreOffset;
+    AM.Encrypted = M->Encrypted;
+    AM.KeyBytes.assign(M->Key.begin(), M->Key.end());
+    AM.Serialized = M->serialize();
+    Input.Meta = std::move(AM);
+  }
+
+  if (!DataPath.empty()) {
+    Expected<Bytes> Data = readFileBytes(DataPath);
+    if (!Data)
+      return fail(Data.errorMessage());
+    // The data file is the secret plaintext only in remote mode; local
+    // mode ships ciphertext, which by construction never recurs in the
+    // image and would only blunt the scan.
+    if (!Meta || !Meta->Encrypted)
+      Input.SecretPlaintext = Data.takeValue();
+  }
+
+  analysis::Baseline Suppressions;
+  analysis::AuditOptions Options;
+  if (!BaselinePath.empty()) {
+    Expected<Bytes> Text = readFileBytes(BaselinePath);
+    if (!Text)
+      return fail(Text.errorMessage());
+    Expected<analysis::Baseline> B =
+        analysis::Baseline::parse(stringOfBytes(*Text));
+    if (!B)
+      return fail(B.errorMessage());
+    Suppressions = *B;
+    Options.Suppressions = &Suppressions;
+  }
+  Options.Mode = Sgx2 ? analysis::SgxMode::Sgx2 : analysis::SgxMode::Sgx1;
+
+  analysis::AuditReport Report = analysis::runAudit(Input, Options);
+  if (!WriteBaselinePath.empty()) {
+    if (Error E =
+            writeFileBytes(WriteBaselinePath, viewOf(Report.renderBaseline())))
+      return fail(E.message());
+    std::fprintf(stderr, "wrote %zu suppression(s) to %s\n",
+                 Report.Diags.size(), WriteBaselinePath.c_str());
+  }
+  return reportAuditAndExit(Report, Json);
+}
+
 int cmdSanitize(std::vector<std::string> Args) {
   bool Local = hasFlag(Args, "--local");
+  bool NoAudit = hasFlag(Args, "--no-audit");
+  bool Sgx2 = hasFlag(Args, "--sgx2");
   std::string WhitelistPath = flagValue(Args, "--whitelist", "");
   if (Args.size() != 4)
     return usage();
@@ -260,11 +386,39 @@ int cmdSanitize(std::vector<std::string> Args) {
     return fail(E.message());
   if (Error E = writeFileBytes(Args[3], S->Meta.serialize()))
     return fail(E.message());
-  std::printf("sanitized %zu/%zu functions (%zu bytes) in %.3f ms [%s]\n",
+  std::printf("sanitized %zu/%zu functions (%zu bytes, %zu symbols "
+              "scrubbed) in %.3f ms [%s]\n",
               S->Report.SanitizedFunctions, S->Report.TotalFunctions,
-              S->Report.SanitizedBytes, Ms, Local ? "local" : "remote");
+              S->Report.SanitizedBytes, S->Report.ScrubbedSymbols, Ms,
+              Local ? "local" : "remote");
   std::printf("NOTE: %s must stay on the authentication server only\n",
               Args[3].c_str());
+
+  // Self-audit the output with the build-side facts (exact regions, the
+  // whitelist, the metadata, and the plaintext) before declaring success.
+  if (!NoAudit) {
+    Expected<ElfImage> Image = ElfImage::parse(S->SanitizedElf);
+    if (!Image)
+      return fail(Image.errorMessage());
+    Bytes Plaintext;
+    if (Local) {
+      Expected<ElfImage> Plain = ElfImage::parse(*In);
+      if (!Plain)
+        return fail(Plain.errorMessage());
+      if (const ElfSection *Text = Plain->sectionByName(".text"))
+        Plaintext = Plain->sectionContents(*Text);
+    } else {
+      Plaintext = S->SecretData;
+    }
+    analysis::AuditInput Input =
+        auditInputFor(*Image, S->ElidedRegions, Keep, S->Meta, Plaintext);
+    analysis::AuditOptions Options;
+    Options.Mode = Sgx2 ? analysis::SgxMode::Sgx2 : analysis::SgxMode::Sgx1;
+    analysis::AuditReport Report = analysis::runAudit(Input, Options);
+    if (!Report.clean())
+      return reportAuditAndExit(Report, /*Json=*/false);
+    std::printf("self-audit: clean\n");
+  }
   return 0;
 }
 
@@ -573,6 +727,8 @@ int main(int argc, char **argv) {
     return cmdWhitelist(std::move(Args));
   if (Command == "sanitize")
     return cmdSanitize(std::move(Args));
+  if (Command == "audit")
+    return cmdAudit(std::move(Args));
   if (Command == "measure")
     return cmdMeasure(std::move(Args));
   if (Command == "sign")
