@@ -1,0 +1,388 @@
+//===- bench/LoadGen.cpp - Stress-SGX-style provisioning load generator ---===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/LoadGen.h"
+
+#include "elide/Provisioner.h"
+#include "server/FaultInjection.h"
+#include "server/Transport.h"
+#include "sgx/Attestation.h"
+#include "sgx/SgxDevice.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace elide;
+using namespace elide::loadgen;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The attested-enclave stand-in: a scratch enclave on a simulated device
+/// whose QE signs reports over caller-chosen report data. One instance
+/// serves every attestation round (quotes are minted under a lock; the
+/// signing cost is part of what batching amortizes away).
+struct QuoteMint {
+  sgx::SgxDevice Device;
+  sgx::AttestationAuthority Authority;
+  sgx::QuotingEnclave Qe;
+  std::unique_ptr<sgx::Enclave> Enclave;
+  sgx::Measurement Mr{};
+  std::mutex Mutex;
+
+  explicit QuoteMint(uint64_t Seed)
+      : Device(Seed), Authority(Seed + 1), Qe(Device, Authority) {}
+
+  Error build() {
+    sgx::SgxDevice::Builder B(Device, 0x4000);
+    if (Error E = B.addPage(0x1000, sgx::PermRead, Bytes(8, 0x5a)))
+      return E;
+    Drbg VendorRng(11);
+    Ed25519Seed Seed{};
+    VendorRng.fill(MutableBytesView(Seed.data(), 32));
+    sgx::SigStruct Sig = sgx::SigStruct::sign(ed25519KeyPairFromSeed(Seed),
+                                              B.currentMeasurement(), 0);
+    ELIDE_TRY(Enclave, B.init(Sig));
+    Mr = Enclave->mrEnclave();
+    return Error::success();
+  }
+
+  /// Quote whose report data leads with \p BindingHash.
+  Expected<Bytes> quoteFor(const std::array<uint8_t, 32> &BindingHash) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    sgx::ReportData Rd{};
+    std::memcpy(Rd.data(), BindingHash.data(), 32);
+    sgx::Report R = Enclave->createReport(Qe.targetInfo(), Rd);
+    ELIDE_TRY(sgx::Quote Q, Qe.quoteReport(R));
+    return Q.serialize();
+  }
+};
+
+/// Blocking localhost connect for the ballast pool.
+int connectBallast(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+double percentile(std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  if (Idx >= Sorted.size())
+    Idx = Sorted.size() - 1;
+  return Sorted[Idx];
+}
+
+/// Per-worker accounting, merged after the join.
+struct WorkerResult {
+  std::vector<double> LatenciesMs;
+  size_t Failed = 0;
+  size_t Attempts = 0;
+  size_t Shed = 0;
+};
+
+/// One full simulated restore: batch-join a session, then fetch the
+/// metadata over the record channel. Returns success; always counts
+/// attempts/shed into \p R.
+bool restoreOnce(AttestationBatcher &Batcher,
+                 const std::array<uint8_t, 32> &GroupKey, Transport &Records,
+                 Drbg &Rng, WorkerResult &R) {
+  X25519Key Priv;
+  Rng.fill(MutableBytesView(Priv.data(), 32));
+  X25519Key Pub = x25519PublicKey(Priv);
+
+  Expected<BatchJoinResult> Join = Batcher.join(GroupKey, Pub);
+  ++R.Attempts;
+  if (!Join) {
+    // One fresh attempt: a faulted batch round fails the whole group, but
+    // the next wave usually goes through.
+    Join = Batcher.join(GroupKey, Pub);
+    ++R.Attempts;
+    if (!Join)
+      return false;
+  }
+  SessionKeys Keys = deriveSessionKeys(x25519(Priv, Join->ServerPub), Pub,
+                                       Join->ServerPub);
+
+  for (int Attempt = 0; Attempt < 4; ++Attempt) {
+    Expected<Bytes> Frame = sealSessionRecord(
+        Join->Sid, Keys.ClientToServer, Bytes{RequestMeta}, Rng);
+    if (!Frame)
+      return false;
+    Expected<Bytes> Response = Records.roundTrip(*Frame);
+    if (Response) {
+      Expected<Bytes> Meta = openRecord(Keys.ServerToClient, *Response);
+      return static_cast<bool>(Meta) && !Meta->empty();
+    }
+    if (transportErrcOf(Response) == TransportErrc::Overloaded)
+      ++R.Shed;
+  }
+  return false;
+}
+
+} // namespace
+
+Expected<LoadGenReport>
+elide::loadgen::runProvisioningLoadGen(const LoadGenConfig &Config) {
+  if (Config.Workers == 0)
+    return makeError("loadgen needs at least one worker");
+  if (Config.Mode == LoadGenMode::Open && Config.ArrivalPerSec <= 0)
+    return makeError("open-loop mode needs a positive arrival rate");
+  size_t Batch = std::max<size_t>(1, std::min(Config.BatchSize,
+                                              BatchMaxSessions));
+
+  QuoteMint Mint(Config.Seed + 100);
+  if (Error E = Mint.build())
+    return E;
+
+  SecretMeta Meta;
+  Bytes Data = bytesOfString("LOADGEN-SECRET-TEXT-SECTION");
+  Meta.DataLength = Data.size();
+  Meta.RestoreOffset = 0x40;
+
+  AuthServerConfig SC;
+  SC.AuthorityKey = Mint.Authority.publicKey();
+  SC.ExpectedMrEnclave = Mint.Mr;
+  SC.Meta = Meta;
+  SC.SecretData = Data;
+  SC.RngSeed = Config.Seed + 200;
+  SC.SessionShards = Config.SessionShards;
+  SC.MaxSessions = Config.MaxSessions
+                       ? Config.MaxSessions
+                       : std::max<size_t>(16384, 2 * Config.TargetSessions);
+  AuthServer Server(std::move(SC));
+
+  TcpServerConfig TC;
+  TC.WorkerThreads = Config.ServerWorkers;
+  // Ballast connections idle across the whole run; they must outlive it.
+  TC.ReadTimeoutMs = Config.DurationMs + 120000;
+  TC.MaxConnections = Config.MaxConnections;
+  TC.ForcePollBackend = Config.ForcePollBackend;
+  ELIDE_TRY(std::unique_ptr<TcpServer> Tcp, TcpServer::start(Server, TC));
+
+  // Ballast pool: persistent idle sockets the reactor must keep holding
+  // while it serves the throughput traffic below.
+  std::vector<int> Ballast;
+  Ballast.reserve(Config.Connections);
+  for (size_t I = 0; I < Config.Connections; ++I) {
+    int Fd = connectBallast(Tcp->port());
+    if (Fd < 0)
+      break; // EMFILE or backlog pressure: report what we actually held.
+    Ballast.push_back(Fd);
+  }
+
+  // Client channels. The batch HELLO channel stays clean; the record
+  // channel optionally suffers seeded faults (that is the path with
+  // retries to soak).
+  TcpClientTransport HelloLink("127.0.0.1", Tcp->port());
+  TcpClientTransport RecordLink("127.0.0.1", Tcp->port());
+  FaultPlan Plan;
+  Plan.Seed = Config.FaultSeed;
+  Plan.FaultPerMille = Config.FaultPerMille;
+  FaultInjectingTransport FaultyRecords(RecordLink, Plan);
+  Transport &Records =
+      Config.FaultPerMille ? static_cast<Transport &>(FaultyRecords)
+                           : static_cast<Transport &>(RecordLink);
+
+  AttestationBatcherConfig BC;
+  BC.MaxBatch = Batch;
+  BC.MaxDelayMs = 5;
+  AttestationBatcher Batcher(
+      HelloLink,
+      [&Mint](const std::array<uint8_t, 32> &,
+              const std::array<uint8_t, 32> &Binding) {
+        return Mint.quoteFor(Binding);
+      },
+      BC);
+  std::array<uint8_t, 32> GroupKey{};
+  std::memcpy(GroupKey.data(), Mint.Mr.data(), 32);
+
+  // The measured phase.
+  std::atomic<size_t> Succeeded{0};
+  std::atomic<size_t> PeakSessions{0};
+  std::atomic<size_t> ArrivalTicket{0};
+  std::vector<WorkerResult> Results(Config.Workers);
+  std::vector<std::thread> Crew;
+  Crew.reserve(Config.Workers);
+  Clock::time_point Start = Clock::now();
+  Clock::time_point End = Start + std::chrono::milliseconds(Config.DurationMs);
+
+  for (size_t W = 0; W < Config.Workers; ++W) {
+    Crew.emplace_back([&, W] {
+      Drbg Rng(Config.Seed ^ (0x574b5230ULL + W * 0x9e3779b9ULL));
+      WorkerResult &R = Results[W];
+      for (;;) {
+        if (Config.TargetSessions &&
+            Succeeded.load(std::memory_order_relaxed) >= Config.TargetSessions)
+          break;
+        if (Config.Mode == LoadGenMode::Open) {
+          // Open loop: claim the next arrival slot and honor its schedule
+          // even if the server is drowning -- that is the point.
+          size_t Ticket = ArrivalTicket.fetch_add(1);
+          Clock::time_point Due =
+              Start + std::chrono::microseconds(static_cast<int64_t>(
+                          1e6 * static_cast<double>(Ticket) /
+                          Config.ArrivalPerSec));
+          if (Due >= End)
+            break;
+          std::this_thread::sleep_until(Due);
+        } else if (Clock::now() >= End) {
+          break;
+        }
+        Timer T;
+        bool Ok = restoreOnce(Batcher, GroupKey, Records, Rng, R);
+        if (Ok) {
+          R.LatenciesMs.push_back(T.elapsedMs());
+          Succeeded.fetch_add(1, std::memory_order_relaxed);
+          size_t Live = Server.stats().LiveSessions;
+          size_t Peak = PeakSessions.load(std::memory_order_relaxed);
+          while (Live > Peak &&
+                 !PeakSessions.compare_exchange_weak(Peak, Live))
+            ;
+        } else {
+          ++R.Failed;
+        }
+      }
+    });
+  }
+  for (std::thread &T : Crew)
+    T.join();
+  double MeasuredS =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  for (int Fd : Ballast)
+    ::close(Fd);
+
+  LoadGenReport Report;
+  Report.Config = Config;
+  Report.Config.BatchSize = Batch;
+  std::vector<double> All;
+  for (WorkerResult &R : Results) {
+    All.insert(All.end(), R.LatenciesMs.begin(), R.LatenciesMs.end());
+    Report.RestoresFailed += R.Failed;
+    Report.ShedObserved += R.Shed;
+    Report.RestoresTotal += R.LatenciesMs.size();
+  }
+  size_t Attempts = 0;
+  for (WorkerResult &R : Results)
+    Attempts += R.Attempts;
+  std::sort(All.begin(), All.end());
+  Report.DurationS = MeasuredS;
+  Report.RestoresPerSec =
+      MeasuredS > 0 ? static_cast<double>(Report.RestoresTotal) / MeasuredS : 0;
+  Report.LatencyMs.P50 = percentile(All, 0.50);
+  Report.LatencyMs.P95 = percentile(All, 0.95);
+  Report.LatencyMs.P99 = percentile(All, 0.99);
+  Report.LatencyMs.Mean = summarize(All).Mean;
+  Report.ShedRate = Attempts ? static_cast<double>(Report.ShedObserved) /
+                                   static_cast<double>(Attempts)
+                             : 0;
+
+  AttestationBatcher::Stats BS = Batcher.stats();
+  Report.BatchRounds = BS.Rounds;
+  Report.BatchSessionsMinted = BS.Sessions;
+  Report.BatchAmortization = BS.amortization();
+  Report.MaxConcurrentSessions = PeakSessions.load();
+  Report.FaultsInjected = Config.FaultPerMille
+                              ? FaultyRecords.stats().Injected
+                              : 0;
+  Report.Server = Server.stats();
+  Report.Reactor = Tcp->reactor().stats();
+  Report.MaxConcurrentConnections = Report.Reactor.MaxConcurrentConnections;
+  Tcp->stop();
+  return Report;
+}
+
+std::string elide::loadgen::renderLoadGenJson(const LoadGenReport &R) {
+  char Buf[4096];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\n"
+      "  \"bench\": \"provisioning_loadgen\",\n"
+      "  \"version\": 1,\n"
+      "  \"config\": {\n"
+      "    \"mode\": \"%s\",\n"
+      "    \"duration_ms\": %d,\n"
+      "    \"workers\": %zu,\n"
+      "    \"connections\": %zu,\n"
+      "    \"target_sessions\": %zu,\n"
+      "    \"batch\": %zu,\n"
+      "    \"arrival_per_sec\": %.1f,\n"
+      "    \"session_shards\": %zu,\n"
+      "    \"fault_seed\": %llu,\n"
+      "    \"fault_per_mille\": %u,\n"
+      "    \"force_poll\": %s\n"
+      "  },\n"
+      "  \"results\": {\n"
+      "    \"restores_total\": %zu,\n"
+      "    \"restores_failed\": %zu,\n"
+      "    \"duration_s\": %.3f,\n"
+      "    \"restores_per_sec\": %.2f,\n"
+      "    \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, "
+      "\"mean\": %.3f},\n"
+      "    \"shed_rate\": %.4f,\n"
+      "    \"batch\": {\"rounds\": %zu, \"sessions_minted\": %zu, "
+      "\"amortization\": %.2f},\n"
+      "    \"max_concurrent_sessions\": %zu,\n"
+      "    \"max_concurrent_connections\": %zu,\n"
+      "    \"faults_injected\": %zu,\n"
+      "    \"server\": {\"handshakes_completed\": %zu, "
+      "\"batch_handshakes\": %zu, \"live_sessions\": %zu, "
+      "\"sessions_evicted\": %zu, \"frames_served\": %zu, "
+      "\"connections_accepted\": %zu, \"connections_shed\": %zu, "
+      "\"read_timeouts\": %zu, \"write_timeouts\": %zu, "
+      "\"used_epoll\": %s, \"wakeups\": %zu}\n"
+      "  }\n"
+      "}\n",
+      R.Config.Mode == LoadGenMode::Open ? "open" : "closed",
+      R.Config.DurationMs, R.Config.Workers, R.Config.Connections,
+      R.Config.TargetSessions, R.Config.BatchSize, R.Config.ArrivalPerSec,
+      R.Config.SessionShards,
+      static_cast<unsigned long long>(R.Config.FaultSeed),
+      R.Config.FaultPerMille, R.Config.ForcePollBackend ? "true" : "false",
+      R.RestoresTotal, R.RestoresFailed, R.DurationS, R.RestoresPerSec,
+      R.LatencyMs.P50, R.LatencyMs.P95, R.LatencyMs.P99, R.LatencyMs.Mean,
+      R.ShedRate, R.BatchRounds, R.BatchSessionsMinted, R.BatchAmortization,
+      R.MaxConcurrentSessions, R.MaxConcurrentConnections, R.FaultsInjected,
+      R.Server.HandshakesCompleted, R.Server.BatchHandshakes,
+      R.Server.LiveSessions, R.Server.SessionsEvicted,
+      R.Reactor.FramesServed, R.Reactor.ConnectionsAccepted,
+      R.Reactor.ConnectionsShed, R.Reactor.ReadTimeouts,
+      R.Reactor.WriteTimeouts, R.Reactor.UsedEpoll ? "true" : "false",
+      R.Reactor.Wakeups);
+  return Buf;
+}
+
+Error elide::loadgen::writeLoadGenJson(const LoadGenReport &Report,
+                                       const std::string &Path) {
+  std::string Json = renderLoadGenJson(Report);
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return makeError("cannot open " + Path + " for writing");
+  size_t Wrote = std::fwrite(Json.data(), 1, Json.size(), F);
+  if (std::fclose(F) != 0 || Wrote != Json.size())
+    return makeError("short write to " + Path);
+  return Error::success();
+}

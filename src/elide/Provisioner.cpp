@@ -450,3 +450,155 @@ Expected<Bytes> Provisioner::roundTrip(BytesView Request) {
   }
   return makeTransportError(Verdict, Message);
 }
+
+//===----------------------------------------------------------------------===//
+// AttestationBatcher
+//===----------------------------------------------------------------------===//
+
+AttestationBatcher::AttestationBatcher(Transport &Link, BatchQuoteFn QuoteFn,
+                                       const AttestationBatcherConfig &Config)
+    : Link(Link), QuoteFn(std::move(QuoteFn)), Config(Config) {
+  if (this->Config.MaxBatch == 0)
+    this->Config.MaxBatch = 1;
+  if (this->Config.MaxBatch > BatchMaxSessions)
+    this->Config.MaxBatch = BatchMaxSessions;
+  Ager = std::thread([this] { agerThread(); });
+}
+
+AttestationBatcher::~AttestationBatcher() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  if (Ager.joinable())
+    Ager.join();
+  flushAll(); // No joiner may be left parked forever.
+}
+
+Expected<BatchJoinResult>
+AttestationBatcher::join(const std::array<uint8_t, 32> &GroupKey,
+                         const X25519Key &ClientPub) {
+  auto W = std::make_shared<Waiter>();
+  W->ClientPub = ClientPub;
+
+  bool FlushNow = false;
+  Group Full;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Group &G = Groups[GroupKey];
+    if (G.Waiters.empty())
+      G.OpenedAt = std::chrono::steady_clock::now();
+    G.Waiters.push_back(W);
+    if (G.Waiters.size() >= Config.MaxBatch) {
+      // The joiner that filled the batch runs the round itself: no
+      // handoff latency, and a full group never waits on the ager.
+      Full = std::move(G);
+      Groups.erase(GroupKey);
+      FlushNow = true;
+    }
+  }
+  if (FlushNow)
+    flushGroup(GroupKey, std::move(Full));
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Cv.wait(Lock, [&] { return W->Done; });
+  if (W->Failure)
+    return std::move(W->Failure);
+  return W->Result;
+}
+
+void AttestationBatcher::flushAll() {
+  std::map<std::array<uint8_t, 32>, Group> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Pending.swap(Groups);
+  }
+  for (auto &[Key, G] : Pending)
+    flushGroup(Key, std::move(G));
+}
+
+void AttestationBatcher::agerThread() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (!Stopping) {
+    Cv.wait_for(Lock, std::chrono::milliseconds(
+                          std::max(1, Config.MaxDelayMs / 2 + 1)));
+    if (Stopping)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    auto Cutoff = Now - std::chrono::milliseconds(Config.MaxDelayMs);
+    // Collect aged groups under the lock, flush them outside it (the
+    // round does network IO and crypto).
+    std::vector<std::pair<std::array<uint8_t, 32>, Group>> Aged;
+    for (auto It = Groups.begin(); It != Groups.end();) {
+      if (It->second.OpenedAt <= Cutoff) {
+        Aged.emplace_back(It->first, std::move(It->second));
+        It = Groups.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    if (Aged.empty())
+      continue;
+    Lock.unlock();
+    for (auto &[Key, G] : Aged)
+      flushGroup(Key, std::move(G));
+    Lock.lock();
+  }
+}
+
+void AttestationBatcher::flushGroup(const std::array<uint8_t, 32> &Key,
+                                    Group &&G) {
+  std::vector<X25519Key> Pubs;
+  Pubs.reserve(G.Waiters.size());
+  for (const auto &W : G.Waiters)
+    Pubs.push_back(W->ClientPub);
+
+  auto fail = [&](Error E) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Rounds;
+    ++FailedRounds;
+    for (auto &W : G.Waiters) {
+      W->Failure = makeError(E.code(), E.message());
+      W->Done = true;
+    }
+    Cv.notify_all();
+  };
+
+  std::array<uint8_t, 32> Binding = batchBindingHash(Pubs);
+  Expected<Bytes> Quote = QuoteFn(Key, Binding);
+  if (!Quote)
+    return fail(Quote.takeError());
+
+  Expected<Bytes> Response = Link.roundTrip(helloBatchFrame(*Quote, Pubs));
+  if (!Response)
+    return fail(Response.takeError());
+
+  Expected<std::vector<BatchSession>> Minted =
+      parseHelloBatchOkFrame(*Response);
+  if (!Minted)
+    return fail(Minted.takeError());
+  if (Minted->size() != G.Waiters.size())
+    return fail(makeError("hello-batch-ok names " +
+                          std::to_string(Minted->size()) + " sessions for " +
+                          std::to_string(G.Waiters.size()) + " joiners"));
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Rounds;
+  Sessions += Minted->size();
+  for (size_t I = 0; I < G.Waiters.size(); ++I) {
+    G.Waiters[I]->Result =
+        BatchJoinResult{(*Minted)[I].Sid, (*Minted)[I].ServerPub};
+    G.Waiters[I]->Done = true;
+  }
+  Cv.notify_all();
+}
+
+AttestationBatcher::Stats AttestationBatcher::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats S;
+  S.Rounds = Rounds;
+  S.Sessions = Sessions;
+  S.FailedRounds = FailedRounds;
+  return S;
+}

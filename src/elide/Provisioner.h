@@ -37,9 +37,14 @@
 #include "crypto/Drbg.h"
 #include "server/Transport.h"
 
+#include <array>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace elide {
@@ -233,6 +238,113 @@ private:
   std::vector<Endpoint> Endpoints;          ///< Guarded by Mutex.
   ProvisionEventCallback Callback;          ///< Guarded by Mutex.
   std::vector<std::thread> Stragglers;      ///< Guarded by Mutex.
+};
+
+//===----------------------------------------------------------------------===//
+// Attestation batching
+//===----------------------------------------------------------------------===//
+
+/// One minted session handed back to a batch joiner.
+struct BatchJoinResult {
+  uint64_t Sid = 0;
+  X25519Key ServerPub{};
+};
+
+/// Tuning for the client-side attestation batcher.
+struct AttestationBatcherConfig {
+  /// Sessions per HELLO-BATCH round; a group flushes as soon as it
+  /// reaches this many joiners (clamped to the protocol's
+  /// BatchMaxSessions).
+  size_t MaxBatch = 64;
+  /// A partial group older than this flushes anyway, bounding the latency
+  /// a lone joiner pays for amortization it is not getting.
+  int MaxDelayMs = 5;
+};
+
+/// Produces a serialized quote whose report data commits (in its first 32
+/// bytes) to \p BindingHash, attesting the enclave identified by
+/// \p GroupKey. In production this is an enclave quote request; tests and
+/// the load generator forge quotes with the scratch-enclave machinery.
+using BatchQuoteFn = std::function<Expected<Bytes>(
+    const std::array<uint8_t, 32> &GroupKey,
+    const std::array<uint8_t, 32> &BindingHash)>;
+
+/// Client-side attestation batching (the DynSGX-style amortization from
+/// the server's HELLO-BATCH frame, driven from the fleet side): joiners
+/// that share a measurement pool into one group, and one attestation
+/// round -- one quote, one signature verification on the server --
+/// provisions the whole group. Joiners with different measurements never
+/// share a round (the binding hash would not verify), so mixed fleets
+/// split into one group per measurement automatically.
+///
+/// `join` is thread-safe and blocking: it parks the caller until the
+/// round containing its key completes. A full group is flushed inline by
+/// the joiner that filled it; partial groups are flushed by a background
+/// ager after `MaxDelayMs`.
+class AttestationBatcher {
+public:
+  /// \p Link carries the HELLO-BATCH exchange and must be thread-safe.
+  AttestationBatcher(Transport &Link, BatchQuoteFn QuoteFn,
+                     const AttestationBatcherConfig &Config =
+                         AttestationBatcherConfig());
+  /// Flushes any still-pending groups (so no joiner hangs), then joins
+  /// the ager thread. Do not destroy while calls to `join` are entering.
+  ~AttestationBatcher();
+
+  AttestationBatcher(const AttestationBatcher &) = delete;
+  AttestationBatcher &operator=(const AttestationBatcher &) = delete;
+
+  /// Joins the group for \p GroupKey with \p ClientPub and blocks until
+  /// that group's attestation round completes, returning this joiner's
+  /// minted session.
+  Expected<BatchJoinResult> join(const std::array<uint8_t, 32> &GroupKey,
+                                 const X25519Key &ClientPub);
+
+  /// Flushes every pending group now (tests and drain paths).
+  void flushAll();
+
+  /// Amortization accounting.
+  struct Stats {
+    size_t Rounds = 0;         ///< HELLO-BATCH rounds attempted.
+    size_t Sessions = 0;       ///< Sessions minted by successful rounds.
+    size_t FailedRounds = 0;   ///< Rounds whose exchange or parse failed.
+    /// Sessions per round -- the factor the batching buys over
+    /// one-HELLO-per-session provisioning.
+    double amortization() const {
+      return Rounds ? static_cast<double>(Sessions) / Rounds : 0.0;
+    }
+  };
+  Stats stats() const;
+
+private:
+  struct Waiter {
+    X25519Key ClientPub{};
+    bool Done = false;
+    Error Failure;            ///< Set when the round failed.
+    BatchJoinResult Result;   ///< Valid when Done && !Failure.
+  };
+  struct Group {
+    std::vector<std::shared_ptr<Waiter>> Waiters;
+    std::chrono::steady_clock::time_point OpenedAt;
+  };
+
+  /// Runs one attestation round for \p G (outside the lock) and
+  /// distributes results to its waiters.
+  void flushGroup(const std::array<uint8_t, 32> &Key, Group &&G);
+  void agerThread();
+
+  Transport &Link;
+  BatchQuoteFn QuoteFn;
+  AttestationBatcherConfig Config;
+
+  mutable std::mutex Mutex;
+  std::condition_variable Cv;
+  std::map<std::array<uint8_t, 32>, Group> Groups; ///< Guarded by Mutex.
+  bool Stopping = false;                           ///< Guarded by Mutex.
+  size_t Rounds = 0;                               ///< Guarded by Mutex.
+  size_t Sessions = 0;                             ///< Guarded by Mutex.
+  size_t FailedRounds = 0;                         ///< Guarded by Mutex.
+  std::thread Ager;
 };
 
 } // namespace elide

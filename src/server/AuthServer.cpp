@@ -13,7 +13,9 @@
 using namespace elide;
 
 AuthServer::AuthServer(AuthServerConfig C)
-    : Config(std::move(C)), Rng(Config.RngSeed ^ 0x5345525645ULL) {}
+    : Config(std::move(C)), Rng(Config.RngSeed ^ 0x5345525645ULL),
+      Store(SessionStoreConfig{Config.SessionShards, Config.MaxSessions,
+                               Config.RngSeed ^ 0x53455353ULL}) {}
 
 namespace {
 
@@ -32,10 +34,7 @@ Bytes AuthServer::handle(BytesView Request) {
   size_t Concurrent = InFlight.fetch_add(1) + 1;
   InFlightGuard Guard{InFlight};
   if (Config.OverloadThreshold && Concurrent > Config.OverloadThreshold) {
-    {
-      std::lock_guard<std::mutex> Lock(Mutex);
-      ++Stats.RequestsShed;
-    }
+    RequestsShed.fetch_add(1, std::memory_order_relaxed);
     return overloadedFrame(Config.OverloadRetryAfterMs);
   }
 
@@ -44,6 +43,8 @@ Bytes AuthServer::handle(BytesView Request) {
   switch (Request[0]) {
   case FrameHello:
     return handleHello(Request);
+  case FrameHelloBatch:
+    return handleHelloBatch(Request);
   case FrameRecord:
     return handleRecord(Request);
   default:
@@ -51,68 +52,79 @@ Bytes AuthServer::handle(BytesView Request) {
   }
 }
 
-Bytes AuthServer::handleHello(BytesView Frame) {
-  auto reject = [this](const std::string &Why) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Stats.HandshakesRejected;
-    return errorFrame(Why);
-  };
+AuthServerStats AuthServer::stats() const {
+  AuthServerStats S;
+  S.HandshakesCompleted = HandshakesCompleted.load(std::memory_order_relaxed);
+  S.HandshakesRejected = HandshakesRejected.load(std::memory_order_relaxed);
+  S.MetaRequests = MetaRequests.load(std::memory_order_relaxed);
+  S.DataRequests = DataRequests.load(std::memory_order_relaxed);
+  S.SessionsEvicted = Store.evictions();
+  S.LiveSessions = Store.size();
+  S.RequestsShed = RequestsShed.load(std::memory_order_relaxed);
+  S.SessionBudgetsExhausted =
+      SessionBudgetsExhausted.load(std::memory_order_relaxed);
+  S.BatchHandshakes = BatchHandshakes.load(std::memory_order_relaxed);
+  S.BatchSessionsMinted = BatchSessionsMinted.load(std::memory_order_relaxed);
+  return S;
+}
 
+Expected<sgx::ReportBody> AuthServer::verifyAttestation(BytesView Quote) {
   // Quote parsing and signature verification are the expensive part of a
   // handshake; they touch only immutable config, so they run unlocked and
-  // concurrent HELLOs verify in parallel.
-  Expected<sgx::Quote> Quote = sgx::Quote::deserialize(Frame.subspan(1));
-  if (!Quote)
-    return reject("malformed quote: " + Quote.errorMessage());
+  // concurrent handshakes verify in parallel.
+  Expected<sgx::Quote> Parsed = sgx::Quote::deserialize(Quote);
+  if (!Parsed)
+    return makeError("malformed quote: " + Parsed.errorMessage());
 
   // 1. The quote must chain to the attestation authority.
   Expected<sgx::ReportBody> Body =
-      sgx::AttestationAuthority::verifyQuote(*Quote, Config.AuthorityKey);
+      sgx::AttestationAuthority::verifyQuote(*Parsed, Config.AuthorityKey);
   if (!Body)
-    return reject(Body.errorMessage());
+    return makeError(Body.errorMessage());
 
   // 2. The attested enclave must be the developer's sanitized enclave --
   // this is what stops an attacker's enclave (or a tampered image) from
   // ever receiving the secrets.
   if (Body->MrEnclave != Config.ExpectedMrEnclave)
-    return reject("attested MRENCLAVE does not match the deployed "
-                  "sanitized enclave");
+    return makeError("attested MRENCLAVE does not match the deployed "
+                     "sanitized enclave");
   if (Config.ExpectedMrSigner && Body->MrSigner != *Config.ExpectedMrSigner)
-    return reject("attested MRSIGNER does not match the expected vendor");
+    return makeError("attested MRSIGNER does not match the expected vendor");
+  return Body;
+}
 
-  // 3. The enclave's channel public key rides in the report data,
+SessionKeys AuthServer::makeSessionKeys(const X25519Key &ClientPub,
+                                        X25519Key &ServerPubOut) {
+  X25519Key ServerPriv;
+  {
+    std::lock_guard<std::mutex> Lock(RngMutex);
+    Rng.fill(MutableBytesView(ServerPriv.data(), 32));
+  }
+  // The scalar multiplications are the costly part; they run unlocked.
+  ServerPubOut = x25519PublicKey(ServerPriv);
+  X25519Key Shared = x25519(ServerPriv, ClientPub);
+  return deriveSessionKeys(Shared, ClientPub, ServerPubOut);
+}
+
+Bytes AuthServer::handleHello(BytesView Frame) {
+  auto reject = [this](const std::string &Why) {
+    HandshakesRejected.fetch_add(1, std::memory_order_relaxed);
+    return errorFrame(Why);
+  };
+
+  Expected<sgx::ReportBody> Body = verifyAttestation(Frame.subspan(1));
+  if (!Body)
+    return reject(Body.errorMessage());
+
+  // The enclave's channel public key rides in the report data,
   // integrity-bound by the quote signature.
   X25519Key ClientPub;
   std::memcpy(ClientPub.data(), Body->Data.data(), 32);
 
-  uint64_t Sid;
   X25519Key ServerPub;
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    X25519Key ServerPriv;
-    Rng.fill(MutableBytesView(ServerPriv.data(), 32));
-    ServerPub = x25519PublicKey(ServerPriv);
-    X25519Key Shared = x25519(ServerPriv, ClientPub);
-
-    do
-      Sid = Rng.next64();
-    while (Sid == 0 || Sessions.count(Sid));
-
-    if (Sessions.size() >= Config.MaxSessions) {
-      // Evict the oldest session; its client can simply re-attest.
-      auto Oldest = Sessions.begin();
-      for (auto It = Sessions.begin(); It != Sessions.end(); ++It)
-        if (It->second.Sequence < Oldest->second.Sequence)
-          Oldest = It;
-      Sessions.erase(Oldest);
-      ++Stats.SessionsEvicted;
-    }
-    Session &S = Sessions[Sid];
-    S.Keys = deriveSessionKeys(Shared, ClientPub, ServerPub);
-    S.Sequence = NextSequence++;
-    ++Stats.HandshakesCompleted;
-    Stats.LiveSessions = Sessions.size();
-  }
+  SessionKeys Keys = makeSessionKeys(ClientPub, ServerPub);
+  uint64_t Sid = Store.mint(Keys);
+  HandshakesCompleted.fetch_add(1, std::memory_order_relaxed);
 
   Bytes Response;
   Response.push_back(FrameHello);
@@ -123,28 +135,61 @@ Bytes AuthServer::handleHello(BytesView Frame) {
   return Response;
 }
 
+Bytes AuthServer::handleHelloBatch(BytesView Frame) {
+  auto reject = [this](const std::string &Why) {
+    HandshakesRejected.fetch_add(1, std::memory_order_relaxed);
+    return errorFrame(Why);
+  };
+
+  Expected<HelloBatchRequest> Req = parseHelloBatchFrame(Frame);
+  if (!Req)
+    return reject(Req.errorMessage());
+
+  Expected<sgx::ReportBody> Body = verifyAttestation(Req->Quote);
+  if (!Body)
+    return reject(Body.errorMessage());
+
+  // The quote's report data must commit to this exact key list: one
+  // attested signature vouches for the whole batch, and nobody can splice
+  // a key into (or out of) someone else's batch without breaking the hash.
+  std::array<uint8_t, 32> Binding = batchBindingHash(Req->ClientPubs);
+  if (std::memcmp(Binding.data(), Body->Data.data(), 32) != 0)
+    return reject("batch binding hash does not match the attested "
+                  "report data");
+
+  std::vector<BatchSession> Minted;
+  Minted.reserve(Req->ClientPubs.size());
+  for (const X25519Key &ClientPub : Req->ClientPubs) {
+    BatchSession S;
+    SessionKeys Keys = makeSessionKeys(ClientPub, S.ServerPub);
+    S.Sid = Store.mint(Keys);
+    Minted.push_back(S);
+  }
+
+  // One attestation round, many sessions: this is the amortization the
+  // batch frame exists for.
+  HandshakesCompleted.fetch_add(1, std::memory_order_relaxed);
+  BatchHandshakes.fetch_add(1, std::memory_order_relaxed);
+  BatchSessionsMinted.fetch_add(Minted.size(), std::memory_order_relaxed);
+  return helloBatchOkFrame(Minted);
+}
+
 Bytes AuthServer::handleRecord(BytesView Frame) {
   Expected<uint64_t> Sid = peekSessionId(Frame);
   if (!Sid)
     return errorFrame(Sid.errorMessage());
 
   SessionKeys Keys;
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Sessions.find(*Sid);
-    if (It == Sessions.end())
-      return errorFrame("unknown session (send HELLO first)");
-    if (Config.MaxRequestsPerSession &&
-        It->second.RequestsServed >= Config.MaxRequestsPerSession) {
-      // Budget spent: drop the session so the keys cannot be milked
-      // indefinitely; the legitimate client simply re-attests.
-      Sessions.erase(It);
-      Stats.LiveSessions = Sessions.size();
-      ++Stats.SessionBudgetsExhausted;
-      return errorFrame("session request budget exhausted (re-attest)");
-    }
-    ++It->second.RequestsServed;
-    Keys = It->second.Keys;
+  switch (Store.touch(*Sid, Config.MaxRequestsPerSession, Keys)) {
+  case SessionTouch::Unknown:
+    return errorFrame("unknown session (send HELLO first)");
+  case SessionTouch::BudgetExhausted:
+    // Budget spent: drop the session so the keys cannot be milked
+    // indefinitely; the legitimate client simply re-attests.
+    SessionBudgetsExhausted.fetch_add(1, std::memory_order_relaxed);
+    return errorFrame("session request budget exhausted (re-attest)");
+  case SessionTouch::Ok:
+    break;
   }
 
   Expected<Bytes> Plain = openSessionRecord(Keys.ClientToServer, Frame);
@@ -155,29 +200,31 @@ Bytes AuthServer::handleRecord(BytesView Frame) {
 
   Bytes Payload;
   switch ((*Plain)[0]) {
-  case RequestMeta: {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Stats.MetaRequests;
+  case RequestMeta:
+    MetaRequests.fetch_add(1, std::memory_order_relaxed);
     Payload = Config.Meta.serialize();
     break;
-  }
-  case RequestData: {
+  case RequestData:
     if (Config.Meta.Encrypted)
       return errorFrame("secret data is stored locally (encrypted); the "
                         "server only serves the metadata");
     if (Config.SecretData.empty())
       return errorFrame("server has no secret data configured");
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Stats.DataRequests;
+    DataRequests.fetch_add(1, std::memory_order_relaxed);
     Payload = Config.SecretData;
     break;
-  }
   default:
     return errorFrame("unknown request byte");
   }
 
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Expected<Bytes> Response = sealRecord(Keys.ServerToClient, Payload, Rng);
+  // Draw the IV under the (tiny) RNG lock, then run the GCM pass
+  // unlocked: concurrent RECORD exchanges never serialize behind crypto.
+  Bytes Iv;
+  {
+    std::lock_guard<std::mutex> Lock(RngMutex);
+    Iv = Rng.bytes(12);
+  }
+  Expected<Bytes> Response = sealRecordIv(Keys.ServerToClient, Payload, Iv);
   if (!Response)
     return errorFrame("cannot seal response: " + Response.errorMessage());
   return Response.takeValue();

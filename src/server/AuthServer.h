@@ -16,6 +16,12 @@
 /// input" -- constructing an AuthServer takes only the sanitizer's
 /// artifacts and the expected measurement.
 ///
+/// Built for fleet scale: session state lives in a mutex-striped
+/// `SessionStore` (no global session lock), usage counters are atomics,
+/// and the only remaining lock is a tiny RNG stripe held just long
+/// enough to draw key/IV bytes. A HELLO-BATCH frame amortizes one quote
+/// verification over a whole batch of enclaves sharing a measurement.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SGXELIDE_SERVER_AUTHSERVER_H
@@ -23,13 +29,13 @@
 
 #include "elide/SecretMeta.h"
 #include "server/Protocol.h"
+#include "server/SessionStore.h"
 #include "sgx/SgxTypes.h"
 
 #include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 
 namespace elide {
 
@@ -48,9 +54,13 @@ struct AuthServerConfig {
   Bytes SecretData;
   /// Server randomness seed (IVs, ephemeral keys).
   uint64_t RngSeed = 1;
-  /// Upper bound on live sessions; when full, the oldest session is
-  /// evicted (its client simply re-attests).
+  /// Upper bound on live sessions; when a session-store stripe fills, its
+  /// oldest session is evicted (that client simply re-attests).
   size_t MaxSessions = 1024;
+  /// Mutex stripes in the session store (rounded up to a power of two).
+  /// More stripes buy less lock contention between concurrent RECORD
+  /// exchanges at the cost of coarser per-stripe eviction.
+  size_t SessionShards = 16;
   /// Per-session request budget: RECORD exchanges beyond this many on one
   /// session are refused and the session is dropped (the client
   /// re-attests, which re-proves it still runs the sanitized enclave).
@@ -64,7 +74,9 @@ struct AuthServerConfig {
   uint32_t OverloadRetryAfterMs = 100;
 };
 
-/// Usage counters (benchmarks read these).
+/// Usage counters (benchmarks read these). `HandshakesCompleted` counts
+/// attestation rounds (one per HELLO *or* HELLO-BATCH); the batch fields
+/// expose the amortization the batching buys.
 struct AuthServerStats {
   size_t HandshakesCompleted = 0;
   size_t HandshakesRejected = 0;
@@ -74,14 +86,18 @@ struct AuthServerStats {
   size_t LiveSessions = 0;
   size_t RequestsShed = 0;
   size_t SessionBudgetsExhausted = 0;
+  /// Successful HELLO-BATCH rounds (each also counts one handshake).
+  size_t BatchHandshakes = 0;
+  /// Sessions minted by HELLO-BATCH rounds.
+  size_t BatchSessionsMinted = 0;
 };
 
 /// A multi-session authentication server. Transport-agnostic: feed it
 /// request frames, send back its response frames (LoopbackTransport does
-/// this in-process; TcpServer over sockets). `handle` is thread-safe, so
-/// a concurrent transport may call it from many connections at once; each
-/// HELLO mints an independent session whose directional keys never mix
-/// with another client's.
+/// this in-process; the reactor-backed TcpServer over sockets). `handle`
+/// is thread-safe and mostly lock-free: concurrent quote verifications,
+/// GCM passes, and session lookups in different stripes all proceed in
+/// parallel.
 class AuthServer {
 public:
   explicit AuthServer(AuthServerConfig Config);
@@ -92,29 +108,39 @@ public:
   Bytes handle(BytesView Request);
 
   /// Snapshot of the usage counters.
-  AuthServerStats stats() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Stats;
-  }
+  AuthServerStats stats() const;
+
+  /// The session store (tests probe striping and eviction directly).
+  const SessionStore &sessions() const { return Store; }
 
 private:
-  /// One attested client channel.
-  struct Session {
-    SessionKeys Keys;
-    uint64_t Sequence = 0; ///< Admission order, for LRU-ish eviction.
-    uint64_t RequestsServed = 0; ///< Counted against MaxRequestsPerSession.
-  };
-
   Bytes handleHello(BytesView Frame);
+  Bytes handleHelloBatch(BytesView Frame);
   Bytes handleRecord(BytesView Frame);
+
+  /// Verifies a serialized quote against the trust anchors. Returns the
+  /// report body or a rejection message (already counted).
+  Expected<sgx::ReportBody> verifyAttestation(BytesView Quote);
+
+  /// Draws a server ephemeral key pair and derives the session keys for
+  /// \p ClientPub. Only the key-byte draw holds the RNG lock.
+  SessionKeys makeSessionKeys(const X25519Key &ClientPub,
+                              X25519Key &ServerPubOut);
 
   AuthServerConfig Config;
   std::atomic<size_t> InFlight{0}; ///< Concurrent handle() calls.
-  mutable std::mutex Mutex;
-  Drbg Rng;                                      ///< Guarded by Mutex.
-  std::unordered_map<uint64_t, Session> Sessions; ///< Guarded by Mutex.
-  uint64_t NextSequence = 0;                      ///< Guarded by Mutex.
-  AuthServerStats Stats;                          ///< Guarded by Mutex.
+  mutable std::mutex RngMutex;
+  Drbg Rng; ///< Guarded by RngMutex (key and IV draws only).
+  SessionStore Store;
+
+  std::atomic<size_t> HandshakesCompleted{0};
+  std::atomic<size_t> HandshakesRejected{0};
+  std::atomic<size_t> MetaRequests{0};
+  std::atomic<size_t> DataRequests{0};
+  std::atomic<size_t> RequestsShed{0};
+  std::atomic<size_t> SessionBudgetsExhausted{0};
+  std::atomic<size_t> BatchHandshakes{0};
+  std::atomic<size_t> BatchSessionsMinted{0};
 };
 
 } // namespace elide

@@ -40,13 +40,20 @@
 #include "support/Bytes.h"
 #include "support/Error.h"
 
+#include <array>
 #include <optional>
+#include <vector>
 
 namespace elide {
 
 /// Frame type bytes.
 constexpr uint8_t FrameHello = 0x01;
 constexpr uint8_t FrameRecord = 0x02;
+/// Batched handshake: one attested quote provisions many sessions for
+/// enclaves sharing a measurement (DynSGX-style amortization: the quote's
+/// report data binds the whole key list, so the expensive signature
+/// verification runs once per batch instead of once per enclave).
+constexpr uint8_t FrameHelloBatch = 0x03;
 constexpr uint8_t FrameError = 0xee;
 /// Load-shedding response: the server is up but refuses this exchange.
 /// Unlike ERROR (a verdict about the request), OVERLOADED is a statement
@@ -80,6 +87,12 @@ SessionKeys deriveSessionKeys(const X25519Key &Shared,
 Expected<Bytes> sealRecord(const Aes128Key &Key, BytesView Plaintext,
                            Drbg &Rng);
 
+/// Same, with a caller-supplied 12-byte IV. This is the contention-free
+/// form: a concurrent server draws the IV under its (tiny) RNG lock and
+/// runs the GCM pass unlocked.
+Expected<Bytes> sealRecordIv(const Aes128Key &Key, BytesView Plaintext,
+                             BytesView Iv);
+
 /// Decrypts a server->client RECORD frame (including the leading type
 /// byte).
 Expected<Bytes> openRecord(const Aes128Key &Key, BytesView Frame);
@@ -96,6 +109,57 @@ Expected<uint64_t> peekSessionId(BytesView Frame);
 /// Decrypts a client->server RECORD frame, verifying that the session id
 /// it names was authenticated under \p Key.
 Expected<Bytes> openSessionRecord(const Aes128Key &Key, BytesView Frame);
+
+//===----------------------------------------------------------------------===//
+// Batched handshake (HELLO-BATCH)
+//===----------------------------------------------------------------------===//
+//
+// Frames:
+//   HELLO-BATCH    : 0x03 || count u16 || quote-len u32 || quote ||
+//                    count * client X25519 public key[32]
+//   HELLO-BATCH-OK : 0x03 || count u16 ||
+//                    count * (session id[8] || server X25519 public key[32])
+//
+// The quote's report data carries, in its first 32 bytes, the batch
+// binding hash: SHA-256 over a domain tag, the count, and the client
+// public keys in wire order. The attested enclave therefore vouches for
+// the *whole key list* with one signature; an attacker cannot splice a
+// key into someone else's batch without breaking the hash, and every
+// minted session still gets independent directional keys from its own
+// X25519 exchange.
+
+/// Hard cap on sessions per batch (bounds server work per frame).
+constexpr size_t BatchMaxSessions = 1024;
+
+/// The batch binding hash committed into the quote's report data.
+std::array<uint8_t, 32>
+batchBindingHash(const std::vector<X25519Key> &ClientPubs);
+
+/// Builds a HELLO-BATCH frame from a serialized quote and the key list.
+Bytes helloBatchFrame(BytesView Quote,
+                      const std::vector<X25519Key> &ClientPubs);
+
+/// Parsed client side of a HELLO-BATCH frame.
+struct HelloBatchRequest {
+  BytesView Quote; ///< Points into the parsed frame; copy to outlive it.
+  std::vector<X25519Key> ClientPubs;
+};
+
+/// Parses a HELLO-BATCH frame (including the leading type byte). The
+/// returned quote view aliases \p Frame.
+Expected<HelloBatchRequest> parseHelloBatchFrame(BytesView Frame);
+
+/// One minted session in a HELLO-BATCH-OK frame, in key-list order.
+struct BatchSession {
+  uint64_t Sid = 0;
+  X25519Key ServerPub{};
+};
+
+/// Builds a HELLO-BATCH-OK frame.
+Bytes helloBatchOkFrame(const std::vector<BatchSession> &Sessions);
+
+/// Parses a HELLO-BATCH-OK frame (ERROR frames surface as errors).
+Expected<std::vector<BatchSession>> parseHelloBatchOkFrame(BytesView Frame);
 
 /// Builds an ERROR frame.
 Bytes errorFrame(const std::string &Message);

@@ -1,0 +1,86 @@
+//===- server/SessionStore.cpp - Mutex-striped session/key store ----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SessionStore.h"
+
+using namespace elide;
+
+SessionStore::SessionStore(const SessionStoreConfig &Config) {
+  size_t Shards = 1;
+  while (Shards < Config.Shards && Shards < (1u << 16))
+    Shards <<= 1;
+  ShardMask = Shards - 1;
+  PerShardCap = Config.MaxSessions / Shards;
+  if (PerShardCap == 0)
+    PerShardCap = 1;
+  ShardList.reserve(Shards);
+  for (size_t I = 0; I < Shards; ++I)
+    ShardList.push_back(std::make_unique<Shard>(
+        Config.RngSeed ^ (0x9e3779b97f4a7c15ULL * (I + 1)) ^ 0x53484152ULL));
+}
+
+uint64_t SessionStore::mint(const SessionKeys &Keys) {
+  // The minting shard is chosen by the generator's first draw, then the
+  // id's low bits are forced onto that shard so shardOf(id) is pure bit
+  // math on the lookup path.
+  uint64_t Draw;
+  size_t ShardIdx =
+      MintSpread.fetch_add(1, std::memory_order_relaxed) & ShardMask;
+  Shard &S = *ShardList[ShardIdx];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  uint64_t Sid;
+  do {
+    Draw = S.Rng.next64();
+    Sid = (Draw & ~static_cast<uint64_t>(ShardMask)) | ShardIdx;
+  } while (Sid == 0 || S.Sessions.count(Sid));
+
+  if (S.Sessions.size() >= PerShardCap) {
+    auto Oldest = S.Sessions.begin();
+    for (auto It = S.Sessions.begin(); It != S.Sessions.end(); ++It)
+      if (It->second.Sequence < Oldest->second.Sequence)
+        Oldest = It;
+    S.Sessions.erase(Oldest);
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    LiveSessions.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  Session &New = S.Sessions[Sid];
+  New.Keys = Keys;
+  New.Sequence = S.NextSequence++;
+  LiveSessions.fetch_add(1, std::memory_order_relaxed);
+  return Sid;
+}
+
+SessionTouch SessionStore::touch(uint64_t Sid, size_t MaxRequestsPerSession,
+                                 SessionKeys &KeysOut) {
+  Shard &S = *ShardList[shardOf(Sid)];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Sessions.find(Sid);
+  if (It == S.Sessions.end())
+    return SessionTouch::Unknown;
+  if (MaxRequestsPerSession &&
+      It->second.RequestsServed >= MaxRequestsPerSession) {
+    S.Sessions.erase(It);
+    LiveSessions.fetch_sub(1, std::memory_order_relaxed);
+    return SessionTouch::BudgetExhausted;
+  }
+  ++It->second.RequestsServed;
+  KeysOut = It->second.Keys;
+  return SessionTouch::Ok;
+}
+
+bool SessionStore::erase(uint64_t Sid) {
+  Shard &S = *ShardList[shardOf(Sid)];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Sessions.erase(Sid) == 0)
+    return false;
+  LiveSessions.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t SessionStore::size() const {
+  return LiveSessions.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,122 @@
+//===- server/SessionStore.h - Mutex-striped session/key store ------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AuthServer's session table, sharded for fleet-scale concurrency:
+/// N mutex-striped shards keyed by session id, replacing the former
+/// single global lock that serialized every RECORD exchange behind every
+/// HELLO. A session id's low bits name its shard, so lookup touches
+/// exactly one stripe and two clients in different shards never contend.
+///
+/// Each shard owns its piece of everything session-shaped: the map from
+/// id to per-session AES keys (the sealed-channel key material), a
+/// deterministic per-shard id generator, an admission sequence for
+/// LRU-ish eviction, and a per-shard capacity slice. Eviction is
+/// per-shard: when a shard's slice fills, its oldest session goes first.
+/// That trades exact global LRU for lock locality -- with ids uniformly
+/// distributed over shards the difference is noise, and no operation
+/// ever takes more than one shard lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_SERVER_SESSIONSTORE_H
+#define SGXELIDE_SERVER_SESSIONSTORE_H
+
+#include "crypto/Drbg.h"
+#include "server/Protocol.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace elide {
+
+/// Tuning for the striped store.
+struct SessionStoreConfig {
+  /// Stripe count; rounded up to a power of two, minimum 1. More shards
+  /// buy less contention at the cost of coarser per-shard eviction.
+  size_t Shards = 16;
+  /// Upper bound on live sessions across all shards; each shard enforces
+  /// its slice (MaxSessions / shards, minimum 1).
+  size_t MaxSessions = 1024;
+  /// Seed for the per-shard session-id generators (perturbed per shard).
+  uint64_t RngSeed = 1;
+};
+
+/// Outcome of a `touch` (lookup + budget charge) on a session.
+enum class SessionTouch {
+  Ok,              ///< Session found; keys returned; budget charged.
+  Unknown,         ///< No such session (evicted, expired, or forged id).
+  BudgetExhausted, ///< Request budget spent; the session was dropped.
+};
+
+/// The striped store. All public methods are thread-safe and take at
+/// most one shard lock.
+class SessionStore {
+public:
+  explicit SessionStore(const SessionStoreConfig &Config);
+
+  /// Mints a fresh session with \p Keys and returns its id (never 0).
+  /// May evict the owning shard's oldest session when the shard is full.
+  uint64_t mint(const SessionKeys &Keys);
+
+  /// Looks up \p Sid, copies its keys into \p KeysOut, and charges one
+  /// request against \p MaxRequestsPerSession (0 = unlimited). A session
+  /// whose budget was already spent is erased and reported as
+  /// BudgetExhausted -- the client re-attests, which re-proves it still
+  /// runs the sanitized enclave.
+  SessionTouch touch(uint64_t Sid, size_t MaxRequestsPerSession,
+                     SessionKeys &KeysOut);
+
+  /// Removes \p Sid; returns whether it existed.
+  bool erase(uint64_t Sid);
+
+  /// Live sessions across all shards.
+  size_t size() const;
+
+  /// Sessions evicted by capacity pressure so far.
+  size_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+
+  /// The stripe count actually in use (after power-of-two rounding).
+  size_t shardCount() const { return ShardList.size(); }
+
+  /// The shard index an id maps to (tests assert the striping invariant
+  /// and the distribution over shards).
+  size_t shardOf(uint64_t Sid) const { return Sid & ShardMask; }
+
+private:
+  struct Session {
+    SessionKeys Keys;
+    uint64_t Sequence = 0;       ///< Admission order within the shard.
+    uint64_t RequestsServed = 0; ///< Charged by touch().
+  };
+
+  struct Shard {
+    std::mutex Mutex;
+    std::unordered_map<uint64_t, Session> Sessions; ///< Guarded by Mutex.
+    Drbg Rng;                                       ///< Guarded by Mutex.
+    uint64_t NextSequence = 0;                      ///< Guarded by Mutex.
+
+    explicit Shard(uint64_t Seed) : Rng(Seed) {}
+  };
+
+  size_t ShardMask = 0;
+  size_t PerShardCap = 1;
+  std::vector<std::unique_ptr<Shard>> ShardList;
+  /// Round-robins which shard mints next (spreads load; exactness is not
+  /// needed, only absence of systematic skew).
+  std::atomic<size_t> MintSpread{0};
+  std::atomic<size_t> LiveSessions{0};
+  std::atomic<size_t> Evictions{0};
+};
+
+} // namespace elide
+
+#endif // SGXELIDE_SERVER_SESSIONSTORE_H

@@ -14,6 +14,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace elide;
@@ -232,178 +233,38 @@ Expected<Bytes> recvFrameDeadline(int Fd, const Deadline &D,
 
 Expected<std::unique_ptr<TcpServer>>
 TcpServer::start(AuthServer &Server, const TcpServerConfig &Config) {
-  if (Config.WorkerThreads == 0)
-    return makeError("TcpServerConfig.WorkerThreads must be positive");
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return makeError(std::string("socket: ") + std::strerror(errno));
-  int One = 1;
-  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
-
-  sockaddr_in Addr{};
-  Addr.sin_family = AF_INET;
-  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  Addr.sin_port = 0; // ephemeral
-  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    ::close(Fd);
-    return makeError(std::string("bind: ") + std::strerror(errno));
-  }
-  if (::listen(Fd, Config.Backlog) < 0) {
-    ::close(Fd);
-    return makeError(std::string("listen: ") + std::strerror(errno));
-  }
-  socklen_t AddrLen = sizeof(Addr);
-  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) < 0) {
-    ::close(Fd);
-    return makeError(std::string("getsockname: ") + std::strerror(errno));
-  }
-
+  ReactorConfig RC;
+  RC.WorkerThreads = Config.WorkerThreads;
+  RC.ReadTimeoutMs = Config.ReadTimeoutMs;
+  RC.WriteTimeoutMs = Config.WriteTimeoutMs;
+  RC.Backlog = Config.Backlog;
+  RC.MaxFrameBytes = Config.MaxFrameBytes;
+  RC.MaxConnections = Config.MaxConnections;
+  RC.OverloadRetryAfterMs = Config.OverloadRetryAfterMs;
+  RC.ForcePollBackend = Config.ForcePollBackend;
+  ELIDE_TRY(std::unique_ptr<ReactorServer> Impl,
+            ReactorServer::start(
+                [Srv = &Server](BytesView Req) { return Srv->handle(Req); },
+                RC));
   std::unique_ptr<TcpServer> S(new TcpServer());
-  S->Server = &Server;
-  S->Config = Config;
-  S->ListenFd = Fd;
-  S->Port = ntohs(Addr.sin_port);
-  S->Workers.reserve(Config.WorkerThreads);
-  for (size_t I = 0; I < Config.WorkerThreads; ++I)
-    S->Workers.emplace_back([Raw = S.get()] { Raw->workerLoop(); });
-  S->Acceptor = std::thread([Raw = S.get()] { Raw->acceptLoop(); });
+  S->Impl = std::move(Impl);
   return S;
 }
 
-void TcpServer::acceptLoop() {
-  while (!Stopping.load()) {
-    int Client = ::accept(ListenFd, nullptr, nullptr);
-    if (Client < 0) {
-      if (Stopping.load())
-        return;
-      if (errno == EINTR)
-        continue;
-      // Transient accept failures (EMFILE and friends): brief pause so a
-      // hot error does not spin the CPU.
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
-      continue;
-    }
-    ConnectionsAccepted.fetch_add(1);
-    setNonBlocking(Client);
-    if (Config.MaxConnections &&
-        LiveConnections.load() >= Config.MaxConnections) {
-      // Load-shed at the door: an explicit OVERLOADED frame (with a
-      // retry-after hint) instead of a silent queue that only turns into a
-      // timeout later. The client's breaker treats this as backpressure,
-      // not endpoint death.
-      ConnectionsShed.fetch_add(1);
-      Bytes Shed = overloadedFrame(Config.OverloadRetryAfterMs);
-      (void)sendFrameDeadline(Client, Shed, Deadline::in(250), &Stopping);
-      // A straight close() can RST the connection (the client's request
-      // bytes are unread in our buffer), destroying the frame before the
-      // client reads it. Half-close and drain briefly so it survives.
-      ::shutdown(Client, SHUT_WR);
-      uint8_t Sink[256];
-      Deadline DrainBy = Deadline::in(250);
-      while (!DrainBy.expired() && !Stopping.load()) {
-        ssize_t N = ::recv(Client, Sink, sizeof(Sink), 0);
-        if (N == 0)
-          break;
-        if (N < 0) {
-          if (errno != EAGAIN && errno != EWOULDBLOCK)
-            break;
-          std::this_thread::sleep_for(std::chrono::milliseconds(2));
-        }
-      }
-      ::close(Client);
-      continue;
-    }
-    LiveConnections.fetch_add(1);
-    {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
-      PendingFds.push_back(Client);
-    }
-    QueueCv.notify_one();
-  }
-}
-
-void TcpServer::workerLoop() {
-  for (;;) {
-    int Client = -1;
-    {
-      std::unique_lock<std::mutex> Lock(QueueMutex);
-      QueueCv.wait(Lock,
-                   [this] { return Stopping.load() || !PendingFds.empty(); });
-      if (PendingFds.empty())
-        return; // Stopping and drained.
-      Client = PendingFds.front();
-      PendingFds.pop_front();
-    }
-    serveConnection(Client);
-    LiveConnections.fetch_sub(1);
-  }
-}
-
-void TcpServer::serveConnection(int ClientFd) {
-  // Serve frames until the peer closes, an IO deadline fires, or the
-  // server drains. A stop request interrupts the idle wait for the *next*
-  // frame but lets an exchange already in flight finish.
-  for (;;) {
-    size_t Got = 0;
-    Expected<Bytes> Request =
-        recvFrameDeadline(ClientFd, Deadline::in(Config.ReadTimeoutMs),
-                          Config.MaxFrameBytes, &Stopping, &Got);
-    if (!Request) {
-      // Quiet closes and stop-drains between frames are normal; only count
-      // deadline hits, and only when the client left a frame dangling.
-      if (transportErrcOf(Request) == TransportErrc::ReadTimeout && Got > 0 &&
-          !Stopping.load())
-        ReadTimeouts.fetch_add(1);
-      break;
-    }
-    Bytes Response = Server->handle(*Request);
-    if (Error E = sendFrameDeadline(ClientFd, Response,
-                                    Deadline::in(Config.WriteTimeoutMs),
-                                    /*Stop=*/nullptr)) {
-      if (transportErrcOf(E) == TransportErrc::WriteTimeout)
-        WriteTimeouts.fetch_add(1);
-      break;
-    }
-    FramesServed.fetch_add(1);
-    if (Stopping.load())
-      break;
-  }
-  ::close(ClientFd);
-}
-
-void TcpServer::stop() {
-  if (Stopping.exchange(true))
-    return;
-  // Shut the listener down to unblock accept(), then wake every worker;
-  // in-flight connections finish their current exchange before closing.
-  ::shutdown(ListenFd, SHUT_RDWR);
-  ::close(ListenFd);
-  QueueCv.notify_all();
-  if (Acceptor.joinable())
-    Acceptor.join();
-  for (std::thread &W : Workers)
-    if (W.joinable())
-      W.join();
-  // Connections that were queued but never picked up get closed unserved.
-  std::lock_guard<std::mutex> Lock(QueueMutex);
-  for (int Fd : PendingFds) {
-    ::close(Fd);
-    LiveConnections.fetch_sub(1);
-  }
-  PendingFds.clear();
-}
+void TcpServer::stop() { Impl->stop(); }
 
 TcpServerStats TcpServer::stats() const {
+  ReactorStats R = Impl->stats();
   TcpServerStats S;
-  S.ConnectionsAccepted = ConnectionsAccepted.load();
-  S.ConnectionsShed = ConnectionsShed.load();
-  S.FramesServed = FramesServed.load();
-  S.ReadTimeouts = ReadTimeouts.load();
-  S.WriteTimeouts = WriteTimeouts.load();
+  S.ConnectionsAccepted = R.ConnectionsAccepted;
+  S.ConnectionsShed = R.ConnectionsShed;
+  S.FramesServed = R.FramesServed;
+  S.ReadTimeouts = R.ReadTimeouts;
+  S.WriteTimeouts = R.WriteTimeouts;
   return S;
 }
 
-TcpServer::~TcpServer() { stop(); }
+TcpServer::~TcpServer() = default;
 
 //===----------------------------------------------------------------------===//
 // TcpClientTransport

@@ -14,7 +14,8 @@
 ///
 /// The paper observes that a missing server is a denial of service on the
 /// protected application, so this layer is built for failure: the server
-/// serves many connections concurrently from a worker pool with
+/// multiplexes many connections on an event-driven reactor (epoll with a
+/// poll fallback; handler CPU work on a fixed worker pool) with
 /// per-operation read/write deadlines and drains gracefully on `stop()`;
 /// the client bounds connect/IO time and retries with exponential backoff
 /// and deterministic jitter, surfacing a typed `TransportErrc` when the
@@ -27,15 +28,12 @@
 
 #include "crypto/Drbg.h"
 #include "server/AuthServer.h"
+#include "server/Reactor.h"
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
-#include <vector>
 
 namespace elide {
 
@@ -112,7 +110,8 @@ private:
 
 /// Tuning knobs for the concurrent TCP server.
 struct TcpServerConfig {
-  /// Worker threads serving accepted connections concurrently.
+  /// Worker threads running AuthServer::handle concurrently (IO itself is
+  /// multiplexed on one reactor thread regardless).
   size_t WorkerThreads = 8;
   /// Deadline for reading one full frame off a connection.
   int ReadTimeoutMs = 5000;
@@ -123,11 +122,13 @@ struct TcpServerConfig {
   /// Largest frame the server will accept.
   uint32_t MaxFrameBytes = 64u << 20;
   /// Connection cap: accepted connections beyond this many concurrently
-  /// live (queued or being served) are shed with an OVERLOADED frame
-  /// instead of being queued behind a saturated worker pool. 0 = no cap.
+  /// served are shed with an OVERLOADED frame instead of being queued
+  /// behind a saturated worker pool. 0 = no cap.
   size_t MaxConnections = 0;
   /// Retry-after hint carried by shed responses.
   uint32_t OverloadRetryAfterMs = 100;
+  /// Selects the poll(2) event-loop backend instead of epoll (tests).
+  bool ForcePollBackend = false;
 };
 
 /// Usage counters for the TCP server (tests and benches read these).
@@ -139,21 +140,22 @@ struct TcpServerStats {
   size_t WriteTimeouts = 0;
 };
 
-/// Serves an AuthServer over TCP. Connections are accepted on a
-/// background thread and handed to a pool of workers, so one slow or
-/// stalled client never blocks the rest; frames are u32-length-prefixed.
-/// Binds to 127.0.0.1 on an ephemeral port. `stop()` drains gracefully:
-/// the listener closes immediately, in-flight exchanges finish (bounded by
-/// their IO deadlines), then the workers join.
+/// Serves an AuthServer over TCP: a thin binding of `ReactorServer` (the
+/// event-driven transport core, see server/Reactor.h) to
+/// `AuthServer::handle`. Frames are u32-length-prefixed; binds to
+/// 127.0.0.1 on an ephemeral port. `stop()` drains gracefully: the
+/// listener closes immediately, accepted-but-unserved connections get an
+/// OVERLOADED frame, in-flight exchanges finish (bounded by their IO
+/// deadlines), then the threads join.
 class TcpServer {
 public:
-  /// Starts the accept loop and worker pool on background threads.
+  /// Starts the reactor and worker pool on background threads.
   static Expected<std::unique_ptr<TcpServer>>
   start(AuthServer &Server, const TcpServerConfig &Config = TcpServerConfig());
   ~TcpServer();
 
   /// The bound port.
-  uint16_t port() const { return Port; }
+  uint16_t port() const { return Impl->port(); }
 
   /// Stops accepting, drains in-flight connections, joins all threads.
   /// Idempotent.
@@ -162,30 +164,13 @@ public:
   /// Snapshot of the usage counters.
   TcpServerStats stats() const;
 
+  /// The underlying reactor (tests read its extended stats).
+  const ReactorServer &reactor() const { return *Impl; }
+
 private:
   TcpServer() = default;
-  void acceptLoop();
-  void workerLoop();
-  void serveConnection(int ClientFd);
 
-  AuthServer *Server = nullptr;
-  TcpServerConfig Config;
-  int ListenFd = -1;
-  uint16_t Port = 0;
-  std::thread Acceptor;
-  std::vector<std::thread> Workers;
-  std::atomic<bool> Stopping{false};
-
-  std::mutex QueueMutex;
-  std::condition_variable QueueCv;
-  std::deque<int> PendingFds; ///< Guarded by QueueMutex.
-
-  std::atomic<size_t> ConnectionsAccepted{0};
-  std::atomic<size_t> ConnectionsShed{0};
-  std::atomic<size_t> LiveConnections{0}; ///< Queued + being served.
-  std::atomic<size_t> FramesServed{0};
-  std::atomic<size_t> ReadTimeouts{0};
-  std::atomic<size_t> WriteTimeouts{0};
+  std::unique_ptr<ReactorServer> Impl;
 };
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,89 @@
+//===- tests/LoadGenSmokeTest.cpp - provisioning loadgen smoke test --------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A short in-process run of the provisioning load generator: two seconds
+/// of closed-loop load (or fewer, once the session target is hit), then
+/// structural checks on the report and on the BENCH_provisioning.json
+/// document it writes -- the same artifact the CI perf job uploads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/LoadGen.h"
+#include "support/File.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace elide;
+using namespace elide::loadgen;
+
+namespace {
+
+TEST(LoadGenSmokeTest, ClosedLoopRunEmitsCompleteReport) {
+  LoadGenConfig Config;
+  Config.Mode = LoadGenMode::Closed;
+  Config.DurationMs = 2000;
+  Config.Workers = 4;
+  Config.Connections = 32;
+  Config.BatchSize = 8;
+  Config.ServerWorkers = 2;
+  Config.TargetSessions = 300; // Usually ends the run well before 2s.
+  Config.Seed = 42;
+
+  Expected<LoadGenReport> Report = runProvisioningLoadGen(Config);
+  ASSERT_TRUE(static_cast<bool>(Report)) << Report.errorMessage();
+
+  // The run did real work.
+  EXPECT_GT(Report->RestoresTotal, 0u);
+  EXPECT_GT(Report->RestoresPerSec, 0.0);
+  EXPECT_GT(Report->DurationS, 0.0);
+  EXPECT_GT(Report->MaxConcurrentSessions, 0u);
+  // Ballast was held while serving.
+  EXPECT_GE(Report->MaxConcurrentConnections, Config.Connections);
+
+  // Latency percentiles are ordered and populated.
+  EXPECT_GT(Report->LatencyMs.P50, 0.0);
+  EXPECT_LE(Report->LatencyMs.P50, Report->LatencyMs.P95);
+  EXPECT_LE(Report->LatencyMs.P95, Report->LatencyMs.P99);
+
+  // Batching actually amortized: fewer rounds than sessions.
+  EXPECT_GT(Report->BatchRounds, 0u);
+  EXPECT_EQ(Report->BatchSessionsMinted, Report->RestoresTotal);
+  EXPECT_GT(Report->BatchAmortization, 1.0);
+  EXPECT_LT(Report->BatchRounds, Report->RestoresTotal);
+
+  // Server-side accounting agrees with the client's view.
+  EXPECT_EQ(Report->Server.BatchSessionsMinted, Report->RestoresTotal);
+  EXPECT_EQ(Report->Reactor.ReadTimeouts, 0u);
+
+  // The JSON artifact round-trips through disk with every required field.
+  std::string Path =
+      ::testing::TempDir() + "BENCH_provisioning_smoke.json";
+  ASSERT_FALSE(static_cast<bool>(writeLoadGenJson(*Report, Path)));
+  Expected<Bytes> Raw = readFileBytes(Path);
+  ASSERT_TRUE(static_cast<bool>(Raw)) << Raw.errorMessage();
+  std::string Json(Raw->begin(), Raw->end());
+  std::remove(Path.c_str());
+
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.substr(Json.size() - 2), "}\n");
+  for (const char *Field :
+       {"\"bench\": \"provisioning_loadgen\"", "\"restores_total\"",
+        "\"restores_per_sec\"", "\"p50\"", "\"p95\"", "\"p99\"",
+        "\"shed_rate\"", "\"amortization\"", "\"rounds\"",
+        "\"max_concurrent_sessions\"", "\"max_concurrent_connections\"",
+        "\"duration_s\"", "\"restores_failed\""})
+    EXPECT_NE(Json.find(Field), std::string::npos)
+        << "missing field " << Field;
+
+  // Nonzero restores made it into the document (not just the struct).
+  EXPECT_EQ(Json.find("\"restores_total\": 0,"), std::string::npos);
+}
+
+} // namespace

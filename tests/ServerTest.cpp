@@ -7,6 +7,7 @@
 #include "server/AuthServer.h"
 #include "server/Transport.h"
 #include "sgx/Attestation.h"
+#include "tests/framework/TestNet.h"
 
 #include <gtest/gtest.h>
 
@@ -333,10 +334,14 @@ TEST(TcpTransportTest, FramesSurviveTheWire) {
 }
 
 TEST(TcpTransportTest, ConnectToClosedPortFailsTyped) {
+  // A port this process owns (bound, never listened): connecting to it is
+  // refused deterministically even under ctest -j.
+  elide::testing::ClosedPort Closed;
+  ASSERT_TRUE(Closed.ok());
   TcpClientConfig Config;
   Config.MaxAttempts = 2;
   Config.BackoffBaseMs = 1;
-  TcpClientTransport Client("127.0.0.1", 1, Config);
+  TcpClientTransport Client("127.0.0.1", Closed.port(), Config);
   Expected<Bytes> R = Client.roundTrip(Bytes{1});
   ASSERT_FALSE(static_cast<bool>(R));
   EXPECT_EQ(transportErrcOf(R), TransportErrc::RetriesExhausted);
@@ -344,9 +349,11 @@ TEST(TcpTransportTest, ConnectToClosedPortFailsTyped) {
 }
 
 TEST(TcpTransportTest, SingleAttemptSurfacesUnderlyingError) {
+  elide::testing::ClosedPort Closed;
+  ASSERT_TRUE(Closed.ok());
   TcpClientConfig Config;
   Config.MaxAttempts = 1;
-  TcpClientTransport Client("127.0.0.1", 1, Config);
+  TcpClientTransport Client("127.0.0.1", Closed.port(), Config);
   Expected<Bytes> R = Client.roundTrip(Bytes{1});
   ASSERT_FALSE(static_cast<bool>(R));
   EXPECT_EQ(transportErrcOf(R), TransportErrc::ConnectFailed);

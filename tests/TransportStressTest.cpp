@@ -19,6 +19,7 @@
 #include "server/AuthServer.h"
 #include "server/Transport.h"
 #include "sgx/EnclaveLoader.h"
+#include "tests/framework/TestNet.h"
 
 #include <gtest/gtest.h>
 
@@ -248,10 +249,18 @@ TEST(TransportStressTest, StopDrainsWithClientsMidSession) {
     T.join();
 
   // The listener is gone: fresh connections now fail with a typed error.
+  // Park the freed port ourselves first (bound, not listening) so a
+  // parallel test adopting the same ephemeral port cannot turn this
+  // refusal into an accidental success. If the port was already taken,
+  // the refusal claim is unprovable -- skip it rather than flake.
+  int Parked = elide::testing::tryBindPort(Port);
+  if (Parked < 0)
+    GTEST_SKIP() << "freed port already re-bound by another process";
   TcpClientConfig Config;
   Config.MaxAttempts = 1;
   TcpClientTransport After("127.0.0.1", Port, Config);
   Expected<Bytes> R = After.roundTrip(Bytes{1});
+  ::close(Parked);
   ASSERT_FALSE(static_cast<bool>(R));
   EXPECT_NE(transportErrcOf(R), TransportErrc::None);
 }
