@@ -8,10 +8,13 @@
 
 #include "bench/BenchCommon.h"
 #include "support/Stats.h"
+#include "vm/ExecBackend.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <optional>
 
 using namespace elide;
 using namespace elide::bench;
@@ -20,10 +23,46 @@ namespace {
 
 constexpr int PaperRuns = 10;
 
+/// Backend override from --svm-backend; empty means the enclave default.
+/// Figures 3/4 measure the restoration story, not dispatch, but being able
+/// to re-run them per backend is the cheapest cross-check that the engines
+/// are interchangeable at app level (ablation_dispatch measures the delta).
+std::optional<VmBackendKind> BackendOverride;
+
+/// Strips `--svm-backend NAME` from argv (google-benchmark rejects flags it
+/// does not know) and records the override. Returns false on a bad name.
+bool consumeBackendFlag(int &argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--svm-backend") != 0)
+      continue;
+    if (I + 1 >= argc) {
+      std::fprintf(stderr, "--svm-backend requires a value\n");
+      return false;
+    }
+    Expected<VmBackendKind> Kind = parseVmBackendKind(argv[I + 1]);
+    if (!Kind) {
+      std::fprintf(stderr, "%s\n", Kind.errorMessage().c_str());
+      return false;
+    }
+    BackendOverride = *Kind;
+    for (int J = I + 2; J < argc; ++J)
+      argv[J - 2] = argv[J];
+    argc -= 2;
+    return true;
+  }
+  return true;
+}
+
+void applyBackend(sgx::Enclave &E) {
+  if (BackendOverride)
+    E.setVmBackend(*BackendOverride);
+}
+
 /// One full "w/ SGX" program run: create the enclave, run the suite.
 double runBaselineOnce(BenchScenario &S) {
   Timer T;
   BenchScenario::Launch L = S.launchPlain();
+  applyBackend(*L.E);
   for (int Rep = 0; Rep < S.App->FigureScale; ++Rep) {
     Error E = S.App->RunWorkload(*L.E);
     if (E) {
@@ -39,6 +78,7 @@ double runBaselineOnce(BenchScenario &S) {
 double runElideOnce(BenchScenario &S) {
   Timer T;
   BenchScenario::Launch L = S.launchSanitized();
+  applyBackend(*L.E);
   Expected<uint64_t> Status = L.Host->restore(*L.E);
   if (!Status || *Status != 0) {
     std::fprintf(stderr, "restore failed\n");
@@ -59,6 +99,9 @@ double runElideOnce(BenchScenario &S) {
 
 int bench::runOverheadFigure(int argc, char **argv, SecretStorage Storage,
                              const char *FigureName) {
+  if (!consumeBackendFlag(argc, argv))
+    return 2;
+
   // google-benchmark rows.
   for (const apps::AppSpec &App : apps::allApps()) {
     if (App.IsGame)

@@ -8,6 +8,7 @@
 
 #include "crypto/AesGcm.h"
 #include "crypto/Hmac.h"
+#include "vm/ExecBackend.h"
 
 #include <cstdio>
 #include <cstring>
@@ -71,7 +72,12 @@ Error Enclave::EnclaveBus::read(uint64_t Addr, MutableBytesView Out) {
 }
 
 Error Enclave::EnclaveBus::write(uint64_t Addr, BytesView Data) {
-  return access(Addr, Data.size(), PermWrite, nullptr, Data.data());
+  if (Error E = access(Addr, Data.size(), PermWrite, nullptr, Data.data()))
+    return E;
+  // Journal the write so a decoded-code cache can invalidate the range --
+  // this is how a restore write into `.text` reaches the threaded engine.
+  noteWrite(Addr, Data.size());
+  return Error::success();
 }
 
 Error Enclave::EnclaveBus::fetch(uint64_t Addr, uint8_t Out[8]) {
@@ -81,6 +87,12 @@ Error Enclave::EnclaveBus::fetch(uint64_t Addr, uint8_t Out[8]) {
 //===----------------------------------------------------------------------===//
 // Entry
 //===----------------------------------------------------------------------===//
+
+void Enclave::setVmBackend(VmBackendKind Kind) {
+  if (Kind != BackendKind)
+    VmEngine.reset(); // Next ecall instantiates the newly selected engine.
+  BackendKind = Kind;
+}
 
 Expected<uint64_t> Enclave::symbolAddress(const std::string &Name) const {
   auto It = SymbolAddrs.find(Name);
@@ -117,6 +129,11 @@ Expected<EcallResult> Enclave::ecall(const std::string &Name, BytesView Input,
   }
 
   Vm Machine(Memory);
+  // The engine instance outlives the per-ecall Vm so a stateful backend
+  // (the threaded engine's decoded-code cache) persists across ecalls.
+  if (!VmEngine)
+    VmEngine = createExecBackend(BackendKind);
+  Machine.setBackend(VmEngine);
   Machine.setTcallHandler([this](uint32_t Index, Vm &V) {
     return dispatchTcall(Index, V);
   });
@@ -132,6 +149,7 @@ Expected<EcallResult> Enclave::ecall(const std::string &Name, BytesView Input,
 
   EcallResult Result;
   Result.Exec = Machine.run(It->second, InstructionBudget);
+  RetiredTotal += Result.Exec.InstructionsRetired;
   if (OutputCapacity) {
     Result.Output.resize(OutputCapacity);
     if (Error E = Memory.read(OutPtr, MutableBytesView(Result.Output)))
@@ -298,6 +316,7 @@ Error Enclave::extendPagePermissions(uint64_t VAddr, uint8_t AddPerms) {
   if (It == Pages.end())
     return makeError("no EPC page at 0x" + toHexString(VAddr));
   It->second.Perms |= AddPerms;
+  Memory.noteGlobalChange(); // Fetchability changed out of band.
   return Error::success();
 }
 
@@ -310,6 +329,7 @@ Error Enclave::restrictPagePermissions(uint64_t VAddr, uint8_t DropPerms) {
   if (It == Pages.end())
     return makeError("no EPC page at 0x" + toHexString(VAddr));
   It->second.Perms &= static_cast<uint8_t>(~DropPerms);
+  Memory.noteGlobalChange(); // Fetchability changed out of band.
   return Error::success();
 }
 
@@ -339,6 +359,7 @@ Expected<Bytes> Enclave::evictPage(uint64_t VAddr) {
   appendBytes(Blob, BytesView(Sealed.Tag.data(), Sealed.Tag.size()));
   appendBytes(Blob, Sealed.Ciphertext);
   Pages.erase(It);
+  Memory.noteGlobalChange(); // The page vanished; cached decodes are stale.
   return Blob;
 }
 
@@ -373,5 +394,6 @@ Error Enclave::reloadPage(uint64_t VAddr, BytesView Blob) {
   P.Perms = Perms;
   P.Data = Plain.takeValue();
   Pages.emplace(Base, std::move(P));
+  Memory.noteGlobalChange(); // Reloaded content replaces whatever was cached.
   return Error::success();
 }

@@ -111,6 +111,17 @@ public:
   /// Sets the per-ecall instruction budget (runaway guard).
   void setInstructionBudget(uint64_t Budget) { InstructionBudget = Budget; }
 
+  /// Selects the SVM execution backend for subsequent ecalls (the loader
+  /// applies `EnclaveLayout::SvmBackend`; `--svm-backend` reaches here).
+  /// A stateful engine's decoded-code cache persists across ecalls until
+  /// the kind changes.
+  void setVmBackend(VmBackendKind Kind);
+  VmBackendKind vmBackend() const { return BackendKind; }
+
+  /// Total architectural SVM instructions retired across all ecalls so
+  /// far (the dispatch-ablation bench derives instructions/sec from it).
+  uint64_t instructionsRetired() const { return RetiredTotal; }
+
   //===--------------------------------------------------------------------===//
   // Entry
   //===--------------------------------------------------------------------===//
@@ -214,6 +225,9 @@ private:
   uint64_t HeapSize = 0;
   uint64_t StackTop = 0;
   uint64_t InstructionBudget = 1ull << 32;
+  VmBackendKind BackendKind = defaultVmBackendKind();
+  std::shared_ptr<ExecBackend> VmEngine; ///< Shared across per-ecall Vms.
+  uint64_t RetiredTotal = 0;
 };
 
 } // namespace sgx

@@ -162,5 +162,6 @@ Expected<std::unique_ptr<Enclave>> sgx::loadEnclave(SgxDevice &Device,
     E->setSymbolAddress(Sym.Name, Sym.Value);
 
   E->setLayout(C.HeapBase, alignUp(Layout.HeapSize, EpcPageSize), C.StackTop);
+  E->setVmBackend(Layout.SvmBackend);
   return E;
 }

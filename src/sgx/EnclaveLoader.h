@@ -26,10 +26,15 @@
 namespace elide {
 namespace sgx {
 
-/// Memory layout parameters appended after the image's segments.
+/// Memory layout parameters appended after the image's segments, plus
+/// runtime knobs the loader applies to the freshly built enclave.
 struct EnclaveLayout {
   uint64_t HeapSize = 256 * 1024;
   uint64_t StackSize = 64 * 1024;
+  /// SVM execution engine for this enclave's ecalls (`--svm-backend`).
+  /// Not measured: dispatch strategy is invisible to MRENCLAVE, like a
+  /// CPU microarchitecture choice.
+  VmBackendKind SvmBackend = defaultVmBackendKind();
 };
 
 /// Computes the MRENCLAVE an image will measure to under \p Layout

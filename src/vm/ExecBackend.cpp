@@ -1,0 +1,96 @@
+//===- vm/ExecBackend.cpp - Backend registry and shared plumbing ------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ExecBackend.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace elide;
+
+ExecBackend::~ExecBackend() = default;
+
+const char *elide::vmBackendKindName(VmBackendKind Kind) {
+  switch (Kind) {
+  case VmBackendKind::Switch:
+    return "switch";
+  case VmBackendKind::Threaded:
+    return "threaded";
+  }
+  return "unknown";
+}
+
+Expected<VmBackendKind> elide::parseVmBackendKind(std::string_view Name) {
+  if (Name == "switch")
+    return VmBackendKind::Switch;
+  if (Name == "threaded")
+    return VmBackendKind::Threaded;
+  return makeError("unknown SVM backend '" + std::string(Name) +
+                   "' (expected 'switch' or 'threaded')");
+}
+
+const std::vector<VmBackendKind> &elide::allVmBackendKinds() {
+  static const std::vector<VmBackendKind> Kinds = {VmBackendKind::Switch,
+                                                   VmBackendKind::Threaded};
+  return Kinds;
+}
+
+VmBackendKind elide::defaultVmBackendKind() {
+  static const VmBackendKind Kind = [] {
+    if (const char *Env = std::getenv("ELIDE_SVM_BACKEND")) {
+      Expected<VmBackendKind> Parsed = parseVmBackendKind(Env);
+      if (Parsed)
+        return *Parsed;
+      std::fprintf(stderr,
+                   "warning: ELIDE_SVM_BACKEND=%s ignored: %s\n", Env,
+                   Parsed.errorMessage().c_str());
+    }
+    return VmBackendKind::Threaded;
+  }();
+  return Kind;
+}
+
+std::unique_ptr<ExecBackend> elide::createExecBackend(VmBackendKind Kind) {
+  switch (Kind) {
+  case VmBackendKind::Switch:
+    return std::make_unique<SwitchBackend>();
+  case VmBackendKind::Threaded:
+    return std::make_unique<ThreadedBackend>();
+  }
+  return std::make_unique<SwitchBackend>();
+}
+
+//===----------------------------------------------------------------------===//
+// Shared diagnostics
+//===----------------------------------------------------------------------===//
+
+std::string vmdetail::hexPc(uint64_t Pc) {
+  char Buf[19];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx", static_cast<unsigned long long>(Pc));
+  return Buf;
+}
+
+std::string vmdetail::illegalMessage(uint64_t Pc) {
+  return "opcode 0 at pc " + hexPc(Pc) + " (sanitized or corrupted code?)";
+}
+
+std::string vmdetail::undefinedMessage(uint8_t RawOpcode) {
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "0x%02x", RawOpcode);
+  return std::string("undefined opcode ") + Buf;
+}
+
+std::string vmdetail::unalignedMessage(uint64_t Pc) {
+  return "pc " + hexPc(Pc);
+}
+
+std::string vmdetail::budgetMessage(uint64_t Budget) {
+  return "budget of " + std::to_string(Budget) + " exhausted";
+}
+
+std::string vmdetail::depthMessage(size_t MaxDepth) {
+  return "depth " + std::to_string(MaxDepth);
+}

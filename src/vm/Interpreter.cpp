@@ -1,10 +1,12 @@
-//===- vm/Interpreter.cpp - SVM bytecode interpreter -------------------------===//
+//===- vm/Interpreter.cpp - SVM architectural state and run wrapper ---------===//
 //
 // Part of the SgxElide reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 
 #include "vm/Interpreter.h"
+
+#include "vm/ExecBackend.h"
 
 using namespace elide;
 
@@ -45,270 +47,29 @@ Error Vm::writeBytes(uint64_t Addr, BytesView Data) {
   return Bus.write(Addr, Data);
 }
 
+void Vm::setBackend(VmBackendKind NewKind) {
+  if (Backend && Backend->kind() != NewKind)
+    Backend.reset();
+  Kind = NewKind;
+}
+
+void Vm::setBackend(std::shared_ptr<ExecBackend> NewBackend) {
+  assert(NewBackend && "installing a null backend");
+  Kind = NewBackend->kind();
+  Backend = std::move(NewBackend);
+}
+
 ExecResult Vm::run(uint64_t StartPc, uint64_t Budget) {
-  ExecResult Result;
-  uint64_t Pc = StartPc;
+  if (!Backend)
+    Backend = createExecBackend(Kind);
   CallStack.clear();
-
-  auto Fault = [&](TrapKind Kind, std::string Message) {
-    Result.Kind = Kind;
-    Result.Pc = Pc;
-    Result.Message = std::move(Message);
-    return Result;
-  };
-
-  for (uint64_t Count = 0;; ++Count) {
-    if (Count >= Budget)
-      return Fault(TrapKind::BudgetExhausted,
-                   "budget of " + std::to_string(Budget) + " exhausted");
-    if (Pc % SvmInstrSize != 0)
-      return Fault(TrapKind::UnalignedPc, "pc 0x" + std::to_string(Pc));
-
-    uint8_t Raw[8];
-    if (Error E = Bus.fetch(Pc, Raw))
-      return Fault(TrapKind::MemoryFault, "fetch: " + E.message());
-    Instruction I = decodeInstruction(Raw);
-    Result.InstructionsRetired = Count + 1;
-
-    uint64_t A = reg(I.Rs1);
-    uint64_t B = reg(I.Rs2);
-    int64_t ImmS = I.Imm;
-    uint64_t NextPc = Pc + SvmInstrSize;
-
-    switch (I.Op) {
-    case Opcode::Illegal:
-      return Fault(TrapKind::IllegalInstruction,
-                   "opcode 0 at pc 0x" + std::to_string(Pc) +
-                       " (sanitized or corrupted code?)");
-    case Opcode::Nop:
-      break;
-
-    case Opcode::Add:
-      setReg(I.Rd, A + B);
-      break;
-    case Opcode::Sub:
-      setReg(I.Rd, A - B);
-      break;
-    case Opcode::Mul:
-      setReg(I.Rd, A * B);
-      break;
-    case Opcode::DivU:
-      if (B == 0)
-        return Fault(TrapKind::DivideByZero, "divu");
-      setReg(I.Rd, A / B);
-      break;
-    case Opcode::DivS:
-      if (B == 0)
-        return Fault(TrapKind::DivideByZero, "divs");
-      if (static_cast<int64_t>(A) == INT64_MIN && static_cast<int64_t>(B) == -1)
-        setReg(I.Rd, A); // Overflow wraps, like hardware.
-      else
-        setReg(I.Rd, static_cast<uint64_t>(static_cast<int64_t>(A) /
-                                           static_cast<int64_t>(B)));
-      break;
-    case Opcode::RemU:
-      if (B == 0)
-        return Fault(TrapKind::DivideByZero, "remu");
-      setReg(I.Rd, A % B);
-      break;
-    case Opcode::RemS:
-      if (B == 0)
-        return Fault(TrapKind::DivideByZero, "rems");
-      if (static_cast<int64_t>(A) == INT64_MIN && static_cast<int64_t>(B) == -1)
-        setReg(I.Rd, 0);
-      else
-        setReg(I.Rd, static_cast<uint64_t>(static_cast<int64_t>(A) %
-                                           static_cast<int64_t>(B)));
-      break;
-    case Opcode::And:
-      setReg(I.Rd, A & B);
-      break;
-    case Opcode::Or:
-      setReg(I.Rd, A | B);
-      break;
-    case Opcode::Xor:
-      setReg(I.Rd, A ^ B);
-      break;
-    case Opcode::Shl:
-      setReg(I.Rd, A << (B & 63));
-      break;
-    case Opcode::ShrL:
-      setReg(I.Rd, A >> (B & 63));
-      break;
-    case Opcode::ShrA:
-      setReg(I.Rd,
-             static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63)));
-      break;
-
-    case Opcode::AddI:
-      setReg(I.Rd, A + static_cast<uint64_t>(ImmS));
-      break;
-    case Opcode::MulI:
-      setReg(I.Rd, A * static_cast<uint64_t>(ImmS));
-      break;
-    case Opcode::AndI:
-      setReg(I.Rd, A & static_cast<uint64_t>(ImmS));
-      break;
-    case Opcode::OrI:
-      setReg(I.Rd, A | static_cast<uint64_t>(ImmS));
-      break;
-    case Opcode::XorI:
-      setReg(I.Rd, A ^ static_cast<uint64_t>(ImmS));
-      break;
-    case Opcode::ShlI:
-      setReg(I.Rd, A << (I.Imm & 63));
-      break;
-    case Opcode::ShrLI:
-      setReg(I.Rd, A >> (I.Imm & 63));
-      break;
-    case Opcode::ShrAI:
-      setReg(I.Rd,
-             static_cast<uint64_t>(static_cast<int64_t>(A) >> (I.Imm & 63)));
-      break;
-
-    case Opcode::LdI:
-      setReg(I.Rd, static_cast<uint64_t>(ImmS));
-      break;
-    case Opcode::LdIH:
-      setReg(I.Rd, (reg(I.Rd) & 0xffffffffULL) |
-                       (static_cast<uint64_t>(static_cast<uint32_t>(I.Imm))
-                        << 32));
-      break;
-
-    case Opcode::Seq:
-      setReg(I.Rd, A == B);
-      break;
-    case Opcode::Sne:
-      setReg(I.Rd, A != B);
-      break;
-    case Opcode::SltU:
-      setReg(I.Rd, A < B);
-      break;
-    case Opcode::SltS:
-      setReg(I.Rd, static_cast<int64_t>(A) < static_cast<int64_t>(B));
-      break;
-    case Opcode::SleU:
-      setReg(I.Rd, A <= B);
-      break;
-    case Opcode::SleS:
-      setReg(I.Rd, static_cast<int64_t>(A) <= static_cast<int64_t>(B));
-      break;
-
-    case Opcode::LdBU:
-    case Opcode::LdBS:
-    case Opcode::LdHU:
-    case Opcode::LdHS:
-    case Opcode::LdWU:
-    case Opcode::LdWS:
-    case Opcode::LdD: {
-      static const unsigned Sizes[] = {1, 1, 2, 2, 4, 4, 8};
-      unsigned Idx = static_cast<unsigned>(I.Op) -
-                     static_cast<unsigned>(Opcode::LdBU);
-      unsigned Size = Sizes[Idx];
-      uint8_t Buf[8] = {0};
-      uint64_t Addr = A + static_cast<uint64_t>(ImmS);
-      if (Error E = Bus.read(Addr, MutableBytesView(Buf, Size)))
-        return Fault(TrapKind::MemoryFault, "load: " + E.message());
-      uint64_t V = readLE64(Buf);
-      switch (I.Op) {
-      case Opcode::LdBS:
-        V = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(V)));
-        break;
-      case Opcode::LdHS:
-        V = static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int16_t>(V)));
-        break;
-      case Opcode::LdWS:
-        V = static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int32_t>(V)));
-        break;
-      default:
-        break;
-      }
-      setReg(I.Rd, V);
-      break;
-    }
-
-    case Opcode::StB:
-    case Opcode::StH:
-    case Opcode::StW:
-    case Opcode::StD: {
-      static const unsigned Sizes[] = {1, 2, 4, 8};
-      unsigned Size = Sizes[static_cast<unsigned>(I.Op) -
-                            static_cast<unsigned>(Opcode::StB)];
-      uint8_t Buf[8];
-      writeLE64(Buf, B);
-      uint64_t Addr = A + static_cast<uint64_t>(ImmS);
-      if (Error E = Bus.write(Addr, BytesView(Buf, Size)))
-        return Fault(TrapKind::MemoryFault, "store: " + E.message());
-      break;
-    }
-
-    case Opcode::Jmp:
-      NextPc = Pc + static_cast<uint64_t>(ImmS);
-      break;
-    case Opcode::Beqz:
-      if (A == 0)
-        NextPc = Pc + static_cast<uint64_t>(ImmS);
-      break;
-    case Opcode::Bnez:
-      if (A != 0)
-        NextPc = Pc + static_cast<uint64_t>(ImmS);
-      break;
-    case Opcode::Call:
-      if (CallStack.size() >= MaxCallDepth)
-        return Fault(TrapKind::CallDepthExceeded,
-                     "depth " + std::to_string(MaxCallDepth));
-      CallStack.push_back(Pc + SvmInstrSize);
-      NextPc = Pc + static_cast<uint64_t>(ImmS);
-      break;
-    case Opcode::CallR:
-      if (CallStack.size() >= MaxCallDepth)
-        return Fault(TrapKind::CallDepthExceeded,
-                     "depth " + std::to_string(MaxCallDepth));
-      CallStack.push_back(Pc + SvmInstrSize);
-      NextPc = A;
-      break;
-    case Opcode::Ret:
-      if (CallStack.empty())
-        return Fault(TrapKind::CallStackUnderflow, "ret at top frame");
-      NextPc = CallStack.back();
-      CallStack.pop_back();
-      break;
-
-    case Opcode::Ocall: {
-      if (!Ocall)
-        return Fault(TrapKind::HandlerFault, "no ocall handler installed");
-      Expected<uint64_t> R = Ocall(static_cast<uint32_t>(I.Imm), *this);
-      if (!R)
-        return Fault(TrapKind::HandlerFault, "ocall: " + R.errorMessage());
-      setReg(1, *R);
-      break;
-    }
-    case Opcode::Tcall: {
-      if (!Tcall)
-        return Fault(TrapKind::HandlerFault, "no tcall handler installed");
-      Expected<uint64_t> R = Tcall(static_cast<uint32_t>(I.Imm), *this);
-      if (!R)
-        return Fault(TrapKind::HandlerFault, "tcall: " + R.errorMessage());
-      setReg(1, *R);
-      break;
-    }
-
-    case Opcode::Halt:
-      Result.Kind = TrapKind::Halt;
-      Result.Pc = Pc;
-      Result.ReturnValue = reg(1);
-      return Result;
-    case Opcode::Trap:
-      Result.TrapCode = I.Imm;
-      return Fault(TrapKind::ExplicitTrap, "code " + std::to_string(I.Imm));
-
-    default:
-      return Fault(TrapKind::IllegalInstruction,
-                   "undefined opcode 0x" + std::to_string(Raw[0]));
-    }
-
-    Pc = NextPc;
-  }
+  ExecResult Result = Backend->run(*this, StartPc, Budget);
+  // The architectural-count contract (docs/vm.md): retired never exceeds
+  // the budget, and budget exhaustion means exactly the budget retired.
+  assert(Result.InstructionsRetired <= Budget &&
+         "backend retired more instructions than budgeted");
+  assert((Result.Kind != TrapKind::BudgetExhausted ||
+          Result.InstructionsRetired == Budget) &&
+         "budget exhaustion must retire exactly the budget");
+  return Result;
 }

@@ -10,6 +10,14 @@
 /// enclave runtime -- modeling, respectively, statically linked SGX SDK
 /// library functions and the ecall/ocall bridge.
 ///
+/// The `Vm` is the architectural state (registers, call stack, handlers,
+/// bus binding); the actual instruction loop lives behind the
+/// `ExecBackend` seam (vm/ExecBackend.h). Two backends ship: the
+/// reference switch interpreter and a pre-decoding direct-threaded
+/// engine. Both must produce bit-identical architectural outcomes; the
+/// differential harness under `tests/framework/VmDiff.h` enforces that.
+/// See docs/vm.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SGXELIDE_VM_INTERPRETER_H
@@ -19,6 +27,7 @@
 #include "vm/MemoryBus.h"
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace elide {
@@ -46,13 +55,27 @@ struct ExecResult {
   uint64_t Pc = 0;            ///< PC of the faulting/halting instruction.
   uint64_t ReturnValue = 0;   ///< r1 at HALT.
   int32_t TrapCode = 0;       ///< imm of TRAP, when Kind == ExplicitTrap.
+  /// Architectural (pre-fusion) instruction count: every backend reports
+  /// the number the reference interpreter would, superinstructions or not.
   uint64_t InstructionsRetired = 0;
   std::string Message;        ///< Fault detail (empty on Halt).
 
   bool halted() const { return Kind == TrapKind::Halt; }
 };
 
+/// The selectable execution engines (see vm/ExecBackend.h and docs/vm.md).
+enum class VmBackendKind : uint8_t {
+  Switch = 0,   ///< Reference switch-dispatch interpreter.
+  Threaded = 1, ///< Pre-decoded IR, computed-goto dispatch, superinstructions.
+};
+
+/// The process-wide default backend: `ELIDE_SVM_BACKEND` when set to a
+/// valid name, otherwise Threaded (the fast engine; the differential
+/// suite keeps it honest against the reference).
+VmBackendKind defaultVmBackendKind();
+
 class Vm;
+class ExecBackend;
 
 /// Handler for tcall/ocall. Receives the call index and the VM (for
 /// register and memory access); returns the value to place in r1, or an
@@ -86,6 +109,18 @@ public:
   /// Sets the maximum call depth (default 1024).
   void setMaxCallDepth(size_t Depth) { MaxCallDepth = Depth; }
 
+  /// Selects the execution backend by kind (replaces any installed
+  /// instance on the next `run` if the kind changed).
+  void setBackend(VmBackendKind Kind);
+
+  /// Installs a specific backend instance. Sharing one instance across
+  /// `Vm`s bound to the same bus lets a stateful backend (the threaded
+  /// engine's decoded-code cache) persist across ecalls.
+  void setBackend(std::shared_ptr<ExecBackend> Backend);
+
+  /// The currently selected backend kind.
+  VmBackendKind backendKind() const { return Kind; }
+
   /// Runs from \p StartPc until HALT, a trap, or \p Budget instructions.
   ExecResult run(uint64_t StartPc, uint64_t Budget = 1ull << 32);
 
@@ -99,12 +134,16 @@ public:
   Error writeBytes(uint64_t Addr, BytesView Data);
 
 private:
+  friend class ExecBackend; // Backends run the loop over this state.
+
   MemoryBus &Bus;
   uint64_t Regs[SvmRegCount] = {0};
   std::vector<uint64_t> CallStack;
   size_t MaxCallDepth = 1024;
   CallHandler Tcall;
   CallHandler Ocall;
+  VmBackendKind Kind = defaultVmBackendKind();
+  std::shared_ptr<ExecBackend> Backend;
 };
 
 } // namespace elide

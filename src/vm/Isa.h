@@ -132,13 +132,17 @@ inline void encodeInstruction(const Instruction &I, uint8_t Out[8]) {
 }
 
 /// Decodes 8 bytes into an instruction (no validity checking beyond the
-/// field split; the interpreter rejects unknown opcodes).
+/// field split; the interpreter rejects unknown opcodes). Register fields
+/// are architecturally 5 bits wide: the high bits of the operand bytes
+/// are ignored, as a hardware decoder would. This also makes every
+/// 8-byte word safe to execute -- the engines index their 32-entry
+/// register file with these fields directly.
 inline Instruction decodeInstruction(const uint8_t In[8]) {
   Instruction I;
   I.Op = static_cast<Opcode>(In[0]);
-  I.Rd = In[1];
-  I.Rs1 = In[2];
-  I.Rs2 = In[3];
+  I.Rd = In[1] & (SvmRegCount - 1);
+  I.Rs1 = In[2] & (SvmRegCount - 1);
+  I.Rs2 = In[3] & (SvmRegCount - 1);
   I.Imm = static_cast<int32_t>(readLE32(In + 4));
   return I;
 }

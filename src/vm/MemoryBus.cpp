@@ -30,8 +30,10 @@ Error FlatMemory::read(uint64_t Addr, MutableBytesView Out) {
 Error FlatMemory::write(uint64_t Addr, BytesView Data) {
   if (Error E = checkRange(Addr, Data.size()))
     return E;
-  if (!Data.empty())
+  if (!Data.empty()) {
     std::memcpy(Ram.data() + Addr, Data.data(), Data.size());
+    noteWrite(Addr, Data.size());
+  }
   return Error::success();
 }
 

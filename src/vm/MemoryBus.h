@@ -11,6 +11,14 @@
 /// PF_W trick observable: a store into a text page succeeds only when the
 /// sanitizer marked the segment writable.
 ///
+/// The bus additionally keeps a bounded journal of recent write ranges.
+/// Execution backends that cache pre-decoded code (vm/ThreadedBackend)
+/// key their invalidation off this journal: a restore write into `.text`
+/// -- the paper's entire point -- must flush any stale decoded form of
+/// the zeroed bytes it replaces. The journal is conservative: when more
+/// writes happened than it can hold, `forEachWriteSince` reports that the
+/// history was truncated and the caller must assume everything changed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SGXELIDE_VM_MEMORYBUS_H
@@ -34,6 +42,64 @@ public:
 
   /// Reads 8 instruction bytes at \p Addr (execute permission).
   virtual Error fetch(uint64_t Addr, uint8_t Out[8]) = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Write observation (decoded-code cache invalidation)
+  //===--------------------------------------------------------------------===//
+
+  /// Monotonic counter: bumped once per recorded write (or global change).
+  uint64_t writeEpoch() const { return Epoch; }
+
+  /// Visits every write range recorded after epoch \p Since, oldest first.
+  /// Returns false when ranges after \p Since have already been dropped
+  /// from the bounded journal -- the caller must then treat the entire
+  /// address space as potentially written. \p Fn receives [Lo, Hi).
+  template <typename FnT> bool forEachWriteSince(uint64_t Since, FnT Fn) const {
+    if (Epoch <= Since)
+      return true;
+    if (Epoch - Since > WriteJournalSize)
+      return false; // History truncated; caller must assume the worst.
+    for (uint64_t E = Since + 1; E <= Epoch; ++E) {
+      const WriteRange &R = Journal[(E - 1) % WriteJournalSize];
+      Fn(R.Lo, R.Hi);
+    }
+    return true;
+  }
+
+  /// Records a successful write of \p Size bytes at \p Addr. Implementations
+  /// call this from `write`; external mutators of the backing store (page
+  /// reloads, permission changes) use `noteGlobalChange` instead.
+  void noteWrite(uint64_t Addr, uint64_t Size) {
+    if (Size == 0)
+      return;
+    WriteRange &R = Journal[Epoch % WriteJournalSize];
+    R.Lo = Addr;
+    // Saturate instead of wrapping: a range that wraps the address space
+    // must invalidate everything above Lo.
+    R.Hi = (Addr + Size < Addr) ? ~0ull : Addr + Size;
+    ++Epoch;
+  }
+
+  /// Records a change that no byte range describes: page permissions,
+  /// eviction/reload, or any out-of-band mutation of the backing store.
+  /// Equivalent to a write covering the whole address space.
+  void noteGlobalChange() {
+    WriteRange &R = Journal[Epoch % WriteJournalSize];
+    R.Lo = 0;
+    R.Hi = ~0ull;
+    ++Epoch;
+  }
+
+private:
+  struct WriteRange {
+    uint64_t Lo = 0;
+    uint64_t Hi = 0;
+  };
+  /// Sized so one restore pass (a handful of region writes per secret
+  /// function) fits without truncating; overflow is safe, just slower.
+  static constexpr uint64_t WriteJournalSize = 64;
+  WriteRange Journal[WriteJournalSize];
+  uint64_t Epoch = 0;
 };
 
 /// A flat RAM bus with uniform RWX permissions, for unit tests and tools.
@@ -45,7 +111,9 @@ public:
   Error write(uint64_t Addr, BytesView Data) override;
   Error fetch(uint64_t Addr, uint8_t Out[8]) override;
 
-  /// Direct backing-store access for test setup.
+  /// Direct backing-store access for test setup. Bypasses the write
+  /// journal: mutate through `write` (or call `noteGlobalChange`) when a
+  /// cached-decode backend may already have observed the old bytes.
   Bytes &raw() { return Ram; }
 
 private:

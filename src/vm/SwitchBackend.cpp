@@ -1,0 +1,286 @@
+//===- vm/SwitchBackend.cpp - Reference switch-dispatch engine --------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference SVM engine: fetch 8 bytes through the bus, decode, one
+/// big switch. Deliberately boring -- this loop *is* the ISA semantics,
+/// and every other backend is differentially tested against it. Change
+/// behavior here only with a matching docs/svm-isa.md change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/ExecBackend.h"
+
+using namespace elide;
+
+ExecResult SwitchBackend::run(Vm &M, uint64_t StartPc, uint64_t Budget) {
+  ExecResult Result;
+  uint64_t Pc = StartPc;
+  MemoryBus &Bus = bus(M);
+  std::vector<uint64_t> &CallStack = callStack(M);
+  const size_t MaxCallDepth = maxCallDepth(M);
+
+  auto Fault = [&](TrapKind Kind, std::string Message) {
+    Result.Kind = Kind;
+    Result.Pc = Pc;
+    Result.Message = std::move(Message);
+    return Result;
+  };
+
+  for (uint64_t Count = 0;; ++Count) {
+    if (Count >= Budget)
+      return Fault(TrapKind::BudgetExhausted, vmdetail::budgetMessage(Budget));
+    if (Pc % SvmInstrSize != 0)
+      return Fault(TrapKind::UnalignedPc, vmdetail::unalignedMessage(Pc));
+
+    uint8_t Raw[8];
+    if (Error E = Bus.fetch(Pc, Raw))
+      return Fault(TrapKind::MemoryFault, "fetch: " + E.message());
+    Instruction I = decodeInstruction(Raw);
+    Result.InstructionsRetired = Count + 1;
+
+    uint64_t A = M.reg(I.Rs1);
+    uint64_t B = M.reg(I.Rs2);
+    int64_t ImmS = I.Imm;
+    uint64_t NextPc = Pc + SvmInstrSize;
+
+    switch (I.Op) {
+    case Opcode::Illegal:
+      return Fault(TrapKind::IllegalInstruction, vmdetail::illegalMessage(Pc));
+    case Opcode::Nop:
+      break;
+
+    case Opcode::Add:
+      M.setReg(I.Rd, A + B);
+      break;
+    case Opcode::Sub:
+      M.setReg(I.Rd, A - B);
+      break;
+    case Opcode::Mul:
+      M.setReg(I.Rd, A * B);
+      break;
+    case Opcode::DivU:
+      if (B == 0)
+        return Fault(TrapKind::DivideByZero, "divu");
+      M.setReg(I.Rd, A / B);
+      break;
+    case Opcode::DivS:
+      if (B == 0)
+        return Fault(TrapKind::DivideByZero, "divs");
+      if (static_cast<int64_t>(A) == INT64_MIN && static_cast<int64_t>(B) == -1)
+        M.setReg(I.Rd, A); // Overflow wraps, like hardware.
+      else
+        M.setReg(I.Rd, static_cast<uint64_t>(static_cast<int64_t>(A) /
+                                             static_cast<int64_t>(B)));
+      break;
+    case Opcode::RemU:
+      if (B == 0)
+        return Fault(TrapKind::DivideByZero, "remu");
+      M.setReg(I.Rd, A % B);
+      break;
+    case Opcode::RemS:
+      if (B == 0)
+        return Fault(TrapKind::DivideByZero, "rems");
+      if (static_cast<int64_t>(A) == INT64_MIN && static_cast<int64_t>(B) == -1)
+        M.setReg(I.Rd, 0);
+      else
+        M.setReg(I.Rd, static_cast<uint64_t>(static_cast<int64_t>(A) %
+                                             static_cast<int64_t>(B)));
+      break;
+    case Opcode::And:
+      M.setReg(I.Rd, A & B);
+      break;
+    case Opcode::Or:
+      M.setReg(I.Rd, A | B);
+      break;
+    case Opcode::Xor:
+      M.setReg(I.Rd, A ^ B);
+      break;
+    case Opcode::Shl:
+      M.setReg(I.Rd, A << (B & 63));
+      break;
+    case Opcode::ShrL:
+      M.setReg(I.Rd, A >> (B & 63));
+      break;
+    case Opcode::ShrA:
+      M.setReg(I.Rd,
+               static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63)));
+      break;
+
+    case Opcode::AddI:
+      M.setReg(I.Rd, A + static_cast<uint64_t>(ImmS));
+      break;
+    case Opcode::MulI:
+      M.setReg(I.Rd, A * static_cast<uint64_t>(ImmS));
+      break;
+    case Opcode::AndI:
+      M.setReg(I.Rd, A & static_cast<uint64_t>(ImmS));
+      break;
+    case Opcode::OrI:
+      M.setReg(I.Rd, A | static_cast<uint64_t>(ImmS));
+      break;
+    case Opcode::XorI:
+      M.setReg(I.Rd, A ^ static_cast<uint64_t>(ImmS));
+      break;
+    case Opcode::ShlI:
+      M.setReg(I.Rd, A << (I.Imm & 63));
+      break;
+    case Opcode::ShrLI:
+      M.setReg(I.Rd, A >> (I.Imm & 63));
+      break;
+    case Opcode::ShrAI:
+      M.setReg(I.Rd,
+               static_cast<uint64_t>(static_cast<int64_t>(A) >> (I.Imm & 63)));
+      break;
+
+    case Opcode::LdI:
+      M.setReg(I.Rd, static_cast<uint64_t>(ImmS));
+      break;
+    case Opcode::LdIH:
+      M.setReg(I.Rd, (M.reg(I.Rd) & 0xffffffffULL) |
+                         (static_cast<uint64_t>(static_cast<uint32_t>(I.Imm))
+                          << 32));
+      break;
+
+    case Opcode::Seq:
+      M.setReg(I.Rd, A == B);
+      break;
+    case Opcode::Sne:
+      M.setReg(I.Rd, A != B);
+      break;
+    case Opcode::SltU:
+      M.setReg(I.Rd, A < B);
+      break;
+    case Opcode::SltS:
+      M.setReg(I.Rd, static_cast<int64_t>(A) < static_cast<int64_t>(B));
+      break;
+    case Opcode::SleU:
+      M.setReg(I.Rd, A <= B);
+      break;
+    case Opcode::SleS:
+      M.setReg(I.Rd, static_cast<int64_t>(A) <= static_cast<int64_t>(B));
+      break;
+
+    case Opcode::LdBU:
+    case Opcode::LdBS:
+    case Opcode::LdHU:
+    case Opcode::LdHS:
+    case Opcode::LdWU:
+    case Opcode::LdWS:
+    case Opcode::LdD: {
+      static const unsigned Sizes[] = {1, 1, 2, 2, 4, 4, 8};
+      unsigned Idx = static_cast<unsigned>(I.Op) -
+                     static_cast<unsigned>(Opcode::LdBU);
+      unsigned Size = Sizes[Idx];
+      uint8_t Buf[8] = {0};
+      uint64_t Addr = A + static_cast<uint64_t>(ImmS);
+      if (Error E = Bus.read(Addr, MutableBytesView(Buf, Size)))
+        return Fault(TrapKind::MemoryFault, "load: " + E.message());
+      uint64_t V = readLE64(Buf);
+      switch (I.Op) {
+      case Opcode::LdBS:
+        V = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(V)));
+        break;
+      case Opcode::LdHS:
+        V = static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int16_t>(V)));
+        break;
+      case Opcode::LdWS:
+        V = static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(V)));
+        break;
+      default:
+        break;
+      }
+      M.setReg(I.Rd, V);
+      break;
+    }
+
+    case Opcode::StB:
+    case Opcode::StH:
+    case Opcode::StW:
+    case Opcode::StD: {
+      static const unsigned Sizes[] = {1, 2, 4, 8};
+      unsigned Size = Sizes[static_cast<unsigned>(I.Op) -
+                            static_cast<unsigned>(Opcode::StB)];
+      uint8_t Buf[8];
+      writeLE64(Buf, B);
+      uint64_t Addr = A + static_cast<uint64_t>(ImmS);
+      if (Error E = Bus.write(Addr, BytesView(Buf, Size)))
+        return Fault(TrapKind::MemoryFault, "store: " + E.message());
+      break;
+    }
+
+    case Opcode::Jmp:
+      NextPc = Pc + static_cast<uint64_t>(ImmS);
+      break;
+    case Opcode::Beqz:
+      if (A == 0)
+        NextPc = Pc + static_cast<uint64_t>(ImmS);
+      break;
+    case Opcode::Bnez:
+      if (A != 0)
+        NextPc = Pc + static_cast<uint64_t>(ImmS);
+      break;
+    case Opcode::Call:
+      if (CallStack.size() >= MaxCallDepth)
+        return Fault(TrapKind::CallDepthExceeded,
+                     vmdetail::depthMessage(MaxCallDepth));
+      CallStack.push_back(Pc + SvmInstrSize);
+      NextPc = Pc + static_cast<uint64_t>(ImmS);
+      break;
+    case Opcode::CallR:
+      if (CallStack.size() >= MaxCallDepth)
+        return Fault(TrapKind::CallDepthExceeded,
+                     vmdetail::depthMessage(MaxCallDepth));
+      CallStack.push_back(Pc + SvmInstrSize);
+      NextPc = A;
+      break;
+    case Opcode::Ret:
+      if (CallStack.empty())
+        return Fault(TrapKind::CallStackUnderflow, "ret at top frame");
+      NextPc = CallStack.back();
+      CallStack.pop_back();
+      break;
+
+    case Opcode::Ocall: {
+      CallHandler &Ocall = ocallHandler(M);
+      if (!Ocall)
+        return Fault(TrapKind::HandlerFault, "no ocall handler installed");
+      Expected<uint64_t> R = Ocall(static_cast<uint32_t>(I.Imm), M);
+      if (!R)
+        return Fault(TrapKind::HandlerFault, "ocall: " + R.errorMessage());
+      M.setReg(1, *R);
+      break;
+    }
+    case Opcode::Tcall: {
+      CallHandler &Tcall = tcallHandler(M);
+      if (!Tcall)
+        return Fault(TrapKind::HandlerFault, "no tcall handler installed");
+      Expected<uint64_t> R = Tcall(static_cast<uint32_t>(I.Imm), M);
+      if (!R)
+        return Fault(TrapKind::HandlerFault, "tcall: " + R.errorMessage());
+      M.setReg(1, *R);
+      break;
+    }
+
+    case Opcode::Halt:
+      Result.Kind = TrapKind::Halt;
+      Result.Pc = Pc;
+      Result.ReturnValue = M.reg(1);
+      return Result;
+    case Opcode::Trap:
+      Result.TrapCode = I.Imm;
+      return Fault(TrapKind::ExplicitTrap, "code " + std::to_string(I.Imm));
+
+    default:
+      return Fault(TrapKind::IllegalInstruction,
+                   vmdetail::undefinedMessage(Raw[0]));
+    }
+
+    Pc = NextPc;
+  }
+}

@@ -3,8 +3,20 @@
 // Part of the SgxElide reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// ISA semantics and Vm behavior. Every execution test runs on every
+/// backend (TEST_P over VmBackendKind): the reference switch engine and
+/// the pre-decoding threaded engine must be indistinguishable through
+/// the Vm surface. Cases named *Fused* / *PreDecode* target the spots
+/// where a pre-decoding, superinstruction-fusing engine could diverge:
+/// trap PCs inside fused pairs, budget exhaustion between the halves of
+/// a pair, and code rewritten after it has been decoded.
+///
+//===----------------------------------------------------------------------===//
 
 #include "vm/Disassembler.h"
+#include "vm/ExecBackend.h"
 #include "vm/Interpreter.h"
 
 #include <gtest/gtest.h>
@@ -13,10 +25,14 @@ using namespace elide;
 
 namespace {
 
-/// Assembles instructions at offset 0 of a FlatMemory and runs from 0.
+/// Assembles instructions at offset 0 of a FlatMemory and runs from 0 on
+/// a configurable backend. Registers are snapshotted after every run so
+/// tests can assert on partial progress at a trap.
 struct Harness {
   FlatMemory Ram{1 << 16};
   Bytes Code;
+  VmBackendKind Kind = defaultVmBackendKind();
+  std::array<uint64_t, SvmRegCount> RegsAfter{};
 
   void emit(Opcode Op, uint8_t Rd = 0, uint8_t Rs1 = 0, uint8_t Rs2 = 0,
             int32_t Imm = 0) {
@@ -27,12 +43,29 @@ struct Harness {
                  uint64_t Budget = 1 << 20) {
     EXPECT_FALSE(static_cast<bool>(Ram.write(0, Code)));
     Vm M(Ram);
+    M.setBackend(Kind);
     M.setReg(SvmRegSp, (1 << 16) - 64);
     if (Setup)
       Setup(M);
-    return M.run(0, Budget);
+    ExecResult R = M.run(0, Budget);
+    for (unsigned Reg = 0; Reg < SvmRegCount; ++Reg)
+      RegsAfter[Reg] = M.reg(Reg);
+    return R;
   }
 };
+
+/// Fixture parameterized over the execution backend under test.
+class VmExecTest : public ::testing::TestWithParam<VmBackendKind> {
+protected:
+  void SetUp() override { H.Kind = GetParam(); }
+  Harness H;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, VmExecTest, ::testing::ValuesIn(allVmBackendKinds()),
+    [](const ::testing::TestParamInfo<VmBackendKind> &Info) {
+      return std::string(vmBackendKindName(Info.param));
+    });
 
 //===----------------------------------------------------------------------===//
 // Encoding
@@ -57,6 +90,17 @@ TEST(IsaTest, ZeroBytesDecodeToIllegal) {
   EXPECT_FALSE(isValidOpcode(0));
 }
 
+TEST(IsaTest, RegisterFieldsDecodeLow5Bits) {
+  // Register operands are architecturally 5 bits; a decoder that takes
+  // the full byte indexes past the 32-entry register file on crafted
+  // code (found by the vmdiff fuzzer -- keep this masked).
+  uint8_t Raw[8] = {0x02, 0xff, 0xe3, 0x25, 0, 0, 0, 0};
+  Instruction I = decodeInstruction(Raw);
+  EXPECT_EQ(I.Rd, 31);
+  EXPECT_EQ(I.Rs1, 3);
+  EXPECT_EQ(I.Rs2, 5);
+}
+
 TEST(IsaTest, AllNamedOpcodesAreValid) {
   for (uint8_t Op : {0x01, 0x02, 0x0e, 0x10, 0x19, 0x20, 0x25, 0x30, 0x36,
                      0x38, 0x3b, 0x40, 0x45, 0x50, 0x53})
@@ -76,17 +120,21 @@ struct AluCase {
 
 class AluTest : public ::testing::TestWithParam<AluCase> {};
 
-TEST_P(AluTest, ComputesExpected) {
+TEST_P(AluTest, ComputesExpectedOnEveryBackend) {
   const AluCase &C = GetParam();
-  Harness H;
-  H.emit(C.Op, 1, 2, 3);
-  H.emit(Opcode::Halt);
-  ExecResult R = H.run([&](Vm &M) {
-    M.setReg(2, C.A);
-    M.setReg(3, C.B);
-  });
-  ASSERT_TRUE(R.halted()) << R.Message;
-  EXPECT_EQ(R.ReturnValue, C.Expect);
+  for (VmBackendKind Kind : allVmBackendKinds()) {
+    SCOPED_TRACE(vmBackendKindName(Kind));
+    Harness H;
+    H.Kind = Kind;
+    H.emit(C.Op, 1, 2, 3);
+    H.emit(Opcode::Halt);
+    ExecResult R = H.run([&](Vm &M) {
+      M.setReg(2, C.A);
+      M.setReg(3, C.B);
+    });
+    ASSERT_TRUE(R.halted()) << R.Message;
+    EXPECT_EQ(R.ReturnValue, C.Expect);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -121,8 +169,7 @@ INSTANTIATE_TEST_SUITE_P(
         AluCase{Opcode::SleS, static_cast<uint64_t>(-5),
                 static_cast<uint64_t>(-5), 1}));
 
-TEST(VmTest, RegisterZeroIsHardwired) {
-  Harness H;
+TEST_P(VmExecTest, RegisterZeroIsHardwired) {
   H.emit(Opcode::LdI, 0, 0, 0, 77); // write to r0 discarded
   H.emit(Opcode::Add, 1, 0, 0);     // r1 = r0 + r0
   H.emit(Opcode::Halt);
@@ -131,8 +178,7 @@ TEST(VmTest, RegisterZeroIsHardwired) {
   EXPECT_EQ(R.ReturnValue, 0u);
 }
 
-TEST(VmTest, LdIAndLdIHBuild64BitConstant) {
-  Harness H;
+TEST_P(VmExecTest, LdIAndLdIHBuild64BitConstant) {
   H.emit(Opcode::LdI, 1, 0, 0, static_cast<int32_t>(0xdeadbeef));
   H.emit(Opcode::LdIH, 1, 0, 0, static_cast<int32_t>(0xcafebabe));
   H.emit(Opcode::Halt);
@@ -141,12 +187,23 @@ TEST(VmTest, LdIAndLdIHBuild64BitConstant) {
   EXPECT_EQ(R.ReturnValue, 0xcafebabedeadbeefULL);
 }
 
+TEST_P(VmExecTest, HighRegisterFieldBitsAreIgnored) {
+  // Regression for the vmdiff-found decode bug: operand bytes with the
+  // high bits set alias onto r(n & 31) instead of walking off the
+  // register file.
+  H.emit(Opcode::LdI, 3, 0, 0, 21);
+  H.emit(Opcode::Add, 1, 0xe3, 0x83); // rs1 = rs2 = r3
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 42u);
+}
+
 //===----------------------------------------------------------------------===//
 // Memory access
 //===----------------------------------------------------------------------===//
 
-TEST(VmTest, LoadStoreWidths) {
-  Harness H;
+TEST_P(VmExecTest, LoadStoreWidths) {
   H.emit(Opcode::LdI, 2, 0, 0, 0x1000); // address
   H.emit(Opcode::LdI, 3, 0, 0, -2);     // 0xffff...fffe
   H.emit(Opcode::StD, 0, 2, 3, 0);
@@ -160,17 +217,18 @@ TEST(VmTest, LoadStoreWidths) {
   ExecResult R = H.run();
   ASSERT_TRUE(R.halted()) << R.Message;
   EXPECT_EQ(R.ReturnValue, 0xfeu);
+  EXPECT_EQ(H.RegsAfter[5], static_cast<uint64_t>(int64_t{-2}));
+  EXPECT_EQ(H.RegsAfter[6], 0xfffeu);
+  EXPECT_EQ(H.RegsAfter[7], 0xfffffffeu);
+  EXPECT_EQ(H.RegsAfter[8], static_cast<uint64_t>(int64_t{-2}));
 
-  // Inspect the other registers via fresh runs would be tedious; spot
-  // check memory instead.
   uint8_t Byte;
   ASSERT_FALSE(static_cast<bool>(
       H.Ram.read(0x1000, MutableBytesView(&Byte, 1))));
   EXPECT_EQ(Byte, 0xfe);
 }
 
-TEST(VmTest, SignExtendingLoads) {
-  Harness H;
+TEST_P(VmExecTest, SignExtendingLoads) {
   H.emit(Opcode::LdI, 2, 0, 0, 0x2000);
   H.emit(Opcode::LdI, 3, 0, 0, 0x80); // byte 0x80
   H.emit(Opcode::StB, 0, 2, 3, 0);
@@ -181,21 +239,21 @@ TEST(VmTest, SignExtendingLoads) {
   EXPECT_EQ(R.ReturnValue, static_cast<uint64_t>(int64_t{-128}));
 }
 
-TEST(VmTest, OutOfBoundsLoadFaults) {
-  Harness H;
+TEST_P(VmExecTest, OutOfBoundsLoadFaults) {
   H.emit(Opcode::LdI, 2, 0, 0, 0x7fffffff);
   H.emit(Opcode::LdD, 1, 2, 0, 0);
   H.emit(Opcode::Halt);
   ExecResult R = H.run();
   EXPECT_EQ(R.Kind, TrapKind::MemoryFault);
+  EXPECT_EQ(R.Pc, 8u);
+  EXPECT_EQ(R.InstructionsRetired, 2u); // faulting loads still retire
 }
 
 //===----------------------------------------------------------------------===//
 // Control flow and traps
 //===----------------------------------------------------------------------===//
 
-TEST(VmTest, CallAndRet) {
-  Harness H;
+TEST_P(VmExecTest, CallAndRet) {
   H.emit(Opcode::Call, 0, 0, 0, 24); // to offset 24
   H.emit(Opcode::Halt);              // offset 8 (after return)
   H.emit(Opcode::Nop);               // offset 16 (never runs)
@@ -206,8 +264,7 @@ TEST(VmTest, CallAndRet) {
   EXPECT_EQ(R.ReturnValue, 55u);
 }
 
-TEST(VmTest, IndirectCall) {
-  Harness H;
+TEST_P(VmExecTest, IndirectCall) {
   H.emit(Opcode::LdI, 2, 0, 0, 32);
   H.emit(Opcode::CallR, 0, 2, 0, 0);
   H.emit(Opcode::Halt);
@@ -219,32 +276,25 @@ TEST(VmTest, IndirectCall) {
   EXPECT_EQ(R.ReturnValue, 99u);
 }
 
-TEST(VmTest, RetAtTopLevelUnderflows) {
-  Harness H;
+TEST_P(VmExecTest, RetAtTopLevelUnderflows) {
   H.emit(Opcode::Ret);
   EXPECT_EQ(H.run().Kind, TrapKind::CallStackUnderflow);
 }
 
-TEST(VmTest, CallDepthLimit) {
-  Harness H;
+TEST_P(VmExecTest, CallDepthLimit) {
   H.emit(Opcode::Call, 0, 0, 0, 0); // calls itself forever
-  Vm M(H.Ram);
-  ASSERT_FALSE(static_cast<bool>(H.Ram.write(0, H.Code)));
-  M.setMaxCallDepth(64);
-  ExecResult R = M.run(0, 1 << 20);
+  ExecResult R = H.run([](Vm &M) { M.setMaxCallDepth(64); });
   EXPECT_EQ(R.Kind, TrapKind::CallDepthExceeded);
 }
 
-TEST(VmTest, BudgetStopsInfiniteLoop) {
-  Harness H;
+TEST_P(VmExecTest, BudgetStopsInfiniteLoop) {
   H.emit(Opcode::Jmp, 0, 0, 0, 0); // jumps to itself
   ExecResult R = H.run(nullptr, 1000);
   EXPECT_EQ(R.Kind, TrapKind::BudgetExhausted);
   EXPECT_EQ(R.InstructionsRetired, 1000u);
 }
 
-TEST(VmTest, ConditionalBranches) {
-  Harness H;
+TEST_P(VmExecTest, ConditionalBranches) {
   H.emit(Opcode::LdI, 2, 0, 0, 0);
   H.emit(Opcode::Beqz, 0, 2, 0, 24); // taken: to offset 8+24=32
   H.emit(Opcode::LdI, 1, 0, 0, 1);   // skipped
@@ -256,23 +306,20 @@ TEST(VmTest, ConditionalBranches) {
   EXPECT_EQ(R.ReturnValue, 2u);
 }
 
-TEST(VmTest, UnalignedPcTraps) {
-  Harness H;
+TEST_P(VmExecTest, UnalignedPcTraps) {
   H.emit(Opcode::Jmp, 0, 0, 0, 4); // misaligned target
   ExecResult R = H.run();
   EXPECT_EQ(R.Kind, TrapKind::UnalignedPc);
 }
 
-TEST(VmTest, ExplicitTrapCarriesCode) {
-  Harness H;
+TEST_P(VmExecTest, ExplicitTrapCarriesCode) {
   H.emit(Opcode::Trap, 0, 0, 0, 0xbeef);
   ExecResult R = H.run();
   EXPECT_EQ(R.Kind, TrapKind::ExplicitTrap);
   EXPECT_EQ(R.TrapCode, 0xbeef);
 }
 
-TEST(VmTest, IllegalInstructionReportsPc) {
-  Harness H;
+TEST_P(VmExecTest, IllegalInstructionReportsPc) {
   H.emit(Opcode::Nop);
   H.emit(Opcode::Illegal);
   ExecResult R = H.run();
@@ -281,41 +328,146 @@ TEST(VmTest, IllegalInstructionReportsPc) {
 }
 
 //===----------------------------------------------------------------------===//
+// Superinstruction seams
+//===----------------------------------------------------------------------===//
+// The threaded engine fuses cmp+branch, LdI+LdIH, and AddI+load/store
+// pairs. These cases pin the architectural behavior at the seams of a
+// pair; on the switch engine they are ordinary programs, so any backend
+// difference is a test failure on exactly one parameterization.
+
+TEST_P(VmExecTest, UnalignedPcAfterFusedBranch) {
+  H.emit(Opcode::LdI, 2, 0, 0, 1);
+  H.emit(Opcode::Seq, 3, 2, 2);      // r3 = 1 (fusible with the branch)
+  H.emit(Opcode::Bnez, 0, 3, 0, 12); // taken: 16 + 12 = 28, misaligned
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  EXPECT_EQ(R.Kind, TrapKind::UnalignedPc);
+  EXPECT_EQ(R.Pc, 28u);
+  EXPECT_EQ(R.InstructionsRetired, 3u); // the branch itself retired
+  EXPECT_EQ(H.RegsAfter[3], 1u);        // and the cmp wrote its result
+}
+
+TEST_P(VmExecTest, BudgetExhaustionOnSuperinstructionBoundary) {
+  H.emit(Opcode::LdI, 2, 0, 0, 5);
+  H.emit(Opcode::Seq, 3, 2, 2);     // retires as instruction #2
+  H.emit(Opcode::Bnez, 0, 3, 0, 8); // would retire as #3
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run(nullptr, 2);
+  EXPECT_EQ(R.Kind, TrapKind::BudgetExhausted);
+  EXPECT_EQ(R.InstructionsRetired, 2u); // exactly the budget, never 3
+  EXPECT_EQ(R.Pc, 16u);                 // stopped at the branch
+  EXPECT_EQ(H.RegsAfter[3], 1u);        // cmp half executed
+}
+
+TEST_P(VmExecTest, FusedPairsRetireArchitecturalCount) {
+  H.emit(Opcode::LdI, 1, 0, 0, 0x11111111);
+  H.emit(Opcode::LdIH, 1, 0, 0, 0x2222);
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted());
+  EXPECT_EQ(R.InstructionsRetired, 3u); // pre-fusion count
+  EXPECT_EQ(R.ReturnValue, 0x222211111111ull);
+
+  // Budget 1 splits the pair: only the LdI half runs.
+  ExecResult Partial = H.run(nullptr, 1);
+  EXPECT_EQ(Partial.Kind, TrapKind::BudgetExhausted);
+  EXPECT_EQ(Partial.InstructionsRetired, 1u);
+  EXPECT_EQ(Partial.Pc, 8u);
+  EXPECT_EQ(H.RegsAfter[1], 0x11111111u);
+}
+
+TEST_P(VmExecTest, FusedMemoryFaultReportsSecondSlot) {
+  H.emit(Opcode::LdI, 2, 0, 0, 1 << 16);
+  H.emit(Opcode::AddI, 4, 2, 0, 0); // fusible with the load below
+  H.emit(Opcode::LdD, 5, 4, 0, 0);  // out of bounds: faults
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  EXPECT_EQ(R.Kind, TrapKind::MemoryFault);
+  EXPECT_EQ(R.Pc, 16u);                 // the load, not the AddI
+  EXPECT_EQ(R.InstructionsRetired, 3u); // both halves retired
+  EXPECT_EQ(H.RegsAfter[4], 1u << 16);  // AddI half committed
+}
+
+TEST_P(VmExecTest, IllegalOpcodeInSlotAfterPreDecode) {
+  // A store rewrites an already-decoded downstream slot with zeros; the
+  // engine must execute the new (illegal) bytes, not its stale decode.
+  H.emit(Opcode::LdI, 2, 0, 0, 40); // address of the Halt slot
+  H.emit(Opcode::StD, 0, 2, 0, 0);  // zero out slot 5
+  H.emit(Opcode::Nop);
+  H.emit(Opcode::Nop);
+  H.emit(Opcode::Nop);
+  H.emit(Opcode::Halt); // slot 5: becomes Illegal mid-run
+  ExecResult R = H.run();
+  EXPECT_EQ(R.Kind, TrapKind::IllegalInstruction);
+  EXPECT_EQ(R.Pc, 40u);
+  EXPECT_EQ(R.InstructionsRetired, 6u);
+}
+
+TEST_P(VmExecTest, RestoreWriteInvalidationMidRun) {
+  // A tcall handler rewriting code mid-run is exactly how SGXElide
+  // restores elided functions: the instruction after the tcall must be
+  // fetched from the restored bytes.
+  H.emit(Opcode::Tcall, 0, 0, 0, 0);
+  H.emit(Opcode::Nop);
+  H.emit(Opcode::LdI, 1, 0, 0, 111); // slot 2: replaced by the handler
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run([](Vm &M) {
+    M.setTcallHandler([](uint32_t, Vm &V) -> Expected<uint64_t> {
+      Bytes Patch;
+      emitInstruction(Patch, {Opcode::LdI, 1, 0, 0, 222});
+      if (Error E = V.writeBytes(16, Patch))
+        return E;
+      return 0;
+    });
+  });
+  ASSERT_TRUE(R.halted()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 222u);
+}
+
+TEST_P(VmExecTest, BranchIntoMiddleOfFusedPair) {
+  // Jumping to the second half of a fusible pair must execute that
+  // instruction standalone.
+  H.emit(Opcode::Jmp, 0, 0, 0, 24);  // to slot 3 (the LdIH)
+  H.emit(Opcode::LdI, 1, 0, 0, 0x1); // slot 1 \ fusible pair, skipped
+  H.emit(Opcode::LdIH, 1, 0, 0, 2);  // slot 2 / first half
+  H.emit(Opcode::LdIH, 1, 0, 0, 3);  // slot 3: jump target
+  H.emit(Opcode::Halt);
+  ExecResult R = H.run();
+  ASSERT_TRUE(R.halted());
+  EXPECT_EQ(R.ReturnValue, 0x300000000ull);
+}
+
+//===----------------------------------------------------------------------===//
 // Host calls
 //===----------------------------------------------------------------------===//
 
-TEST(VmTest, TcallDispatchesAndReturnsInR1) {
-  Harness H;
+TEST_P(VmExecTest, TcallDispatchesAndReturnsInR1) {
   H.emit(Opcode::LdI, 1, 0, 0, 20);
   H.emit(Opcode::Tcall, 0, 0, 0, 3);
   H.emit(Opcode::Halt);
-  ASSERT_FALSE(static_cast<bool>(H.Ram.write(0, H.Code)));
-  Vm M(H.Ram);
-  M.setTcallHandler([](uint32_t Index, Vm &V) -> Expected<uint64_t> {
-    EXPECT_EQ(Index, 3u);
-    return V.reg(1) * 2 + 2;
+  ExecResult R = H.run([](Vm &M) {
+    M.setTcallHandler([](uint32_t Index, Vm &V) -> Expected<uint64_t> {
+      EXPECT_EQ(Index, 3u);
+      return V.reg(1) * 2 + 2;
+    });
   });
-  ExecResult R = M.run(0);
   ASSERT_TRUE(R.halted());
   EXPECT_EQ(R.ReturnValue, 42u);
 }
 
-TEST(VmTest, MissingOcallHandlerFaults) {
-  Harness H;
+TEST_P(VmExecTest, MissingOcallHandlerFaults) {
   H.emit(Opcode::Ocall, 0, 0, 0, 0);
   ExecResult R = H.run();
   EXPECT_EQ(R.Kind, TrapKind::HandlerFault);
 }
 
-TEST(VmTest, HandlerErrorBecomesFault) {
-  Harness H;
+TEST_P(VmExecTest, HandlerErrorBecomesFault) {
   H.emit(Opcode::Tcall, 0, 0, 0, 9);
-  ASSERT_FALSE(static_cast<bool>(H.Ram.write(0, H.Code)));
-  Vm M(H.Ram);
-  M.setTcallHandler([](uint32_t, Vm &) -> Expected<uint64_t> {
-    return makeError("deliberate");
+  ExecResult R = H.run([](Vm &M) {
+    M.setTcallHandler([](uint32_t, Vm &) -> Expected<uint64_t> {
+      return makeError("deliberate");
+    });
   });
-  ExecResult R = M.run(0);
   EXPECT_EQ(R.Kind, TrapKind::HandlerFault);
   EXPECT_NE(R.Message.find("deliberate"), std::string::npos);
 }

@@ -1,0 +1,80 @@
+//===- tests/framework/VmDiff.h - SVM backend differential harness ----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential testing for the pluggable SVM execution engines: a
+/// structure-aware random-program generator plus a runner that executes
+/// the same code on every backend and demands bit-identical outcomes --
+/// ExecResult (kind, pc, return value, trap code, retired count, message
+/// text), all 32 registers, and the final memory image.
+///
+/// Programs are raw SVM code loaded at address 0 of a FlatMemory; the
+/// runner installs deterministic tcall/ocall handlers, one of which
+/// rewrites program code mid-run (the restore-write scenario the threaded
+/// engine's invalidation exists for). Any byte string is a valid input --
+/// the ISA traps on garbage -- so the same harness backs both the seeded
+/// `ctest -L vmdiff` sweep and the `fuzz_vmdiff` libFuzzer target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_TESTS_FRAMEWORK_VMDIFF_H
+#define SGXELIDE_TESTS_FRAMEWORK_VMDIFF_H
+
+#include "crypto/Drbg.h"
+#include "vm/ExecBackend.h"
+
+#include <array>
+#include <string>
+
+namespace elide {
+namespace vmdiff {
+
+/// Knobs for program generation and execution.
+struct ProgramOptions {
+  /// Upper bound on generated program length, in instructions. Also the
+  /// modulus for the restore-tcall's target slot, so keep it stable when
+  /// reproducing a divergence.
+  unsigned MaxInstructions = 96;
+  /// Flat RAM size; code sits at [0, MaxInstructions*8), the generator's
+  /// data pointers aim at the upper half.
+  uint64_t MemorySize = 64 * 1024;
+  /// Per-run instruction budget. Deliberately small: generated loops are
+  /// bounded by it, and budget-boundary trap parity gets exercised a lot.
+  uint64_t Budget = 4096;
+  /// Emit stores through arbitrary register values (out-of-bounds faults).
+  bool AllowWildStores = true;
+  /// Emit stores aimed into the code region (self-modification).
+  bool AllowSelfModify = true;
+};
+
+/// Generates a random SVM program: valid control flow biased to stay in
+/// range, bounded loops (via the budget), cmp+branch / LdI+LdIH /
+/// AddI+mem shapes the threaded engine fuses, memory traffic through
+/// data-region base registers, tcall/ocall sites, and a sprinkling of
+/// raw garbage instructions. Returns raw code bytes (load at pc 0).
+Bytes generateProgram(Drbg &Rng, const ProgramOptions &Opts);
+
+/// Everything observable about one program execution.
+struct Outcome {
+  ExecResult Exec;
+  std::array<uint64_t, SvmRegCount> Regs;
+  Bytes Memory;
+};
+
+/// Executes \p Code on a fresh FlatMemory under the given backend, with
+/// the harness's deterministic tcall/ocall handlers installed.
+Outcome runProgram(BytesView Code, VmBackendKind Kind,
+                   const ProgramOptions &Opts);
+
+/// Runs \p Code on every backend and compares each against the reference
+/// (SwitchBackend). Returns an empty string when all agree, otherwise a
+/// human-readable description of the first divergence.
+std::string diffProgram(BytesView Code, const ProgramOptions &Opts);
+
+} // namespace vmdiff
+} // namespace elide
+
+#endif // SGXELIDE_TESTS_FRAMEWORK_VMDIFF_H

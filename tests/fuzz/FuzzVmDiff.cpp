@@ -1,0 +1,81 @@
+//===- tests/fuzz/FuzzVmDiff.cpp - SVM backend differential fuzz target -----===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential fuzz target for the SVM execution backends: the input
+/// bytes are a program, and every backend must agree with the reference
+/// switch interpreter on the complete architectural outcome -- trap
+/// kind, pc, retired count, return value, message, registers, memory.
+/// Any byte string is a valid program (the ISA traps on garbage), so
+/// libFuzzer's mutations explore the decode/fusion/invalidation space
+/// directly; the corpus seeds it with fusible shapes, self-modifying
+/// stores, and budget-boundary loops.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tests/fuzz/FuzzCommon.h"
+
+#include "tests/framework/VmDiff.h"
+
+namespace {
+
+using namespace elide;
+
+/// One shared configuration: inputs longer than the code window are
+/// truncated so runtime stays bounded, and a small budget keeps even
+/// pathological loops cheap while exercising budget-trap parity.
+vmdiff::ProgramOptions fuzzOptions() {
+  vmdiff::ProgramOptions Opts;
+  Opts.MaxInstructions = 256;
+  Opts.Budget = 2048;
+  return Opts;
+}
+
+void fuzzVmDiffOne(BytesView Input) {
+  vmdiff::ProgramOptions Opts = fuzzOptions();
+  size_t MaxBytes = Opts.MaxInstructions * SvmInstrSize;
+  if (Input.size() > MaxBytes)
+    Input = Input.subspan(0, MaxBytes);
+  std::string Divergence = vmdiff::diffProgram(Input, Opts);
+  FUZZ_ASSERT(Divergence.empty());
+}
+
+/// Structure-aware generator for sweep mode: the vmdiff program builder,
+/// under the same options the one-input entry point executes with.
+Bytes buildVmDiffProgram(Drbg &Rng) {
+  vmdiff::ProgramOptions Opts = fuzzOptions();
+  return vmdiff::generateProgram(Rng, Opts);
+}
+
+} // namespace
+
+#ifdef ELIDE_LIBFUZZER_DRIVER
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  fuzzVmDiffOne(elide::BytesView(Data, Size));
+  return 0;
+}
+
+#else // gtest replay + generative sweep
+
+#include "tests/framework/FuzzHarness.h"
+
+#include <gtest/gtest.h>
+
+TEST(VmDiffFuzz, CorpusReplay) {
+  elide::Expected<size_t> N =
+      elide::fuzz::replayCorpus("vmdiff", fuzzVmDiffOne);
+  ASSERT_TRUE(static_cast<bool>(N)) << N.errorMessage();
+  EXPECT_GE(*N, 6u) << "vmdiff corpus lost its seed entries";
+}
+
+TEST(VmDiffFuzz, GeneratedSweep) {
+  elide::fuzz::generativeSweep(fuzzVmDiffOne, buildVmDiffProgram,
+                               /*Seed=*/0x564d444946460a01ull,
+                               /*Iterations=*/300);
+}
+
+#endif // ELIDE_LIBFUZZER_DRIVER

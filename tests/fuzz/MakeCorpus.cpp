@@ -16,12 +16,14 @@
 
 #include "tests/framework/Builders.h"
 #include "tests/framework/Corpus.h"
+#include "tests/framework/VmDiff.h"
 
 #include "crypto/Drbg.h"
 #include "elf/ElfTypes.h"
 #include "elide/SecretMeta.h"
 #include "server/Protocol.h"
 #include "sgx/SgxTypes.h"
+#include "vm/Isa.h"
 
 #include <cstdio>
 
@@ -286,6 +288,80 @@ void makeAuditCorpus() {
        blob(0x13, 0x10, patchNewlineSectionName(Elf)));
 }
 
+void makeVmDiffCorpus() {
+  // Inputs are raw SVM programs loaded at pc 0 (see FuzzVmDiff.cpp).
+  auto ins = [](Bytes &Code, Opcode Op, uint8_t Rd, uint8_t Rs1, uint8_t Rs2,
+                int32_t Imm) {
+    emitInstruction(Code, {Op, Rd, Rs1, Rs2, Imm});
+  };
+
+  // Every fusible superinstruction shape back to back: cmp+branch loop,
+  // LdI+LdIH constant, AddI+load and AddI+store addressing.
+  Bytes Fused;
+  ins(Fused, Opcode::LdI, 2, 0, 0, 5);             // loop counter
+  ins(Fused, Opcode::LdI, 10, 0, 0, 0x8000);       // data base
+  ins(Fused, Opcode::LdI, 3, 0, 0, 0x11111111);    // \ fused 64-bit
+  ins(Fused, Opcode::LdIH, 3, 0, 0, 0x2222);       // / constant
+  ins(Fused, Opcode::AddI, 13, 10, 0, 16);         // \ fused store
+  ins(Fused, Opcode::StD, 0, 13, 3, 0);            // /
+  ins(Fused, Opcode::AddI, 14, 10, 0, 8);          // \ fused load
+  ins(Fused, Opcode::LdD, 4, 14, 0, 8);            // /
+  ins(Fused, Opcode::AddI, 2, 2, 0, -1);           // counter--
+  ins(Fused, Opcode::Sne, 5, 2, 0, 0);             // \ fused branch
+  ins(Fused, Opcode::Bnez, 0, 5, 0, -8 * 8);       // / back to the StD pair
+  ins(Fused, Opcode::Add, 1, 3, 4, 0);
+  ins(Fused, Opcode::Halt, 0, 0, 0, 0);
+  emit("vmdiff", "seed-fused-pairs", Fused);
+
+  // A two-instruction fused loop that dies of budget exhaustion; the
+  // driver's budget is even, the loop is 2 wide, so the boundary lands
+  // between the halves on some alignments.
+  Bytes Tight;
+  ins(Tight, Opcode::Seq, 2, 0, 0, 0);             // r2 = 1
+  ins(Tight, Opcode::Bnez, 0, 2, 0, -8);           // forever
+  ins(Tight, Opcode::Halt, 0, 0, 0, 0);
+  emit("vmdiff", "seed-budget-boundary", Tight);
+
+  // Self-modifying store: rewrites a downstream Halt with an Illegal
+  // word after the slot has (in a pre-decoding engine) been decoded.
+  Bytes SelfMod;
+  ins(SelfMod, Opcode::LdI, 2, 0, 0, 4 * 8);       // address of slot 4
+  ins(SelfMod, Opcode::StD, 0, 2, 0, 0);           // zero it out
+  ins(SelfMod, Opcode::Nop, 0, 0, 0, 0);
+  ins(SelfMod, Opcode::Nop, 0, 0, 0, 0);
+  ins(SelfMod, Opcode::Halt, 0, 0, 0, 0);          // becomes Illegal
+  emit("vmdiff", "seed-self-modify", SelfMod);
+
+  // Restore-style rewrite through the harness tcall (index 1 writes an
+  // AddI into a code slot), then keep running.
+  Bytes Restore;
+  ins(Restore, Opcode::Tcall, 0, 0, 0, 1);
+  ins(Restore, Opcode::Nop, 0, 0, 0, 0);
+  ins(Restore, Opcode::LdI, 5, 0, 0, 7);
+  ins(Restore, Opcode::Tcall, 0, 0, 0, 5);
+  ins(Restore, Opcode::Add, 1, 1, 5, 0);
+  ins(Restore, Opcode::Halt, 0, 0, 0, 0);
+  emit("vmdiff", "seed-restore-tcall", Restore);
+
+  // Regression: operand bytes with high bits set. The decoder took the
+  // full byte as a register index and walked off the 32-entry register
+  // file (out-of-bounds read/write in release builds); fields now mask
+  // to 5 bits.
+  Bytes HighRegs;
+  ins(HighRegs, Opcode::LdI, 3, 0, 0, 21);
+  ins(HighRegs, Opcode::Add, 1, 0xe3, 0x83, 0);    // rs1 = rs2 = r3
+  ins(HighRegs, Opcode::LdIH, 0xed, 0x94, 0xf8, -1841113383);
+  ins(HighRegs, Opcode::Halt, 0, 0, 0, 0);
+  emit("vmdiff", "regression-register-high-bits", HighRegs);
+
+  // One structured program from the generator, at the driver's options.
+  Drbg Rng(701);
+  vmdiff::ProgramOptions Opts;
+  Opts.MaxInstructions = 256;
+  Opts.Budget = 2048;
+  emit("vmdiff", "seed-structured", vmdiff::generateProgram(Rng, Opts));
+}
+
 } // namespace
 
 int main() {
@@ -296,5 +372,6 @@ int main() {
   makeWhitelistCorpus();
   makeLoaderCorpus();
   makeAuditCorpus();
+  makeVmDiffCorpus();
   return Failures == 0 ? 0 : 1;
 }

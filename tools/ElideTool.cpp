@@ -34,6 +34,7 @@
 #include "support/Hex.h"
 #include "support/Stats.h"
 #include "vm/Disassembler.h"
+#include "vm/ExecBackend.h"
 
 #include <csignal>
 #include <cstdio>
@@ -74,6 +75,7 @@ int usage() {
       "[--breaker-cooldown-ms N] [--hedge-ms N]\n"
       "            [--sealed-cache f] [--restore-attempts N] "
       "[--restore-backoff-ms N] [--trace-provision]\n"
+      "            [--svm-backend switch|threaded]\n"
       "\n"
       "audit exit codes:\n"
       "   0  clean (no non-baselined diagnostics)\n"
@@ -612,8 +614,17 @@ int cmdRun(std::vector<std::string> Args) {
   Policy.RetryDelayMs = std::stoi(flagValue(
       Args, "--restore-backoff-ms", std::to_string(Policy.RetryDelayMs)));
   bool TraceProvision = hasFlag(Args, "--trace-provision");
+  std::string BackendName = flagValue(Args, "--svm-backend", "");
   if (Args.size() != 5)
     return usage();
+
+  sgx::EnclaveLayout Layout;
+  if (!BackendName.empty()) {
+    Expected<VmBackendKind> Backend = parseVmBackendKind(BackendName);
+    if (!Backend)
+      return fail(Backend.errorMessage());
+    Layout.SvmBackend = *Backend;
+  }
 
   Expected<Bytes> ElfFile = readFileBytes(Args[0]);
   if (!ElfFile)
@@ -635,7 +646,7 @@ int cmdRun(std::vector<std::string> Args) {
   sgx::QuotingEnclave Qe(Device, Authority);
 
   Expected<std::unique_ptr<sgx::Enclave>> E =
-      sgx::loadEnclave(Device, *ElfFile, *Sig, sgx::EnclaveLayout{});
+      sgx::loadEnclave(Device, *ElfFile, *Sig, Layout);
   if (!E)
     return fail(E.errorMessage());
 
