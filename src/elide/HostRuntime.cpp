@@ -39,23 +39,6 @@ const char *elide::restoreStatusName(uint64_t Status) {
   }
 }
 
-bool elide::isRetryableRestoreStatus(uint64_t Status) {
-  switch (Status) {
-  case RestoreShortSecrets:
-  case RestoreQuoteFailed:
-  case RestoreServerUnreachable:
-  case RestoreMetaFetchFailed:
-  case RestoreDataFetchFailed:
-    return true;
-  case RestoreOk:
-  case RestoreNoSecrets:
-  case RestoreRejected:
-  case RestoreMetaParseFailed:
-  default:
-    return false;
-  }
-}
-
 void ElideHost::attach(sgx::Enclave &E) {
   ElideTrustedLib::install(E, Qe ? Qe->targetInfo() : sgx::TargetInfo{});
   E.setOcallHandler([this](uint32_t Index, BytesView Request) {
@@ -92,6 +75,8 @@ Expected<uint64_t> ElideHost::restore(sgx::Enclave &E,
 void ElideHost::emit(const ProvisionEvent &Event) {
   if (EventCallback)
     EventCallback(Event);
+  if (EventTap)
+    EventTap(Event);
 }
 
 Expected<Bytes> ElideHost::readSealed() {

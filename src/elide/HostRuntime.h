@@ -32,49 +32,17 @@ namespace elide {
 using AppOcallHandler =
     std::function<Expected<Bytes>(uint32_t Index, BytesView Request)>;
 
-/// Statuses the elide_restore ecall returns. Every nonzero status leaves
-/// the enclave sanitized-but-retryable (the restorer never writes a
-/// partial buffer over the text section), so a later restore() on the
-/// same enclave can still succeed.
-enum RestoreStatus : uint64_t {
-  RestoreOk = 0,
-  /// Secrets could not be obtained (missing data file, failed unseal +
-  /// failed exchange, bad local decrypt).
-  RestoreNoSecrets = 1,
-  /// The exchange produced fewer/more bytes than the metadata promised.
-  RestoreShortSecrets = 2,
-  /// The quoting enclave was unavailable.
-  RestoreQuoteFailed = 10,
-  /// The server round trip itself failed (dead/unreachable server -- the
-  /// paper's denial-of-service case).
-  RestoreServerUnreachable = 11,
-  /// The server answered but rejected the attestation.
-  RestoreRejected = 12,
-  /// The metadata exchange failed (decrypt error / server ERROR frame).
-  RestoreMetaFetchFailed = 21,
-  /// The metadata arrived but did not parse.
-  RestoreMetaParseFailed = 22,
-  /// The remote data exchange failed or returned the wrong byte count
-  /// (dropped connection, server ERROR frame, exhausted session budget).
-  RestoreDataFetchFailed = 23,
-};
+// `RestoreStatus` itself lives in support/Error.h alongside the one
+// shared retryable-vs-terminal table (`retryabilityOf`), so the restorer's
+// and the transport's failure vocabularies classify in one place.
 
 /// Human-readable name for a restore status (diagnostics).
 const char *restoreStatusName(uint64_t Status);
 
-/// Whether retrying a restore that ended in \p Status can plausibly
-/// change the outcome. Transient statuses (short reads, dead quoting
-/// enclave, unreachable or erroring server) are retryable; verdicts
-/// (missing secrets, rejected attestation, unparseable metadata) are
-/// terminal -- the same enclave will lose the same way every time, and a
-/// rejected attestation in particular must not be hammered against the
-/// server.
-bool isRetryableRestoreStatus(uint64_t Status);
-
 /// Retry behavior for `ElideHost::restore`. Because a failed restore
 /// never half-writes the text section, retrying is always *safe*; the
 /// policy bounds how long the host keeps trying, and the loop stops
-/// early on terminal statuses (see `isRetryableRestoreStatus`).
+/// early on terminal statuses (the shared table in support/Error.h).
 struct RestorePolicy {
   /// Total restore attempts (1 = no retry).
   int MaxAttempts = 1;
@@ -107,6 +75,10 @@ public:
   /// remaining secret sources.
   void setSealedPath(std::string Path) { SealedPath = std::move(Path); }
 
+  /// The sealed-cache path (empty when the blob is memory-only). The
+  /// supervisor reads this to point its chaos injector at the right file.
+  const std::string &sealedPath() const { return SealedPath; }
+
   /// Observation hook for cache persistence events (CacheWritten,
   /// CacheWriteFailed, CacheQuarantined). Shares the ProvisionEvent
   /// vocabulary with `Provisioner`, so one callback can watch the whole
@@ -114,6 +86,11 @@ public:
   void setEventCallback(ProvisionEventCallback Callback) {
     EventCallback = std::move(Callback);
   }
+
+  /// Second, independent observer slot: the supervisor taps cache events
+  /// (to classify CacheQuarantined as a contained fault) without stealing
+  /// the application's callback. Both observers see every event.
+  void setEventTap(ProvisionEventCallback Tap) { EventTap = std::move(Tap); }
 
   /// Test hook: injects a simulated crash into the next sealed-cache
   /// write (see AtomicCrashPoint). The chaos suite uses this to prove a
@@ -159,6 +136,7 @@ private:
   std::string DebugOutput;
   AppOcallHandler AppHandler;
   ProvisionEventCallback EventCallback;
+  ProvisionEventCallback EventTap;
   AtomicCrashPoint SealedCrashPoint = AtomicCrashPoint::None;
 };
 

@@ -233,8 +233,15 @@ void Provisioner::recordOutcome(size_t I, const Outcome &O) {
     return;
   }
   Ep.Breaker.onFailure();
+  // Classify via the shared table (support/Error.h) so observers can see
+  // whether a later walk of the chain could cure this failure.
+  TransportErrc Errc = transportErrcOf(O.Result);
   emit({ProvisionEventKind::EndpointFailure, static_cast<int>(I), Ep.Name,
-        transportErrcOf(O.Result), 0, O.Result.errorMessage()});
+        Errc, 0,
+        O.Result.errorMessage() +
+            (retryabilityOf(Errc) == Retryability::Terminal
+                 ? " [terminal]"
+                 : " [retryable]")});
   if (Before != BreakerState::Open &&
       Ep.Breaker.state() == BreakerState::Open)
     emit({ProvisionEventKind::BreakerOpened, static_cast<int>(I), Ep.Name,

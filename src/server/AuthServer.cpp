@@ -63,6 +63,7 @@ AuthServerStats AuthServer::stats() const {
   S.RequestsShed = RequestsShed.load(std::memory_order_relaxed);
   S.SessionBudgetsExhausted =
       SessionBudgetsExhausted.load(std::memory_order_relaxed);
+  S.StaleSessionRequests = StaleSessionRequests.load(std::memory_order_relaxed);
   S.BatchHandshakes = BatchHandshakes.load(std::memory_order_relaxed);
   S.BatchSessionsMinted = BatchSessionsMinted.load(std::memory_order_relaxed);
   return S;
@@ -182,12 +183,18 @@ Bytes AuthServer::handleRecord(BytesView Frame) {
   SessionKeys Keys;
   switch (Store.touch(*Sid, Config.MaxRequestsPerSession, Keys)) {
   case SessionTouch::Unknown:
-    return errorFrame("unknown session (send HELLO first)");
+    // Stale: never minted, evicted, or the server restarted under the
+    // session. The typed marker tells the client the cure is a fresh
+    // HELLO, not a retry of this frame.
+    StaleSessionRequests.fetch_add(1, std::memory_order_relaxed);
+    return errorFrame(std::string("stale session: unknown or evicted ") +
+                      ReattestMarker);
   case SessionTouch::BudgetExhausted:
     // Budget spent: drop the session so the keys cannot be milked
     // indefinitely; the legitimate client simply re-attests.
     SessionBudgetsExhausted.fetch_add(1, std::memory_order_relaxed);
-    return errorFrame("session request budget exhausted (re-attest)");
+    return errorFrame(std::string("session request budget exhausted ") +
+                      ReattestMarker);
   case SessionTouch::Ok:
     break;
   }

@@ -86,6 +86,9 @@ struct AuthServerStats {
   size_t LiveSessions = 0;
   size_t RequestsShed = 0;
   size_t SessionBudgetsExhausted = 0;
+  /// RECORD frames naming a session the server no longer knows (evicted,
+  /// restarted, or recycled); answered with a typed re-attest ERROR.
+  size_t StaleSessionRequests = 0;
   /// Successful HELLO-BATCH rounds (each also counts one handshake).
   size_t BatchHandshakes = 0;
   /// Sessions minted by HELLO-BATCH rounds.
@@ -139,6 +142,7 @@ private:
   std::atomic<size_t> DataRequests{0};
   std::atomic<size_t> RequestsShed{0};
   std::atomic<size_t> SessionBudgetsExhausted{0};
+  std::atomic<size_t> StaleSessionRequests{0};
   std::atomic<size_t> BatchHandshakes{0};
   std::atomic<size_t> BatchSessionsMinted{0};
 };

@@ -202,6 +202,10 @@ Bytes elide::errorFrame(const std::string &Message) {
   return Frame;
 }
 
+bool elide::errorAsksReattest(const std::string &Message) {
+  return Message.find(ReattestMarker) != std::string::npos;
+}
+
 Bytes elide::overloadedFrame(uint32_t RetryAfterMs) {
   Bytes Frame;
   Frame.push_back(FrameOverloaded);

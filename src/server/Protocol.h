@@ -164,6 +164,15 @@ Expected<std::vector<BatchSession>> parseHelloBatchOkFrame(BytesView Frame);
 /// Builds an ERROR frame.
 Bytes errorFrame(const std::string &Message);
 
+/// Marker the server embeds in ERROR frames whose cure is a fresh
+/// attestation (stale/evicted session, exhausted request budget, an
+/// enclave recycled out from under the session). Clients branch with
+/// `errorAsksReattest` instead of parsing prose.
+inline constexpr const char *ReattestMarker = "[re-attest]";
+
+/// True when an ERROR message carries the re-attest marker.
+bool errorAsksReattest(const std::string &Message);
+
 /// Wire size of an OVERLOADED frame: type || retry-after-ms u32.
 constexpr size_t OverloadedFrameSize = 1 + 4;
 

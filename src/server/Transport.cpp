@@ -51,23 +51,6 @@ std::optional<uint32_t> elide::retryAfterHintOf(const std::string &Message) {
   return static_cast<uint32_t>(std::stoul(Message.substr(Start, End - Start)));
 }
 
-bool elide::isRetryableTransportErrc(TransportErrc Errc) {
-  switch (Errc) {
-  case TransportErrc::ConnectFailed:
-  case TransportErrc::ConnectTimeout:
-  case TransportErrc::ReadTimeout:
-  case TransportErrc::WriteTimeout:
-  case TransportErrc::PeerClosed:
-  case TransportErrc::InjectedFault:
-  case TransportErrc::Overloaded:
-  case TransportErrc::BreakerOpen:
-  case TransportErrc::AllEndpointsFailed:
-    return true;
-  default:
-    return false;
-  }
-}
-
 //===----------------------------------------------------------------------===//
 // Deadline socket IO
 //===----------------------------------------------------------------------===//

@@ -41,24 +41,9 @@ namespace elide {
 // Typed transport errors
 //===----------------------------------------------------------------------===//
 
-/// Failure kinds surfaced by the socket transports, carried as the
-/// `Error::code()` of transport errors so callers can branch on the kind
-/// (retry, re-attest, give up) without parsing messages.
-enum class TransportErrc : int {
-  None = 0,
-  ConnectFailed = 101,    ///< Connection refused / unreachable.
-  ConnectTimeout = 102,   ///< Connect exceeded its deadline.
-  ReadTimeout = 103,      ///< A read exceeded its deadline.
-  WriteTimeout = 104,     ///< A write exceeded its deadline.
-  PeerClosed = 105,       ///< Peer closed mid-frame.
-  FrameTooLarge = 106,    ///< Length prefix exceeds the frame cap.
-  BadAddress = 107,       ///< Unparseable server address.
-  RetriesExhausted = 108, ///< The whole retry budget failed.
-  InjectedFault = 109,    ///< A FaultInjectingTransport ate the exchange.
-  Overloaded = 110,       ///< The server shed load (OVERLOADED frame).
-  BreakerOpen = 111,      ///< Circuit breaker refused the endpoint.
-  AllEndpointsFailed = 112, ///< Every endpoint in a failover chain failed.
-};
+// `TransportErrc` itself lives in support/Error.h alongside the one
+// shared retryable-vs-terminal table (`retryabilityOf`), so the restorer's
+// and the transport's failure vocabularies classify in one place.
 
 /// Creates a transport failure tagged with \p Errc.
 Error makeTransportError(TransportErrc Errc, std::string Message);
@@ -74,11 +59,6 @@ template <typename T> TransportErrc transportErrcOf(const Expected<T> &E) {
              ? static_cast<TransportErrc>(Code)
              : TransportErrc::None;
 }
-
-/// True for failures a fresh attempt may cure (timeouts, refused
-/// connections, dropped peers) -- as opposed to structural ones
-/// (bad address, oversized frame).
-bool isRetryableTransportErrc(TransportErrc Errc);
 
 /// Extracts a "retry-after-ms=<n>" hint from an Overloaded error message
 /// (the transports embed the server's hint there so it survives the typed

@@ -101,6 +101,14 @@ Expected<uint64_t> Enclave::symbolAddress(const std::string &Name) const {
   return It->second;
 }
 
+Expected<uint64_t> Enclave::ecallAddress(const std::string &Name) const {
+  auto It = Ecalls.find(Name);
+  if (It == Ecalls.end())
+    return makeError("no ecall named '" + Name +
+                     "' (not exported by the enclave)");
+  return It->second;
+}
+
 Expected<EcallResult> Enclave::ecall(const std::string &Name, BytesView Input,
                                      size_t OutputCapacity) {
   auto It = Ecalls.find(Name);

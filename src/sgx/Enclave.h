@@ -111,6 +111,14 @@ public:
   /// Sets the per-ecall instruction budget (runaway guard).
   void setInstructionBudget(uint64_t Budget) { InstructionBudget = Budget; }
 
+  /// The current per-ecall instruction budget (the supervisor saves and
+  /// restores it around a chaos-clamped ecall).
+  uint64_t instructionBudget() const { return InstructionBudget; }
+
+  /// Resolves an exported ecall name to its bridge-function address (the
+  /// execution-side fault injector scribbles over entry points by name).
+  Expected<uint64_t> ecallAddress(const std::string &Name) const;
+
   /// Selects the SVM execution backend for subsequent ecalls (the loader
   /// applies `EnclaveLayout::SvmBackend`; `--svm-backend` reaches here).
   /// A stateful engine's decoded-code cache persists across ecalls until

@@ -17,6 +17,7 @@
 #define SGXELIDE_SUPPORT_ERROR_H
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -138,6 +139,197 @@ public:
 private:
   std::variant<T, Error> Storage;
 };
+
+//===----------------------------------------------------------------------===//
+// Shared failure vocabularies and the retryable-vs-terminal table
+//===----------------------------------------------------------------------===//
+//
+// The failure vocabularies that cross subsystem boundaries -- the
+// restorer's status word, the transport's typed error kind, and the
+// supervisor's lifecycle errc -- are defined here, at the bottom of the
+// dependency graph, so that exactly one classification table can see them
+// all. Every consumer of "should I try again?" (the TCP client's retry
+// loop, `ElideHost::restore` under a `RestorePolicy`, the `Provisioner`
+// failover chain, and the `EnclaveSupervisor` recovery loop) routes
+// through `retryabilityOf`.
+//
+// The switches below are deliberately `default:`-free: adding a status or
+// an errc without deciding its retryability is a compile-time warning
+// (-Wswitch / -Wreturn-type), not a silent fall-through.
+
+/// Statuses the elide_restore ecall returns. Every nonzero status leaves
+/// the enclave sanitized-but-retryable (the restorer never writes a
+/// partial buffer over the text section), so a later restore() on the
+/// same enclave can still succeed.
+enum RestoreStatus : uint64_t {
+  RestoreOk = 0,
+  /// Secrets could not be obtained (missing data file, failed unseal +
+  /// failed exchange, bad local decrypt).
+  RestoreNoSecrets = 1,
+  /// The exchange produced fewer/more bytes than the metadata promised.
+  RestoreShortSecrets = 2,
+  /// The quoting enclave was unavailable.
+  RestoreQuoteFailed = 10,
+  /// The server round trip itself failed (dead/unreachable server -- the
+  /// paper's denial-of-service case).
+  RestoreServerUnreachable = 11,
+  /// The server answered but rejected the attestation.
+  RestoreRejected = 12,
+  /// The metadata exchange failed (decrypt error / server ERROR frame).
+  RestoreMetaFetchFailed = 21,
+  /// The metadata arrived but did not parse.
+  RestoreMetaParseFailed = 22,
+  /// The remote data exchange failed or returned the wrong byte count
+  /// (dropped connection, server ERROR frame, exhausted session budget).
+  RestoreDataFetchFailed = 23,
+};
+
+/// Failure kinds surfaced by the socket transports, carried as the
+/// `Error::code()` of transport errors so callers can branch on the kind
+/// (retry, re-attest, give up) without parsing messages.
+enum class TransportErrc : int {
+  None = 0,
+  ConnectFailed = 101,    ///< Connection refused / unreachable.
+  ConnectTimeout = 102,   ///< Connect exceeded its deadline.
+  ReadTimeout = 103,      ///< A read exceeded its deadline.
+  WriteTimeout = 104,     ///< A write exceeded its deadline.
+  PeerClosed = 105,       ///< Peer closed mid-frame.
+  FrameTooLarge = 106,    ///< Length prefix exceeds the frame cap.
+  BadAddress = 107,       ///< Unparseable server address.
+  RetriesExhausted = 108, ///< The whole retry budget failed.
+  InjectedFault = 109,    ///< A FaultInjectingTransport ate the exchange.
+  Overloaded = 110,       ///< The server shed load (OVERLOADED frame).
+  BreakerOpen = 111,      ///< Circuit breaker refused the endpoint.
+  AllEndpointsFailed = 112, ///< Every endpoint in a failover chain failed.
+};
+
+/// The two-way verdict of the shared table: `Retryable` failures may be
+/// cured by a fresh attempt; `Terminal` ones will lose the same way every
+/// time, so retry loops must stop (and, in particular, must not hammer a
+/// server that already rejected them).
+enum class Retryability { Retryable, Terminal };
+
+/// The restore-status row of the table. Transient statuses (short reads,
+/// dead quoting enclave, unreachable or erroring server) are retryable;
+/// verdicts (missing secrets, rejected attestation, unparseable metadata)
+/// are terminal. Success classifies as Terminal: there is nothing left to
+/// retry.
+constexpr Retryability retryabilityOf(RestoreStatus Status) {
+  switch (Status) {
+  case RestoreShortSecrets:
+  case RestoreQuoteFailed:
+  case RestoreServerUnreachable:
+  case RestoreMetaFetchFailed:
+  case RestoreDataFetchFailed:
+    return Retryability::Retryable;
+  case RestoreOk:
+  case RestoreNoSecrets:
+  case RestoreRejected:
+  case RestoreMetaParseFailed:
+    return Retryability::Terminal;
+  }
+  return Retryability::Terminal; // Unreachable for in-range values.
+}
+
+/// The transport-errc row of the table. Timeouts, refused connections,
+/// dropped peers, injected faults, and backpressure verdicts are
+/// retryable; structural failures (bad address, oversized frame) and an
+/// already-exhausted retry budget are terminal.
+constexpr Retryability retryabilityOf(TransportErrc Errc) {
+  switch (Errc) {
+  case TransportErrc::ConnectFailed:
+  case TransportErrc::ConnectTimeout:
+  case TransportErrc::ReadTimeout:
+  case TransportErrc::WriteTimeout:
+  case TransportErrc::PeerClosed:
+  case TransportErrc::InjectedFault:
+  case TransportErrc::Overloaded:
+  case TransportErrc::BreakerOpen:
+  case TransportErrc::AllEndpointsFailed:
+    return Retryability::Retryable;
+  case TransportErrc::None:
+  case TransportErrc::FrameTooLarge:
+  case TransportErrc::BadAddress:
+  case TransportErrc::RetriesExhausted:
+    return Retryability::Terminal;
+  }
+  return Retryability::Terminal; // Unreachable for in-range values.
+}
+
+/// Maps a raw restore status word (as the ecall returns it) onto the enum,
+/// or nullopt for values no table row covers.
+constexpr std::optional<RestoreStatus> restoreStatusFromRaw(uint64_t Raw) {
+  switch (Raw) {
+  case RestoreOk:
+  case RestoreNoSecrets:
+  case RestoreShortSecrets:
+  case RestoreQuoteFailed:
+  case RestoreServerUnreachable:
+  case RestoreRejected:
+  case RestoreMetaFetchFailed:
+  case RestoreMetaParseFailed:
+  case RestoreDataFetchFailed:
+    return static_cast<RestoreStatus>(Raw);
+  }
+  return std::nullopt;
+}
+
+/// Whether retrying a restore that ended in \p Status can plausibly change
+/// the outcome. Statuses outside the table (version skew, corrupted
+/// return) classify as terminal: an unrecognized verdict is a bug to
+/// surface, not a transient to spin on.
+constexpr bool isRetryableRestoreStatus(uint64_t Status) {
+  std::optional<RestoreStatus> Known = restoreStatusFromRaw(Status);
+  return Known && retryabilityOf(*Known) == Retryability::Retryable;
+}
+
+/// True for transport failures a fresh attempt may cure.
+constexpr bool isRetryableTransportErrc(TransportErrc Errc) {
+  return retryabilityOf(Errc) == Retryability::Retryable;
+}
+
+/// Failure kinds surfaced by the `EnclaveSupervisor` lifecycle state
+/// machine, carried as `Error::code()` so callers (the auth server, the
+/// tool, sessions holding a stale ticket) can branch without parsing
+/// messages. Codes live above the transport space (101-112).
+enum class LifecycleErrc : int {
+  None = 0,
+  NotLoaded = 301,       ///< Ecall/restore before the enclave was built.
+  NotRestored = 302,     ///< Ecall into still-redacted (sanitized) code.
+  ReentrantEcall = 303,  ///< Ocall handler called back into the enclave.
+  QuarantinedRetryLater = 304, ///< Recovering; retry after the backoff.
+  CrashLoop = 305,       ///< Crash-loop breaker tripped; enclave retired.
+  StaleGeneration = 306, ///< Ticket from a torn-down enclave generation.
+  TerminalRestore = 307, ///< Recovery restore ended in a terminal status.
+  AlreadyLoaded = 308,   ///< load() on a live enclave.
+};
+
+/// The lifecycle row of the table. A quarantined enclave heals itself
+/// (retry after the hinted backoff) and a stale ticket is cured by
+/// re-attesting, so both are retryable; ordering violations and a tripped
+/// crash-loop breaker will lose the same way every time.
+constexpr Retryability retryabilityOf(LifecycleErrc Errc) {
+  switch (Errc) {
+  case LifecycleErrc::QuarantinedRetryLater:
+  case LifecycleErrc::StaleGeneration:
+    return Retryability::Retryable;
+  case LifecycleErrc::None:
+  case LifecycleErrc::NotLoaded:
+  case LifecycleErrc::NotRestored:
+  case LifecycleErrc::ReentrantEcall:
+  case LifecycleErrc::CrashLoop:
+  case LifecycleErrc::TerminalRestore:
+  case LifecycleErrc::AlreadyLoaded:
+    return Retryability::Terminal;
+  }
+  return Retryability::Terminal; // Unreachable for in-range values.
+}
+
+/// True for lifecycle failures a later attempt (after backoff or
+/// re-attestation) may cure.
+constexpr bool isRetryableLifecycleErrc(LifecycleErrc Errc) {
+  return retryabilityOf(Errc) == Retryability::Retryable;
+}
 
 } // namespace elide
 

@@ -22,6 +22,7 @@
 #include "sgx/EnclaveLoader.h"
 #include "support/AtomicFile.h"
 #include "support/File.h"
+#include "tests/framework/ChaosSeed.h"
 
 #include <gtest/gtest.h>
 
@@ -35,6 +36,7 @@
 #include <unistd.h>
 
 using namespace elide;
+using elide::testing::ChaosSeedScope;
 
 namespace {
 
@@ -218,11 +220,12 @@ TEST(FailoverChaosTest, EndpointKilledMidHandshakeRecoversOnRetry) {
   // later exchange). The session is pinned to server 0, so failing over
   // the META fetch to server 1 yields a typed server error -- and the
   // *retry* re-attests at endpoint 1 and completes.
+  ChaosSeedScope Seed("endpoint-killed-midhandshake", 99);
   auto F = makeFleet(2);
   ASSERT_NE(F, nullptr);
 
   FaultPlan Plan;
-  Plan.Seed = 99;
+  Plan.Seed = Seed.value();
   Plan.Script = {FaultKind::None}; // HELLO passes...
   Plan.FaultPerMille = 1000;       // ...everything after is eaten.
   Plan.RateKinds = {FaultKind::Drop};
@@ -693,6 +696,7 @@ TEST(ChaosSoakTest, LossyFleetWithCacheAlwaysConvergesDeterministically) {
   // Two lossy endpoints (seeded 40% fault rate each) plus the sealed
   // cache: a persistent client must always converge to a restore, and
   // identical seeds must take identical event paths.
+  ChaosSeedScope Seed("provisioner-soak", 2024);
   auto F = makeFleet(2);
   ASSERT_NE(F, nullptr);
   std::string Path = "/tmp/sgxelide_chaos_soak.bin";
@@ -702,8 +706,8 @@ TEST(ChaosSoakTest, LossyFleetWithCacheAlwaysConvergesDeterministically) {
     removeFile(Path);
     removeFile(atomicTempPath(Path));
     FaultPlan PlanA, PlanB;
-    PlanA.Seed = 2024;
-    PlanB.Seed = 4048;
+    PlanA.Seed = Seed.value();
+    PlanB.Seed = Seed.derived(1);
     PlanA.FaultPerMille = PlanB.FaultPerMille = 400;
     // Only faults with retryable surfaces: a Corrupt/Truncate HELLO
     // response is indistinguishable from an attestation rejection, which
@@ -719,7 +723,7 @@ TEST(ChaosSoakTest, LossyFleetWithCacheAlwaysConvergesDeterministically) {
     // Zero cool-down keeps wall-clock time out of the breaker's admit
     // decisions, so the event path depends only on the seeds.
     Config.Breaker.CooldownMs = 0;
-    Config.Breaker.JitterSeed = 11;
+    Config.Breaker.JitterSeed = Seed.derived(2);
     Provisioner Chain(Config);
     Chain.addEndpoint("lossy-a", &LossyA);
     Chain.addEndpoint("lossy-b", &LossyB);

@@ -26,6 +26,7 @@
 #include "server/Transport.h"
 #include "sgx/Attestation.h"
 #include "sgx/SgxDevice.h"
+#include "tests/framework/ChaosSeed.h"
 #include "tests/framework/TestNet.h"
 
 #include <gtest/gtest.h>
@@ -712,6 +713,7 @@ TEST(BatchProvisioningTest, FailedRoundFailsEveryJoinerButRecovers) {
 //===----------------------------------------------------------------------===//
 
 TEST(ReactorSoakTest, SeededFaultsOverRealSocketsStayCoherent) {
+  elide::testing::ChaosSeedScope Seed("reactor-soak", 0xdeadbeef);
   QuoteRig Rig;
   AuthServer Server = Rig.makeServer(/*Shards=*/8);
   TcpServerConfig TC;
@@ -724,7 +726,7 @@ TEST(ReactorSoakTest, SeededFaultsOverRealSocketsStayCoherent) {
   CC.BackoffBaseMs = 1;
   TcpClientTransport Wire("127.0.0.1", (*Tcp)->port(), CC);
   FaultPlan Plan;
-  Plan.Seed = 0xdeadbeef;
+  Plan.Seed = Seed.value();
   Plan.FaultPerMille = 150;
   FaultInjectingTransport Link(Wire, Plan);
 
@@ -746,7 +748,7 @@ TEST(ReactorSoakTest, SeededFaultsOverRealSocketsStayCoherent) {
   std::vector<std::thread> Crew;
   for (int T = 0; T < Threads; ++T)
     Crew.emplace_back([&, T] {
-      Drbg Rng(500 + T);
+      Drbg Rng(Seed.derived(500 + T));
       for (int I = 0; I < PerThread; ++I) {
         X25519Key Priv;
         Rng.fill(MutableBytesView(Priv.data(), 32));

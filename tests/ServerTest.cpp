@@ -265,12 +265,19 @@ TEST(AuthServerTest, RejectsWrongMeasurementAndAcceptsRight) {
 
     // A record aimed at a different session id fails cleanly: the id
     // selects no session (or the AAD check fails), never another
-    // client's keys.
+    // client's keys. The error carries the typed re-attest marker -- the
+    // session is stale (unknown/evicted/recycled), and the cure is a
+    // fresh HELLO, not a retry of this frame.
     Expected<Bytes> Req5 =
         sealSessionRecord(Sid + 1, Keys.ClientToServer, Bytes{RequestData},
                           Rng);
     ASSERT_TRUE(static_cast<bool>(Req5));
-    EXPECT_EQ(Server.handle(*Req5)[0], FrameError);
+    Bytes StaleResp = Server.handle(*Req5);
+    ASSERT_FALSE(StaleResp.empty());
+    EXPECT_EQ(StaleResp[0], FrameError);
+    EXPECT_TRUE(errorAsksReattest(
+        std::string(StaleResp.begin() + 1, StaleResp.end())));
+    EXPECT_EQ(Server.stats().StaleSessionRequests, 1u);
 
     EXPECT_EQ(Server.stats().HandshakesCompleted, 1u);
     EXPECT_EQ(Server.stats().MetaRequests, 1u);

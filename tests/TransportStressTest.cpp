@@ -19,6 +19,7 @@
 #include "server/AuthServer.h"
 #include "server/Transport.h"
 #include "sgx/EnclaveLoader.h"
+#include "tests/framework/ChaosSeed.h"
 #include "tests/framework/TestNet.h"
 
 #include <gtest/gtest.h>
@@ -151,6 +152,7 @@ void runMachine(const Fleet &F, Transport &Client, uint64_t MachineId,
 }
 
 TEST(TransportStressTest, SixteenMachinesRestoreConcurrentlyOverTcp) {
+  elide::testing::ChaosSeedScope Seed("transport-stress", 100);
   constexpr int Machines = 16;
   constexpr int Rounds = 2;
 
@@ -168,7 +170,7 @@ TEST(TransportStressTest, SixteenMachinesRestoreConcurrentlyOverTcp) {
   for (int I = 0; I < Machines; ++I) {
     TcpClientConfig ClientConfig;
     ClientConfig.MaxAttempts = 3;
-    ClientConfig.JitterSeed = 100 + static_cast<uint64_t>(I);
+    ClientConfig.JitterSeed = Seed.derived(static_cast<uint64_t>(I));
     Clients.push_back(std::make_unique<TcpClientTransport>(
         "127.0.0.1", (*Tcp)->port(), ClientConfig));
   }

@@ -25,6 +25,7 @@
 #include "analysis/Audit.h"
 #include "elide/HostRuntime.h"
 #include "elide/Pipeline.h"
+#include "elide/Supervisor.h"
 #include "elide/TrustedLib.h"
 #include "elf/ElfImage.h"
 #include "server/AuthServer.h"
@@ -75,7 +76,8 @@ int usage() {
       "[--breaker-cooldown-ms N] [--hedge-ms N]\n"
       "            [--sealed-cache f] [--restore-attempts N] "
       "[--restore-backoff-ms N] [--trace-provision]\n"
-      "            [--svm-backend switch|threaded]\n"
+      "            [--svm-backend switch|threaded] [--supervise] "
+      "[--max-crash-loops N] [--recovery-backoff-ms N]\n"
       "\n"
       "audit exit codes:\n"
       "   0  clean (no non-baselined diagnostics)\n"
@@ -99,7 +101,11 @@ int usage() {
       "  17  unknown nonzero restore status\n"
       "  18  overloaded: every endpoint shed load (honor retry-after)\n"
       "  19  breaker-open: all endpoint breakers open (retry later)\n"
-      "  20  data-fetch-failed: secret data exchange failed (transient)\n");
+      "  20  data-fetch-failed: secret data exchange failed (transient)\n"
+      "  30  ecall faulted: VM trap or instruction-budget runaway (with\n"
+      "      --supervise the enclave is quarantined; retry later)\n"
+      "  31  enclave retired: crash-loop breaker tripped or recovery\n"
+      "      restore ended terminally (--supervise only)\n");
   return 2;
 }
 
@@ -615,6 +621,13 @@ int cmdRun(std::vector<std::string> Args) {
       Args, "--restore-backoff-ms", std::to_string(Policy.RetryDelayMs)));
   bool TraceProvision = hasFlag(Args, "--trace-provision");
   std::string BackendName = flagValue(Args, "--svm-backend", "");
+  bool Supervise = hasFlag(Args, "--supervise");
+  SupervisorConfig SupConfig;
+  SupConfig.MaxCrashLoops = std::stoi(flagValue(
+      Args, "--max-crash-loops", std::to_string(SupConfig.MaxCrashLoops)));
+  SupConfig.RecoveryBackoffBaseMs = std::stoll(
+      flagValue(Args, "--recovery-backoff-ms",
+                std::to_string(SupConfig.RecoveryBackoffBaseMs)));
   if (Args.size() != 5)
     return usage();
 
@@ -644,11 +657,6 @@ int cmdRun(std::vector<std::string> Args) {
   sgx::SgxDevice Device(DeviceSeed);
   sgx::AttestationAuthority Authority(AuthoritySeed);
   sgx::QuotingEnclave Qe(Device, Authority);
-
-  Expected<std::unique_ptr<sgx::Enclave>> E =
-      sgx::loadEnclave(Device, *ElfFile, *Sig, Layout);
-  if (!E)
-    return fail(E.errorMessage());
 
   // Failover chain: the positional port is endpoint 0, each --endpoint
   // appends another. The Provisioner is itself a Transport, so the host
@@ -696,6 +704,62 @@ int cmdRun(std::vector<std::string> Args) {
       return fail(Data.errorMessage());
     Host.setSecretDataFile(Data.takeValue());
   }
+  if (Supervise) {
+    // The supervisor owns the enclave: it builds generation 1 here and
+    // rebuilds from the same image on every recovery.
+    SupConfig.Restore = Policy;
+    SupConfig.JitterSeed = DeviceSeed ^ 0x53555056ULL; // "SUPV"
+    EnclaveSupervisor Sup(
+        [&]() { return sgx::loadEnclave(Device, *ElfFile, *Sig, Layout); },
+        Host, SupConfig);
+
+    auto reportLifecycle = [&](const std::string &Message,
+                               LifecycleErrc Errc) {
+      std::fprintf(stderr, "sgxelide: lifecycle: %s: %s\n",
+                   lifecycleErrcName(Errc), Message.c_str());
+      if (std::optional<FaultRecord> F = Sup.lastFault())
+        std::fprintf(stderr,
+                     "sgxelide: fault: %s: %s at pc=0x%llx [backend=%s, "
+                     "state=%s, generation=%llu]\n",
+                     enclaveFaultClassName(F->Class), trapKindName(F->Trap),
+                     static_cast<unsigned long long>(F->Pc),
+                     vmBackendKindName(F->Backend),
+                     lifecycleStateName(Sup.state()),
+                     static_cast<unsigned long long>(F->Generation));
+      return isRetryableLifecycleErrc(Errc) ? 30 : 31;
+    };
+
+    Timer T;
+    if (Error Err = Sup.start()) {
+      LifecycleErrc Errc = lifecycleErrcOf(Err);
+      if (Errc == LifecycleErrc::None)
+        return fail(Err.message());
+      return reportLifecycle(Err.message(), Errc);
+    }
+    std::printf("restored in %.2f ms (supervised, generation %llu)\n",
+                T.elapsedMs(),
+                static_cast<unsigned long long>(Sup.generation()));
+
+    Expected<sgx::EcallResult> R = Sup.ecall(Ecall, *Input, 256);
+    if (!R) {
+      Error Err = R.takeError();
+      LifecycleErrc Errc = lifecycleErrcOf(Err);
+      if (Errc == LifecycleErrc::None)
+        return fail(Err.message());
+      return reportLifecycle(Err.message(), Errc);
+    }
+    std::printf("ecall %s: status=%llu output=%s\n", Ecall.c_str(),
+                static_cast<unsigned long long>(R->status()),
+                toHex(R->Output).c_str());
+    if (!Host.debugOutput().empty())
+      std::printf("enclave debug output:\n%s", Host.debugOutput().c_str());
+    return 0;
+  }
+
+  Expected<std::unique_ptr<sgx::Enclave>> E =
+      sgx::loadEnclave(Device, *ElfFile, *Sig, Layout);
+  if (!E)
+    return fail(E.errorMessage());
   Host.attach(**E);
 
   Timer T;
@@ -714,9 +778,15 @@ int cmdRun(std::vector<std::string> Args) {
   Expected<sgx::EcallResult> R = (*E)->ecall(Ecall, *Input, 256);
   if (!R)
     return fail(R.errorMessage());
-  if (!R->ok())
-    return fail(std::string("ecall trapped: ") + trapKindName(R->Exec.Kind) +
-                ": " + R->Exec.Message);
+  if (!R->ok()) {
+    std::fprintf(stderr,
+                 "sgxelide: error: ecall trapped: %s: %s at pc=0x%llx "
+                 "[backend=%s, state=unsupervised]\n",
+                 trapKindName(R->Exec.Kind), R->Exec.Message.c_str(),
+                 static_cast<unsigned long long>(R->Exec.Pc),
+                 vmBackendKindName((*E)->vmBackend()));
+    return 30;
+  }
   std::printf("ecall %s: status=%llu output=%s\n", Ecall.c_str(),
               static_cast<unsigned long long>(R->status()),
               toHex(R->Output).c_str());
