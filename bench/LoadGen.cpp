@@ -101,14 +101,26 @@ struct WorkerResult {
   size_t Failed = 0;
   size_t Attempts = 0;
   size_t Shed = 0;
+  size_t DeadlineMissed = 0;
+  size_t RecordAttempts = 0;
 };
+
+/// True when the server answered an ERROR frame carrying the
+/// deadline-expired marker (the transport hands raw frames back).
+bool frameSaysDeadlineExpired(BytesView Frame) {
+  if (Frame.empty() || Frame[0] != FrameError)
+    return false;
+  return errorSaysDeadlineExpired(
+      std::string(reinterpret_cast<const char *>(Frame.data()) + 1,
+                  Frame.size() - 1));
+}
 
 /// One full simulated restore: batch-join a session, then fetch the
 /// metadata over the record channel. Returns success; always counts
 /// attempts/shed into \p R.
 bool restoreOnce(AttestationBatcher &Batcher,
                  const std::array<uint8_t, 32> &GroupKey, Transport &Records,
-                 Drbg &Rng, WorkerResult &R) {
+                 Drbg &Rng, const LoadGenConfig &Cfg, WorkerResult &R) {
   X25519Key Priv;
   Rng.fill(MutableBytesView(Priv.data(), 32));
   X25519Key Pub = x25519PublicKey(Priv);
@@ -126,18 +138,37 @@ bool restoreOnce(AttestationBatcher &Batcher,
   SessionKeys Keys = deriveSessionKeys(x25519(Priv, Join->ServerPub), Pub,
                                        Join->ServerPub);
 
+  bool Envelope = Cfg.EnvelopeRecords || Cfg.RecordDeadlineMs;
   for (int Attempt = 0; Attempt < 4; ++Attempt) {
     Expected<Bytes> Frame = sealSessionRecord(
         Join->Sid, Keys.ClientToServer, Bytes{RequestMeta}, Rng);
     if (!Frame)
       return false;
-    Expected<Bytes> Response = Records.roundTrip(*Frame);
+    ++R.RecordAttempts;
+    Bytes Wire = *Frame;
+    if (Envelope) {
+      // Cycle the classes per attempt so the server's per-class shed
+      // counters see a mixed fleet, not a monoculture.
+      auto Class = static_cast<Criticality>(R.RecordAttempts % 3);
+      Wire = envelopeFrame(Cfg.RecordDeadlineMs, Class, *Frame);
+    }
+    Expected<Bytes> Response = Records.roundTrip(Wire);
     if (Response) {
+      if (frameSaysDeadlineExpired(*Response)) {
+        ++R.DeadlineMissed;
+        continue;
+      }
       Expected<Bytes> Meta = openRecord(Keys.ServerToClient, *Response);
       return static_cast<bool>(Meta) && !Meta->empty();
     }
-    if (transportErrcOf(Response) == TransportErrc::Overloaded)
+    TransportErrc Errc = transportErrcOf(Response);
+    if (Errc == TransportErrc::Overloaded)
       ++R.Shed;
+    else if (Errc == TransportErrc::DeadlineExceeded) {
+      // A lapsed deadline is terminal for this request by definition.
+      ++R.DeadlineMissed;
+      return false;
+    }
   }
   return false;
 }
@@ -252,7 +283,7 @@ elide::loadgen::runProvisioningLoadGen(const LoadGenConfig &Config) {
           break;
         }
         Timer T;
-        bool Ok = restoreOnce(Batcher, GroupKey, Records, Rng, R);
+        bool Ok = restoreOnce(Batcher, GroupKey, Records, Rng, Config, R);
         if (Ok) {
           R.LatenciesMs.push_back(T.elapsedMs());
           Succeeded.fetch_add(1, std::memory_order_relaxed);
@@ -279,12 +310,19 @@ elide::loadgen::runProvisioningLoadGen(const LoadGenConfig &Config) {
   Report.Config = Config;
   Report.Config.BatchSize = Batch;
   std::vector<double> All;
+  size_t RecordAttempts = 0;
   for (WorkerResult &R : Results) {
     All.insert(All.end(), R.LatenciesMs.begin(), R.LatenciesMs.end());
     Report.RestoresFailed += R.Failed;
     Report.ShedObserved += R.Shed;
     Report.RestoresTotal += R.LatenciesMs.size();
+    Report.DeadlineMissed += R.DeadlineMissed;
+    RecordAttempts += R.RecordAttempts;
   }
+  Report.DeadlineMissRate =
+      RecordAttempts ? static_cast<double>(Report.DeadlineMissed) /
+                           static_cast<double>(RecordAttempts)
+                     : 0;
   size_t Attempts = 0;
   for (WorkerResult &R : Results)
     Attempts += R.Attempts;
@@ -316,7 +354,7 @@ elide::loadgen::runProvisioningLoadGen(const LoadGenConfig &Config) {
 }
 
 std::string elide::loadgen::renderLoadGenJson(const LoadGenReport &R) {
-  char Buf[4096];
+  char Buf[8192];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\n"
@@ -343,6 +381,10 @@ std::string elide::loadgen::renderLoadGenJson(const LoadGenReport &R) {
       "    \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, "
       "\"mean\": %.3f},\n"
       "    \"shed_rate\": %.4f,\n"
+      "    \"deadline_missed\": %zu,\n"
+      "    \"deadline_miss_rate\": %.4f,\n"
+      "    \"shed_by_class\": {\"critical\": %zu, \"default\": %zu, "
+      "\"sheddable\": %zu},\n"
       "    \"batch\": {\"rounds\": %zu, \"sessions_minted\": %zu, "
       "\"amortization\": %.2f},\n"
       "    \"max_concurrent_sessions\": %zu,\n"
@@ -364,7 +406,9 @@ std::string elide::loadgen::renderLoadGenJson(const LoadGenReport &R) {
       R.Config.FaultPerMille, R.Config.ForcePollBackend ? "true" : "false",
       R.RestoresTotal, R.RestoresFailed, R.DurationS, R.RestoresPerSec,
       R.LatencyMs.P50, R.LatencyMs.P95, R.LatencyMs.P99, R.LatencyMs.Mean,
-      R.ShedRate, R.BatchRounds, R.BatchSessionsMinted, R.BatchAmortization,
+      R.ShedRate, R.DeadlineMissed, R.DeadlineMissRate, R.Server.ShedCritical,
+      R.Server.ShedDefault, R.Server.ShedSheddable, R.BatchRounds,
+      R.BatchSessionsMinted, R.BatchAmortization,
       R.MaxConcurrentSessions, R.MaxConcurrentConnections, R.FaultsInjected,
       R.Server.HandshakesCompleted, R.Server.BatchHandshakes,
       R.Server.LiveSessions, R.Server.SessionsEvicted,

@@ -116,11 +116,19 @@ Expected<Bytes> ElideHost::writeSealed(BytesView Request) {
 
 Expected<Bytes> ElideHost::handleOcall(uint32_t Index, BytesView Request) {
   switch (Index) {
-  case OcallServerRequest:
+  case OcallServerRequest: {
     if (!Server)
       return makeError("no connection to the authentication server "
                        "(denial of service: the enclave cannot restore)");
-    return Server->roundTrip(Request);
+    // Stamp the configured criticality/deadline envelope onto the wire.
+    // The default (Default class, no deadline) sends the bare frame, so
+    // hosts that never call setRequestClass stay byte-identical.
+    Criticality Class = requestClass();
+    uint32_t DeadlineMs = requestDeadlineMs();
+    if (Class == Criticality::Default && DeadlineMs == 0)
+      return Server->roundTrip(Request);
+    return Server->roundTrip(envelopeFrame(DeadlineMs, Class, Request));
+  }
 
   case OcallReadFile:
     // The shipped enclave.secret.data (ciphertext). An empty response

@@ -23,6 +23,7 @@
 #include "sgx/Enclave.h"
 #include "support/AtomicFile.h"
 
+#include <atomic>
 #include <functional>
 #include <string>
 
@@ -107,6 +108,27 @@ public:
     AppHandler = std::move(Handler);
   }
 
+  /// Stamps every outgoing server request with \p Class (and, when
+  /// \p DeadlineMs > 0, an end-to-end deadline) by wrapping it in a
+  /// request envelope (server/Protocol.h). Default class with no
+  /// deadline sends bare frames, byte-identical to pre-envelope hosts.
+  /// The supervisor marks recovery-time restores Sheddable through this
+  /// hook so a rebuild storm never starves live traffic. Thread-safe.
+  void setRequestClass(Criticality Class, uint32_t DeadlineMs = 0) {
+    ReqClass.store(static_cast<uint8_t>(Class), std::memory_order_relaxed);
+    ReqDeadlineMs.store(DeadlineMs, std::memory_order_relaxed);
+  }
+
+  /// The current outgoing-request criticality class.
+  Criticality requestClass() const {
+    return static_cast<Criticality>(ReqClass.load(std::memory_order_relaxed));
+  }
+
+  /// The current outgoing-request deadline (0 = none).
+  uint32_t requestDeadlineMs() const {
+    return ReqDeadlineMs.load(std::memory_order_relaxed);
+  }
+
   /// Installs the trusted library and this host's ocall dispatcher into
   /// \p E. Call once after loading the enclave.
   void attach(sgx::Enclave &E);
@@ -138,6 +160,8 @@ private:
   ProvisionEventCallback EventCallback;
   ProvisionEventCallback EventTap;
   AtomicCrashPoint SealedCrashPoint = AtomicCrashPoint::None;
+  std::atomic<uint8_t> ReqClass{static_cast<uint8_t>(Criticality::Default)};
+  std::atomic<uint32_t> ReqDeadlineMs{0};
 };
 
 } // namespace elide

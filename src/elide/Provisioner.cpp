@@ -8,6 +8,7 @@
 
 #include "server/Protocol.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <memory>
 #include <optional>
@@ -36,6 +37,12 @@ const char *elide::provisionEventKindName(ProvisionEventKind Kind) {
     return "hedge-launched";
   case ProvisionEventKind::HedgeWon:
     return "hedge-won";
+  case ProvisionEventKind::HedgeSuppressed:
+    return "hedge-suppressed";
+  case ProvisionEventKind::RetryBudgetSpent:
+    return "retry-budget-spent";
+  case ProvisionEventKind::RetryBudgetExhausted:
+    return "retry-budget-exhausted";
   case ProvisionEventKind::FailoverExhausted:
     return "failover-exhausted";
   case ProvisionEventKind::CacheWritten:
@@ -124,7 +131,13 @@ void CircuitBreaker::onOverloaded(uint32_t RetryAfterMs) {
 //===----------------------------------------------------------------------===//
 
 Provisioner::Provisioner(ProvisionerConfig Config)
-    : Config(std::move(Config)) {}
+    : Config(std::move(Config)) {
+  if (this->Config.RetryBudgetInitial >= 0.0) {
+    BudgetEnabled = true;
+    RetryBudget = std::min(this->Config.RetryBudgetInitial,
+                           this->Config.RetryBudgetMax);
+  }
+}
 
 Provisioner::~Provisioner() {
   std::vector<std::thread> Pending;
@@ -160,6 +173,34 @@ BreakerState Provisioner::breakerState(size_t Index) const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Index < Endpoints.size() ? Endpoints[Index].Breaker.state()
                                   : BreakerState::Closed;
+}
+
+double Provisioner::retryBudget() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return BudgetEnabled ? RetryBudget : -1.0;
+}
+
+bool Provisioner::spendTokenLocked(const char *What) {
+  if (!BudgetEnabled)
+    return true;
+  if (RetryBudget < 1.0) {
+    emit({ProvisionEventKind::RetryBudgetExhausted, -1, "",
+          TransportErrc::RetryBudgetExhausted, 0,
+          std::string("no token for ") + What + "; balance " +
+              std::to_string(RetryBudget)});
+    return false;
+  }
+  RetryBudget -= 1.0;
+  emit({ProvisionEventKind::RetryBudgetSpent, -1, "", TransportErrc::None, 0,
+        std::string(What) + "; balance " + std::to_string(RetryBudget)});
+  return true;
+}
+
+void Provisioner::earnTokenLocked() {
+  if (!BudgetEnabled)
+    return;
+  RetryBudget = std::min(RetryBudget + Config.RetryBudgetEarnPerSuccess,
+                         Config.RetryBudgetMax);
 }
 
 void Provisioner::emit(const ProvisionEvent &Event) const {
@@ -215,6 +256,7 @@ void Provisioner::recordOutcome(size_t I, const Outcome &O) {
   BreakerState Before = Ep.Breaker.state();
   if (O.Result) {
     Ep.Breaker.onSuccess();
+    earnTokenLocked();
     emit({ProvisionEventKind::EndpointSuccess, static_cast<int>(I), Ep.Name,
           TransportErrc::None, 0, ""});
     if (Before != BreakerState::Closed)
@@ -308,15 +350,28 @@ Provisioner::Outcome Provisioner::hedgedAttempt(size_t I, size_t J,
     return std::move(*Race->Results[0]);
   }
 
-  // The primary is past the latency threshold: fire the hedge.
-  PartnerConsumed = true;
+  // The primary is past the latency threshold: fire the hedge -- if the
+  // retry budget still covers speculative load (a hedge is a second copy
+  // of the request, so it spends a token like any other extra attempt).
+  bool LaunchHedge;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    emit({ProvisionEventKind::HedgeLaunched, static_cast<int>(J),
-          Endpoints[J].Name, TransportErrc::None, 0,
-          "primary " + Endpoints[I].Name + " exceeded " +
-              std::to_string(Config.HedgeAfterMs) + " ms"});
+    LaunchHedge = spendTokenLocked("hedge launch");
+    if (LaunchHedge)
+      emit({ProvisionEventKind::HedgeLaunched, static_cast<int>(J),
+            Endpoints[J].Name, TransportErrc::None, 0,
+            "primary " + Endpoints[I].Name + " exceeded " +
+                std::to_string(Config.HedgeAfterMs) + " ms"});
   }
+  if (!LaunchHedge) {
+    // Budget ran dry between partner selection and launch: ride out the
+    // primary alone.
+    Race->Cv.wait(RaceLock, [&] { return Race->Results[0].has_value(); });
+    RaceLock.unlock();
+    Primary.join();
+    return std::move(*Race->Results[0]);
+  }
+  PartnerConsumed = true;
   Hedge = std::thread(runOne, 1, J);
 
   // First success wins; a failure waits for the other runner's verdict.
@@ -378,6 +433,7 @@ Expected<Bytes> Provisioner::roundTrip(BytesView Request) {
   std::vector<bool> Tried(Count, false);
   bool AnyAttempted = false;
   bool AllOverloaded = true;
+  bool HedgeSuppressionNoted = false;
   uint32_t MaxRetryAfter = 0;
   std::string LastMessage = "every breaker is open";
 
@@ -398,13 +454,34 @@ Expected<Bytes> Provisioner::roundTrip(BytesView Request) {
           continue;
         }
         // Hedge partners are gated only when actually launched; a cheap
-        // state peek avoids pairing with an open breaker.
+        // state peek avoids pairing with an open breaker. A tight retry
+        // budget disables hedging outright: speculative load is the first
+        // thing shed.
         if (Config.HedgeAfterMs >= 0 &&
-            Endpoints[K].Breaker.state() != BreakerState::Open)
+            Endpoints[K].Breaker.state() != BreakerState::Open) {
+          if (BudgetEnabled && RetryBudget < Config.HedgeDisableBelow) {
+            if (!HedgeSuppressionNoted) {
+              HedgeSuppressionNoted = true;
+              emit({ProvisionEventKind::HedgeSuppressed, static_cast<int>(K),
+                    Endpoints[K].Name, TransportErrc::None, 0,
+                    "retry budget " + std::to_string(RetryBudget) +
+                        " below hedge watermark " +
+                        std::to_string(Config.HedgeDisableBelow)});
+            }
+            break;
+          }
           J = K;
-        else
+        } else {
           break;
+        }
       }
+      // The first attempt of a walk is free (it is the request itself);
+      // every further endpoint is a retry and must be paid for.
+      if (I < Count && AnyAttempted && !spendTokenLocked("failover retry"))
+        return makeTransportError(
+            TransportErrc::RetryBudgetExhausted,
+            "retry budget exhausted walking the chain; last error: " +
+                LastMessage);
     }
     if (I == Count)
       break;

@@ -68,6 +68,9 @@ enum class ProvisionEventKind {
   BreakerClosed,      ///< Probe succeeded; endpoint back in rotation.
   HedgeLaunched,      ///< Latency threshold passed; second request fired.
   HedgeWon,           ///< The hedged request beat the primary.
+  HedgeSuppressed,    ///< Retry budget low: hedging auto-disabled.
+  RetryBudgetSpent,   ///< A failover retry or hedge spent one token.
+  RetryBudgetExhausted, ///< The chain-wide retry budget ran dry mid-walk.
   FailoverExhausted,  ///< Every remote endpoint failed or was skipped.
   CacheWritten,       ///< Sealed cache persisted crash-consistently.
   CacheWriteFailed,   ///< Sealed cache persist failed (Detail attached).
@@ -176,6 +179,31 @@ struct ProvisionerConfig {
   /// still in flight after this many milliseconds fires a second request
   /// at the next endpoint and the first answer wins. < 0 disables.
   int HedgeAfterMs = -1;
+
+  //===- Chain-wide retry budget (metastable-failure defense) -------------===//
+  //
+  // Retries and hedges amplify offered load exactly when the servers are
+  // slowest; unbounded, that positive feedback loop is what turns a
+  // transient overload into a metastable collapse. The budget is a token
+  // bucket shared by the whole chain: the first endpoint attempt of a
+  // roundTrip is free, every further attempt (failover retry or hedge)
+  // spends one token, and only *successes* earn tokens back -- so during
+  // an outage the amplification factor decays toward 1 instead of
+  // multiplying by the chain length.
+
+  /// Initial token balance; < 0 disables the budget entirely (legacy
+  /// unbounded-retry behavior, the ablation baseline).
+  double RetryBudgetInitial = -1.0;
+  /// Token balance ceiling (bounds the burst after a long healthy run).
+  double RetryBudgetMax = 10.0;
+  /// Tokens earned per successful exchange. 0.1 means sustained retries
+  /// are capped near 10% of successful traffic -- the classic retry
+  /// budget ratio.
+  double RetryBudgetEarnPerSuccess = 0.1;
+  /// Hedging is an optimization, not a correctness tool: auto-disable it
+  /// while the balance sits below this watermark so speculative load is
+  /// the first thing shed when the budget tightens.
+  double HedgeDisableBelow = 2.0;
 };
 
 /// The remote head of the failover chain. Implements `Transport`, so the
@@ -196,6 +224,12 @@ public:
 
   /// The breaker state of endpoint \p Index (tests and tools read this).
   BreakerState breakerState(size_t Index) const;
+
+  /// Current retry-budget token balance (tests, tools, bench JSON).
+  /// Returns RetryBudgetMax-equivalent semantics only when the budget is
+  /// enabled; with the budget disabled this reports +infinity-like
+  /// behavior as -1.
+  double retryBudget() const;
 
   /// Walks the chain: skips open breakers, tries endpoints in order
   /// (hedging when configured), classifies overload distinctly from
@@ -223,6 +257,12 @@ private:
   /// Runs the breaker gate for endpoint \p I under the lock, emitting
   /// skip/half-open events. Returns true when the endpoint may be tried.
   bool admitLocked(size_t I);
+  /// Spends one retry-budget token (no-op when the budget is disabled).
+  /// Returns false, emitting RetryBudgetExhausted, when the bucket is
+  /// empty. Caller holds Mutex.
+  bool spendTokenLocked(const char *What);
+  /// Credits the budget for a successful exchange. Caller holds Mutex.
+  void earnTokenLocked();
   /// Normalizes a raw transport result into an Outcome.
   static Outcome classify(Expected<Bytes> Result);
   /// Updates breaker + events for endpoint \p I after an attempt.
@@ -238,6 +278,8 @@ private:
   std::vector<Endpoint> Endpoints;          ///< Guarded by Mutex.
   ProvisionEventCallback Callback;          ///< Guarded by Mutex.
   std::vector<std::thread> Stragglers;      ///< Guarded by Mutex.
+  bool BudgetEnabled = false;               ///< Set once in the ctor.
+  double RetryBudget = 0.0;                 ///< Guarded by Mutex.
 };
 
 //===----------------------------------------------------------------------===//

@@ -289,7 +289,17 @@ Error EnclaveSupervisor::recoverLocked() {
   Host.attach(*Live);
   Generation.fetch_add(1);
   State.store(LifecycleState::Loaded);
+  // Recovery restores ride the provisioning chain as Sheddable: a
+  // rebuild storm hits the server exactly when it is most loaded, and
+  // the admission controller must be free to drop rebuilds (which can
+  // wait out a quarantine) before live traffic (which cannot). The
+  // initial restoreNow() keeps its caller-chosen class -- only the
+  // supervisor's own self-healing is speculative load.
+  Criticality PrevClass = Host.requestClass();
+  uint32_t PrevDeadline = Host.requestDeadlineMs();
+  Host.setRequestClass(Criticality::Sheddable, PrevDeadline);
   Expected<uint64_t> S = restorePassLocked();
+  Host.setRequestClass(PrevClass, PrevDeadline);
   if (!S) {
     {
       std::lock_guard<std::mutex> Lock(StatsMutex);

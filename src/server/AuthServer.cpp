@@ -8,9 +8,22 @@
 
 #include "sgx/Attestation.h"
 
+#include <chrono>
 #include <cstring>
 
 using namespace elide;
+
+const char *elide::brownoutModeName(BrownoutMode Mode) {
+  switch (Mode) {
+  case BrownoutMode::Normal:
+    return "normal";
+  case BrownoutMode::Degraded:
+    return "degraded";
+  case BrownoutMode::Shed:
+    return "shed";
+  }
+  return "unknown";
+}
 
 AuthServer::AuthServer(AuthServerConfig C)
     : Config(std::move(C)), Rng(Config.RngSeed ^ 0x5345525645ULL),
@@ -27,29 +40,191 @@ struct InFlightGuard {
 
 } // namespace
 
-Bytes AuthServer::handle(BytesView Request) {
-  // Load shedding happens before any parsing or crypto: under overload
-  // the cheapest possible answer is the whole point. The counter includes
-  // this call, so a threshold of N admits N concurrent exchanges.
+BrownoutMode AuthServer::updateBrownout(double QueueDelayMs) {
+  std::lock_guard<std::mutex> Lock(ControlMutex);
+  QueueEwmaMs += Config.EwmaAlpha * (QueueDelayMs - QueueEwmaMs);
+  BrownoutMode Next = Mode;
+  switch (Mode) {
+  case BrownoutMode::Normal:
+    if (Config.BrownoutShedMs > 0 && QueueEwmaMs > Config.BrownoutShedMs)
+      Next = BrownoutMode::Shed;
+    else if (Config.BrownoutDegradedMs > 0 &&
+             QueueEwmaMs > Config.BrownoutDegradedMs)
+      Next = BrownoutMode::Degraded;
+    break;
+  case BrownoutMode::Degraded:
+    if (Config.BrownoutShedMs > 0 && QueueEwmaMs > Config.BrownoutShedMs)
+      Next = BrownoutMode::Shed;
+    else if (QueueEwmaMs < Config.BrownoutDegradedMs / 2)
+      Next = BrownoutMode::Normal;
+    break;
+  case BrownoutMode::Shed:
+    // Hysteresis: leave only once the EWMA has fallen well below the
+    // entry bar, and step down one level at a time -- flapping between
+    // modes would itself destabilize clients.
+    if (QueueEwmaMs < Config.BrownoutShedMs / 2)
+      Next = (Config.BrownoutDegradedMs > 0 &&
+              QueueEwmaMs >= Config.BrownoutDegradedMs / 2)
+                 ? BrownoutMode::Degraded
+                 : BrownoutMode::Normal;
+    break;
+  }
+  if (Next != Mode) {
+    Mode = Next;
+    ++ModeTransitions;
+  }
+  return Mode;
+}
+
+void AuthServer::recordServiceTime(ServiceKind Kind, double Ms) {
+  std::lock_guard<std::mutex> Lock(ControlMutex);
+  if (ServiceSamples[Kind] == 0)
+    ServiceEwmaMs[Kind] = Ms; // Seed with the first observation.
+  else
+    ServiceEwmaMs[Kind] += Config.EwmaAlpha * (Ms - ServiceEwmaMs[Kind]);
+  ++ServiceSamples[Kind];
+}
+
+double AuthServer::serviceEstimate(ServiceKind Kind) const {
+  std::lock_guard<std::mutex> Lock(ControlMutex);
+  return ServiceSamples[Kind] ? ServiceEwmaMs[Kind] : 0.0;
+}
+
+void AuthServer::countShed(Criticality Class) {
+  switch (Class) {
+  case Criticality::Critical:
+    ShedCritical.fetch_add(1, std::memory_order_relaxed);
+    return;
+  case Criticality::Default:
+    ShedDefault.fetch_add(1, std::memory_order_relaxed);
+    return;
+  case Criticality::Sheddable:
+    ShedSheddable.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+}
+
+BrownoutMode AuthServer::brownoutMode() const {
+  std::lock_guard<std::mutex> Lock(ControlMutex);
+  return Mode;
+}
+
+Bytes AuthServer::handle(BytesView Request, const FrameContext &Ctx) {
+  // The counter includes this call, so a threshold of N admits N
+  // concurrent exchanges.
   size_t Concurrent = InFlight.fetch_add(1) + 1;
   InFlightGuard Guard{InFlight};
-  if (Config.OverloadThreshold && Concurrent > Config.OverloadThreshold) {
+
+  // Unwrap the (optional) envelope before anything else: the criticality
+  // class decides who gets shed, and shedding must stay cheaper than
+  // serving. A malformed envelope earns a verdict, never a default.
+  Expected<RequestEnvelope> Env = unwrapRequest(Request);
+  if (!Env) {
+    EnvelopeRejected.fetch_add(1, std::memory_order_relaxed);
+    return errorFrame(Env.errorMessage());
+  }
+  BytesView Inner = Env->Inner;
+
+  BrownoutMode Now = updateBrownout(Ctx.QueueDelayMs);
+  uint32_t RetryAfter =
+      Config.OverloadRetryAfterMs *
+      (Now == BrownoutMode::Shed ? 16u : Now == BrownoutMode::Degraded ? 4u
+                                                                       : 1u);
+
+  // Load shedding, Sheddable-first: brownout levels shed whole classes;
+  // below that, the in-flight cap gives each class criticality-scaled
+  // headroom (Sheddable half the budget, Critical half again more), so
+  // under a concurrency spike the classes drop in shed order instead of
+  // at random.
+  bool ShedThis = false;
+  if (Now == BrownoutMode::Shed && Env->Class != Criticality::Critical) {
+    ShedThis = true;
+  } else if (Now == BrownoutMode::Degraded &&
+             Env->Class == Criticality::Sheddable) {
+    ShedThis = true;
+  } else if (Config.OverloadThreshold) {
+    size_t Cap = Config.OverloadThreshold;
+    switch (Env->Class) {
+    case Criticality::Sheddable:
+      Cap = Cap / 2 ? Cap / 2 : 1;
+      break;
+    case Criticality::Default:
+      break;
+    case Criticality::Critical:
+      Cap += Cap / 2;
+      break;
+    }
+    ShedThis = Concurrent > Cap;
+  }
+  if (ShedThis) {
     RequestsShed.fetch_add(1, std::memory_order_relaxed);
-    return overloadedFrame(Config.OverloadRetryAfterMs);
+    countShed(Env->Class);
+    return overloadedFrame(RetryAfter);
   }
 
-  if (Request.empty())
+  if (Inner.empty())
     return errorFrame("empty request");
-  switch (Request[0]) {
+
+  ServiceKind Kind;
+  switch (Inner[0]) {
   case FrameHello:
-    return handleHello(Request);
+    Kind = SkHello;
+    break;
   case FrameHelloBatch:
-    return handleHelloBatch(Request);
+    Kind = SkHelloBatch;
+    break;
   case FrameRecord:
-    return handleRecord(Request);
+    Kind = SkRecord;
+    break;
   default:
-    return errorFrame("unknown frame type " + std::to_string(Request[0]));
+    return errorFrame("unknown frame type " + std::to_string(Inner[0]));
   }
+
+  // In Shed, batch amortization is a luxury: one HELLO-BATCH pins a
+  // worker for the whole key list, which is exactly the head-of-line
+  // blocking a drowning server cannot afford. Clients fall back to
+  // single HELLOs that interleave with everything else.
+  if (Now == BrownoutMode::Shed && Kind == SkHelloBatch) {
+    BatchSuppressed.fetch_add(1, std::memory_order_relaxed);
+    countShed(Env->Class);
+    return overloadedFrame(RetryAfter);
+  }
+
+  // Admission control: when the remaining budget (after queue delay)
+  // cannot cover the measured service time for this kind of frame,
+  // answering would be wasted crypto -- the client has already moved on.
+  // Refuse with the typed marker before doing the expensive work.
+  if (Env->DeadlineMs) {
+    double Remaining =
+        static_cast<double>(Env->DeadlineMs) - Ctx.QueueDelayMs;
+    if (Remaining <= 0 || Remaining < serviceEstimate(Kind)) {
+      DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+      return errorFrame(
+          std::string("remaining deadline cannot cover service time ") +
+          DeadlineExpiredMarker);
+    }
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  Bytes Response;
+  switch (Kind) {
+  case SkHello:
+    Response = handleHello(Inner);
+    break;
+  case SkHelloBatch:
+    Response = handleHelloBatch(Inner);
+    break;
+  case SkRecord:
+    Response = handleRecord(Inner);
+    break;
+  default:
+    break;
+  }
+  recordServiceTime(Kind,
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count());
+  return Response;
 }
 
 AuthServerStats AuthServer::stats() const {
@@ -66,6 +241,18 @@ AuthServerStats AuthServer::stats() const {
   S.StaleSessionRequests = StaleSessionRequests.load(std::memory_order_relaxed);
   S.BatchHandshakes = BatchHandshakes.load(std::memory_order_relaxed);
   S.BatchSessionsMinted = BatchSessionsMinted.load(std::memory_order_relaxed);
+  S.DeadlineExpired = DeadlineExpired.load(std::memory_order_relaxed);
+  S.ShedCritical = ShedCritical.load(std::memory_order_relaxed);
+  S.ShedDefault = ShedDefault.load(std::memory_order_relaxed);
+  S.ShedSheddable = ShedSheddable.load(std::memory_order_relaxed);
+  S.BatchSuppressed = BatchSuppressed.load(std::memory_order_relaxed);
+  S.EnvelopeRejected = EnvelopeRejected.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(ControlMutex);
+    S.BrownoutTransitions = ModeTransitions;
+    S.Brownout = Mode;
+    S.QueueDelayEwmaMs = QueueEwmaMs;
+  }
   return S;
 }
 

@@ -29,6 +29,7 @@
 
 #include "elide/SecretMeta.h"
 #include "server/Protocol.h"
+#include "server/Reactor.h"
 #include "server/SessionStore.h"
 #include "sgx/SgxTypes.h"
 
@@ -38,6 +39,25 @@
 #include <optional>
 
 namespace elide {
+
+/// Brownout levels, in escalation order. The controller walks up when the
+/// queue-delay EWMA crosses a threshold and back down (with hysteresis)
+/// when it falls below half that threshold:
+///
+///            EWMA > DegradedMs          EWMA > ShedMs
+///   Normal  ------------------> Degraded -----------> Shed
+///   Normal  <------------------ Degraded <----------- Shed
+///            EWMA < DegradedMs/2        EWMA < ShedMs/2
+///
+/// Degraded sheds Sheddable traffic and quadruples retry-after hints;
+/// Shed also sheds Default traffic, suppresses HELLO-BATCH amortization
+/// (one batch frame pins a worker for the whole key list -- exactly the
+/// head-of-line blocking a drowning server cannot afford), and multiplies
+/// retry-after hints by 16.
+enum class BrownoutMode { Normal, Degraded, Shed };
+
+/// Human-readable brownout mode name (stats, logs, bench JSON).
+const char *brownoutModeName(BrownoutMode Mode);
 
 /// Server configuration: trust anchors plus the secret artifacts.
 struct AuthServerConfig {
@@ -70,8 +90,17 @@ struct AuthServerConfig {
   /// flight concurrently, the excess are answered with an OVERLOADED
   /// frame instead of queueing behind quote verification. 0 = disabled.
   size_t OverloadThreshold = 0;
-  /// Retry-after hint carried by shed responses.
+  /// Retry-after hint carried by shed responses (scaled up by the
+  /// brownout controller: 4x in Degraded, 16x in Shed).
   uint32_t OverloadRetryAfterMs = 100;
+  /// Brownout controller: queue-delay EWMA (reported by the transport via
+  /// FrameContext) above this many milliseconds enters Degraded. 0
+  /// disables the controller entirely (mode pinned to Normal).
+  double BrownoutDegradedMs = 0.0;
+  /// Queue-delay EWMA above this enters Shed. 0 disables the Shed level.
+  double BrownoutShedMs = 0.0;
+  /// Smoothing factor for the queue-delay and service-time EWMAs.
+  double EwmaAlpha = 0.2;
 };
 
 /// Usage counters (benchmarks read these). `HandshakesCompleted` counts
@@ -93,6 +122,24 @@ struct AuthServerStats {
   size_t BatchHandshakes = 0;
   /// Sessions minted by HELLO-BATCH rounds.
   size_t BatchSessionsMinted = 0;
+  /// Requests expired by admission control: their remaining deadline
+  /// could not cover the measured service time, so the server refused
+  /// them *before* spending crypto on an answer nobody would wait for.
+  size_t DeadlineExpired = 0;
+  /// OVERLOADED answers by criticality class of the shed request.
+  size_t ShedCritical = 0;
+  size_t ShedDefault = 0;
+  size_t ShedSheddable = 0;
+  /// HELLO-BATCH frames refused because the brownout mode was Shed.
+  size_t BatchSuppressed = 0;
+  /// Envelope frames rejected by strict parsing.
+  size_t EnvelopeRejected = 0;
+  /// Brownout mode changes since start (tests assert hysteresis with it).
+  size_t BrownoutTransitions = 0;
+  /// Current brownout mode.
+  BrownoutMode Brownout = BrownoutMode::Normal;
+  /// Current queue-delay EWMA in milliseconds.
+  double QueueDelayEwmaMs = 0.0;
 };
 
 /// A multi-session authentication server. Transport-agnostic: feed it
@@ -108,7 +155,14 @@ public:
   /// Handles one request frame and produces one response frame. Protocol
   /// violations produce ERROR frames rather than C++ errors so the
   /// transport can always answer the client. Safe to call concurrently.
-  Bytes handle(BytesView Request);
+  /// The context form carries the transport's queue-delay measurement
+  /// into admission control and the brownout controller; the plain form
+  /// (in-process transports, old call sites) reports zero queue delay.
+  Bytes handle(BytesView Request, const FrameContext &Ctx);
+  Bytes handle(BytesView Request) { return handle(Request, FrameContext()); }
+
+  /// Current brownout mode (tests and benches read this).
+  BrownoutMode brownoutMode() const;
 
   /// Snapshot of the usage counters.
   AuthServerStats stats() const;
@@ -117,9 +171,25 @@ public:
   const SessionStore &sessions() const { return Store; }
 
 private:
+  /// Service-time EWMA buckets, one per inner frame kind (handshake cost
+  /// and record cost differ by orders of magnitude; one blended average
+  /// would make admission control wrong for both).
+  enum ServiceKind { SkHello = 0, SkHelloBatch = 1, SkRecord = 2, SkCount = 3 };
+
   Bytes handleHello(BytesView Frame);
   Bytes handleHelloBatch(BytesView Frame);
   Bytes handleRecord(BytesView Frame);
+
+  /// Folds one queue-delay sample into the EWMA and walks the brownout
+  /// state machine. Returns the mode this request is served under.
+  BrownoutMode updateBrownout(double QueueDelayMs);
+  /// Records a measured service time for \p Kind.
+  void recordServiceTime(ServiceKind Kind, double Ms);
+  /// The admission bar for \p Kind: the measured service-time EWMA, or 0
+  /// when no sample exists yet (never refuse on a guess).
+  double serviceEstimate(ServiceKind Kind) const;
+  /// Counts one shed response against \p Class.
+  void countShed(Criticality Class);
 
   /// Verifies a serialized quote against the trust anchors. Returns the
   /// report body or a rejection message (already counted).
@@ -145,6 +215,21 @@ private:
   std::atomic<size_t> StaleSessionRequests{0};
   std::atomic<size_t> BatchHandshakes{0};
   std::atomic<size_t> BatchSessionsMinted{0};
+  std::atomic<size_t> DeadlineExpired{0};
+  std::atomic<size_t> ShedCritical{0};
+  std::atomic<size_t> ShedDefault{0};
+  std::atomic<size_t> ShedSheddable{0};
+  std::atomic<size_t> BatchSuppressed{0};
+  std::atomic<size_t> EnvelopeRejected{0};
+
+  /// Brownout controller and admission-control state. One small mutex for
+  /// a handful of doubles: held for arithmetic only, never across crypto.
+  mutable std::mutex ControlMutex;
+  double QueueEwmaMs = 0.0;                  ///< Guarded by ControlMutex.
+  BrownoutMode Mode = BrownoutMode::Normal;  ///< Guarded by ControlMutex.
+  size_t ModeTransitions = 0;                ///< Guarded by ControlMutex.
+  double ServiceEwmaMs[SkCount] = {};        ///< Guarded by ControlMutex.
+  size_t ServiceSamples[SkCount] = {};       ///< Guarded by ControlMutex.
 };
 
 } // namespace elide

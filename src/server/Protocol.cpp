@@ -206,6 +206,74 @@ bool elide::errorAsksReattest(const std::string &Message) {
   return Message.find(ReattestMarker) != std::string::npos;
 }
 
+//===----------------------------------------------------------------------===//
+// Request envelope
+//===----------------------------------------------------------------------===//
+
+const char *elide::criticalityName(Criticality Class) {
+  switch (Class) {
+  case Criticality::Critical:
+    return "critical";
+  case Criticality::Default:
+    return "default";
+  case Criticality::Sheddable:
+    return "sheddable";
+  }
+  return "unknown";
+}
+
+Bytes elide::envelopeFrame(uint32_t DeadlineMs, Criticality Class,
+                           BytesView Inner) {
+  Bytes Frame;
+  Frame.reserve(EnvelopeHeaderSize + Inner.size());
+  Frame.push_back(FrameEnvelope);
+  Frame.push_back(EnvelopeVersion);
+  appendLE32(Frame, DeadlineMs);
+  Frame.push_back(static_cast<uint8_t>(Class));
+  appendBytes(Frame, Inner);
+  return Frame;
+}
+
+Expected<RequestEnvelope> elide::parseEnvelopeFrame(BytesView Frame) {
+  if (Frame.empty() || Frame[0] != FrameEnvelope)
+    return makeError("not an envelope frame");
+  if (Frame.size() < EnvelopeHeaderSize)
+    return makeError("envelope frame truncated: " +
+                     std::to_string(Frame.size()) + " bytes, header needs " +
+                     std::to_string(EnvelopeHeaderSize));
+  if (Frame[1] != EnvelopeVersion)
+    return makeError("unsupported envelope version " +
+                     std::to_string(Frame[1]) + " (this build speaks " +
+                     std::to_string(EnvelopeVersion) + ")");
+  std::optional<Criticality> Class =
+      criticalityFromRaw(Frame[EnvelopeHeaderSize - 1]);
+  if (!Class)
+    return makeError("envelope criticality byte " +
+                     std::to_string(Frame[EnvelopeHeaderSize - 1]) +
+                     " is out of range");
+  if (Frame.size() == EnvelopeHeaderSize)
+    return makeError("envelope carries no inner frame");
+  if (Frame[EnvelopeHeaderSize] == FrameEnvelope)
+    return makeError("nested envelopes are not allowed");
+  RequestEnvelope Env;
+  Env.DeadlineMs = readLE32(Frame.data() + 2);
+  Env.Class = *Class;
+  Env.Inner = Frame.subspan(EnvelopeHeaderSize);
+  return Env;
+}
+
+Expected<RequestEnvelope> elide::unwrapRequest(BytesView Frame) {
+  if (!Frame.empty() && Frame[0] == FrameEnvelope)
+    return parseEnvelopeFrame(Frame);
+  RequestEnvelope Env;
+  Env.Inner = Frame;
+  return Env;
+}
+
+bool elide::errorSaysDeadlineExpired(const std::string &Message) {
+  return Message.find(DeadlineExpiredMarker) != std::string::npos;
+}
+
 Bytes elide::overloadedFrame(uint32_t RetryAfterMs) {
   Bytes Frame;
   Frame.push_back(FrameOverloaded);

@@ -173,6 +173,83 @@ inline constexpr const char *ReattestMarker = "[re-attest]";
 /// True when an ERROR message carries the re-attest marker.
 bool errorAsksReattest(const std::string &Message);
 
+//===----------------------------------------------------------------------===//
+// Request envelope (deadline + criticality)
+//===----------------------------------------------------------------------===//
+//
+// Frame:
+//   ENVELOPE : 0xc4 || version u8 || deadline_ms u32 || criticality u8 ||
+//              inner frame (HELLO / HELLO-BATCH / RECORD)
+//
+// The envelope threads the production-RPC trio through the wire protocol:
+// a remaining-time deadline (milliseconds of budget left at send time;
+// 0 = none) and a criticality class the server sheds by under pressure.
+// Parsing is strict -- unknown versions, out-of-range criticality bytes,
+// truncated headers, empty inners, and nested envelopes are all rejected
+// -- and bare (un-enveloped) frames keep working with no deadline and
+// Default criticality, so old clients interoperate unchanged.
+
+/// Request criticality classes, in shed order: `Sheddable` goes first
+/// under pressure, `Default` next, `Critical` last. Wire values are the
+/// enum values; anything above `Sheddable` is a malformed frame.
+enum class Criticality : uint8_t {
+  Critical = 0,
+  Default = 1,
+  Sheddable = 2,
+};
+
+/// Human-readable criticality name (stats, logs, bench JSON).
+const char *criticalityName(Criticality Class);
+
+/// Maps a raw wire byte onto the enum, or nullopt for out-of-range values.
+constexpr std::optional<Criticality> criticalityFromRaw(uint8_t Raw) {
+  return Raw <= static_cast<uint8_t>(Criticality::Sheddable)
+             ? std::optional<Criticality>(static_cast<Criticality>(Raw))
+             : std::nullopt;
+}
+
+/// Envelope frame type byte.
+constexpr uint8_t FrameEnvelope = 0xc4;
+
+/// The one envelope version this build speaks. Versioning is strict: a
+/// frame claiming any other version is rejected rather than half-parsed.
+constexpr uint8_t EnvelopeVersion = 1;
+
+/// Wire size of the envelope header: type || version || deadline_ms u32 ||
+/// criticality.
+constexpr size_t EnvelopeHeaderSize = 1 + 1 + 4 + 1;
+
+/// A parsed request envelope.
+struct RequestEnvelope {
+  /// Remaining request budget in milliseconds at send time; 0 = none.
+  uint32_t DeadlineMs = 0;
+  Criticality Class = Criticality::Default;
+  /// The enclosed frame. Aliases the parsed bytes; copy to outlive them.
+  BytesView Inner;
+};
+
+/// Wraps \p Inner in an envelope carrying \p DeadlineMs and \p Class.
+Bytes envelopeFrame(uint32_t DeadlineMs, Criticality Class, BytesView Inner);
+
+/// Parses an envelope frame (including the leading type byte). Strict:
+/// unknown version, out-of-range criticality, short header, empty inner,
+/// or a nested envelope are errors, never silently defaulted.
+Expected<RequestEnvelope> parseEnvelopeFrame(BytesView Frame);
+
+/// Normalizes any request frame into an envelope view: envelope frames
+/// parse strictly; every other frame becomes {no deadline, Default,
+/// whole frame} so pre-envelope clients keep working.
+Expected<RequestEnvelope> unwrapRequest(BytesView Frame);
+
+/// Marker the server embeds in ERROR frames for requests it expired
+/// because their remaining deadline could not cover the measured service
+/// time (admission control). The cure is a fresh request with a larger
+/// budget, not a retry of this one.
+inline constexpr const char *DeadlineExpiredMarker = "[deadline-expired]";
+
+/// True when an ERROR message carries the deadline-expired marker.
+bool errorSaysDeadlineExpired(const std::string &Message);
+
 /// Wire size of an OVERLOADED frame: type || retry-after-ms u32.
 constexpr size_t OverloadedFrameSize = 1 + 4;
 

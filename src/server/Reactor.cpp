@@ -72,6 +72,17 @@ Expected<std::unique_ptr<ReactorServer>>
 ReactorServer::start(FrameHandler Handler, const ReactorConfig &Config) {
   if (!Handler)
     return makeError("ReactorServer requires a frame handler");
+  return start(
+      [H = std::move(Handler)](BytesView Request, const FrameContext &) {
+        return H(Request);
+      },
+      Config);
+}
+
+Expected<std::unique_ptr<ReactorServer>>
+ReactorServer::start(ContextFrameHandler Handler, const ReactorConfig &Config) {
+  if (!Handler)
+    return makeError("ReactorServer requires a frame handler");
   if (Config.WorkerThreads == 0)
     return makeError("ReactorConfig.WorkerThreads must be positive");
 
@@ -173,7 +184,12 @@ void ReactorServer::workerThread() {
       J = std::move(Jobs.front());
       Jobs.pop_front();
     }
-    Bytes Response = Handler(J.Request);
+    FrameContext Ctx;
+    Ctx.QueueDelayMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - J.EnqueuedAt)
+            .count();
+    Bytes Response = Handler(J.Request, Ctx);
     {
       std::lock_guard<std::mutex> Lock(DoneMutex);
       Done.push_back(Completion{J.C, std::move(Response)});
@@ -375,7 +391,7 @@ void ReactorServer::dispatch(Conn &C) {
 
   {
     std::lock_guard<std::mutex> Lock(JobMutex);
-    Jobs.push_back(Job{&C, std::move(Request)});
+    Jobs.push_back(Job{&C, std::move(Request), std::chrono::steady_clock::now()});
   }
   JobCv.notify_one();
 }

@@ -60,6 +60,20 @@ namespace elide {
 /// plug in lambdas.
 using FrameHandler = std::function<Bytes(BytesView)>;
 
+/// Transport-side context for one dispatched frame: facts the handler
+/// cannot measure itself but needs for overload decisions.
+struct FrameContext {
+  /// Milliseconds the completed frame sat in the worker queue before a
+  /// worker picked it up. Queue delay is the canonical congestion signal:
+  /// it rises before throughput falls, which is what lets a brownout
+  /// controller act before the collapse rather than after.
+  double QueueDelayMs = 0.0;
+};
+
+/// Context-aware variant of `FrameHandler`; same thread-safety contract.
+using ContextFrameHandler =
+    std::function<Bytes(BytesView, const FrameContext &)>;
+
 /// Tuning knobs for the reactor transport.
 struct ReactorConfig {
   /// Worker threads running the frame handler (the reactor thread itself
@@ -112,6 +126,10 @@ struct ReactorStats {
 class ReactorServer {
 public:
   static Expected<std::unique_ptr<ReactorServer>>
+  start(ContextFrameHandler Handler,
+        const ReactorConfig &Config = ReactorConfig());
+  /// Convenience overload for handlers that ignore the frame context.
+  static Expected<std::unique_ptr<ReactorServer>>
   start(FrameHandler Handler, const ReactorConfig &Config = ReactorConfig());
   ~ReactorServer();
 
@@ -133,6 +151,8 @@ private:
   struct Job {
     Conn *C;
     Bytes Request;
+    /// When the frame entered the worker queue (queue-delay measurement).
+    std::chrono::steady_clock::time_point EnqueuedAt;
   };
   struct Completion {
     Conn *C;
@@ -160,7 +180,7 @@ private:
   void sweepDeadlines();
   int nextWaitTimeoutMs() const;
 
-  FrameHandler Handler;
+  ContextFrameHandler Handler;
   ReactorConfig Config;
   int ListenFd = -1;
   uint16_t Port = 0;

@@ -6,6 +6,7 @@
 
 #include "server/Transport.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
@@ -32,7 +33,7 @@ Error elide::makeTransportError(TransportErrc Errc, std::string Message) {
 TransportErrc elide::transportErrcOf(const Error &E) {
   int Code = E.code();
   return (Code >= static_cast<int>(TransportErrc::ConnectFailed) &&
-          Code <= static_cast<int>(TransportErrc::AllEndpointsFailed))
+          Code <= static_cast<int>(TransportErrcLast))
              ? static_cast<TransportErrc>(Code)
              : TransportErrc::None;
 }
@@ -227,7 +228,9 @@ TcpServer::start(AuthServer &Server, const TcpServerConfig &Config) {
   RC.ForcePollBackend = Config.ForcePollBackend;
   ELIDE_TRY(std::unique_ptr<ReactorServer> Impl,
             ReactorServer::start(
-                [Srv = &Server](BytesView Req) { return Srv->handle(Req); },
+                [Srv = &Server](BytesView Req, const FrameContext &Ctx) {
+                  return Srv->handle(Req, Ctx);
+                },
                 RC));
   std::unique_ptr<TcpServer> S(new TcpServer());
   S->Impl = std::move(Impl);
@@ -305,19 +308,49 @@ Expected<int> connectDeadline(const std::string &Host, uint16_t Port,
 
 } // namespace
 
-Expected<Bytes> TcpClientTransport::attemptOnce(BytesView Request) {
-  ELIDE_TRY(int Fd, connectDeadline(Host, Port, Config.ConnectTimeoutMs));
+Expected<Bytes> TcpClientTransport::attemptOnce(BytesView Request,
+                                                int ConnectTimeoutMs,
+                                                int IoTimeoutMs) {
+  ELIDE_TRY(int Fd, connectDeadline(Host, Port, ConnectTimeoutMs));
   FdGuard Guard{Fd};
-  if (Error E = sendFrameDeadline(Fd, Request,
-                                  Deadline::in(Config.IoTimeoutMs), nullptr))
+  if (Error E =
+          sendFrameDeadline(Fd, Request, Deadline::in(IoTimeoutMs), nullptr))
     return E;
-  return recvFrameDeadline(Fd, Deadline::in(Config.IoTimeoutMs),
-                           64u << 20, nullptr);
+  return recvFrameDeadline(Fd, Deadline::in(IoTimeoutMs), 64u << 20, nullptr);
 }
 
 Expected<Bytes> TcpClientTransport::roundTrip(BytesView Request) {
   int Attempts = Config.MaxAttempts > 0 ? Config.MaxAttempts : 1;
+
+  // An enveloped request carries its remaining budget; track it across
+  // the whole loop (attempts, backoff sleeps) and re-stamp each attempt
+  // with what is actually left so the server sees the truth, not the
+  // budget as of the first try. A malformed envelope is sent as-is: the
+  // server owns the canonical rejection.
+  uint32_t DeadlineMs = 0;
+  Criticality Class = Criticality::Default;
+  BytesView Inner = Request;
+  if (Expected<RequestEnvelope> Env = unwrapRequest(Request)) {
+    DeadlineMs = Env->DeadlineMs;
+    Class = Env->Class;
+    Inner = Env->Inner;
+  }
+  Clock::time_point Start = Clock::now();
+  auto remainingMs = [&]() -> long long {
+    return static_cast<long long>(DeadlineMs) -
+           std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 Start)
+               .count();
+  };
+  auto deadlineError = [&](const std::string &Where) {
+    return makeTransportError(TransportErrc::DeadlineExceeded,
+                              "request deadline (" +
+                                  std::to_string(DeadlineMs) +
+                                  " ms) exceeded " + Where);
+  };
+
   Error Last;
+  std::optional<uint32_t> OverloadHint;
   for (int Attempt = 1; Attempt <= Attempts; ++Attempt) {
     if (Attempt > 1) {
       // Exponential backoff with deterministic jitter: base * 2^(n-1),
@@ -334,19 +367,49 @@ Expected<Bytes> TcpClientTransport::roundTrip(BytesView Request) {
                      ? static_cast<long long>(Jitter.nextBelow(Backoff / 2 + 1))
                      : 0;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(Backoff + Spread));
+      long long Wait = Backoff + Spread;
+      // A shed server's retry-after hint is a floor under the wait:
+      // reconnecting sooner than the server asked just feeds the overload.
+      if (OverloadHint && static_cast<long long>(*OverloadHint) > Wait)
+        Wait = *OverloadHint;
+      if (DeadlineMs && Wait >= remainingMs())
+        return deadlineError("waiting out the retry backoff");
+      std::this_thread::sleep_for(std::chrono::milliseconds(Wait));
     }
+
+    int ConnectMs = Config.ConnectTimeoutMs;
+    int IoMs = Config.IoTimeoutMs;
+    Bytes Stamped;
+    BytesView Wire = Request;
+    if (DeadlineMs) {
+      long long Left = remainingMs();
+      if (Left <= 0)
+        return deadlineError("before attempt " + std::to_string(Attempt));
+      // No single operation may outlive the request: clamp the per-
+      // operation timeouts to the remaining budget.
+      ConnectMs = static_cast<int>(std::min<long long>(ConnectMs, Left));
+      IoMs = static_cast<int>(std::min<long long>(IoMs, Left));
+      Stamped = envelopeFrame(static_cast<uint32_t>(Left), Class, Inner);
+      Wire = Stamped;
+    }
+
     LastAttempts.store(Attempt);
-    Expected<Bytes> Response = attemptOnce(Request);
+    Expected<Bytes> Response = attemptOnce(Wire, ConnectMs, IoMs);
     if (Response) {
-      // Backpressure is not payload: surface an OVERLOADED answer as a
-      // typed error immediately (no intra-transport retry burn) so a
-      // failover layer can move to another endpoint, carrying the
-      // server's retry-after hint in the message.
-      if (std::optional<uint32_t> After = overloadedRetryAfterMs(*Response))
-        return makeTransportError(TransportErrc::Overloaded,
-                                  "server shed load; retry-after-ms=" +
-                                      std::to_string(*After));
+      if (std::optional<uint32_t> After = overloadedRetryAfterMs(*Response)) {
+        // Backpressure is not payload. By default it surfaces as a typed
+        // error immediately (no intra-transport retry burn) so a failover
+        // layer can move to another endpoint; with RetryOverloaded the
+        // client stays on this endpoint and honors the hint above.
+        Error Shed = makeTransportError(TransportErrc::Overloaded,
+                                        "server shed load; retry-after-ms=" +
+                                            std::to_string(*After));
+        if (!Config.RetryOverloaded)
+          return Shed;
+        OverloadHint = After;
+        Last = std::move(Shed);
+        continue;
+      }
       return Response;
     }
     Error E = Response.takeError();
@@ -354,6 +417,7 @@ Expected<Bytes> TcpClientTransport::roundTrip(BytesView Request) {
     if (!isRetryableTransportErrc(Errc))
       return E;
     Last = std::move(E);
+    OverloadHint.reset();
   }
   if (Attempts == 1)
     return Last; // No retry budget: surface the underlying kind directly.

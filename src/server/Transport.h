@@ -55,7 +55,7 @@ TransportErrc transportErrcOf(const Error &E);
 template <typename T> TransportErrc transportErrcOf(const Expected<T> &E) {
   int Code = E.errorCode();
   return (Code >= static_cast<int>(TransportErrc::ConnectFailed) &&
-          Code <= static_cast<int>(TransportErrc::AllEndpointsFailed))
+          Code <= static_cast<int>(TransportErrcLast))
              ? static_cast<TransportErrc>(Code)
              : TransportErrc::None;
 }
@@ -172,6 +172,13 @@ struct TcpClientConfig {
   int BackoffMaxMs = 1000;
   /// Seed for the jitter source (deterministic for reproducible tests).
   uint64_t JitterSeed = 1;
+  /// When true, an OVERLOADED answer is retried on this endpoint with the
+  /// server's retry-after hint as a floor under the backoff wait, instead
+  /// of surfacing immediately as a typed error. Leave false in front of a
+  /// failover chain (the Provisioner moves endpoints faster than the hint
+  /// elapses); set true for single-endpoint clients that have nowhere
+  /// else to go.
+  bool RetryOverloaded = false;
 };
 
 /// TCP client side: connects per roundTrip (the restorer makes only a
@@ -179,6 +186,14 @@ struct TcpClientConfig {
 /// and the session survives across connections because the server keys
 /// the session id, not the socket; that same property makes retrying a
 /// failed exchange on a fresh connection safe).
+///
+/// Deadline-aware: a request wrapped in an envelope frame (see
+/// server/Protocol.h) carries its remaining budget through the retry
+/// loop -- connect/IO timeouts and backoff waits are clamped to what is
+/// left, each attempt's envelope is re-stamped with the true remainder,
+/// and a budget that lapses mid-loop surfaces as the terminal
+/// `TransportErrc::DeadlineExceeded` instead of burning attempts a
+/// caller can no longer use.
 class TcpClientTransport : public Transport {
 public:
   TcpClientTransport(std::string Host, uint16_t Port,
@@ -191,7 +206,8 @@ public:
   int lastAttempts() const { return LastAttempts.load(); }
 
 private:
-  Expected<Bytes> attemptOnce(BytesView Request);
+  Expected<Bytes> attemptOnce(BytesView Request, int ConnectTimeoutMs,
+                              int IoTimeoutMs);
 
   std::string Host;
   uint16_t Port;

@@ -201,7 +201,14 @@ enum class TransportErrc : int {
   Overloaded = 110,       ///< The server shed load (OVERLOADED frame).
   BreakerOpen = 111,      ///< Circuit breaker refused the endpoint.
   AllEndpointsFailed = 112, ///< Every endpoint in a failover chain failed.
+  DeadlineExceeded = 113, ///< The request's end-to-end deadline lapsed.
+  RetryBudgetExhausted = 114, ///< The chain-wide retry budget ran dry.
 };
+
+/// The last (largest) TransportErrc value; the errc-range checks in
+/// Transport.h/.cpp use this bound so adding a code cannot silently fall
+/// outside them.
+constexpr TransportErrc TransportErrcLast = TransportErrc::RetryBudgetExhausted;
 
 /// The two-way verdict of the shared table: `Retryable` failures may be
 /// cured by a fresh attempt; `Terminal` ones will lose the same way every
@@ -233,8 +240,11 @@ constexpr Retryability retryabilityOf(RestoreStatus Status) {
 
 /// The transport-errc row of the table. Timeouts, refused connections,
 /// dropped peers, injected faults, and backpressure verdicts are
-/// retryable; structural failures (bad address, oversized frame) and an
-/// already-exhausted retry budget are terminal.
+/// retryable; structural failures (bad address, oversized frame), an
+/// already-exhausted retry budget, a lapsed deadline (there is no time
+/// left to spend on another attempt), and an empty chain-wide retry
+/// budget (another attempt is exactly what the budget forbids) are
+/// terminal.
 constexpr Retryability retryabilityOf(TransportErrc Errc) {
   switch (Errc) {
   case TransportErrc::ConnectFailed:
@@ -251,10 +261,22 @@ constexpr Retryability retryabilityOf(TransportErrc Errc) {
   case TransportErrc::FrameTooLarge:
   case TransportErrc::BadAddress:
   case TransportErrc::RetriesExhausted:
+  case TransportErrc::DeadlineExceeded:
+  case TransportErrc::RetryBudgetExhausted:
     return Retryability::Terminal;
   }
   return Retryability::Terminal; // Unreachable for in-range values.
 }
+
+static_assert(retryabilityOf(TransportErrc::DeadlineExceeded) ==
+                  Retryability::Terminal,
+              "a lapsed deadline must stop retry loops");
+static_assert(retryabilityOf(TransportErrc::RetryBudgetExhausted) ==
+                  Retryability::Terminal,
+              "an empty retry budget must stop retry loops");
+static_assert(retryabilityOf(TransportErrc::Overloaded) ==
+                  Retryability::Retryable,
+              "backpressure is transient; failover layers may move on");
 
 /// Maps a raw restore status word (as the ecall returns it) onto the enum,
 /// or nullopt for values no table row covers.

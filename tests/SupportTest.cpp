@@ -57,6 +57,93 @@ TEST(ExpectedTest, TryMacroPropagates) {
   EXPECT_FALSE(static_cast<bool>(quarter(7)));
 }
 
+TEST(RetryabilityTest, EveryCodeOfEveryEnumClassifies) {
+  // The shared table must cover every enumerator of all three failure
+  // vocabularies with an explicit verdict. The switches are default-free
+  // (the compiler flags a *new* enumerator), but nothing flags a row that
+  // drifted to the wrong verdict -- this test pins each one.
+  struct TransportRow {
+    TransportErrc Errc;
+    Retryability Want;
+  };
+  const TransportRow TransportRows[] = {
+      {TransportErrc::None, Retryability::Terminal},
+      {TransportErrc::ConnectFailed, Retryability::Retryable},
+      {TransportErrc::ConnectTimeout, Retryability::Retryable},
+      {TransportErrc::ReadTimeout, Retryability::Retryable},
+      {TransportErrc::WriteTimeout, Retryability::Retryable},
+      {TransportErrc::PeerClosed, Retryability::Retryable},
+      {TransportErrc::FrameTooLarge, Retryability::Terminal},
+      {TransportErrc::BadAddress, Retryability::Terminal},
+      {TransportErrc::RetriesExhausted, Retryability::Terminal},
+      {TransportErrc::InjectedFault, Retryability::Retryable},
+      {TransportErrc::Overloaded, Retryability::Retryable},
+      {TransportErrc::BreakerOpen, Retryability::Retryable},
+      {TransportErrc::AllEndpointsFailed, Retryability::Retryable},
+      {TransportErrc::DeadlineExceeded, Retryability::Terminal},
+      {TransportErrc::RetryBudgetExhausted, Retryability::Terminal},
+  };
+  // The table enumerates the full errc range: 101 .. TransportErrcLast
+  // plus None. A row count mismatch means someone added a code without a
+  // row here.
+  EXPECT_EQ(sizeof(TransportRows) / sizeof(TransportRows[0]),
+            static_cast<size_t>(TransportErrcLast) - 101 + 2);
+  for (const TransportRow &Row : TransportRows) {
+    EXPECT_EQ(retryabilityOf(Row.Errc), Row.Want)
+        << "TransportErrc " << static_cast<int>(Row.Errc);
+    EXPECT_EQ(isRetryableTransportErrc(Row.Errc),
+              Row.Want == Retryability::Retryable);
+  }
+
+  struct RestoreRow {
+    RestoreStatus Status;
+    Retryability Want;
+  };
+  const RestoreRow RestoreRows[] = {
+      {RestoreOk, Retryability::Terminal},
+      {RestoreNoSecrets, Retryability::Terminal},
+      {RestoreShortSecrets, Retryability::Retryable},
+      {RestoreQuoteFailed, Retryability::Retryable},
+      {RestoreServerUnreachable, Retryability::Retryable},
+      {RestoreRejected, Retryability::Terminal},
+      {RestoreMetaFetchFailed, Retryability::Retryable},
+      {RestoreMetaParseFailed, Retryability::Terminal},
+      {RestoreDataFetchFailed, Retryability::Retryable},
+  };
+  for (const RestoreRow &Row : RestoreRows) {
+    EXPECT_EQ(retryabilityOf(Row.Status), Row.Want)
+        << "RestoreStatus " << static_cast<uint64_t>(Row.Status);
+    EXPECT_EQ(isRetryableRestoreStatus(Row.Status),
+              Row.Want == Retryability::Retryable);
+    EXPECT_TRUE(restoreStatusFromRaw(Row.Status).has_value());
+  }
+  // Out-of-table raw statuses classify terminal, never spin.
+  EXPECT_FALSE(restoreStatusFromRaw(999).has_value());
+  EXPECT_FALSE(isRetryableRestoreStatus(999));
+
+  struct LifecycleRow {
+    LifecycleErrc Errc;
+    Retryability Want;
+  };
+  const LifecycleRow LifecycleRows[] = {
+      {LifecycleErrc::None, Retryability::Terminal},
+      {LifecycleErrc::NotLoaded, Retryability::Terminal},
+      {LifecycleErrc::NotRestored, Retryability::Terminal},
+      {LifecycleErrc::ReentrantEcall, Retryability::Terminal},
+      {LifecycleErrc::QuarantinedRetryLater, Retryability::Retryable},
+      {LifecycleErrc::CrashLoop, Retryability::Terminal},
+      {LifecycleErrc::StaleGeneration, Retryability::Retryable},
+      {LifecycleErrc::TerminalRestore, Retryability::Terminal},
+      {LifecycleErrc::AlreadyLoaded, Retryability::Terminal},
+  };
+  for (const LifecycleRow &Row : LifecycleRows) {
+    EXPECT_EQ(retryabilityOf(Row.Errc), Row.Want)
+        << "LifecycleErrc " << static_cast<int>(Row.Errc);
+    EXPECT_EQ(isRetryableLifecycleErrc(Row.Errc),
+              Row.Want == Retryability::Retryable);
+  }
+}
+
 TEST(BytesTest, EndianHelpers) {
   uint8_t Buf[8];
   writeLE64(Buf, 0x0102030405060708ULL);

@@ -25,6 +25,7 @@
 
 #include <arpa/inet.h>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -431,6 +432,138 @@ TEST(FrameSplitTest, ClientReassemblesByteByByteResponses) {
   ::close(Listen);
   ASSERT_TRUE(static_cast<bool>(R)) << R.errorMessage();
   EXPECT_EQ(*R, Response);
+}
+
+TEST(FrameSplitTest, RetryOverloadedHonorsServerRetryAfterHint) {
+  // A server that sheds the first exchange with an explicit retry-after
+  // hint, then serves the second: with RetryOverloaded set, the client
+  // must wait at least the hinted interval (the hint floors the backoff)
+  // and then succeed on the retry instead of surfacing the typed error.
+  int Listen = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Listen, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = 0;
+  ASSERT_EQ(::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(Listen, 2), 0);
+  socklen_t AddrLen = sizeof(Addr);
+  ASSERT_EQ(::getsockname(Listen, reinterpret_cast<sockaddr *>(&Addr),
+                          &AddrLen),
+            0);
+  uint16_t Port = ntohs(Addr.sin_port);
+
+  constexpr uint32_t HintMs = 150;
+  const Bytes Success = {FrameError, 'o', 'k'};
+  std::thread Server([Listen, &Success] {
+    auto ServeOne = [](int Client, const Bytes &Frame) {
+      // Drain the length-prefixed request, then answer with one frame.
+      uint8_t LenBytes[4];
+      size_t Got = 0;
+      while (Got < 4) {
+        ssize_t N = ::recv(Client, LenBytes + Got, 4 - Got, 0);
+        ASSERT_GT(N, 0);
+        Got += static_cast<size_t>(N);
+      }
+      uint32_t ReqLen = readLE32(LenBytes);
+      Bytes Request(ReqLen);
+      Got = 0;
+      while (Got < ReqLen) {
+        ssize_t N = ::recv(Client, Request.data() + Got, ReqLen - Got, 0);
+        ASSERT_GT(N, 0);
+        Got += static_cast<size_t>(N);
+      }
+      uint8_t RespLen[4];
+      writeLE32(RespLen, static_cast<uint32_t>(Frame.size()));
+      (void)::send(Client, RespLen, 4, MSG_NOSIGNAL);
+      (void)::send(Client, Frame.data(), Frame.size(), MSG_NOSIGNAL);
+      ::close(Client);
+    };
+    int First = ::accept(Listen, nullptr, nullptr);
+    ASSERT_GE(First, 0);
+    ServeOne(First, overloadedFrame(HintMs));
+    int Second = ::accept(Listen, nullptr, nullptr);
+    ASSERT_GE(Second, 0);
+    ServeOne(Second, Success);
+  });
+
+  TcpClientConfig Config;
+  Config.MaxAttempts = 3;
+  Config.BackoffBaseMs = 1; // The hint, not the backoff, sets the wait.
+  Config.BackoffMaxMs = 5;
+  Config.RetryOverloaded = true;
+  TcpClientTransport Client("127.0.0.1", Port, Config);
+
+  auto T0 = std::chrono::steady_clock::now();
+  Expected<Bytes> R = Client.roundTrip(Bytes{0x42});
+  double ElapsedMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count();
+  Server.join();
+  ::close(Listen);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.errorMessage();
+  EXPECT_EQ(*R, Success);
+  EXPECT_EQ(Client.lastAttempts(), 2);
+  EXPECT_GE(ElapsedMs, static_cast<double>(HintMs));
+}
+
+TEST(FrameSplitTest, OverloadedSurfacesTypedWithoutRetryOptIn) {
+  // Without the opt-in, the same shed answer surfaces immediately as the
+  // typed Overloaded error carrying the hint -- the failover chain, not
+  // this endpoint, decides what to do with the wait.
+  int Listen = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Listen, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = 0;
+  ASSERT_EQ(::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(Listen, 1), 0);
+  socklen_t AddrLen = sizeof(Addr);
+  ASSERT_EQ(::getsockname(Listen, reinterpret_cast<sockaddr *>(&Addr),
+                          &AddrLen),
+            0);
+
+  std::thread Server([Listen] {
+    int Client = ::accept(Listen, nullptr, nullptr);
+    ASSERT_GE(Client, 0);
+    uint8_t LenBytes[4];
+    size_t Got = 0;
+    while (Got < 4) {
+      ssize_t N = ::recv(Client, LenBytes + Got, 4 - Got, 0);
+      ASSERT_GT(N, 0);
+      Got += static_cast<size_t>(N);
+    }
+    uint32_t ReqLen = readLE32(LenBytes);
+    Bytes Request(ReqLen);
+    Got = 0;
+    while (Got < ReqLen) {
+      ssize_t N = ::recv(Client, Request.data() + Got, ReqLen - Got, 0);
+      ASSERT_GT(N, 0);
+      Got += static_cast<size_t>(N);
+    }
+    Bytes Frame = overloadedFrame(250);
+    uint8_t RespLen[4];
+    writeLE32(RespLen, static_cast<uint32_t>(Frame.size()));
+    (void)::send(Client, RespLen, 4, MSG_NOSIGNAL);
+    (void)::send(Client, Frame.data(), Frame.size(), MSG_NOSIGNAL);
+    ::close(Client);
+  });
+
+  TcpClientConfig Config;
+  Config.MaxAttempts = 3;
+  TcpClientTransport Client("127.0.0.1", ntohs(Addr.sin_port), Config);
+  Expected<Bytes> R = Client.roundTrip(Bytes{0x42});
+  Server.join();
+  ::close(Listen);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(transportErrcOf(R), TransportErrc::Overloaded);
+  std::optional<uint32_t> Hint = retryAfterHintOf(R.errorMessage());
+  ASSERT_TRUE(Hint.has_value());
+  EXPECT_EQ(*Hint, 250u);
+  EXPECT_EQ(Client.lastAttempts(), 1);
 }
 
 TEST(FrameSplitTest, TruncatedLengthPrefixTimesOutTyped) {

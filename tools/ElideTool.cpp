@@ -76,6 +76,8 @@ int usage() {
       "[--breaker-cooldown-ms N] [--hedge-ms N]\n"
       "            [--sealed-cache f] [--restore-attempts N] "
       "[--restore-backoff-ms N] [--trace-provision]\n"
+      "            [--deadline-ms N] [--criticality "
+      "critical|default|sheddable] [--retry-budget N]\n"
       "            [--svm-backend switch|threaded] [--supervise] "
       "[--max-crash-loops N] [--recovery-backoff-ms N]\n"
       "\n"
@@ -102,6 +104,8 @@ int usage() {
       "  18  overloaded: every endpoint shed load (honor retry-after)\n"
       "  19  breaker-open: all endpoint breakers open (retry later)\n"
       "  20  data-fetch-failed: secret data exchange failed (transient)\n"
+      "  21  deadline/retry-budget exhausted: the request ran out of time\n"
+      "      or tokens (raise --deadline-ms or offered load is too high)\n"
       "  30  ecall faulted: VM trap or instruction-budget runaway (with\n"
       "      --supervise the enclave is quarantined; retry later)\n"
       "  31  enclave retired: crash-loop breaker tripped or recovery\n"
@@ -128,6 +132,9 @@ int exitCodeForRestore(uint64_t Status, TransportErrc Exhaustion) {
       return 18;
     if (Exhaustion == TransportErrc::BreakerOpen)
       return 19;
+    if (Exhaustion == TransportErrc::DeadlineExceeded ||
+        Exhaustion == TransportErrc::RetryBudgetExhausted)
+      return 21;
     return 13;
   case RestoreRejected:
     return 14;
@@ -613,6 +620,21 @@ int cmdRun(std::vector<std::string> Args) {
   ProvConfig.Breaker.JitterSeed = DeviceSeed ^ 0x50524f56ULL;
   ProvConfig.HedgeAfterMs = std::stoi(flagValue(
       Args, "--hedge-ms", std::to_string(ProvConfig.HedgeAfterMs)));
+  ProvConfig.RetryBudgetInitial = std::stod(flagValue(
+      Args, "--retry-budget", std::to_string(ProvConfig.RetryBudgetInitial)));
+  uint32_t DeadlineMs = static_cast<uint32_t>(
+      std::stoul(flagValue(Args, "--deadline-ms", "0")));
+  std::string ClassName = flagValue(Args, "--criticality", "default");
+  Criticality RequestClass;
+  if (ClassName == "critical")
+    RequestClass = Criticality::Critical;
+  else if (ClassName == "default")
+    RequestClass = Criticality::Default;
+  else if (ClassName == "sheddable")
+    RequestClass = Criticality::Sheddable;
+  else
+    return fail("--criticality expects critical|default|sheddable, got '" +
+                ClassName + "'");
   std::string SealedCache = flagValue(Args, "--sealed-cache", "");
   RestorePolicy Policy;
   Policy.MaxAttempts =
@@ -681,8 +703,17 @@ int cmdRun(std::vector<std::string> Args) {
   // verdict; remember it as events stream past.
   TransportErrc LastExhaustion = TransportErrc::None;
   Chain.setEventCallback([&](const ProvisionEvent &Event) {
-    if (Event.Kind == ProvisionEventKind::FailoverExhausted)
+    // The chain's AllEndpointsFailed verdict must not mask the more
+    // precise deadline/budget codes recorded from the walk's failures.
+    if (Event.Kind == ProvisionEventKind::FailoverExhausted &&
+        LastExhaustion != TransportErrc::DeadlineExceeded &&
+        LastExhaustion != TransportErrc::RetryBudgetExhausted)
       LastExhaustion = Event.Errc;
+    if (Event.Kind == ProvisionEventKind::RetryBudgetExhausted)
+      LastExhaustion = TransportErrc::RetryBudgetExhausted;
+    if (Event.Kind == ProvisionEventKind::EndpointFailure &&
+        Event.Errc == TransportErrc::DeadlineExceeded)
+      LastExhaustion = TransportErrc::DeadlineExceeded;
     if (TraceProvision)
       std::fprintf(stderr, "provision: %-19s %s%s%s\n",
                    provisionEventKindName(Event.Kind), Event.Endpoint.c_str(),
@@ -698,6 +729,8 @@ int cmdRun(std::vector<std::string> Args) {
   });
   if (!SealedCache.empty())
     Host.setSealedPath(SealedCache);
+  if (DeadlineMs != 0 || RequestClass != Criticality::Default)
+    Host.setRequestClass(RequestClass, DeadlineMs);
   if (!DataPath.empty()) {
     Expected<Bytes> Data = readFileBytes(DataPath);
     if (!Data)
