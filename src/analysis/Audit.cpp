@@ -68,6 +68,47 @@ std::vector<ElidedRegion> effectiveElidedRegions(const AuditInput &Input,
   return Runs;
 }
 
+std::vector<std::string> parseEcallManifest(const ElfImage &Image,
+                                            const std::string &SectionName) {
+  std::vector<std::string> Names;
+  const ElfSection *S = Image.sectionByName(SectionName);
+  if (!S)
+    return Names;
+  Bytes Raw = Image.sectionContents(*S);
+  std::string Line;
+  for (uint8_t B : Raw) {
+    if (B == '\n') {
+      if (!Line.empty())
+        Names.push_back(Line);
+      Line.clear();
+    } else if (B != 0) {
+      Line.push_back((char)B);
+    }
+  }
+  if (!Line.empty())
+    Names.push_back(Line);
+  return Names;
+}
+
+std::vector<std::string> checkFamilyNames(unsigned Checks) {
+  std::vector<std::string> Out;
+  if (Checks & CheckResidual)
+    Out.push_back("residual");
+  if (Checks & CheckMetadata)
+    Out.push_back("metadata");
+  if (Checks & CheckLayout)
+    Out.push_back("layout");
+  if (Checks & CheckReachability)
+    Out.push_back("reachability");
+  if (Checks & CheckConstantTime)
+    Out.push_back("constant-time");
+  if (Checks & CheckTaintFlow)
+    Out.push_back("taint-flow");
+  if (Checks & CheckOrderliness)
+    Out.push_back("orderliness");
+  return Out;
+}
+
 AuditReport runAudit(const AuditInput &Input, const AuditOptions &Options) {
   DiagnosticEngine Engine(Options.Suppressions);
   if (Input.Image) {
@@ -79,8 +120,14 @@ AuditReport runAudit(const AuditInput &Input, const AuditOptions &Options) {
       checkLayout(Input, Options, Engine);
     if (Options.Checks & CheckReachability)
       checkReachability(Input, Options, Engine);
+    if (Options.Checks & (CheckConstantTime | CheckTaintFlow))
+      checkSecretFlow(Input, Options, Engine);
+    if (Options.Checks & CheckOrderliness)
+      checkOrderliness(Input, Options, Engine);
   }
-  return Engine.take();
+  AuditReport Report = Engine.take();
+  Report.Families = checkFamilyNames(Options.Checks);
+  return Report;
 }
 
 } // namespace analysis

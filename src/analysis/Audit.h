@@ -94,14 +94,26 @@ enum class SgxMode {
         ///< restore time (the paper's SGX2 ablation).
 };
 
-/// Checker selection mask (all on by default).
+/// Checker selection mask. `CheckAll` is the default gate: everything
+/// that must hold for *any* valid sanitized image. The flow checks
+/// (constant-time, taint) reason about the restored secret code itself
+/// and legitimately fire on e.g. table-based AES, so they are opt-in
+/// (`--ct`, `--taint`) and bundled in `CheckEverything`.
 enum AuditChecks : unsigned {
   CheckResidual = 1u << 0,
   CheckMetadata = 1u << 1,
   CheckLayout = 1u << 2,
   CheckReachability = 1u << 3,
-  CheckAll = CheckResidual | CheckMetadata | CheckLayout | CheckReachability,
+  CheckConstantTime = 1u << 4, ///< AUD 501-503 over the restored view.
+  CheckTaintFlow = 1u << 5,    ///< AUD 511/521/522 over the restored view.
+  CheckOrderliness = 1u << 6,  ///< AUD 601-605 over the shipped image.
+  CheckAll = CheckResidual | CheckMetadata | CheckLayout | CheckReachability |
+             CheckOrderliness,
+  CheckEverything = CheckAll | CheckConstantTime | CheckTaintFlow,
 };
+
+/// Human names for the families in \p Checks (JSON `families` field).
+std::vector<std::string> checkFamilyNames(unsigned Checks);
 
 struct AuditOptions {
   SgxMode Mode = SgxMode::Sgx1;
@@ -120,6 +132,12 @@ AuditReport runAudit(const AuditInput &Input, const AuditOptions &Options);
 std::vector<ElidedRegion> effectiveElidedRegions(const AuditInput &Input,
                                                  bool *Inferred = nullptr);
 
+/// Parses the newline-separated ecall manifest section (empty when the
+/// section is absent). Shared by the reachability and orderliness
+/// checkers.
+std::vector<std::string> parseEcallManifest(const ElfImage &Image,
+                                            const std::string &SectionName);
+
 // Individual checkers (each appends to \p Engine). Exposed so unit tests
 // can exercise one checker in isolation.
 void checkResidualSecrets(const AuditInput &Input, const AuditOptions &Options,
@@ -130,6 +148,14 @@ void checkLayout(const AuditInput &Input, const AuditOptions &Options,
                  DiagnosticEngine &Engine);
 void checkReachability(const AuditInput &Input, const AuditOptions &Options,
                        DiagnosticEngine &Engine);
+/// Runs the taint engine over the restored view of .text and reports the
+/// constant-time (AUD 501-503) and/or taint-flow (AUD 511/521/522)
+/// families, as selected by `Options.Checks`.
+void checkSecretFlow(const AuditInput &Input, const AuditOptions &Options,
+                     DiagnosticEngine &Engine);
+/// Static lifecycle verification (AUD 601-605) over the shipped image.
+void checkOrderliness(const AuditInput &Input, const AuditOptions &Options,
+                      DiagnosticEngine &Engine);
 
 } // namespace analysis
 } // namespace elide

@@ -64,6 +64,28 @@ const char *auditCodeTitle(int Code) {
     return "ecall bridge body is elided";
   case AudFlowEscapesText:
     return "pre-restore control flow leaves the text section";
+  case AudSecretDependentBranch:
+    return "conditional branch on secret-derived data";
+  case AudSecretDependentAddress:
+    return "memory address derived from secret data";
+  case AudTimingDependentCompare:
+    return "early-exit compare loop over secret data";
+  case AudTaintedOcallArg:
+    return "secret-derived value in an ocall argument register";
+  case AudSpecGadget:
+    return "speculative double-dependent-load gadget";
+  case AudTaintedIndirectTarget:
+    return "indirect call through a secret-derived register";
+  case AudPreRestoreEntersRedacted:
+    return "pre-restore entry path executes redacted text";
+  case AudPreRestoreOcall:
+    return "ocall reachable pre-restore outside the restore exchange";
+  case AudBridgeContract:
+    return "bridge thunk violates the call-then-halt contract";
+  case AudRestoreReentry:
+    return "restore entry reachable from its own body";
+  case AudRestoreIncompletable:
+    return "restore path function cannot reach ret/halt";
   default:
     return "unknown diagnostic";
   }
@@ -205,7 +227,15 @@ std::string jsonEscape(const std::string &S) {
 
 std::string AuditReport::renderJson() const {
   std::ostringstream Out;
-  Out << "{\"version\":1,\"diagnostics\":[";
+  Out << "{\"version\":2,\"families\":[";
+  bool FirstFam = true;
+  for (const std::string &F : Families) {
+    if (!FirstFam)
+      Out << ',';
+    FirstFam = false;
+    Out << '"' << jsonEscape(F) << '"';
+  }
+  Out << "],\"diagnostics\":[";
   bool First = true;
   for (const Diagnostic &D : Diags) {
     if (!First)

@@ -68,6 +68,36 @@ enum AuditCode : int {
                                ///< (target not statically checkable).
   AudBridgeElided = 404,       ///< An ecall bridge body is zeroed.
   AudFlowEscapesText = 405,    ///< Restore-path control flow leaves .text.
+
+  // 5xx -- constant-time discipline over restored code (50x) and
+  // speculative-gadget heuristics (52x). Built on the taint engine: a
+  // value loaded from an elided/restored range is secret, and anything
+  // computed from it stays secret.
+  AudSecretDependentBranch = 501, ///< Conditional branch on secret data.
+  AudSecretDependentAddress = 502, ///< Load/store address derived from
+                                   ///< secret data (cache side channel).
+  AudTimingDependentCompare = 503, ///< Early-exit compare loop over
+                                   ///< secret data (timing oracle).
+  AudTaintedOcallArg = 511,        ///< Secret-derived value in an ocall
+                                   ///< argument register (r1..r4).
+  AudSpecGadget = 521,      ///< SgxPectre shape: secret-tainted load feeds
+                            ///< a second dependent load inside a
+                            ///< speculation window after a branch.
+  AudTaintedIndirectTarget = 522, ///< Indirect call through a
+                                  ///< secret-derived register.
+
+  // 6xx -- static orderliness: the binary twin of the runtime lifecycle
+  // contract (`LifecycleErrc`, `Supervisor`).
+  AudPreRestoreEntersRedacted = 601, ///< A pre-restore entry path executes
+                                     ///< redacted text without passing
+                                     ///< through the restore call.
+  AudPreRestoreOcall = 602, ///< Ocall reachable pre-restore outside the
+                            ///< restore exchange (re-entrancy surface).
+  AudBridgeContract = 603,  ///< Bridge thunk is not `call f; halt`.
+  AudRestoreReentry = 604,  ///< Restore entry reachable from its own
+                            ///< body (static AlreadyLoaded hazard).
+  AudRestoreIncompletable = 605, ///< Restore path function has no path to
+                                 ///< Ret/Halt inside surviving text.
 };
 
 /// Diagnostic severity. Errors gate builds; warnings are advisory but
@@ -132,6 +162,11 @@ struct AuditReport {
   size_t Warnings = 0;
   size_t Notes = 0;
   size_t Suppressed = 0; ///< Findings swallowed by the baseline.
+
+  /// Names of the checker families that actually ran (e.g. "residual",
+  /// "constant-time"). Emitted in the JSON rendering so tooling can
+  /// detect which families a report covers without sniffing codes.
+  std::vector<std::string> Families;
 
   bool clean() const { return Diags.empty(); }
 

@@ -1,0 +1,261 @@
+//===- analysis/OrderlinessCheck.cpp - AUD6xx static lifecycle verifier ----===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static twin of the runtime lifecycle contract (`LifecycleErrc`,
+/// the `Supervisor`): a state-machine walk over the shipped image's CFG
+/// proving the restore protocol holds by construction, entry by entry.
+///
+///   AUD601  a host-invocable pre-restore entry admits a path into
+///           redacted text without passing through the restore call --
+///           the static NotRestored hazard (one verdict per entry,
+///           anchored at the entry; AUD402 pins the offending edges);
+///   AUD602  an ocall is reachable pre-restore outside the restore
+///           exchange: the host could re-enter against unrestored text
+///           (static ReentrantEcall surface);
+///   AUD603  a bridge thunk deviates from the `call f; halt` shape the
+///           loader binds against;
+///   AUD604  the restore entry is reachable from its own body (static
+///           AlreadyLoaded hazard);
+///   AUD605  the restore path function has no path to `ret`/`halt`
+///           inside surviving text (static TerminalRestore hazard).
+///
+/// Non-whitelisted ecalls are *not* walked pre-restore: the runtime's
+/// NotRestored gate refuses them, and entering redacted code post-restore
+/// is their purpose. The walk therefore covers exactly the entries the
+/// gate waves through: whitelisted exports and the restore entry itself.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Audit.h"
+#include "analysis/Cfg.h"
+#include "vm/Disassembler.h"
+
+#include <cstdio>
+#include <deque>
+
+namespace elide {
+namespace analysis {
+
+namespace {
+
+std::string hexString(uint64_t V) {
+  char B[32];
+  std::snprintf(B, sizeof(B), "%llx", (unsigned long long)V);
+  return B;
+}
+
+bool startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+} // namespace
+
+void checkOrderliness(const AuditInput &Input, const AuditOptions &,
+                      DiagnosticEngine &Engine) {
+  const ElfImage &Image = *Input.Image;
+  const ElfSection *Text = Image.sectionByName(Input.TextSection);
+  if (!Text)
+    return;
+  Bytes Code = Image.sectionContents(*Text);
+  std::vector<ElidedRegion> Regions = effectiveElidedRegions(Input, nullptr);
+
+  auto inText = [&](uint64_t Addr) {
+    return Addr >= Text->Addr && Addr % SvmInstrSize == 0 &&
+           Addr + SvmInstrSize <= Text->Addr + Text->Size;
+  };
+  auto inElided = [&](uint64_t Addr) -> const ElidedRegion * {
+    if (Addr < Text->Addr)
+      return nullptr;
+    uint64_t Rel = Addr - Text->Addr;
+    for (const ElidedRegion &R : Regions)
+      if (Rel >= R.Offset && Rel < R.Offset + R.Length)
+        return &R;
+    return nullptr;
+  };
+  auto decodeAt = [&](uint64_t Addr) {
+    return decodeInstruction(Code.data() + (Addr - Text->Addr));
+  };
+
+  const std::string RestoreBridgeName =
+      Input.BridgePrefix + Input.RestoreSymbol;
+  const ElfSymbol *RestoreFn = Image.symbolByName(Input.RestoreSymbol);
+  const ElfSymbol *RestoreBridge = Image.symbolByName(RestoreBridgeName);
+  uint64_t RestoreFnAddr =
+      (RestoreFn && inText(RestoreFn->Value)) ? RestoreFn->Value : 0;
+  uint64_t RestoreBridgeAddr =
+      (RestoreBridge && inText(RestoreBridge->Value)) ? RestoreBridge->Value
+                                                      : 0;
+  auto isRestoreAddr = [&](uint64_t Addr) {
+    return (RestoreFnAddr && Addr == RestoreFnAddr) ||
+           (RestoreBridgeAddr && Addr == RestoreBridgeAddr);
+  };
+
+  // --- AUD603: every bridge thunk must be exactly `call f; halt`. ---
+  struct Root {
+    uint64_t Addr;
+    std::string Name;
+    bool IsRestore;
+  };
+  std::vector<Root> Roots;
+  for (const ElfSymbol &Sym : Image.symbols()) {
+    if (!startsWith(Sym.Name, Input.BridgePrefix) || !inText(Sym.Value))
+      continue;
+    Instruction First = decodeAt(Sym.Value);
+    if (First.Op != Opcode::Illegal) { // Zeroed bridges are AUD404's call.
+      bool HaveSecond = inText(Sym.Value + SvmInstrSize);
+      Instruction Second =
+          HaveSecond ? decodeAt(Sym.Value + SvmInstrSize) : Instruction{};
+      if (First.Op != Opcode::Call || !HaveSecond ||
+          Second.Op != Opcode::Halt)
+        Engine.report(AudBridgeContract, Severity::Error,
+                      "bridge '" + Sym.Name +
+                          "' is not the `call f; halt` thunk the loader "
+                          "binds against",
+                      Input.TextSection, Sym.Value - Text->Addr,
+                      2 * SvmInstrSize, Sym.Name);
+    }
+    std::string Export = Sym.Name.substr(Input.BridgePrefix.size());
+    bool PreRestoreEntry =
+        Export == Input.RestoreSymbol ||
+        (Input.HaveWhitelist && Input.WhitelistNames.count(Export));
+    if (PreRestoreEntry)
+      Roots.push_back({Sym.Value, Sym.Name, Export == Input.RestoreSymbol});
+  }
+  if (RestoreFnAddr)
+    Roots.push_back({RestoreFnAddr, Input.RestoreSymbol, true});
+
+  if (Roots.empty())
+    return;
+
+  std::vector<uint64_t> RootAddrs;
+  for (const Root &R : Roots)
+    RootAddrs.push_back(R.Addr);
+  Cfg G = Cfg::build(BytesView(Code.data(), Code.size()), Text->Addr,
+                     RootAddrs);
+
+  // --- Per-entry state walk (AUD601/602/604). The pre-restore state
+  // ends at any edge into the restore entry: beyond it the text is
+  // restored and everything is allowed. ---
+  size_t OcallReports = 0, ReentryReports = 0;
+  constexpr size_t MaxPerCode = 8;
+  for (const Root &R : Roots) {
+    int Start = G.blockStartingAt(R.Addr);
+    if (Start < 0)
+      continue;
+    std::vector<uint8_t> Visited(G.blocks().size(), 0);
+    std::deque<uint32_t> Queue{(uint32_t)Start};
+    bool EnteredRedacted = false;
+    uint64_t RedactedPc = 0;
+    std::string RedactedName;
+    while (!Queue.empty()) {
+      uint32_t BI = Queue.front();
+      Queue.pop_front();
+      if (Visited[BI])
+        continue;
+      Visited[BI] = 1;
+      const CfgBlock &B = G.blocks()[BI];
+      for (uint64_t Pc = B.Start; Pc < B.End; Pc += SvmInstrSize) {
+        if (const ElidedRegion *E = inElided(Pc)) {
+          if (!EnteredRedacted) {
+            EnteredRedacted = true;
+            RedactedPc = Pc;
+            RedactedName = E->Name;
+          }
+        }
+        Instruction I = G.instrAt(Pc);
+        if (I.Op == Opcode::Ocall && !R.IsRestore &&
+            ++OcallReports <= MaxPerCode)
+          Engine.report(AudPreRestoreOcall, Severity::Warning,
+                        "ocall reachable pre-restore from entry '" + R.Name +
+                            "' outside the restore exchange; host "
+                            "re-entry during it would face unrestored "
+                            "text",
+                        Input.TextSection, Pc - Text->Addr, SvmInstrSize,
+                        R.Name);
+      }
+      // The restore call ends the pre-restore state on this path. From
+      // the restore entry's own walk, that same edge is a re-entry.
+      bool TargetIsRestore = B.TargetPc && isRestoreAddr(*B.TargetPc);
+      if (TargetIsRestore && R.Addr == RestoreFnAddr &&
+          R.Name == Input.RestoreSymbol) {
+        if (++ReentryReports <= MaxPerCode)
+          Engine.report(AudRestoreReentry, Severity::Error,
+                        "restore entry is reachable from its own body "
+                        "(static AlreadyLoaded hazard) via `" +
+                            disassembleInstruction(G.instrAt(B.TermPc),
+                                                   B.TermPc) +
+                            "`",
+                        Input.TextSection, B.TermPc - Text->Addr,
+                        SvmInstrSize, R.Name);
+        continue;
+      }
+      if (TargetIsRestore && B.Term == Opcode::Call)
+        continue; // Restored past this point.
+      for (uint32_t Succ : B.Succs)
+        if (!Visited[Succ])
+          Queue.push_back(Succ);
+    }
+    if (EnteredRedacted)
+      Engine.report(
+          AudPreRestoreEntersRedacted, Severity::Error,
+          "entry '" + R.Name +
+              "' admits a pre-restore path into redacted text" +
+              (RedactedName.empty() ? std::string()
+                                    : " of '" + RedactedName + "'") +
+              " (first at .text+0x" + hexString(RedactedPc - Text->Addr) +
+              ") without passing through '" + Input.RestoreSymbol + "'",
+          Input.TextSection, R.Addr - Text->Addr, SvmInstrSize, R.Name);
+  }
+
+  // --- AUD605: the restore function must be able to finish. Intra-
+  // procedural walk with calls stepped over (callees assumed to return);
+  // success is any path to `ret`/`halt` through surviving text. ---
+  if (RestoreFnAddr) {
+    std::set<uint64_t> Seen;
+    std::deque<uint64_t> Queue{RestoreFnAddr};
+    bool Completes = false;
+    while (!Queue.empty() && !Completes) {
+      uint64_t Pc = Queue.front();
+      Queue.pop_front();
+      if (!inText(Pc) || inElided(Pc) || !Seen.insert(Pc).second)
+        continue;
+      Instruction I = decodeAt(Pc);
+      uint64_t Next = Pc + SvmInstrSize;
+      switch (I.Op) {
+      case Opcode::Ret:
+      case Opcode::Halt:
+        Completes = true;
+        break;
+      case Opcode::Jmp:
+        Queue.push_back(Pc + (int64_t)I.Imm);
+        break;
+      case Opcode::Beqz:
+      case Opcode::Bnez:
+        Queue.push_back(Pc + (int64_t)I.Imm);
+        Queue.push_back(Next);
+        break;
+      case Opcode::Trap:
+      case Opcode::Illegal:
+        break;
+      default: // Calls step over: the callee is assumed to return.
+        Queue.push_back(Next);
+        break;
+      }
+    }
+    if (!Completes)
+      Engine.report(AudRestoreIncompletable, Severity::Error,
+                    "restore function '" + Input.RestoreSymbol +
+                        "' has no path to ret/halt inside surviving text "
+                        "(static TerminalRestore hazard)",
+                    Input.TextSection, RestoreFnAddr - Text->Addr,
+                    SvmInstrSize, Input.RestoreSymbol);
+  }
+}
+
+} // namespace analysis
+} // namespace elide

@@ -50,28 +50,6 @@ bool startsWith(const std::string &S, const std::string &Prefix) {
          S.compare(0, Prefix.size(), Prefix) == 0;
 }
 
-std::vector<std::string> parseManifest(const ElfImage &Image,
-                                       const std::string &SectionName) {
-  std::vector<std::string> Names;
-  const ElfSection *S = Image.sectionByName(SectionName);
-  if (!S)
-    return Names;
-  Bytes Raw = Image.sectionContents(*S);
-  std::string Line;
-  for (uint8_t B : Raw) {
-    if (B == '\n') {
-      if (!Line.empty())
-        Names.push_back(Line);
-      Line.clear();
-    } else if (B != 0) {
-      Line.push_back((char)B);
-    }
-  }
-  if (!Line.empty())
-    Names.push_back(Line);
-  return Names;
-}
-
 } // namespace
 
 void checkReachability(const AuditInput &Input, const AuditOptions &,
@@ -81,7 +59,7 @@ void checkReachability(const AuditInput &Input, const AuditOptions &,
   std::vector<ElidedRegion> Regions = effectiveElidedRegions(Input, nullptr);
 
   std::vector<std::string> Manifest =
-      parseManifest(Image, Input.EcallManifestSection);
+      parseEcallManifest(Image, Input.EcallManifestSection);
 
   // --- AUD401: locate the restore entry. ---
   const std::string RestoreBridgeName =

@@ -1,0 +1,361 @@
+//===- analysis/Taint.cpp - Worklist taint engine over the SVM CFG ---------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Taint.h"
+
+#include "vm/Disassembler.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <set>
+
+namespace elide {
+namespace analysis {
+
+namespace {
+
+/// Abstract value of one register.
+struct RegState {
+  bool Tainted = false;
+  bool FromLoad = false;   ///< Value derives from a tainted load result.
+  bool CmpDerived = false; ///< Value is a comparison over tainted data.
+  uint64_t OriginPc = 0;   ///< Load that introduced the taint (0 = none).
+  bool HasConst = false;   ///< Light const-prop for address formation.
+  uint64_t Const = 0;
+};
+
+/// Abstract state at a program point: the register file plus the
+/// instruction distance since the most recent conditional branch
+/// (saturating; 0xff = no branch seen).
+struct AbsState {
+  std::array<RegState, SvmRegCount> Regs;
+  uint8_t BranchDist = 0xff;
+};
+
+/// Joins \p B into \p A; returns true when \p A changed. Taint bits go
+/// up, constants go down (disagreement kills them), distances take the
+/// minimum -- a finite monotone lattice, so the fixpoint terminates.
+bool join(AbsState &A, const AbsState &B) {
+  bool Changed = false;
+  for (unsigned R = 0; R < SvmRegCount; ++R) {
+    RegState &X = A.Regs[R];
+    const RegState &Y = B.Regs[R];
+    auto orInto = [&Changed](bool &Dst, bool Src) {
+      if (Src && !Dst) {
+        Dst = true;
+        Changed = true;
+      }
+    };
+    orInto(X.Tainted, Y.Tainted);
+    orInto(X.FromLoad, Y.FromLoad);
+    orInto(X.CmpDerived, Y.CmpDerived);
+    if (X.OriginPc == 0 && Y.OriginPc != 0) {
+      X.OriginPc = Y.OriginPc;
+      Changed = true;
+    }
+    if (X.HasConst && (!Y.HasConst || Y.Const != X.Const)) {
+      X.HasConst = false;
+      Changed = true;
+    }
+  }
+  if (B.BranchDist < A.BranchDist) {
+    A.BranchDist = B.BranchDist;
+    Changed = true;
+  }
+  return Changed;
+}
+
+class Engine {
+public:
+  Engine(const Cfg &G, const TaintOptions &Opts) : G(G), Opts(Opts) {}
+
+  TaintResult run() {
+    const size_t N = G.blocks().size();
+    In.assign(N, AbsState{});
+    std::deque<uint32_t> Worklist;
+    std::vector<uint8_t> Queued(N, 1);
+    for (uint32_t B = 0; B < N; ++B)
+      Worklist.push_back(B);
+
+    while (!Worklist.empty() && !Result.Truncated) {
+      uint32_t B = Worklist.front();
+      Worklist.pop_front();
+      Queued[B] = 0;
+      AbsState S = In[B];
+      const CfgBlock &Block = G.blocks()[B];
+      for (uint64_t Pc = Block.Start; Pc < Block.End; Pc += SvmInstrSize) {
+        if (++Result.Steps >= Opts.MaxSteps) {
+          Result.Truncated = true;
+          break;
+        }
+        transfer(S, Pc, B);
+      }
+      if (Result.Truncated)
+        break;
+      for (uint32_t Succ : Block.Succs) {
+        if (join(In[Succ], S) && !Queued[Succ]) {
+          Queued[Succ] = 1;
+          Worklist.push_back(Succ);
+        }
+      }
+    }
+
+    std::sort(Result.Sinks.begin(), Result.Sinks.end(),
+              [](const TaintSink &A, const TaintSink &B) {
+                if (A.Pc != B.Pc)
+                  return A.Pc < B.Pc;
+                return (int)A.Kind < (int)B.Kind;
+              });
+    return std::move(Result);
+  }
+
+private:
+  const Cfg &G;
+  const TaintOptions &Opts;
+  std::vector<AbsState> In;
+  TaintResult Result;
+  std::set<std::pair<int, uint64_t>> Reported;
+
+  bool inSecret(uint64_t Addr) const {
+    for (const auto &R : Opts.SecretRanges)
+      if (Addr >= R.first && Addr < R.second)
+        return true;
+    return false;
+  }
+
+  void sink(SinkKind K, uint64_t Pc, uint8_t Reg, uint64_t OriginPc) {
+    if (!Reported.insert({(int)K, Pc}).second)
+      return;
+    Result.Sinks.push_back({K, Pc, Reg, OriginPc});
+  }
+
+  static RegState cleanReg() { return RegState{}; }
+
+  /// Interprets one instruction over the abstract state.
+  void transfer(AbsState &S, uint64_t Pc, uint32_t BlockIdx) {
+    Instruction I = G.instrAt(Pc);
+    // r0 is hardwired to zero: reads are always clean, writes vanish.
+    auto reg = [&S](uint8_t R) -> RegState {
+      return R == SvmRegZero ? RegState{} : S.Regs[R];
+    };
+    auto setReg = [&S](uint8_t R, const RegState &V) {
+      if (R != SvmRegZero)
+        S.Regs[R] = V;
+    };
+    bool Ambient = inSecret(Pc);
+    bool CondBranch = false;
+
+    switch (I.Op) {
+    case Opcode::Illegal:
+    case Opcode::Nop:
+    case Opcode::Jmp:
+    case Opcode::Call:
+    case Opcode::Ret:
+    case Opcode::Halt:
+    case Opcode::Trap:
+      break;
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::DivU:
+    case Opcode::DivS:
+    case Opcode::RemU:
+    case Opcode::RemS:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::ShrL:
+    case Opcode::ShrA:
+    case Opcode::Seq:
+    case Opcode::Sne:
+    case Opcode::SltU:
+    case Opcode::SltS:
+    case Opcode::SleU:
+    case Opcode::SleS: {
+      RegState A = reg(I.Rs1), B = reg(I.Rs2), R;
+      R.Tainted = A.Tainted || B.Tainted;
+      R.FromLoad = A.FromLoad || B.FromLoad;
+      bool IsCompare = I.Op >= Opcode::Seq && I.Op <= Opcode::SleS;
+      R.CmpDerived = IsCompare ? R.Tainted : (A.CmpDerived || B.CmpDerived);
+      R.OriginPc = A.OriginPc ? A.OriginPc : B.OriginPc;
+      if (!IsCompare && A.HasConst && B.HasConst) {
+        R.HasConst = true;
+        switch (I.Op) {
+        case Opcode::Add:
+          R.Const = A.Const + B.Const;
+          break;
+        case Opcode::Sub:
+          R.Const = A.Const - B.Const;
+          break;
+        case Opcode::Mul:
+          R.Const = A.Const * B.Const;
+          break;
+        case Opcode::And:
+          R.Const = A.Const & B.Const;
+          break;
+        case Opcode::Or:
+          R.Const = A.Const | B.Const;
+          break;
+        case Opcode::Xor:
+          R.Const = A.Const ^ B.Const;
+          break;
+        case Opcode::Shl:
+          R.Const = A.Const << (B.Const & 63);
+          break;
+        case Opcode::ShrL:
+          R.Const = A.Const >> (B.Const & 63);
+          break;
+        default:
+          R.HasConst = false; // Division/remainder: not worth modelling.
+        }
+      }
+      setReg(I.Rd, R);
+      break;
+    }
+
+    case Opcode::AddI:
+    case Opcode::MulI:
+    case Opcode::AndI:
+    case Opcode::OrI:
+    case Opcode::XorI:
+    case Opcode::ShlI:
+    case Opcode::ShrLI:
+    case Opcode::ShrAI: {
+      RegState A = reg(I.Rs1), R = A;
+      if (A.HasConst) {
+        switch (I.Op) {
+        case Opcode::AddI:
+          R.Const = A.Const + (uint64_t)(int64_t)I.Imm;
+          break;
+        case Opcode::ShlI:
+          R.Const = A.Const << ((uint32_t)I.Imm & 63);
+          break;
+        case Opcode::OrI:
+          R.Const = A.Const | (uint64_t)(int64_t)I.Imm;
+          break;
+        default:
+          R.HasConst = false; // Only address-forming ops matter.
+        }
+      }
+      setReg(I.Rd, R);
+      break;
+    }
+
+    case Opcode::LdI: {
+      RegState R;
+      R.HasConst = true;
+      R.Const = (uint64_t)(int64_t)I.Imm;
+      setReg(I.Rd, R);
+      break;
+    }
+    case Opcode::LdIH: {
+      // Preserves the low half, so taint survives; the constant does
+      // only when the low half is known.
+      RegState R = reg(I.Rd);
+      if (R.HasConst)
+        R.Const = (R.Const & 0xffffffffull) | ((uint64_t)(uint32_t)I.Imm << 32);
+      setReg(I.Rd, R);
+      break;
+    }
+
+    case Opcode::LdBU:
+    case Opcode::LdBS:
+    case Opcode::LdHU:
+    case Opcode::LdHS:
+    case Opcode::LdWU:
+    case Opcode::LdWS:
+    case Opcode::LdD: {
+      RegState A = reg(I.Rs1);
+      if (A.Tainted) {
+        sink(SinkKind::MemoryAddress, Pc, I.Rs1, A.OriginPc);
+        if (A.FromLoad && S.BranchDist <= Opts.SpecWindow)
+          sink(SinkKind::SpecDoubleLoad, Pc, I.Rs1, A.OriginPc);
+      }
+      bool ConstSecret =
+          A.HasConst && inSecret(A.Const + (uint64_t)(int64_t)I.Imm);
+      // Ambient sourcing exempts sp-relative loads: those are reloads of
+      // spilled locals and arguments, and with memory untracked, calling
+      // every spill slot secret would bury real leaks under one finding
+      // per reload in every elided function.
+      bool AmbientSrc = Ambient && I.Rs1 != SvmRegSp;
+      RegState R;
+      R.Tainted = AmbientSrc || ConstSecret || A.Tainted;
+      R.FromLoad = R.Tainted;
+      R.OriginPc = (AmbientSrc || ConstSecret) ? Pc : A.OriginPc;
+      setReg(I.Rd, R);
+      break;
+    }
+
+    case Opcode::StB:
+    case Opcode::StH:
+    case Opcode::StW:
+    case Opcode::StD: {
+      RegState A = reg(I.Rs1);
+      if (A.Tainted)
+        sink(SinkKind::MemoryAddress, Pc, I.Rs1, A.OriginPc);
+      break;
+    }
+
+    case Opcode::Beqz:
+    case Opcode::Bnez: {
+      RegState A = reg(I.Rs1);
+      if (A.Tainted) {
+        sink(SinkKind::Branch, Pc, I.Rs1, A.OriginPc);
+        if (A.CmpDerived && G.inCycle(BlockIdx))
+          sink(SinkKind::CompareLoopBranch, Pc, I.Rs1, A.OriginPc);
+      }
+      CondBranch = true;
+      break;
+    }
+
+    case Opcode::CallR: {
+      RegState A = reg(I.Rs1);
+      if (A.Tainted)
+        sink(SinkKind::IndirectTarget, Pc, I.Rs1, A.OriginPc);
+      break;
+    }
+
+    case Opcode::Ocall: {
+      for (uint8_t R = 1; R <= 4; ++R) {
+        if (S.Regs[R].Tainted) {
+          sink(SinkKind::OcallArg, Pc, R, S.Regs[R].OriginPc);
+          break;
+        }
+      }
+      // The runtime writes the ocall result to r1.
+      setReg(1, cleanReg());
+      break;
+    }
+
+    case Opcode::Tcall: {
+      // A trusted SDK call computes its r1 result from r1..r4.
+      RegState R;
+      for (uint8_t Arg = 1; Arg <= 4; ++Arg) {
+        R.Tainted |= S.Regs[Arg].Tainted;
+        if (!R.OriginPc)
+          R.OriginPc = S.Regs[Arg].OriginPc;
+      }
+      setReg(1, R);
+      break;
+    }
+    }
+
+    S.BranchDist =
+        CondBranch ? 0 : (uint8_t)std::min<unsigned>(S.BranchDist + 1, 0xff);
+  }
+};
+
+} // namespace
+
+TaintResult runTaint(const Cfg &G, const TaintOptions &Opts) {
+  return Engine(G, Opts).run();
+}
+
+} // namespace analysis
+} // namespace elide

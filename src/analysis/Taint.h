@@ -1,0 +1,90 @@
+//===- analysis/Taint.h - Worklist taint engine over the SVM CFG -----------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A forward taint dataflow over `analysis::Cfg`. Sources are the secret
+/// ranges: any load executed *inside* an elided/restored region produces
+/// a secret value (the region's embedded constants and working set are
+/// exactly what elision hides), as does a load whose address constant-
+/// folds into a secret range (key material reads from surviving code).
+/// Sp-relative loads are exempt from the ambient rule -- they reload
+/// spilled locals/arguments, and flagging every spill slot as secret
+/// would drown real leaks. Taint propagates through the ALU; `ldi`
+/// kills it.
+///
+/// Sinks are where secrets become observable to the paper's adversary:
+/// branch conditions and memory addresses (cache/timing side channels),
+/// ocall argument registers (explicit exfiltration surface), indirect
+/// call targets, and the SgxPectre shape -- a tainted-load value forming
+/// the address of a second load shortly after a conditional branch.
+///
+/// The engine is a heuristic, not a verifier: calls flow into the callee
+/// and across (modelling the return) with the caller's register state,
+/// callee effects on registers are ignored, and memory cells are not
+/// tracked. That trades soundness for zero-noise on the repo's sanitized
+/// images while still catching every fixture shape the checkers gate on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_ANALYSIS_TAINT_H
+#define SGXELIDE_ANALYSIS_TAINT_H
+
+#include "analysis/Cfg.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace elide {
+namespace analysis {
+
+struct TaintOptions {
+  /// Absolute [lo, hi) address ranges holding secret (elided/restored)
+  /// code and data.
+  std::vector<std::pair<uint64_t, uint64_t>> SecretRanges;
+
+  /// Instruction distance after a conditional branch within which a
+  /// dependent double-load counts as a speculative gadget.
+  unsigned SpecWindow = 24;
+
+  /// Hard cap on instruction transfers (hostile-input termination
+  /// backstop on top of the monotone lattice).
+  size_t MaxSteps = 1u << 18;
+};
+
+enum class SinkKind {
+  Branch,            ///< Beqz/Bnez condition is tainted (AUD501).
+  MemoryAddress,     ///< Load/store address register is tainted (AUD502).
+  CompareLoopBranch, ///< Tainted compare result branches inside a CFG
+                     ///< cycle: the early-exit memcmp shape (AUD503).
+  OcallArg,          ///< Ocall with a tainted r1..r4 (AUD511).
+  SpecDoubleLoad,    ///< Tainted load value forms a second load's address
+                     ///< within the speculation window (AUD521).
+  IndirectTarget,    ///< CallR through a tainted register (AUD522).
+};
+
+struct TaintSink {
+  SinkKind Kind = SinkKind::Branch;
+  uint64_t Pc = 0;       ///< Absolute pc of the sink instruction.
+  uint8_t Reg = 0;       ///< Register carrying the taint at the sink.
+  uint64_t OriginPc = 0; ///< Pc of the load that introduced the taint
+                         ///< (0 when unknown).
+};
+
+struct TaintResult {
+  /// Deduplicated by (kind, pc), ordered by pc then kind.
+  std::vector<TaintSink> Sinks;
+  bool Truncated = false; ///< MaxSteps hit; results are partial.
+  size_t Steps = 0;
+};
+
+/// Runs the taint fixpoint over every root-reachable block of \p G.
+TaintResult runTaint(const Cfg &G, const TaintOptions &Opts);
+
+} // namespace analysis
+} // namespace elide
+
+#endif // SGXELIDE_ANALYSIS_TAINT_H

@@ -1,0 +1,43 @@
+//===- crypto/CryptoEqual.h - Constant-time comparison ---------------------===//
+//
+// Part of the SgxElide reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one constant-time equality primitive every tag, MAC, signature,
+/// and point comparison routes through. `std::memcmp` exits on the first
+/// differing byte, so the comparison time tells an attacker how long the
+/// matching prefix is -- a byte-at-a-time forgery oracle against
+/// verification paths. The XOR-accumulate loop below touches every byte
+/// regardless of where (or whether) the inputs differ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SGXELIDE_CRYPTO_CRYPTOEQUAL_H
+#define SGXELIDE_CRYPTO_CRYPTOEQUAL_H
+
+#include "support/Bytes.h"
+
+namespace elide {
+
+/// Compares \p Len bytes of \p A and \p B in constant time; true when
+/// equal. Time depends only on \p Len, never on the contents.
+inline bool cryptoEqual(const uint8_t *A, const uint8_t *B, size_t Len) {
+  uint8_t Diff = 0;
+  for (size_t I = 0; I < Len; ++I)
+    Diff |= A[I] ^ B[I];
+  return Diff == 0;
+}
+
+/// Range overload. Ranges of different length compare unequal without
+/// touching the contents (length is not secret).
+inline bool cryptoEqual(BytesView A, BytesView B) {
+  if (A.size() != B.size())
+    return false;
+  return cryptoEqual(A.data(), B.data(), A.size());
+}
+
+} // namespace elide
+
+#endif // SGXELIDE_CRYPTO_CRYPTOEQUAL_H

@@ -6,6 +6,8 @@
 
 #include "crypto/Ed25519.h"
 
+#include "crypto/CryptoEqual.h"
+
 #include "crypto/Field25519.h"
 #include "crypto/Sha512.h"
 
@@ -320,5 +322,7 @@ bool elide::ed25519Verify(const Ed25519PublicKey &PublicKey, BytesView Message,
   uint8_t LhsEnc[32], RhsEnc[32];
   geEncode(LhsEnc, Lhs);
   geEncode(RhsEnc, Rhs);
-  return std::memcmp(LhsEnc, RhsEnc, 32) == 0;
+  // Constant time: verification inputs are attacker-chosen, and an
+  // early-exit compare would leak the matching prefix length.
+  return cryptoEqual(LhsEnc, RhsEnc, 32);
 }

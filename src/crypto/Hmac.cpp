@@ -6,6 +6,8 @@
 
 #include "crypto/Hmac.h"
 
+#include "crypto/CryptoEqual.h"
+
 #include <cstring>
 
 using namespace elide;
@@ -37,10 +39,5 @@ Sha256Digest elide::hmacSha256(BytesView Key, BytesView Data) {
 }
 
 bool elide::constantTimeEqual(BytesView A, BytesView B) {
-  if (A.size() != B.size())
-    return false;
-  uint8_t Diff = 0;
-  for (size_t I = 0; I < A.size(); ++I)
-    Diff |= A[I] ^ B[I];
-  return Diff == 0;
+  return cryptoEqual(A, B);
 }

@@ -22,6 +22,8 @@ Sha256Digest hmacSha256(BytesView Key, BytesView Data);
 
 /// Compares two byte ranges in constant time. Returns true when equal.
 /// Ranges of different length compare unequal (length is not secret).
+/// Thin wrapper kept for existing callers; new code should use
+/// `cryptoEqual` from crypto/CryptoEqual.h directly.
 bool constantTimeEqual(BytesView A, BytesView B);
 
 } // namespace elide

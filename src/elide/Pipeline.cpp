@@ -78,6 +78,8 @@ elide::buildProtectedEnclave(const std::vector<elc::SourceFile> &AppSources,
     AuditOpts.Mode = (Options.Attributes & sgx::AttrSgx2DynamicPerms)
                          ? analysis::SgxMode::Sgx2
                          : analysis::SgxMode::Sgx1;
+    if (Options.FlowAudit)
+      AuditOpts.Checks = analysis::CheckEverything;
     Out.Audit = analysis::runAudit(Input, AuditOpts);
     if (Out.Audit.Errors > 0)
       return makeError("self-audit rejected the sanitized enclave:\n" +

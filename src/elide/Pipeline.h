@@ -38,6 +38,11 @@ struct BuildOptions {
   /// build on any error-severity diagnostic. On by default: a build that
   /// ships a leaky image should not succeed quietly.
   bool SelfAudit = true;
+  /// Additionally run the constant-time/taint-flow families (AUD 5xx)
+  /// in the self-audit. Off by default: table-driven crypto kernels are
+  /// legitimately non-constant-time in this ISA, so these checks express
+  /// a per-enclave policy rather than a universal invariant.
+  bool FlowAudit = false;
 };
 
 /// Everything the pipeline produces.

@@ -6,6 +6,7 @@
 
 #include "server/AuthServer.h"
 
+#include "crypto/CryptoEqual.h"
 #include "sgx/Attestation.h"
 
 #include <chrono>
@@ -341,7 +342,7 @@ Bytes AuthServer::handleHelloBatch(BytesView Frame) {
   // attested signature vouches for the whole batch, and nobody can splice
   // a key into (or out of) someone else's batch without breaking the hash.
   std::array<uint8_t, 32> Binding = batchBindingHash(Req->ClientPubs);
-  if (std::memcmp(Binding.data(), Body->Data.data(), 32) != 0)
+  if (!cryptoEqual(Binding.data(), Body->Data.data(), 32))
     return reject("batch binding hash does not match the attested "
                   "report data");
 

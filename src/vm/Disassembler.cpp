@@ -128,6 +128,59 @@ bool elide::isValidOpcode(uint8_t Value) {
   return std::string(opcodeName(Op)) != "illegal";
 }
 
+std::vector<DecodedSlot> elide::decodeRegion(BytesView Code,
+                                             uint64_t BaseAddr) {
+  std::vector<DecodedSlot> Out;
+  Out.reserve(Code.size() / SvmInstrSize);
+  for (size_t Off = 0; Off + SvmInstrSize <= Code.size();
+       Off += SvmInstrSize) {
+    DecodedSlot S;
+    S.Pc = BaseAddr + Off;
+    S.I = decodeInstruction(Code.data() + Off);
+    S.Valid = isValidOpcode(Code[Off]);
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+bool elide::isConditionalBranch(Opcode Op) {
+  return Op == Opcode::Beqz || Op == Opcode::Bnez;
+}
+
+bool elide::isLoadOpcode(Opcode Op) {
+  return Op >= Opcode::LdBU && Op <= Opcode::LdD;
+}
+
+bool elide::isStoreOpcode(Opcode Op) {
+  return Op >= Opcode::StB && Op <= Opcode::StD;
+}
+
+bool elide::endsStraightLine(Opcode Op) {
+  switch (Op) {
+  case Opcode::Jmp:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::Trap:
+  case Opcode::Illegal:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<uint64_t> elide::directTarget(const Instruction &I,
+                                            uint64_t Pc) {
+  switch (I.Op) {
+  case Opcode::Jmp:
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+  case Opcode::Call:
+    return Pc + static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+  default:
+    return std::nullopt;
+  }
+}
+
 std::string elide::disassembleInstruction(const Instruction &I, uint64_t Pc) {
   char Buf[128];
   const char *Name = opcodeName(I.Op);
@@ -219,17 +272,17 @@ std::string elide::disassembleInstruction(const Instruction &I, uint64_t Pc) {
 std::string elide::disassemble(BytesView Code, uint64_t BaseAddr) {
   std::string Out;
   char Line[160];
-  for (size_t Off = 0; Off + 8 <= Code.size(); Off += 8) {
-    Instruction I = decodeInstruction(Code.data() + Off);
-    uint64_t Pc = BaseAddr + Off;
-    if (!isValidOpcode(Code[Off]) && I.Op != Opcode::Illegal) {
-      std::snprintf(Line, sizeof(Line), "%08llx:  .word 0x%016llx\n",
-                    static_cast<unsigned long long>(Pc),
-                    static_cast<unsigned long long>(readLE64(Code.data() + Off)));
+  for (const DecodedSlot &S : decodeRegion(Code, BaseAddr)) {
+    if (!S.Valid && S.I.Op != Opcode::Illegal) {
+      std::snprintf(
+          Line, sizeof(Line), "%08llx:  .word 0x%016llx\n",
+          static_cast<unsigned long long>(S.Pc),
+          static_cast<unsigned long long>(
+              readLE64(Code.data() + (S.Pc - BaseAddr))));
     } else {
       std::snprintf(Line, sizeof(Line), "%08llx:  %s\n",
-                    static_cast<unsigned long long>(Pc),
-                    disassembleInstruction(I, Pc).c_str());
+                    static_cast<unsigned long long>(S.Pc),
+                    disassembleInstruction(S.I, S.Pc).c_str());
     }
     Out += Line;
   }
@@ -238,8 +291,8 @@ std::string elide::disassemble(BytesView Code, uint64_t BaseAddr) {
 
 size_t elide::countValidInstructionSlots(BytesView Code) {
   size_t Count = 0;
-  for (size_t Off = 0; Off + 8 <= Code.size(); Off += 8)
-    if (isValidOpcode(Code[Off]))
+  for (const DecodedSlot &S : decodeRegion(Code, /*BaseAddr=*/0))
+    if (S.Valid)
       ++Count;
   return Count;
 }

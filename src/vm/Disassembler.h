@@ -17,9 +17,53 @@
 
 #include "vm/Isa.h"
 
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace elide {
+
+//===----------------------------------------------------------------------===//
+// Structured decode. The analysis layer consumes these instead of parsing
+// disassembly text: a region decodes to a slot list with branch-target
+// metadata, and the textual API below is a thin rendering of the same data.
+//===----------------------------------------------------------------------===//
+
+/// One decoded 8-byte slot of a code region.
+struct DecodedSlot {
+  /// Virtual address of the slot.
+  uint64_t Pc = 0;
+  /// Field-split decoding; `Op` is `Illegal` for zeroed slots.
+  Instruction I;
+  /// The opcode byte is a defined, executable opcode. Slots holding
+  /// unknown nonzero opcodes (data in the middle of code) are not valid
+  /// and not `Illegal` either -- they render as `.word`.
+  bool Valid = false;
+};
+
+/// Decodes every whole 8-byte slot of \p Code starting at virtual address
+/// \p BaseAddr. A trailing partial slot is ignored (the interpreter traps
+/// on it anyway).
+std::vector<DecodedSlot> decodeRegion(BytesView Code, uint64_t BaseAddr);
+
+/// True for Beqz/Bnez: transfers that also fall through.
+bool isConditionalBranch(Opcode Op);
+
+/// True for loads (LdBU..LdD): `rd = mem[rs1 + imm]`.
+bool isLoadOpcode(Opcode Op);
+
+/// True for stores (StB..StD): `mem[rs1 + imm] = rs2`.
+bool isStoreOpcode(Opcode Op);
+
+/// True when execution never falls through to the next slot: Jmp, Ret,
+/// Halt, Trap, and Illegal (which traps). Conditional branches and calls
+/// fall through.
+bool endsStraightLine(Opcode Op);
+
+/// The pc-relative transfer target of Jmp/Beqz/Bnez/Call at \p Pc, or
+/// nullopt for every other opcode (CallR's target is a register value and
+/// not statically known).
+std::optional<uint64_t> directTarget(const Instruction &I, uint64_t Pc);
 
 /// Formats one instruction (no trailing newline).
 std::string disassembleInstruction(const Instruction &I, uint64_t Pc);

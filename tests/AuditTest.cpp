@@ -15,7 +15,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Audit.h"
+#include "analysis/Cfg.h"
 #include "analysis/Diagnostics.h"
+#include "analysis/Taint.h"
 #include "crypto/Drbg.h"
 #include "crypto/Ed25519.h"
 #include "elf/ElfBuilder.h"
@@ -140,6 +142,13 @@ const Diagnostic *findCode(const AuditReport &R, int Code) {
   return nullptr;
 }
 
+/// Overwrites the slot at text offset \p Off with \p I.
+void poke(Bytes &Text, size_t Off, const Instruction &I) {
+  uint8_t Slot[SvmInstrSize];
+  encodeInstruction(I, Slot);
+  std::copy(Slot, Slot + SvmInstrSize, Text.begin() + Off);
+}
+
 //===----------------------------------------------------------------------===//
 // Diagnostics engine
 //===----------------------------------------------------------------------===//
@@ -193,7 +202,8 @@ TEST(DiagnosticsTest, RenderSpellsSeverityCodeAndLocation) {
 TEST(DiagnosticsTest, CodeRegistryNamesEveryPublishedCode) {
   const int Codes[] = {101, 102, 103, 104, 201, 202, 203, 204, 205,
                        301, 302, 303, 304, 305, 306, 307, 401, 402,
-                       403, 404, 405};
+                       403, 404, 405, 501, 502, 503, 511, 521, 522,
+                       601, 602, 603, 604, 605};
   for (int C : Codes) {
     EXPECT_EQ(auditCodeName(C).size(), 6u);
     EXPECT_STRNE(auditCodeTitle(C), "unknown diagnostic")
@@ -263,8 +273,11 @@ TEST(DiagnosticsTest, JsonRenderingMatchesDocumentedSchema) {
   DiagnosticEngine Engine;
   Engine.report(AudElidedSymbolNamed, Severity::Error, "leaked \"name\"",
                 ".symtab", 0x18, 24, "secret_fn");
-  std::string Json = Engine.take().renderJson();
-  EXPECT_NE(Json.find("\"version\":1"), std::string::npos);
+  AuditReport R = Engine.take();
+  R.Families = {"metadata"};
+  std::string Json = R.renderJson();
+  EXPECT_NE(Json.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(Json.find("\"families\":[\"metadata\"]"), std::string::npos);
   EXPECT_NE(Json.find("\"code\":\"AUD201\""), std::string::npos);
   EXPECT_NE(Json.find("\"severity\":\"error\""), std::string::npos);
   EXPECT_NE(Json.find("\"message\":\"leaked \\\"name\\\"\""),
@@ -778,6 +791,382 @@ TEST(ReachabilityCheckTest, Aud405FlagsFlowLeavingText) {
 }
 
 //===----------------------------------------------------------------------===//
+// CFG builder
+//===----------------------------------------------------------------------===//
+
+TEST(CfgTest, SplitsBlocksAtBranchesAndTargets) {
+  Bytes Code;
+  emitInstruction(Code, instr(Opcode::Bnez, 0, 1, 0, 16)); // 0x1000 -> 0x1010
+  emitInstruction(Code, instr(Opcode::Nop));               // 0x1008
+  emitInstruction(Code, instr(Opcode::Ret));               // 0x1010
+  Cfg G = Cfg::build(BytesView(Code.data(), Code.size()), 0x1000, {0x1000});
+
+  int Entry = G.blockStartingAt(0x1000);
+  int Fall = G.blockStartingAt(0x1008);
+  int Target = G.blockStartingAt(0x1010);
+  ASSERT_GE(Entry, 0);
+  ASSERT_GE(Fall, 0);
+  ASSERT_GE(Target, 0);
+  const CfgBlock &B = G.blocks()[Entry];
+  EXPECT_EQ(B.End, 0x1008u);
+  EXPECT_EQ(B.Term, Opcode::Bnez);
+  ASSERT_TRUE(B.TargetPc.has_value());
+  EXPECT_EQ(*B.TargetPc, 0x1010u);
+  ASSERT_TRUE(B.FallPc.has_value());
+  EXPECT_EQ(*B.FallPc, 0x1008u);
+  EXPECT_EQ(B.Succs.size(), 2u);
+  EXPECT_EQ(G.blockContaining(0x1008), Fall);
+  EXPECT_EQ(G.blocks()[Target].Term, Opcode::Ret);
+  EXPECT_TRUE(G.blocks()[Target].Succs.empty());
+}
+
+TEST(CfgTest, HostileTargetsBecomeEscapesNotEdges) {
+  Bytes Code;
+  emitInstruction(Code, instr(Opcode::Jmp, 0, 0, 0, 0x4000)); // Way out.
+  Cfg G = Cfg::build(BytesView(Code.data(), Code.size()), 0x1000, {0x1000});
+  ASSERT_EQ(G.blocks().size(), 1u);
+  EXPECT_TRUE(G.blocks()[0].Succs.empty());
+  ASSERT_EQ(G.blocks()[0].EscapeTargets.size(), 1u);
+  EXPECT_EQ(G.blocks()[0].EscapeTargets[0], 0x5000u);
+
+  // A misaligned target is an escape too, never a half-slot block.
+  Bytes Mis;
+  emitInstruction(Mis, instr(Opcode::Jmp, 0, 0, 0, 4));
+  emitInstruction(Mis, instr(Opcode::Ret));
+  Cfg G2 = Cfg::build(BytesView(Mis.data(), Mis.size()), 0x1000, {0x1000});
+  ASSERT_EQ(G2.blocks().size(), 1u);
+  ASSERT_EQ(G2.blocks()[0].EscapeTargets.size(), 1u);
+  EXPECT_EQ(G2.blocks()[0].EscapeTargets[0], 0x1004u);
+}
+
+TEST(CfgTest, MarksCyclesIncludingSelfEdges) {
+  Bytes Code;
+  emitInstruction(Code, instr(Opcode::Jmp, 0, 0, 0, 0)); // Self-loop.
+  emitInstruction(Code, instr(Opcode::Ret));
+  Cfg G = Cfg::build(BytesView(Code.data(), Code.size()), 0x1000,
+                     {0x1000, 0x1008});
+  int Loop = G.blockStartingAt(0x1000);
+  int Line = G.blockStartingAt(0x1008);
+  ASSERT_GE(Loop, 0);
+  ASSERT_GE(Line, 0);
+  EXPECT_TRUE(G.inCycle((uint32_t)Loop));
+  EXPECT_FALSE(G.inCycle((uint32_t)Line));
+}
+
+TEST(CfgTest, ToleratesTruncatedTailsAndBadRoots) {
+  Bytes Code;
+  emitInstruction(Code, instr(Opcode::Nop));
+  Code.resize(Code.size() + 3, 0); // Ragged partial slot at the end.
+  Cfg G = Cfg::build(BytesView(Code.data(), Code.size()), 0x1000,
+                     {0x1000, 0x1003, 0x9000}); // Bad roots are ignored.
+  ASSERT_EQ(G.blocks().size(), 1u);
+  EXPECT_EQ(G.limit(), 0x1008u);
+  EXPECT_FALSE(G.contains(0x1008));
+
+  Cfg Empty = Cfg::build(BytesView(Code.data(), 0), 0x1000, {0x1000});
+  EXPECT_TRUE(Empty.blocks().empty());
+  EXPECT_EQ(Empty.blockContaining(0x1000), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Taint engine (direct)
+//===----------------------------------------------------------------------===//
+
+TEST(TaintTest, AmbientLoadTaintsAndLdiKills) {
+  Bytes Code;
+  emitInstruction(Code, instr(Opcode::LdBU, 1, 2, 0, 0)); // 0x1000: secret.
+  emitInstruction(Code, instr(Opcode::Add, 3, 1, 0, 0));  // 0x1008: spreads.
+  emitInstruction(Code, instr(Opcode::LdI, 1, 0, 0, 7));  // 0x1010: kills r1.
+  emitInstruction(Code, instr(Opcode::Bnez, 0, 3, 0, 8)); // 0x1018: sink.
+  emitInstruction(Code, instr(Opcode::Bnez, 0, 1, 0, 8)); // 0x1020: clean.
+  emitInstruction(Code, instr(Opcode::Ret));
+  Cfg G = Cfg::build(BytesView(Code.data(), Code.size()), 0x1000, {0x1000});
+  TaintOptions TO;
+  TO.SecretRanges = {{0x1000, 0x1008}};
+  TaintResult R = runTaint(G, TO);
+  ASSERT_EQ(R.Sinks.size(), 1u);
+  EXPECT_EQ(R.Sinks[0].Kind, SinkKind::Branch);
+  EXPECT_EQ(R.Sinks[0].Pc, 0x1018u);
+  EXPECT_EQ(R.Sinks[0].Reg, 3u);
+  EXPECT_EQ(R.Sinks[0].OriginPc, 0x1000u);
+  EXPECT_FALSE(R.Truncated);
+}
+
+TEST(TaintTest, HostileLoopTerminatesWithinStepBudget) {
+  Bytes Code;
+  emitInstruction(Code, instr(Opcode::Add, 1, 1, 2, 0));
+  emitInstruction(Code, instr(Opcode::Jmp, 0, 0, 0, -8));
+  Cfg G = Cfg::build(BytesView(Code.data(), Code.size()), 0x1000, {0x1000});
+  TaintOptions TO;
+  TO.SecretRanges = {{0x1000, 0x1010}};
+  TaintResult R = runTaint(G, TO);
+  // The lattice is finite: the fixpoint converges without the cap.
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_LT(R.Steps, TO.MaxSteps);
+}
+
+//===----------------------------------------------------------------------===//
+// Secret-flow checkers (AUD5xx) against crafted leaky images
+//===----------------------------------------------------------------------===//
+
+/// Fills secret_fn's slots (text offset 0x20) with up to four live
+/// instructions so the flow checkers see real restored code.
+CraftSpec leakySpec(std::initializer_list<Instruction> Body) {
+  CraftSpec S;
+  size_t Off = 0x20;
+  for (const Instruction &I : Body) {
+    poke(S.Text, Off, I);
+    Off += SvmInstrSize;
+  }
+  return S;
+}
+
+AuditReport flowAudit(const CraftSpec &S, unsigned Checks) {
+  Bytes File = craft(S);
+  EXPECT_FALSE(File.empty());
+  Expected<ElfImage> Image = ElfImage::parse(File);
+  EXPECT_TRUE(static_cast<bool>(Image)) << Image.errorMessage();
+  return runChecks(inputFor(*Image), Checks);
+}
+
+TEST(FlowCheckTest, Aud501FlagsSecretDependentBranch) {
+  CraftSpec S = leakySpec({instr(Opcode::LdBU, 1, 2, 0, 0),
+                           instr(Opcode::Bnez, 0, 1, 0, 8),
+                           instr(Opcode::Ret)});
+  AuditReport R = flowAudit(S, CheckConstantTime);
+  const Diagnostic *D = findCode(R, AudSecretDependentBranch);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Error);
+  EXPECT_EQ(D->Offset, 0x28u);
+  EXPECT_EQ(D->Symbol, "secret_fn");
+  EXPECT_NE(D->Message.find(".text+0x20"), std::string::npos) << D->Message;
+
+  // The CT family is gated by --ct; --taint alone must not emit it.
+  AuditReport TaintOnly = flowAudit(S, CheckTaintFlow);
+  EXPECT_EQ(countCode(TaintOnly, AudSecretDependentBranch), 0u)
+      << TaintOnly.renderText();
+}
+
+TEST(FlowCheckTest, Aud502FlagsSecretDependentAddress) {
+  CraftSpec S = leakySpec({instr(Opcode::LdBU, 1, 2, 0, 0),
+                           instr(Opcode::StB, 0, 1, 3, 0),
+                           instr(Opcode::Ret)});
+  AuditReport R = flowAudit(S, CheckConstantTime);
+  const Diagnostic *D = findCode(R, AudSecretDependentAddress);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Error);
+  EXPECT_EQ(D->Offset, 0x28u);
+}
+
+TEST(FlowCheckTest, Aud503FlagsEarlyExitCompareLoop) {
+  // The classic memcmp shape: load secret byte, compare, branch back.
+  CraftSpec S = leakySpec({instr(Opcode::LdBU, 1, 2, 0, 0),
+                           instr(Opcode::Seq, 5, 1, 3, 0),
+                           instr(Opcode::Bnez, 0, 5, 0, -16),
+                           instr(Opcode::Ret)});
+  AuditReport R = flowAudit(S, CheckConstantTime);
+  const Diagnostic *D = findCode(R, AudTimingDependentCompare);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_EQ(D->Offset, 0x30u);
+  // The same branch is also a plain secret-dependent branch.
+  EXPECT_GE(countCode(R, AudSecretDependentBranch), 1u);
+}
+
+TEST(FlowCheckTest, Aud511FlagsTaintedOcallArg) {
+  CraftSpec S = leakySpec({instr(Opcode::LdBU, 1, 2, 0, 0),
+                           instr(Opcode::Ocall),
+                           instr(Opcode::Halt)});
+  AuditReport R = flowAudit(S, CheckTaintFlow);
+  const Diagnostic *D = findCode(R, AudTaintedOcallArg);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_EQ(D->Offset, 0x28u);
+  // Taint-flow findings stay out of a --ct-only run.
+  AuditReport CtOnly = flowAudit(S, CheckConstantTime);
+  EXPECT_EQ(countCode(CtOnly, AudTaintedOcallArg), 0u);
+}
+
+TEST(FlowCheckTest, Aud521FlagsSpeculativeDoubleLoadGadget) {
+  // SgxPectre shape: branch, then a load whose result addresses a second
+  // load inside the speculation window.
+  CraftSpec S = leakySpec({instr(Opcode::Bnez, 0, 9, 0, 8),
+                           instr(Opcode::LdBU, 1, 2, 0, 0),
+                           instr(Opcode::LdBU, 3, 1, 0, 0),
+                           instr(Opcode::Ret)});
+  AuditReport R = flowAudit(S, CheckTaintFlow);
+  const Diagnostic *D = findCode(R, AudSpecGadget);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_EQ(D->Offset, 0x30u);
+  // The cache-channel twin (AUD502) belongs to --ct, absent here.
+  EXPECT_EQ(countCode(R, AudSecretDependentAddress), 0u);
+}
+
+TEST(FlowCheckTest, Aud522FlagsTaintedIndirectCall) {
+  CraftSpec S = leakySpec({instr(Opcode::LdBU, 1, 2, 0, 0),
+                           instr(Opcode::CallR, 0, 1, 0, 0),
+                           instr(Opcode::Ret)});
+  AuditReport R = flowAudit(S, CheckTaintFlow);
+  const Diagnostic *D = findCode(R, AudTaintedIndirectTarget);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_EQ(D->Offset, 0x28u);
+}
+
+TEST(FlowCheckTest, ConstFoldedKeyAddressIsASource) {
+  // Surviving code outside the region loads from a constant address that
+  // falls inside it: key-material read through const-prop.
+  CraftSpec S;
+  S.Text.resize(S.Text.size() + 4 * SvmInstrSize, 0);
+  poke(S.Text, 0x40, instr(Opcode::LdI, 2, 0, 0, 0x1020));
+  poke(S.Text, 0x48, instr(Opcode::LdBU, 1, 2, 0, 0));
+  poke(S.Text, 0x50, instr(Opcode::Bnez, 0, 1, 0, 8));
+  poke(S.Text, 0x58, instr(Opcode::Ret));
+  S.ExtraFuncs = {{"__bridge_keyuser", 0x1040, 0x20}};
+  AuditReport R = flowAudit(S, CheckConstantTime);
+  const Diagnostic *D = findCode(R, AudSecretDependentBranch);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Offset, 0x50u);
+  EXPECT_NE(D->Message.find(".text+0x48"), std::string::npos) << D->Message;
+}
+
+TEST(FlowCheckTest, RestoredViewOverlaySeesThroughZeroedText) {
+  // The shipped image is properly elided (zeroed region), but the
+  // supplied plaintext -- the restored view -- contains the leak.
+  Bytes Restored = defaultText();
+  poke(Restored, 0x20, instr(Opcode::LdBU, 1, 2, 0, 0));
+  poke(Restored, 0x28, instr(Opcode::Bnez, 0, 1, 0, 8));
+  poke(Restored, 0x30, instr(Opcode::Ret));
+
+  Bytes File = craft({});
+  ASSERT_FALSE(File.empty());
+  Expected<ElfImage> Image = ElfImage::parse(File);
+  ASSERT_TRUE(static_cast<bool>(Image)) << Image.errorMessage();
+  AuditInput In = inputFor(*Image);
+
+  // Without the plaintext the elided range is zeroed: vacuously clean.
+  EXPECT_TRUE(runChecks(In, CheckConstantTime | CheckTaintFlow).clean());
+
+  In.SecretPlaintext = Restored;
+  AuditReport R = runChecks(In, CheckConstantTime);
+  EXPECT_GE(countCode(R, AudSecretDependentBranch), 1u) << R.renderText();
+}
+
+//===----------------------------------------------------------------------===//
+// Orderliness checkers (AUD6xx)
+//===----------------------------------------------------------------------===//
+
+AuditReport orderAudit(const CraftSpec &S,
+                       std::initializer_list<std::string> ExtraWhitelist = {}) {
+  Bytes File = craft(S);
+  EXPECT_FALSE(File.empty());
+  Expected<ElfImage> Image = ElfImage::parse(File);
+  EXPECT_TRUE(static_cast<bool>(Image)) << Image.errorMessage();
+  AuditInput In = inputFor(*Image);
+  for (const std::string &W : ExtraWhitelist)
+    In.WhitelistNames.insert(W);
+  return runChecks(In, CheckOrderliness);
+}
+
+TEST(OrderlinessCheckTest, Aud601FlagsEntryAdmittingRedactedPath) {
+  // A well-shaped whitelisted bridge whose body jumps into the elided
+  // region without calling elide_restore first.
+  CraftSpec S;
+  S.Text.resize(S.Text.size() + 3 * SvmInstrSize, 0);
+  poke(S.Text, 0x40, instr(Opcode::Call, 0, 0, 0, 16)); // -> 0x1050
+  poke(S.Text, 0x48, instr(Opcode::Halt));
+  poke(S.Text, 0x50, instr(Opcode::Jmp, 0, 0, 0, -0x30)); // -> 0x1020
+  S.ExtraFuncs = {{"__bridge_init", 0x1040, 16}};
+  AuditReport R = orderAudit(S, {"init"});
+  const Diagnostic *D = findCode(R, AudPreRestoreEntersRedacted);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Error);
+  // One verdict per entry, anchored at the entry itself.
+  EXPECT_EQ(D->Offset, 0x40u);
+  EXPECT_EQ(D->Symbol, "__bridge_init");
+  EXPECT_NE(D->Message.find("secret_fn"), std::string::npos) << D->Message;
+  EXPECT_NE(D->Message.find("0x20"), std::string::npos) << D->Message;
+  EXPECT_EQ(countCode(R, AudBridgeContract), 0u) << R.renderText();
+}
+
+TEST(OrderlinessCheckTest, PathThroughRestoreCallIsOrderly) {
+  // After `call elide_restore` the text is restored; a jump into the
+  // region beyond that call is the intended post-restore flow.
+  CraftSpec S;
+  S.Text.resize(S.Text.size() + 4 * SvmInstrSize, 0);
+  poke(S.Text, 0x40, instr(Opcode::Call, 0, 0, 0, 16));    // -> 0x1050
+  poke(S.Text, 0x48, instr(Opcode::Halt));
+  poke(S.Text, 0x50, instr(Opcode::Call, 0, 0, 0, -0x40)); // elide_restore
+  poke(S.Text, 0x58, instr(Opcode::Jmp, 0, 0, 0, -0x38));  // -> 0x1020
+  S.ExtraFuncs = {{"__bridge_init", 0x1040, 16}};
+  AuditReport R = orderAudit(S, {"init"});
+  EXPECT_EQ(countCode(R, AudPreRestoreEntersRedacted), 0u) << R.renderText();
+  EXPECT_EQ(R.Errors, 0u) << R.renderText();
+}
+
+TEST(OrderlinessCheckTest, Aud602FlagsPreRestoreOcall) {
+  CraftSpec S;
+  S.Text.resize(S.Text.size() + 4 * SvmInstrSize, 0);
+  poke(S.Text, 0x40, instr(Opcode::Call, 0, 0, 0, 16)); // -> 0x1050
+  poke(S.Text, 0x48, instr(Opcode::Halt));
+  poke(S.Text, 0x50, instr(Opcode::Ocall));
+  poke(S.Text, 0x58, instr(Opcode::Ret));
+  S.ExtraFuncs = {{"__bridge_init", 0x1040, 16}};
+  AuditReport R = orderAudit(S, {"init"});
+  const Diagnostic *D = findCode(R, AudPreRestoreOcall);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_EQ(D->Offset, 0x50u);
+  EXPECT_EQ(D->Symbol, "__bridge_init");
+}
+
+TEST(OrderlinessCheckTest, RestoreExchangeOcallIsExempt) {
+  // elide_restore itself must ocall (it fetches the provisioning blob);
+  // that is the restore exchange, not a pre-restore leak.
+  CraftSpec S;
+  poke(S.Text, 0x10, instr(Opcode::Ocall));
+  AuditReport R = orderAudit(S);
+  EXPECT_EQ(countCode(R, AudPreRestoreOcall), 0u) << R.renderText();
+}
+
+TEST(OrderlinessCheckTest, Aud603FlagsMalformedBridge) {
+  CraftSpec S;
+  poke(S.Text, 0x00, instr(Opcode::Nop)); // Bridge is `nop; halt`.
+  AuditReport R = orderAudit(S);
+  const Diagnostic *D = findCode(R, AudBridgeContract);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Error);
+  EXPECT_EQ(D->Offset, 0x0u);
+  EXPECT_EQ(D->Symbol, "__bridge_elide_restore");
+}
+
+TEST(OrderlinessCheckTest, Aud604FlagsRestoreReentry) {
+  // elide_restore's body calls itself: the static AlreadyLoaded hazard.
+  CraftSpec S;
+  poke(S.Text, 0x10, instr(Opcode::Call, 0, 0, 0, 0));
+  AuditReport R = orderAudit(S);
+  const Diagnostic *D = findCode(R, AudRestoreReentry);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Error);
+  EXPECT_EQ(D->Offset, 0x10u);
+  EXPECT_NE(D->Message.find("call"), std::string::npos) << D->Message;
+  // The call is stepped over, so the function still completes (no 605).
+  EXPECT_EQ(countCode(R, AudRestoreIncompletable), 0u) << R.renderText();
+}
+
+TEST(OrderlinessCheckTest, Aud605FlagsIncompletableRestore) {
+  CraftSpec S;
+  poke(S.Text, 0x10, instr(Opcode::Jmp, 0, 0, 0, 0)); // Spin forever.
+  AuditReport R = orderAudit(S);
+  const Diagnostic *D = findCode(R, AudRestoreIncompletable);
+  ASSERT_NE(D, nullptr) << R.renderText();
+  EXPECT_EQ(D->Sev, Severity::Error);
+  EXPECT_EQ(D->Offset, 0x10u);
+  EXPECT_EQ(D->Symbol, "elide_restore");
+}
+
+//===----------------------------------------------------------------------===//
 // Whole-audit behavior
 //===----------------------------------------------------------------------===//
 
@@ -788,6 +1177,50 @@ TEST(AuditTest, CleanCraftedImageProducesNoDiagnostics) {
   ASSERT_TRUE(static_cast<bool>(Image)) << Image.errorMessage();
   AuditReport R = runChecks(inputFor(*Image), CheckAll);
   EXPECT_TRUE(R.clean()) << R.renderText();
+}
+
+TEST(AuditTest, CleanImageStaysCleanUnderEveryChecker) {
+  // The elided region is zeroed and the restore protocol well-formed, so
+  // even the opt-in flow families have nothing to say.
+  Bytes File = craft({});
+  ASSERT_FALSE(File.empty());
+  Expected<ElfImage> Image = ElfImage::parse(File);
+  ASSERT_TRUE(static_cast<bool>(Image)) << Image.errorMessage();
+  AuditReport R = runChecks(inputFor(*Image), CheckEverything);
+  EXPECT_TRUE(R.clean()) << R.renderText();
+}
+
+TEST(AuditTest, JsonCarriesVersionAndSelectedFamilies) {
+  Bytes File = craft({});
+  ASSERT_FALSE(File.empty());
+  Expected<ElfImage> Image = ElfImage::parse(File);
+  ASSERT_TRUE(static_cast<bool>(Image)) << Image.errorMessage();
+
+  for (unsigned Checks : {(unsigned)CheckAll, (unsigned)CheckEverything,
+                          (unsigned)(CheckConstantTime | CheckTaintFlow)}) {
+    AuditReport R = runChecks(inputFor(*Image), Checks);
+    std::string Json = R.renderJson();
+    EXPECT_NE(Json.find("\"version\":2"), std::string::npos);
+
+    // Round-trip: the families array in the JSON must spell exactly the
+    // families the mask selected, in checker order.
+    std::vector<std::string> Fams = checkFamilyNames(Checks);
+    std::string Expect = "\"families\":[";
+    for (size_t I = 0; I < Fams.size(); ++I)
+      Expect += (I ? ",\"" : "\"") + Fams[I] + "\"";
+    Expect += "]";
+    EXPECT_NE(Json.find(Expect), std::string::npos) << Json;
+  }
+
+  std::vector<std::string> All = checkFamilyNames(CheckEverything);
+  ASSERT_EQ(All.size(), 7u);
+  EXPECT_EQ(All[4], "constant-time");
+  EXPECT_EQ(All[5], "taint-flow");
+  EXPECT_EQ(All[6], "orderliness");
+  // The default gate excludes the opt-in flow policies.
+  std::vector<std::string> Default = checkFamilyNames(CheckAll);
+  ASSERT_EQ(Default.size(), 5u);
+  EXPECT_EQ(Default[4], "orderliness");
 }
 
 TEST(AuditTest, DetectsAllFourSeededLeakClassesAtOnce) {
@@ -950,6 +1383,50 @@ TEST(AuditPipelineTest, UnsanitizedImageIsCaughtByTheAudit) {
   AuditReport R = runAudit(In, AuditOptions());
   EXPECT_GE(R.Errors, 1u);
   EXPECT_GE(countCode(R, AudElidedSymbolNamed), 1u) << R.renderText();
+}
+
+TEST(AuditPipelineTest, FlowAuditGateRefusesLeakySecrets) {
+  // The early-exit PIN compare: a secret that leaks through timing.
+  const char Leaky[] = R"elc(
+fn check_pin(inp: *u8, inlen: u64) -> u64 {
+  var i: u64 = 0;
+  while (i < 4) {
+    if (inp[i] != ((i * 7 + 49) as u8)) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+export fn unlock(inp: *u8, inlen: u64, outp: *u8, outcap: u64) -> u64 {
+  if (outcap < 1) {
+    return 1;
+  }
+  outp[0] = check_pin(inp, inlen) as u8;
+  return 0;
+}
+)elc";
+
+  // Without the opt-in flow audit the build ships it...
+  BuildOptions Opts;
+  Expected<BuildArtifacts> A =
+      buildProtectedEnclave({{"pin.elc", Leaky}}, testVendor(), Opts);
+  ASSERT_TRUE(static_cast<bool>(A)) << A.errorMessage();
+
+  // ...with --audit-flow the self-audit refuses, naming the leak class.
+  Opts.FlowAudit = true;
+  Expected<BuildArtifacts> B =
+      buildProtectedEnclave({{"pin.elc", Leaky}}, testVendor(), Opts);
+  ASSERT_FALSE(static_cast<bool>(B));
+  EXPECT_NE(B.errorMessage().find("AUD501"), std::string::npos)
+      << B.errorMessage();
+
+  // The well-behaved example passes the same gate (no false positives).
+  Opts.FlowAudit = true;
+  Expected<BuildArtifacts> C = buildProtectedEnclave(
+      {{"score.elc", ScoreSource}}, testVendor(), Opts);
+  EXPECT_TRUE(static_cast<bool>(C)) << C.errorMessage();
 }
 
 TEST(AuditPipelineTest, CompilerRejectsReservedBridgePrefix) {

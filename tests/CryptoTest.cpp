@@ -7,6 +7,7 @@
 #include "crypto/Aes.h"
 #include "crypto/AesGcm.h"
 #include "crypto/Cmac.h"
+#include "crypto/CryptoEqual.h"
 #include "crypto/Drbg.h"
 #include "crypto/Ed25519.h"
 #include "crypto/Field25519.h"
@@ -143,6 +144,30 @@ TEST(HmacTest, ConstantTimeEqual) {
   EXPECT_TRUE(constantTimeEqual(A, B));
   EXPECT_FALSE(constantTimeEqual(A, C));
   EXPECT_FALSE(constantTimeEqual(A, D));
+}
+
+TEST(CryptoEqualTest, PointerFormMatchesEquality) {
+  uint8_t A[32], B[32];
+  for (size_t I = 0; I < 32; ++I)
+    A[I] = B[I] = (uint8_t)(I * 7 + 3);
+  EXPECT_TRUE(cryptoEqual(A, B, 32));
+  EXPECT_TRUE(cryptoEqual(A, B, 0)); // Empty ranges are equal.
+  // A difference anywhere -- first, middle, last byte -- is caught; the
+  // loop must not exit early on the first mismatch.
+  for (size_t Flip : {size_t(0), size_t(15), size_t(31)}) {
+    B[Flip] ^= 0x80;
+    EXPECT_FALSE(cryptoEqual(A, B, 32)) << "flip at " << Flip;
+    B[Flip] ^= 0x80;
+  }
+}
+
+TEST(CryptoEqualTest, ViewFormRejectsLengthMismatch) {
+  Bytes A = hexBytes("deadbeef");
+  Bytes B = hexBytes("deadbeef");
+  Bytes Short = hexBytes("deadbe");
+  EXPECT_TRUE(cryptoEqual(BytesView(A), BytesView(B)));
+  EXPECT_FALSE(cryptoEqual(BytesView(A), BytesView(Short)));
+  EXPECT_TRUE(cryptoEqual(BytesView(A.data(), 0), BytesView(B.data(), 0)));
 }
 
 //===----------------------------------------------------------------------===//

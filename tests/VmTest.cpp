@@ -499,4 +499,46 @@ TEST(DisassemblerTest, CountsValidSlots) {
   EXPECT_EQ(countValidInstructionSlots(Code), 2u);
 }
 
+TEST(DisassemblerTest, DecodeRegionYieldsPcsAndDropsRaggedTail) {
+  Bytes Code;
+  emitInstruction(Code, {Opcode::Nop, 0, 0, 0, 0});
+  emitInstruction(Code, {Opcode::Jmp, 0, 0, 0, -8});
+  Code.resize(Code.size() + 5, 0xCC); // Partial slot: not decodable.
+  std::vector<DecodedSlot> Slots = decodeRegion(Code, 0x2000);
+  ASSERT_EQ(Slots.size(), 2u);
+  EXPECT_EQ(Slots[0].Pc, 0x2000u);
+  EXPECT_TRUE(Slots[0].Valid);
+  EXPECT_EQ(Slots[1].Pc, 0x2008u);
+  EXPECT_EQ(Slots[1].I.Op, Opcode::Jmp);
+}
+
+TEST(DisassemblerTest, StructuredDecodePredicates) {
+  EXPECT_TRUE(isConditionalBranch(Opcode::Beqz));
+  EXPECT_TRUE(isConditionalBranch(Opcode::Bnez));
+  EXPECT_FALSE(isConditionalBranch(Opcode::Jmp));
+  EXPECT_TRUE(isLoadOpcode(Opcode::LdBU));
+  EXPECT_TRUE(isLoadOpcode(Opcode::LdD));
+  EXPECT_FALSE(isLoadOpcode(Opcode::LdI)); // Immediate, not memory.
+  EXPECT_TRUE(isStoreOpcode(Opcode::StD));
+  EXPECT_FALSE(isStoreOpcode(Opcode::LdD));
+  EXPECT_TRUE(endsStraightLine(Opcode::Ret));
+  EXPECT_TRUE(endsStraightLine(Opcode::Illegal));
+  EXPECT_FALSE(endsStraightLine(Opcode::Call));
+  EXPECT_FALSE(endsStraightLine(Opcode::Beqz));
+}
+
+TEST(DisassemblerTest, DirectTargetResolvesPcRelativeTransfers) {
+  Instruction Jmp{Opcode::Jmp, 0, 0, 0, 0x40};
+  std::optional<uint64_t> T = directTarget(Jmp, 0x1000);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(*T, 0x1040u);
+  Instruction Back{Opcode::Bnez, 0, 1, 0, -16};
+  T = directTarget(Back, 0x1020);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(*T, 0x1010u);
+  // Indirect and non-transfer instructions have no static target.
+  EXPECT_FALSE(directTarget({Opcode::CallR, 0, 1, 0, 0}, 0).has_value());
+  EXPECT_FALSE(directTarget({Opcode::Add, 1, 2, 3, 0}, 0).has_value());
+}
+
 } // namespace

@@ -43,6 +43,7 @@ enum AuditFuzzFlags : uint8_t {
   FuzzRegion = 1 << 4,
   FuzzPlaintext = 1 << 5,
   FuzzSgx2 = 1 << 6,
+  FuzzFlowChecks = 1 << 7,
 };
 
 void fuzzAuditOne(BytesView Input) {
@@ -80,6 +81,11 @@ void fuzzAuditOne(BytesView Input) {
 
   AuditOptions Opts;
   Opts.Mode = (Flags & FuzzSgx2) ? SgxMode::Sgx2 : SgxMode::Sgx1;
+  // The flow families drive the CFG builder and taint engine over the
+  // image's (attacker-shaped) text: decode, block slicing, and the
+  // fixpoint must all be total over it.
+  if (Flags & FuzzFlowChecks)
+    Opts.Checks = CheckEverything;
   AuditReport R = runAudit(In, Opts);
 
   // Counts must agree with the findings.

@@ -19,6 +19,7 @@
 #include "tests/framework/VmDiff.h"
 
 #include "crypto/Drbg.h"
+#include "elf/ElfBuilder.h"
 #include "elf/ElfTypes.h"
 #include "elide/SecretMeta.h"
 #include "server/Protocol.h"
@@ -266,7 +267,8 @@ void makeLoaderCorpus() {
 void makeAuditCorpus() {
   // Input layout (see FuzzAudit.cpp): [flags][param][elf...]. Flag bits:
   // 0x01 whitelist, 0x02 meta, 0x04 scaled DataLength, 0x08 encrypted,
-  // 0x10 explicit region, 0x20 plaintext, 0x40 SGX2 mode.
+  // 0x10 explicit region, 0x20 plaintext, 0x40 SGX2 mode, 0x80 flow
+  // checks (CFG + taint over the text).
   Drbg Rng(601);
   Bytes Elf = fuzz::buildSeedElf(Rng);
   auto blob = [](uint8_t Flags, uint8_t Param, BytesView Body) {
@@ -286,6 +288,31 @@ void makeAuditCorpus() {
   // output unescaped before Diagnostic::key() sanitized name bytes.
   emit("audit", "regression-newline-section-name",
        blob(0x13, 0x10, patchNewlineSectionName(Elf)));
+
+  // Flow checks over a random-byte text section: the CFG builder and
+  // taint fixpoint must be total over whatever decodes out of it.
+  emit("audit", "seed-flow-checks-hostile-text", blob(0x91, 0x18, Elf));
+  // Flow checks with every fact supplied at once, under SGX2.
+  emit("audit", "seed-flow-checks-all-facts", blob(0xfb, 0x20, Elf));
+  // A text section that is one dense web of branches: every slot is a
+  // conditional branch targeting another slot (or just outside), the
+  // worst case for block slicing and escape handling.
+  {
+    Bytes Branchy;
+    for (int I = 0; I < 48; ++I) {
+      int32_t Hop = int32_t(((I * 37) % 53) - 26) * 8;
+      emitInstruction(Branchy, {I % 2 ? Opcode::Beqz : Opcode::Bnez,
+                                0, uint8_t(I % 31), 0, Hop});
+    }
+    ElfBuilder BB;
+    size_t TI = BB.addProgbits(".text", 0x1000, Branchy,
+                               SHF_ALLOC | SHF_EXECINSTR);
+    BB.addSymbol("elide_restore", 0x1000, 16, STT_FUNC, TI);
+    BB.addSymbol("__bridge_elide_restore", 0x1010, 16, STT_FUNC, TI);
+    Expected<Bytes> BranchyElf = BB.build();
+    if (BranchyElf)
+      emit("audit", "seed-flow-checks-branch-web", blob(0x90, 0x08, *BranchyElf));
+  }
 }
 
 void makeVmDiffCorpus() {

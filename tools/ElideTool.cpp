@@ -56,9 +56,10 @@ int usage() {
       "  whitelist <dummy.so|-> [out.txt]       derive the function "
       "whitelist ('-' = builtin dummy)\n"
       "  sanitize  <in.so> <out.so> <data> <meta> [--local] [--whitelist f]\n"
-      "            [--no-audit] [--sgx2]\n"
+      "            [--no-audit] [--audit-flow] [--sgx2]\n"
       "  audit     <sanitized.so> [--meta f] [--whitelist f] [--data f]\n"
       "            [--json] [--baseline f] [--write-baseline f] [--sgx2]\n"
+      "            [--taint] [--ct] [--orderliness]\n"
       "  measure   <enclave.so>                 print MRENCLAVE\n"
       "  sign      <enclave.so> <sig.bin> [--seed N] [--sgx2]\n"
       "  objdump   <enclave.so> [function]      disassemble (attacker's "
@@ -270,6 +271,9 @@ int reportAuditAndExit(const analysis::AuditReport &Report, bool Json) {
 int cmdAudit(std::vector<std::string> Args) {
   bool Json = hasFlag(Args, "--json");
   bool Sgx2 = hasFlag(Args, "--sgx2");
+  bool Taint = hasFlag(Args, "--taint");
+  bool Ct = hasFlag(Args, "--ct");
+  bool Orderliness = hasFlag(Args, "--orderliness");
   std::string MetaPath = flagValue(Args, "--meta", "");
   std::string WhitelistPath = flagValue(Args, "--whitelist", "");
   std::string DataPath = flagValue(Args, "--data", "");
@@ -342,6 +346,15 @@ int cmdAudit(std::vector<std::string> Args) {
     Options.Suppressions = &Suppressions;
   }
   Options.Mode = Sgx2 ? analysis::SgxMode::Sgx2 : analysis::SgxMode::Sgx1;
+  // The flow families reason about the *restored* secret code and are
+  // opt-in; orderliness is already part of the default set, the flag
+  // just makes a CI invocation self-documenting.
+  if (Taint)
+    Options.Checks |= analysis::CheckTaintFlow;
+  if (Ct)
+    Options.Checks |= analysis::CheckConstantTime;
+  if (Orderliness)
+    Options.Checks |= analysis::CheckOrderliness;
 
   analysis::AuditReport Report = analysis::runAudit(Input, Options);
   if (!WriteBaselinePath.empty()) {
@@ -358,6 +371,7 @@ int cmdSanitize(std::vector<std::string> Args) {
   bool Local = hasFlag(Args, "--local");
   bool NoAudit = hasFlag(Args, "--no-audit");
   bool Sgx2 = hasFlag(Args, "--sgx2");
+  bool AuditFlow = hasFlag(Args, "--audit-flow");
   std::string WhitelistPath = flagValue(Args, "--whitelist", "");
   if (Args.size() != 4)
     return usage();
@@ -429,6 +443,8 @@ int cmdSanitize(std::vector<std::string> Args) {
         auditInputFor(*Image, S->ElidedRegions, Keep, S->Meta, Plaintext);
     analysis::AuditOptions Options;
     Options.Mode = Sgx2 ? analysis::SgxMode::Sgx2 : analysis::SgxMode::Sgx1;
+    if (AuditFlow)
+      Options.Checks = analysis::CheckEverything;
     analysis::AuditReport Report = analysis::runAudit(Input, Options);
     if (!Report.clean())
       return reportAuditAndExit(Report, /*Json=*/false);
